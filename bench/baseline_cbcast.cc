@@ -1,0 +1,82 @@
+// Related-work baseline ablation: vector-clock causal BROADCAST
+// ([13]/[17]-style, Section 2) vs this paper's domain-partitioned
+// matrix clocks, for point-to-point MOM traffic.
+//
+// The broadcast family guarantees causal order by sending *every*
+// message to *every* node with an O(n) vector stamp: a logical unicast
+// costs (n-1) frames.  The domain approach routes a unicast over a few
+// hops with O(1) Updates stamps.  This bench measures, with the real
+// codecs, the wire cost per logical 64-byte unicast message at growing
+// system sizes.
+#include <cstdio>
+#include <vector>
+
+#include "clocks/cbcast.h"
+#include "domains/deployment.h"
+#include "domains/topologies.h"
+#include "workload/experiments.h"
+
+using namespace cmom;
+
+namespace {
+
+constexpr std::size_t kPayload = 64;
+
+// Wire bytes for one logical unicast under causal broadcast: (n-1)
+// copies, each payload + encoded vector stamp (measured in steady
+// state, counters > 0 after a warm-up round).
+double CbcastBytesPerMessage(std::size_t n) {
+  clocks::CbcastNode node(0, n);
+  for (int warm = 0; warm < 3; ++warm) (void)node.PrepareBroadcast();
+  const clocks::VectorClock stamp = node.PrepareBroadcast();
+  ByteWriter writer;
+  stamp.Encode(writer);
+  return static_cast<double>(n - 1) *
+         static_cast<double>(kPayload + writer.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Baseline ablation: causal broadcast (vector clocks) vs domains\n"
+      "(matrix clocks + Updates), wire bytes per logical 64-B unicast\n");
+  std::printf("%8s %22s %22s %10s\n", "servers", "cbcast (B/msg)",
+              "domains (B/msg)", "ratio");
+
+  workload::ExperimentOptions options;
+  options.rounds = 10;
+  for (std::size_t n : {9u, 16u, 36u, 64u, 100u, 144u}) {
+    const double cbcast = CbcastBytesPerMessage(n);
+
+    // Measured on the real bus-of-domains MOM: total wire bytes of a
+    // ping-pong run divided by the number of logical messages
+    // (2 per round: ping + pong), with the same payload size.
+    std::size_t s = 1;
+    while (s * s < n) ++s;
+    auto config = domains::topologies::BusForServerCount(n, s);
+    const std::size_t actual = config.servers.size();
+    workload::ExperimentOptions run_options = options;
+    auto result = workload::RunPingPong(
+        config, ServerId(0), ServerId(static_cast<std::uint16_t>(actual - 1)),
+        run_options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "n=%zu failed: %s\n", n,
+                   result.status().to_string().c_str());
+      return 1;
+    }
+    const double logical =
+        static_cast<double>(2 * result.value().rounds);  // pings + pongs
+    const double domains_bytes =
+        static_cast<double>(result.value().wire_bytes) / logical +
+        kPayload;  // the test ping has no payload; add it for fairness
+
+    std::printf("%8zu %22.0f %22.0f %9.1fx\n", actual, cbcast, domains_bytes,
+                cbcast / domains_bytes);
+  }
+  std::printf(
+      "\nExpected: the broadcast baseline grows ~n * (payload + n stamp\n"
+      "bytes) per message, while the domain approach stays near\n"
+      "(hops * frame) -- the Section 2 scalability argument, quantified.\n");
+  return 0;
+}

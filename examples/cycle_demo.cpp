@@ -1,0 +1,109 @@
+// The theorem, live: why the domain graph must be acyclic.
+//
+// Builds the paper's Figure 4(a) scenario on a ring of four domains:
+// p = S0 and q = S3 share a domain, and a chain of forwarders runs the
+// long way around the ring.  p sends a direct message to q on a slow
+// link, then starts the chain.  Per-domain causal order holds
+// everywhere, yet q reads the chain's message -- which causally
+// depends on the direct one -- first.  Breaking the ring (removing the
+// closing domain) routes the "direct" message through the same chain
+// of domains, and causality is restored.
+//
+// This is the narrative companion of bench/theorem_demo.cc.
+#include <cstdio>
+#include <optional>
+
+#include "causality/checker.h"
+#include "domains/topologies.h"
+#include "workload/sim_harness.h"
+
+using namespace cmom;
+
+namespace {
+
+class RelayAgent final : public mom::Agent {
+ public:
+  explicit RelayAgent(std::optional<AgentId> next) : next_(next) {}
+
+  void React(mom::ReactionContext& ctx, const mom::Message& message) override {
+    std::printf("    t=%6.1fms  %s reads '%s'\n",
+                static_cast<double>(ctx.NowNs()) / 1e6,
+                to_string(ctx.self().server).c_str(),
+                message.subject.c_str());
+    if (next_) ctx.Send(*next_, message.subject, message.payload);
+  }
+
+ private:
+  std::optional<AgentId> next_;
+};
+
+bool RunScenario(domains::MomConfig config, const char* title) {
+  std::printf("\n%s\n", title);
+  constexpr std::uint16_t kLast = 3;
+
+  workload::SimHarness harness(std::move(config));
+  Status status = harness.Init([&](ServerId id, mom::AgentServer& server) {
+    std::optional<AgentId> next;
+    if (id.value() < kLast) {
+      next = AgentId{ServerId(static_cast<std::uint16_t>(id.value() + 1)), 1};
+    }
+    server.AttachAgent(1, std::make_unique<RelayAgent>(
+                              id.value() == 0 || id.value() == kLast
+                                  ? std::optional<AgentId>{}
+                                  : next));
+  });
+  if (!status.ok() || !harness.BootAll().ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", status.to_string().c_str());
+    return false;
+  }
+
+  // The direct S0 -> S3 link is pathologically slow.
+  harness.network().SetLinkLatency(ServerId(0), ServerId(kLast),
+                                   800 * sim::kMillisecond);
+
+  // S0: first the direct message to S3, then the chain via S1.
+  (void)harness.Send(ServerId(0), 1, ServerId(kLast), 1, "direct-news");
+  (void)harness.Send(ServerId(0), 1, ServerId(1), 1, "chain-gossip");
+  harness.Run();
+
+  auto checker = harness.MakeChecker();
+  auto report = checker.CheckCausalDelivery(harness.trace().Snapshot());
+  if (report.causal()) {
+    std::printf("  => causal order PRESERVED\n");
+  } else {
+    std::printf("  => causal order VIOLATED: %s\n",
+                report.violations.front().description.c_str());
+  }
+  return report.causal();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure 4(a) live: S0 tells S3 directly, then gossips around the\n"
+      "ring; the gossip causally follows the direct message.\n");
+
+  // Ring of 4 domains, 2 routers each: servers S0..S3, domain i =
+  // {S(i-1 mod 4), S(i)}; S0 and S3 share the closing domain D0.
+  const bool ring_causal =
+      RunScenario(domains::topologies::Ring(4, 2),
+                  "Ring of domains (CYCLIC -- the theorem's bad case):");
+
+  // Same servers, ring broken: drop the closing domain D0.
+  auto line = domains::topologies::Ring(4, 2);
+  std::erase_if(line.domains, [](const domains::DomainSpec& domain) {
+    return domain.id == DomainId(0);
+  });
+  line.allow_cyclic_domain_graph = false;
+  const bool line_causal =
+      RunScenario(std::move(line),
+                  "Same scenario, cycle broken (ACYCLIC -- theorem holds):");
+
+  std::printf("\nConclusion: %s\n",
+              !ring_causal && line_causal
+                  ? "cycle => violation possible; acyclic => causality "
+                    "guaranteed.  QED (experimentally)."
+                  : "unexpected outcome -- investigate!");
+  return !ring_causal && line_causal ? 0 : 1;
+}

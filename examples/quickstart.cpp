@@ -1,0 +1,73 @@
+// Quickstart: a three-server MOM in one domain of causality.
+//
+// Shows the minimal full path through the public API:
+//   topology -> harness -> agents -> send -> run -> verify.
+// An agent on S0 greets an agent on S2; the greeter replies; the oracle
+// confirms the exchange was causal and exactly-once.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "domains/topologies.h"
+#include "workload/sim_harness.h"
+
+using namespace cmom;
+
+namespace {
+
+// A minimal agent: prints what it receives and answers "hello" once.
+class GreeterAgent final : public mom::Agent {
+ public:
+  void React(mom::ReactionContext& ctx, const mom::Message& message) override {
+    std::printf("  [%s] agent %u.%u got '%s' from %u.%u\n",
+                to_string(ctx.self().server).c_str(), ctx.self().server.value(),
+                ctx.self().local, message.subject.c_str(),
+                message.from.server.value(), message.from.local);
+    if (message.subject == "hello") {
+      ctx.Send(message.from, "hello-back");
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  // 1. Describe the MOM: three servers, one domain of causality.
+  auto config = domains::topologies::Flat(3);
+
+  // 2. Assemble the simulated bus (swap in ThreadedHarness or the TCP
+  //    transport for real time -- the agent code does not change).
+  workload::SimHarness harness(config);
+  Status status = harness.Init([](ServerId id, mom::AgentServer& server) {
+    (void)id;
+    server.AttachAgent(/*local_id=*/1, std::make_unique<GreeterAgent>());
+  });
+  if (!status.ok()) {
+    std::fprintf(stderr, "init: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  if (Status boot = harness.BootAll(); !boot.ok()) {
+    std::fprintf(stderr, "boot: %s\n", boot.to_string().c_str());
+    return 1;
+  }
+
+  // 3. Send a message from the agent on S0 to the agent on S2.
+  std::printf("S0 greets S2...\n");
+  auto sent = harness.Send(ServerId(0), 1, ServerId(2), 1, "hello");
+  if (!sent.ok()) {
+    std::fprintf(stderr, "send: %s\n", sent.status().to_string().c_str());
+    return 1;
+  }
+
+  // 4. Run the bus to quiescence.
+  harness.Run();
+
+  // 5. Verify with the causality oracle.
+  auto checker = harness.MakeChecker();
+  const causality::Trace trace = harness.trace().Snapshot();
+  const bool causal = checker.CheckCausalDelivery(trace).causal();
+  const bool exactly_once = checker.CheckExactlyOnce(trace).ok();
+  std::printf("causal delivery: %s, exactly-once: %s\n",
+              causal ? "yes" : "NO", exactly_once ? "yes" : "NO");
+  return causal && exactly_once ? 0 : 1;
+}

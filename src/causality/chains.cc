@@ -1,0 +1,186 @@
+#include "causality/chains.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace cmom::causality {
+
+ChainAnalyzer::ChainAnalyzer(const Trace& trace) {
+  // Local event position counters per process, advanced in trace order
+  // (the trace is recorded in an order consistent with each process's
+  // local time).
+  std::unordered_map<ServerId, std::size_t> next_position;
+  std::unordered_map<MessageId, MessageInfo> partial;
+
+  for (const TraceEvent& event : trace) {
+    const std::size_t position = next_position[event.process]++;
+    if (event.kind == EventKind::kSend) {
+      MessageInfo& info = partial[event.message];
+      info.id = event.message;
+      info.sender = event.process;
+      info.send_pos = position;
+    } else {
+      MessageInfo& info = partial[event.message];
+      info.id = event.message;
+      info.receiver = event.process;
+      info.deliver_pos = position;
+    }
+  }
+  // Keep only messages with both endpoints recorded, in a deterministic
+  // order.
+  for (const TraceEvent& event : trace) {
+    if (event.kind != EventKind::kSend) continue;
+    auto it = partial.find(event.message);
+    if (it == partial.end()) continue;
+    // A delivery implies a receiver different from a default value only
+    // if it was recorded; detect missing delivery via re-scan flag.
+    messages_.push_back(it->second);
+  }
+  // Drop sends that were never delivered: their deliver_pos is
+  // meaningless.  A message delivered at position 0 is valid, so track
+  // delivery presence explicitly.
+  std::unordered_map<MessageId, bool> delivered;
+  for (const TraceEvent& event : trace) {
+    if (event.kind == EventKind::kDeliver) delivered[event.message] = true;
+  }
+  std::erase_if(messages_, [&](const MessageInfo& info) {
+    return !delivered.contains(info.id);
+  });
+
+  for (std::size_t i = 0; i < messages_.size(); ++i) {
+    sends_by_process_[messages_[i].sender].push_back(i);
+  }
+}
+
+const ChainAnalyzer::MessageInfo* ChainAnalyzer::Find(MessageId id) const {
+  for (const MessageInfo& info : messages_) {
+    if (info.id == id) return &info;
+  }
+  return nullptr;
+}
+
+std::optional<std::size_t> ChainAnalyzer::SendPosition(MessageId id) const {
+  const MessageInfo* info = Find(id);
+  if (info == nullptr) return std::nullopt;
+  return info->send_pos;
+}
+
+std::optional<std::size_t> ChainAnalyzer::DeliverPosition(
+    MessageId id) const {
+  const MessageInfo* info = Find(id);
+  if (info == nullptr) return std::nullopt;
+  return info->deliver_pos;
+}
+
+bool ChainAnalyzer::IsChain(const Chain& chain) const {
+  if (chain.empty()) return false;
+  const MessageInfo* previous = nullptr;
+  for (MessageId id : chain) {
+    const MessageInfo* info = Find(id);
+    if (info == nullptr) return false;
+    if (previous != nullptr) {
+      // Linked at the previous receiver, receive before send.
+      if (info->sender != previous->receiver) return false;
+      if (info->send_pos <= previous->deliver_pos) return false;
+    }
+    previous = info;
+  }
+  return true;
+}
+
+ServerId ChainAnalyzer::Source(const Chain& chain) const {
+  assert(!chain.empty());
+  return Find(chain.front())->sender;
+}
+
+ServerId ChainAnalyzer::Destination(const Chain& chain) const {
+  assert(!chain.empty());
+  return Find(chain.back())->receiver;
+}
+
+std::vector<ServerId> ChainAnalyzer::AssociatedPath(
+    const Chain& chain) const {
+  std::vector<ServerId> path;
+  for (MessageId id : chain) path.push_back(Find(id)->sender);
+  if (!chain.empty()) path.push_back(Find(chain.back())->receiver);
+  return path;
+}
+
+bool ChainAnalyzer::IsDirect(const Chain& chain) const {
+  const std::vector<ServerId> path = AssociatedPath(chain);
+  std::vector<ServerId> sorted = path;
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+}
+
+Chain ChainAnalyzer::MakeDirect(Chain chain) const {
+  assert(IsChain(chain));
+  assert(Source(chain) != Destination(chain));
+  // Appendix B, Lemma 1: while the associated path (p1..pk+1) repeats a
+  // process (pi == pj, i < j), splice out the loop.  Following the
+  // proof's three cases:
+  //   i == 1           -> keep (mj, ..., mK)             [case a]
+  //   j == K+1         -> keep (m1, ..., m(i-1))         [case b]
+  //   otherwise        -> (m1..m(i-1), mj..mK)           [case c]
+  // Each step shortens the chain, so this terminates with a direct
+  // chain with the same endpoints.
+  while (!IsDirect(chain)) {
+    const std::vector<ServerId> path = AssociatedPath(chain);
+    // Find the first repeat (i < j minimal lexicographically).
+    std::size_t loop_i = 0, loop_j = 0;
+    bool found = false;
+    for (std::size_t i = 0; i < path.size() && !found; ++i) {
+      for (std::size_t j = i + 1; j < path.size(); ++j) {
+        if (path[i] == path[j]) {
+          loop_i = i;
+          loop_j = j;
+          found = true;
+          break;
+        }
+      }
+    }
+    assert(found);
+    const std::size_t k = chain.size();
+    Chain next;
+    if (loop_i == 0 && loop_j < k) {
+      next.assign(chain.begin() + static_cast<long>(loop_j), chain.end());
+    } else if (loop_j == k) {  // path index K+1 == chain size k
+      next.assign(chain.begin(), chain.begin() + static_cast<long>(loop_i));
+    } else {
+      next.assign(chain.begin(), chain.begin() + static_cast<long>(loop_i));
+      next.insert(next.end(), chain.begin() + static_cast<long>(loop_j),
+                  chain.end());
+    }
+    assert(!next.empty());
+    chain = std::move(next);
+    assert(IsChain(chain));
+  }
+  return chain;
+}
+
+std::vector<Chain> ChainAnalyzer::ChainsFrom(MessageId first,
+                                             std::size_t max_length) const {
+  std::vector<Chain> result;
+  const MessageInfo* info = Find(first);
+  if (info == nullptr) return result;
+
+  Chain current{first};
+  auto extend = [&](auto&& self, const MessageInfo& tail) -> void {
+    result.push_back(current);
+    if (current.size() >= max_length) return;
+    auto it = sends_by_process_.find(tail.receiver);
+    if (it == sends_by_process_.end()) return;
+    for (std::size_t index : it->second) {
+      const MessageInfo& candidate = messages_[index];
+      if (candidate.send_pos <= tail.deliver_pos) continue;
+      current.push_back(candidate.id);
+      self(self, candidate);
+      current.pop_back();
+    }
+  };
+  extend(extend, *info);
+  return result;
+}
+
+}  // namespace cmom::causality

@@ -1,0 +1,87 @@
+// Message chains (Section 4.2) and the Appendix-B lemma machinery,
+// executable.
+//
+// A chain (m1, ..., mk) is a sequence of messages in which each message
+// after the first is sent by the process that received the preceding
+// one, after that receipt.  Chains are how the paper models indirect
+// communication ("virtual messages") across domains, and Lemma 1 --
+// every chain between distinct endpoints has a *direct* chain (no
+// repeated process) with the same endpoints, no earlier at the source
+// and no later at the destination -- is the engine of the main proof.
+//
+// This module reconstructs chains from recorded traces and implements
+// the constructive step of Lemma 1's proof (loop excision), so the
+// property tests can check the lemma's guarantees on real executions.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "causality/trace.h"
+#include "common/ids.h"
+
+namespace cmom::causality {
+
+using Chain = std::vector<MessageId>;
+
+class ChainAnalyzer {
+ public:
+  // Indexes the trace: send/deliver positions per message and per
+  // process.  Messages without both a send and a delivery event are
+  // ignored (they cannot participate in a chain).
+  explicit ChainAnalyzer(const Trace& trace);
+
+  [[nodiscard]] std::size_t message_count() const {
+    return messages_.size();
+  }
+
+  // True when `chain` is a message chain of the trace: consecutive
+  // messages link receiver -> next sender with receive-before-send.
+  [[nodiscard]] bool IsChain(const Chain& chain) const;
+
+  // Source process (sender of the first message) / destination process
+  // (receiver of the last).  Chain must be nonempty and valid.
+  [[nodiscard]] ServerId Source(const Chain& chain) const;
+  [[nodiscard]] ServerId Destination(const Chain& chain) const;
+
+  // The path associated with a chain: src(m1), src(m2), ..., dst(mk).
+  [[nodiscard]] std::vector<ServerId> AssociatedPath(
+      const Chain& chain) const;
+
+  // Direct chain: the associated path has no repeated process.
+  [[nodiscard]] bool IsDirect(const Chain& chain) const;
+
+  // The constructive step of Lemma 1: excises loops from `chain` until
+  // it is direct, preserving source and destination, never moving the
+  // first message later at the source nor the last message earlier at
+  // the destination.  Requires a valid chain with distinct endpoints.
+  [[nodiscard]] Chain MakeDirect(Chain chain) const;
+
+  // Enumerate every chain of length <= max_length starting from
+  // message `first` (for exhaustive small-trace property tests).
+  [[nodiscard]] std::vector<Chain> ChainsFrom(MessageId first,
+                                              std::size_t max_length) const;
+
+  // Position of an event in the per-process local order (the paper's
+  // <p relation); nullopt when the event is not in the trace.
+  [[nodiscard]] std::optional<std::size_t> SendPosition(MessageId id) const;
+  [[nodiscard]] std::optional<std::size_t> DeliverPosition(
+      MessageId id) const;
+
+ private:
+  struct MessageInfo {
+    MessageId id;
+    ServerId sender;
+    ServerId receiver;
+    std::size_t send_pos = 0;     // index in sender's local event order
+    std::size_t deliver_pos = 0;  // index in receiver's local event order
+  };
+
+  [[nodiscard]] const MessageInfo* Find(MessageId id) const;
+
+  std::vector<MessageInfo> messages_;
+  // For ChainsFrom: messages sent by each process, by local position.
+  std::unordered_map<ServerId, std::vector<std::size_t>> sends_by_process_;
+};
+
+}  // namespace cmom::causality

@@ -1,0 +1,116 @@
+#include "causality/checker.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cmom::causality {
+
+namespace {
+
+std::string Describe(const Violation& violation) {
+  std::ostringstream out;
+  out << "at " << to_string(violation.process) << ": " << violation.later
+      << " delivered before " << violation.earlier << ", but "
+      << violation.earlier << " causally precedes it";
+  return out.str();
+}
+
+}  // namespace
+
+CausalityChecker::CausalityChecker(std::vector<ServerId> servers)
+    : servers_(std::move(servers)) {
+  std::sort(servers_.begin(), servers_.end());
+}
+
+std::size_t CausalityChecker::RankOf(ServerId server) const {
+  auto it = std::lower_bound(servers_.begin(), servers_.end(), server);
+  return static_cast<std::size_t>(it - servers_.begin());
+}
+
+CheckReport CausalityChecker::CheckCausalDelivery(
+    const Trace& trace, std::size_t max_violations) const {
+  CheckReport report;
+  const std::size_t n = servers_.size();
+
+  // Per-server vector clock, replayed over the recorded order.
+  std::vector<clocks::VectorClock> clock(n, clocks::VectorClock(n));
+  // Vector timestamp of each message's send event.
+  std::unordered_map<MessageId, clocks::VectorClock> send_stamp;
+  // Sends whose delivery has not been replayed yet, per destination.
+  std::unordered_map<ServerId, std::vector<MessageId>> in_flight;
+
+  for (const TraceEvent& event : trace) {
+    const std::size_t p = RankOf(event.process);
+    if (event.kind == EventKind::kSend) {
+      ++report.messages_sent;
+      clock[p].Increment(p);
+      send_stamp.emplace(event.message, clock[p]);
+      in_flight[event.destination].push_back(event.message);
+    } else {
+      ++report.messages_delivered;
+      auto stamp_it = send_stamp.find(event.message);
+      if (stamp_it == send_stamp.end()) continue;  // delivery without send
+      const clocks::VectorClock& delivered_stamp = stamp_it->second;
+
+      // Any still-undelivered message to this destination whose send
+      // causally precedes this one should have been delivered first.
+      auto& pending = in_flight[event.destination];
+      for (MessageId other : pending) {
+        if (other == event.message) continue;
+        if (report.violations.size() >= max_violations) break;
+        const clocks::VectorClock& other_stamp = send_stamp.at(other);
+        if (other_stamp.HappensBefore(delivered_stamp) ||
+            (other_stamp == delivered_stamp && other < event.message)) {
+          Violation violation{other, event.message, event.process, {}};
+          violation.description = Describe(violation);
+          report.violations.push_back(std::move(violation));
+        }
+      }
+      pending.erase(std::remove(pending.begin(), pending.end(), event.message),
+                    pending.end());
+
+      clock[p].MergeFrom(delivered_stamp);
+      clock[p].Increment(p);
+    }
+  }
+  return report;
+}
+
+Status CausalityChecker::CheckExactlyOnce(const Trace& trace) const {
+  std::unordered_map<MessageId, int> deliveries;
+  std::unordered_set<MessageId> sends;
+  for (const TraceEvent& event : trace) {
+    if (event.kind == EventKind::kSend) {
+      if (!sends.insert(event.message).second) {
+        std::ostringstream out;
+        out << "message " << event.message << " sent twice";
+        return Status::Internal(out.str());
+      }
+    } else {
+      if (++deliveries[event.message] > 1) {
+        std::ostringstream out;
+        out << "message " << event.message << " delivered more than once";
+        return Status::DataLoss(out.str());
+      }
+    }
+  }
+  for (MessageId message : sends) {
+    if (deliveries[message] == 0) {
+      std::ostringstream out;
+      out << "message " << message << " sent but never delivered";
+      return Status::DataLoss(out.str());
+    }
+  }
+  for (const auto& [message, count] : deliveries) {
+    if (!sends.contains(message)) {
+      std::ostringstream out;
+      out << "message " << message << " delivered but never sent";
+      return Status::DataLoss(out.str());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace cmom::causality

@@ -1,0 +1,110 @@
+#include "causality/paths.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cmom::causality {
+
+PathAnalyzer::PathAnalyzer(domains::MomConfig config)
+    : config_(std::move(config)) {}
+
+std::vector<std::size_t> PathAnalyzer::DomainsContaining(
+    ServerId server) const {
+  std::vector<std::size_t> result;
+  for (std::size_t d = 0; d < config_.domains.size(); ++d) {
+    const auto& members = config_.domains[d].members;
+    if (std::find(members.begin(), members.end(), server) != members.end()) {
+      result.push_back(d);
+    }
+  }
+  return result;
+}
+
+bool PathAnalyzer::SameDomain(ServerId a, ServerId b) const {
+  for (const domains::DomainSpec& domain : config_.domains) {
+    const auto& m = domain.members;
+    if (std::find(m.begin(), m.end(), a) != m.end() &&
+        std::find(m.begin(), m.end(), b) != m.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PathAnalyzer::IsPath(const Path& path) const {
+  if (path.empty()) return false;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!SameDomain(path[i], path[i + 1])) return false;
+  }
+  return true;
+}
+
+bool PathAnalyzer::IsDirect(const Path& path) const {
+  if (!IsPath(path)) return false;
+  std::set<ServerId> seen(path.begin(), path.end());
+  return seen.size() == path.size();
+}
+
+bool PathAnalyzer::IsMinimal(const Path& path) const {
+  if (!IsDirect(path)) return false;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    for (std::size_t j = i + 2; j < path.size(); ++j) {
+      if (SameDomain(path[i], path[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool PathAnalyzer::CoveredByOneDomain(const Path& path) const {
+  for (const domains::DomainSpec& domain : config_.domains) {
+    bool all = true;
+    for (ServerId server : path) {
+      const auto& m = domain.members;
+      if (std::find(m.begin(), m.end(), server) == m.end()) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+bool PathAnalyzer::IsCycle(const Path& path) const {
+  if (path.size() < 2) return false;
+  if (!IsDirect(path)) return false;
+  if (!SameDomain(path.front(), path.back())) return false;
+  return !CoveredByOneDomain(path);
+}
+
+std::optional<Path> PathAnalyzer::FindAnyCycle(std::size_t max_length) const {
+  // Depth-first enumeration of direct paths, pruned by max_length.
+  Path current;
+  std::optional<Path> found;
+
+  auto extend = [&](auto&& self, ServerId last) -> bool {
+    if (IsCycle(current)) {
+      found = current;
+      return true;
+    }
+    if (current.size() >= max_length) return false;
+    for (ServerId next : config_.servers) {
+      if (std::find(current.begin(), current.end(), next) != current.end()) {
+        continue;
+      }
+      if (!SameDomain(last, next)) continue;
+      current.push_back(next);
+      if (self(self, next)) return true;
+      current.pop_back();
+    }
+    return false;
+  };
+
+  for (ServerId start : config_.servers) {
+    current = {start};
+    if (extend(extend, start)) return found;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cmom::causality

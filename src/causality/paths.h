@@ -1,0 +1,62 @@
+// The paper's formal path machinery (Section 4.2), executable.
+//
+// A (process) path is a sequence of servers in which consecutive
+// servers share a domain; it is *direct* when all servers differ,
+// *minimal* when it never "lingers" in a domain (no shortcut between
+// non-adjacent elements), and a *cycle* when some domain contains both
+// its endpoints while no domain contains the whole path.  These
+// definitions drive the theorem's proof; the property tests use this
+// module to cross-check DomainGraph::IsAcyclic against an exhaustive
+// search for cycle paths on small configurations.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "domains/config.h"
+
+namespace cmom::causality {
+
+using Path = std::vector<ServerId>;
+
+class PathAnalyzer {
+ public:
+  // Takes a copy: configurations are small and this removes any
+  // lifetime coupling to the caller's object.
+  explicit PathAnalyzer(domains::MomConfig config);
+
+  // True when `a` and `b` share at least one domain.
+  [[nodiscard]] bool SameDomain(ServerId a, ServerId b) const;
+
+  // Nonempty and every consecutive pair shares a domain.
+  [[nodiscard]] bool IsPath(const Path& path) const;
+
+  // Path with all servers distinct.
+  [[nodiscard]] bool IsDirect(const Path& path) const;
+
+  // Direct path with no domain shortcut between elements i and j when
+  // j > i + 1 (the paper's "does not linger in a domain").
+  [[nodiscard]] bool IsMinimal(const Path& path) const;
+
+  // Some domain contains all servers of `path`.
+  [[nodiscard]] bool CoveredByOneDomain(const Path& path) const;
+
+  // Direct path whose endpoints share a domain while no single domain
+  // covers the whole path.
+  [[nodiscard]] bool IsCycle(const Path& path) const;
+
+  // Exhaustive search (exponential; small configs only) for any cycle
+  // path.  The theorem says one exists iff the domain interconnection
+  // graph is cyclic, which the tests verify against DomainGraph.
+  [[nodiscard]] std::optional<Path> FindAnyCycle(
+      std::size_t max_length = 8) const;
+
+ private:
+  [[nodiscard]] std::vector<std::size_t> DomainsContaining(
+      ServerId server) const;
+
+  domains::MomConfig config_;
+};
+
+}  // namespace cmom::causality

@@ -1,0 +1,36 @@
+#include "causality/trace.h"
+
+namespace cmom::causality {
+
+void TraceRecorder::RecordSend(MessageId message, ServerId at,
+                               ServerId destination, AgentId src_agent,
+                               AgentId dst_agent) {
+  std::lock_guard lock(mutex_);
+  events_.push_back(TraceEvent{EventKind::kSend, message, at, destination,
+                               src_agent, dst_agent});
+}
+
+void TraceRecorder::RecordDeliver(MessageId message, ServerId at,
+                                  ServerId destination, AgentId src_agent,
+                                  AgentId dst_agent) {
+  std::lock_guard lock(mutex_);
+  events_.push_back(TraceEvent{EventKind::kDeliver, message, at, destination,
+                               src_agent, dst_agent});
+}
+
+Trace TraceRecorder::Snapshot() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+}
+
+}  // namespace cmom::causality

@@ -1,0 +1,58 @@
+// Execution trace recording.
+//
+// The oracle needs the global history of the computation (Section 4.2):
+// the send and delivery events of every application-level message, in
+// an order consistent with real (or simulated) time.  Servers call
+// RecordSend / RecordDeliver; the recorder is thread-safe so the same
+// code serves the simulated, in-process-threaded and TCP transports.
+//
+// Only *application* messages are recorded -- a message forwarded
+// through causal router-servers is one virtual message (one chain) and
+// appears as a single send at its origin server and a single delivery
+// at its final destination server, which is exactly the granularity the
+// theorem speaks about.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace cmom::causality {
+
+enum class EventKind : std::uint8_t { kSend, kDeliver };
+
+struct TraceEvent {
+  EventKind kind;
+  MessageId message;
+  ServerId process;      // server where the event happened
+  ServerId destination;  // final destination server of the message
+  AgentId src_agent;
+  AgentId dst_agent;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+using Trace = std::vector<TraceEvent>;
+
+class TraceRecorder {
+ public:
+  void RecordSend(MessageId message, ServerId at, ServerId destination,
+                  AgentId src_agent, AgentId dst_agent);
+  void RecordDeliver(MessageId message, ServerId at, ServerId destination,
+                     AgentId src_agent, AgentId dst_agent);
+
+  // Copies the events recorded so far, in recording order.
+  [[nodiscard]] Trace Snapshot() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  Trace events_;
+};
+
+}  // namespace cmom::causality

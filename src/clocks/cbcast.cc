@@ -1,0 +1,31 @@
+#include "clocks/cbcast.h"
+
+#include <cassert>
+
+namespace cmom::clocks {
+
+VectorClock CbcastNode::PrepareBroadcast() {
+  clock_.Increment(self_);
+  return clock_;
+}
+
+CheckResult CbcastNode::Check(std::size_t sender,
+                              const VectorClock& stamp) const {
+  assert(sender < clock_.size());
+  assert(stamp.size() == clock_.size());
+  const std::uint64_t expected = clock_.at(sender) + 1;
+  if (stamp.at(sender) < expected) return CheckResult::kDuplicate;
+  if (stamp.at(sender) > expected) return CheckResult::kHold;
+  for (std::size_t k = 0; k < clock_.size(); ++k) {
+    if (k == sender) continue;
+    if (stamp.at(k) > clock_.at(k)) return CheckResult::kHold;
+  }
+  return CheckResult::kDeliver;
+}
+
+void CbcastNode::Commit(std::size_t sender, const VectorClock& stamp) {
+  (void)sender;
+  clock_.MergeFrom(stamp);
+}
+
+}  // namespace cmom::clocks

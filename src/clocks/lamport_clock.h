@@ -1,0 +1,31 @@
+// Lamport scalar clock.
+//
+// The weakest of the three logical-time schemes the paper's
+// introduction surveys ([8]).  The trace recorder uses it to give every
+// recorded event a total order consistent with causality, which makes
+// oracle output deterministic and human-readable.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace cmom::clocks {
+
+class LamportClock {
+ public:
+  // Local event: advance and return the new time.
+  std::uint64_t Tick() { return ++time_; }
+
+  // Receive event carrying the sender's timestamp.
+  std::uint64_t Witness(std::uint64_t remote) {
+    time_ = std::max(time_, remote) + 1;
+    return time_;
+  }
+
+  [[nodiscard]] std::uint64_t now() const { return time_; }
+
+ private:
+  std::uint64_t time_ = 0;
+};
+
+}  // namespace cmom::clocks

@@ -1,0 +1,51 @@
+#include "clocks/matrix_clock.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace cmom::clocks {
+
+void MatrixClock::MergeFrom(const MatrixClock& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i] = std::max(cells_[i], other.cells_[i]);
+  }
+}
+
+bool MatrixClock::DominatedBy(const MatrixClock& other) const {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i] > other.cells_[i]) return false;
+  }
+  return true;
+}
+
+std::uint64_t MatrixClock::Total() const {
+  return std::accumulate(cells_.begin(), cells_.end(), std::uint64_t{0});
+}
+
+void MatrixClock::Encode(ByteWriter& out) const {
+  out.WriteVarU64(size_);
+  for (std::uint64_t cell : cells_) out.WriteVarU64(cell);
+}
+
+Result<MatrixClock> MatrixClock::Decode(ByteReader& in) {
+  auto size = in.ReadVarU64();
+  if (!size.ok()) return size.status();
+  // size^2 cells of >= 1 byte each must fit in the remaining input;
+  // reject corrupt sizes before allocating from them.
+  if (size.value() > 0xFFFF ||
+      size.value() * size.value() > in.remaining()) {
+    return Status::DataLoss("matrix size exceeds input");
+  }
+  MatrixClock clock(static_cast<std::size_t>(size.value()));
+  for (std::size_t i = 0; i < clock.cells_.size(); ++i) {
+    auto cell = in.ReadVarU64();
+    if (!cell.ok()) return cell.status();
+    clock.cells_[i] = cell.value();
+  }
+  return clock;
+}
+
+}  // namespace cmom::clocks

@@ -1,0 +1,73 @@
+#include "clocks/updates_tracker.h"
+
+namespace cmom::clocks {
+
+UpdatesTracker::UpdatesTracker(std::size_t size)
+    : size_(size), cells_(size * size), node_state_(size, 0) {}
+
+void UpdatesTracker::NoteChange(DomainServerId row, DomainServerId col,
+                                std::optional<DomainServerId> writer) {
+  CellMeta& cell = cells_[index(row, col)];
+  cell.state = ++state_;
+  cell.writer = writer ? writer->value() : kSelfWriter;
+}
+
+Stamp UpdatesTracker::CollectFor(DomainServerId dest,
+                                 const MatrixClock& matrix) {
+  Stamp stamp;
+  const std::uint64_t since = node_state_[dest.value()];
+  for (std::uint16_t row = 0; row < size_; ++row) {
+    for (std::uint16_t col = 0; col < size_; ++col) {
+      const CellMeta& cell = cells_[static_cast<std::size_t>(row) * size_ + col];
+      if (cell.state <= since) continue;
+      if (cell.writer == dest.value()) continue;  // dest already knows it
+      stamp.entries.push_back(StampEntry{DomainServerId(row),
+                                         DomainServerId(col),
+                                         matrix.at(DomainServerId(row),
+                                                   DomainServerId(col))});
+    }
+  }
+  node_state_[dest.value()] = state_;
+  return stamp;
+}
+
+void UpdatesTracker::Encode(ByteWriter& out) const {
+  out.WriteVarU64(size_);
+  out.WriteVarU64(state_);
+  for (const CellMeta& cell : cells_) {
+    out.WriteVarU64(cell.state);
+    out.WriteU32(cell.writer);
+  }
+  for (std::uint64_t s : node_state_) out.WriteVarU64(s);
+}
+
+Result<UpdatesTracker> UpdatesTracker::Decode(ByteReader& in) {
+  auto size = in.ReadVarU64();
+  if (!size.ok()) return size.status();
+  // size^2 cells of >= 5 encoded bytes each must fit in the remaining
+  // input; reject corrupt sizes before allocating from them.
+  if (size.value() > 0xFFFF ||
+      size.value() * size.value() > in.remaining() / 5) {
+    return Status::DataLoss("tracker size exceeds input");
+  }
+  UpdatesTracker tracker(static_cast<std::size_t>(size.value()));
+  auto state = in.ReadVarU64();
+  if (!state.ok()) return state.status();
+  tracker.state_ = state.value();
+  for (CellMeta& cell : tracker.cells_) {
+    auto cell_state = in.ReadVarU64();
+    if (!cell_state.ok()) return cell_state.status();
+    auto writer = in.ReadU32();
+    if (!writer.ok()) return writer.status();
+    cell.state = cell_state.value();
+    cell.writer = writer.value();
+  }
+  for (std::uint64_t& s : tracker.node_state_) {
+    auto node_state = in.ReadVarU64();
+    if (!node_state.ok()) return node_state.status();
+    s = node_state.value();
+  }
+  return tracker;
+}
+
+}  // namespace cmom::clocks

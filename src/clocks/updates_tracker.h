@@ -1,0 +1,76 @@
+// The Appendix-A "Updates" optimized stamping algorithm.
+//
+// Instead of piggybacking the full matrix on every message, the sender
+// tracks, per matrix entry, the local state counter at its last
+// modification (Mat[k][l].state) and, per destination, the state counter
+// at the last send to that destination (Node[j].state).  A message to j
+// then carries only the entries modified since the last send to j --
+// O(changes) in the common case, O(s^2) only in the worst case.
+//
+// We also implement the last-writer refinement visible in the appendix
+// (the "Mat[k,l].node" field): an entry whose current value was learned
+// *from* j itself is never echoed back to j, since j's own clock already
+// dominated it when j sent it.
+//
+// Correctness of delta stamps rests on per-link FIFO delivery, which the
+// matrix-clock delivery condition itself enforces (message r+1 from i to
+// j cannot be delivered before message r).  See causal_clock.h.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "clocks/matrix_clock.h"
+#include "clocks/stamp.h"
+#include "common/ids.h"
+
+namespace cmom::clocks {
+
+class UpdatesTracker {
+ public:
+  UpdatesTracker() = default;
+  // `size` is the domain size (matrix dimension).
+  explicit UpdatesTracker(std::size_t size);
+
+  // Records that entry (row, col) changed now, learned from `writer`
+  // (nullopt when the owner itself caused the change, e.g. its own
+  // send counter).
+  void NoteChange(DomainServerId row, DomainServerId col,
+                  std::optional<DomainServerId> writer);
+
+  // Builds the delta stamp for a message to `dest`: every entry of
+  // `matrix` changed since the last send to `dest`, minus entries last
+  // learned from `dest` itself.  Advances Node[dest].state.
+  [[nodiscard]] Stamp CollectFor(DomainServerId dest,
+                                 const MatrixClock& matrix);
+
+  // State persistence (the tracker is part of the channel's durable
+  // image: losing it after a crash would only cost bandwidth, not
+  // correctness, but we persist it to keep recovery deterministic).
+  void Encode(ByteWriter& out) const;
+  [[nodiscard]] static Result<UpdatesTracker> Decode(ByteReader& in);
+
+  [[nodiscard]] bool operator==(const UpdatesTracker&) const = default;
+
+ private:
+  struct CellMeta {
+    std::uint64_t state = 0;  // Mat[k][l].state: state counter at last change
+    std::uint32_t writer = kSelfWriter;  // Mat[k][l].node
+
+    friend bool operator==(const CellMeta&, const CellMeta&) = default;
+  };
+  static constexpr std::uint32_t kSelfWriter = 0xFFFFFFFFu;
+
+  [[nodiscard]] std::size_t index(DomainServerId row,
+                                  DomainServerId col) const {
+    return static_cast<std::size_t>(row.value()) * size_ + col.value();
+  }
+
+  std::size_t size_ = 0;
+  std::uint64_t state_ = 0;                // the global State counter
+  std::vector<CellMeta> cells_;            // per-entry metadata
+  std::vector<std::uint64_t> node_state_;  // Node[j].state per destination
+};
+
+}  // namespace cmom::clocks

@@ -1,0 +1,51 @@
+#include "clocks/vector_clock.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cmom::clocks {
+
+void VectorClock::MergeFrom(const VectorClock& other) {
+  assert(size() == other.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    entries_[i] = std::max(entries_[i], other.entries_[i]);
+  }
+}
+
+ClockOrder VectorClock::Compare(const VectorClock& other) const {
+  assert(size() == other.size());
+  bool less = false;
+  bool greater = false;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i] < other.entries_[i]) less = true;
+    if (entries_[i] > other.entries_[i]) greater = true;
+  }
+  if (less && greater) return ClockOrder::kConcurrent;
+  if (less) return ClockOrder::kBefore;
+  if (greater) return ClockOrder::kAfter;
+  return ClockOrder::kEqual;
+}
+
+void VectorClock::Encode(ByteWriter& out) const {
+  out.WriteVarU64(entries_.size());
+  for (std::uint64_t e : entries_) out.WriteVarU64(e);
+}
+
+Result<VectorClock> VectorClock::Decode(ByteReader& in) {
+  auto size = in.ReadVarU64();
+  if (!size.ok()) return size.status();
+  // One encoded byte minimum per entry: reject corrupt sizes before
+  // allocating from them.
+  if (size.value() > in.remaining()) {
+    return Status::DataLoss("vector size exceeds input");
+  }
+  VectorClock clock(static_cast<std::size_t>(size.value()));
+  for (std::size_t i = 0; i < clock.entries_.size(); ++i) {
+    auto e = in.ReadVarU64();
+    if (!e.ok()) return e.status();
+    clock.entries_[i] = e.value();
+  }
+  return clock;
+}
+
+}  // namespace cmom::clocks

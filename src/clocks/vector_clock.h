@@ -1,0 +1,51 @@
+// Vector clock.
+//
+// Not used on the MOM's hot path (AAA orders with matrix clocks); kept
+// for the offline causality oracle, for tests that cross-check the
+// matrix protocol against an independent characterization of causal
+// precedence, and as the building block the related-work baselines
+// ([13],[17]) rely on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace cmom::clocks {
+
+enum class ClockOrder { kBefore, kAfter, kEqual, kConcurrent };
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t size) : entries_(size, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] std::uint64_t at(std::size_t i) const { return entries_[i]; }
+  void set(std::size_t i, std::uint64_t v) { entries_[i] = v; }
+  std::uint64_t Increment(std::size_t i) { return ++entries_[i]; }
+
+  void MergeFrom(const VectorClock& other);
+
+  // Lattice comparison of two clocks of the same size.
+  [[nodiscard]] ClockOrder Compare(const VectorClock& other) const;
+
+  // a happens-before b in the vector-clock sense.
+  [[nodiscard]] bool HappensBefore(const VectorClock& other) const {
+    return Compare(other) == ClockOrder::kBefore;
+  }
+
+  [[nodiscard]] bool operator==(const VectorClock&) const = default;
+
+  void Encode(ByteWriter& out) const;
+  [[nodiscard]] static Result<VectorClock> Decode(ByteReader& in);
+
+ private:
+  std::vector<std::uint64_t> entries_;
+};
+
+}  // namespace cmom::clocks

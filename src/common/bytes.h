@@ -1,0 +1,96 @@
+// Binary serialization primitives.
+//
+// The paper's scalability argument is about *bytes on the wire*: a flat
+// matrix timestamp costs O(n^2) per message while the domain split plus
+// the Updates optimization keeps stamps small.  To make those costs
+// measurable rather than notional, every message and clock stamp in this
+// repo is encoded through this explicit little-endian codec, and the
+// transports charge serialization cost per encoded byte.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cmom {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// Appends fixed-width and varint-encoded values to a byte buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(Bytes initial) : buffer_(std::move(initial)) {}
+
+  void WriteU8(std::uint8_t v) { buffer_.push_back(v); }
+  void WriteU16(std::uint16_t v) { WriteLittleEndian(v); }
+  void WriteU32(std::uint32_t v) { WriteLittleEndian(v); }
+  void WriteU64(std::uint64_t v) { WriteLittleEndian(v); }
+
+  // LEB128-style variable-length encoding; small counters (the common
+  // case for clock entries) cost one byte.
+  void WriteVarU64(std::uint64_t v);
+  void WriteVarU32(std::uint32_t v) { WriteVarU64(v); }
+
+  void WriteBytes(std::span<const std::uint8_t> data);
+  void WriteString(std::string_view s);
+
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+  [[nodiscard]] const Bytes& buffer() const { return buffer_; }
+  [[nodiscard]] Bytes Take() && { return std::move(buffer_); }
+
+ private:
+  template <typename T>
+  void WriteLittleEndian(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buffer_;
+};
+
+// Reads values written by ByteWriter.  All reads are bounds-checked and
+// report kDataLoss on truncated input instead of crashing: transports
+// hand us bytes that may have been corrupted by fault injection.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] Result<std::uint8_t> ReadU8();
+  [[nodiscard]] Result<std::uint16_t> ReadU16();
+  [[nodiscard]] Result<std::uint32_t> ReadU32();
+  [[nodiscard]] Result<std::uint64_t> ReadU64();
+  [[nodiscard]] Result<std::uint64_t> ReadVarU64();
+  [[nodiscard]] Result<std::uint32_t> ReadVarU32();
+  [[nodiscard]] Result<Bytes> ReadBytes();
+  [[nodiscard]] Result<std::string> ReadString();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+
+ private:
+  template <typename T>
+  [[nodiscard]] Result<T> ReadLittleEndian() {
+    if (remaining() < sizeof(T)) {
+      return Status::DataLoss("truncated fixed-width field");
+    }
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cmom

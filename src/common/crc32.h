@@ -1,0 +1,34 @@
+// CRC-32 (IEEE 802.3 polynomial), used by the file store to detect
+// torn or corrupted WAL records after a crash.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace cmom {
+
+namespace internal {
+constexpr std::array<std::uint32_t, 256> MakeCrc32Table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = MakeCrc32Table();
+}  // namespace internal
+
+[[nodiscard]] inline std::uint32_t Crc32(std::span<const std::uint8_t> data) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    crc = internal::kCrc32Table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace cmom

@@ -1,0 +1,47 @@
+// Minimal leveled logger.
+//
+// The middleware is a library, so logging defaults to warnings only and
+// writes to stderr; tests and examples raise the level explicitly.  The
+// logger is process-global because log configuration is inherently a
+// process-wide concern.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cmom {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+void SetLogLevel(LogLevel level);
+[[nodiscard]] LogLevel GetLogLevel();
+
+namespace internal {
+void Emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace cmom
+
+#define CMOM_LOG(level)                                  \
+  if (static_cast<int>(::cmom::LogLevel::level) <        \
+      static_cast<int>(::cmom::GetLogLevel())) {         \
+  } else                                                 \
+    ::cmom::internal::LogLine(::cmom::LogLevel::level)

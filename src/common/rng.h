@@ -1,0 +1,92 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component (workload generators, fault injection,
+// topology builders) takes an explicit seed so that any failing run can
+// be replayed bit-for-bit.  SplitMix64 is small, fast and has no global
+// state; std::mt19937 is deliberately avoided because its state makes
+// snapshots and replay awkward.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace cmom {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ull) {}
+
+  // Uniform over the full 64-bit range (SplitMix64 step).
+  std::uint64_t NextU64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound).  bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) {
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~0ull - (~0ull % bound) - 1;
+    std::uint64_t v = NextU64();
+    while (v > limit) v = NextU64();
+    return v % bound;
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    NextBelow(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  bool NextBool(double probability_true) {
+    return NextDouble() < probability_true;
+  }
+
+  // Zipf-distributed rank in [0, n) with exponent alpha; used by the
+  // random-traffic workload to model skewed destination popularity.
+  std::size_t NextZipf(std::size_t n, double alpha);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = NextBelow(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Derive an independent child generator (for per-component streams).
+  [[nodiscard]] Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+inline std::size_t Rng::NextZipf(std::size_t n, double alpha) {
+  assert(n > 0);
+  // Inverse-CDF on the harmonic weights; O(n) but n is small (servers).
+  double total = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i), alpha);
+  }
+  double target = NextDouble() * total;
+  double cumulative = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    cumulative += 1.0 / std::pow(static_cast<double>(i), alpha);
+    if (cumulative >= target) return i - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace cmom

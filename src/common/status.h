@@ -1,0 +1,133 @@
+// Lightweight Status / Result types for expected, recoverable errors.
+//
+// Expected failures (bad configuration, decode errors, I/O failures)
+// travel as values across module boundaries; exceptions are reserved for
+// programming errors.  This keeps the middleware usable from code built
+// with -fno-exceptions and makes failure paths explicit in signatures.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cmom {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kDataLoss,
+  kUnavailable,
+  kInternal,
+};
+
+[[nodiscard]] constexpr const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status Ok() { return Status{}; }
+  [[nodiscard]] static Status InvalidArgument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  [[nodiscard]] static Status NotFound(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  [[nodiscard]] static Status FailedPrecondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  [[nodiscard]] static Status DataLoss(std::string m) {
+    return {StatusCode::kDataLoss, std::move(m)};
+  }
+  [[nodiscard]] static Status Unavailable(std::string m) {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
+  [[nodiscard]] static Status Internal(std::string m) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (ok()) return "OK";
+    return std::string(cmom::to_string(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Status& s) {
+    return os << s.to_string();
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::in_place_index<0>, std::move(value)) {}
+  Result(Status status) : value_(std::in_place_index<1>, std::move(status)) {
+    assert(!std::get<1>(value_).ok() && "Result built from OK status");
+  }
+
+  [[nodiscard]] bool ok() const { return value_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<0>(value_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<0>(value_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(value_));
+  }
+
+  [[nodiscard]] Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<1>(value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<0>(value_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+#define CMOM_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::cmom::Status cmom_status_ = (expr);           \
+    if (!cmom_status_.ok()) return cmom_status_;    \
+  } while (false)
+
+}  // namespace cmom

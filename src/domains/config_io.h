@@ -1,0 +1,46 @@
+// Text serialization of MOM configurations and traffic profiles.
+//
+// The boot-time configuration (Section 5: servers, domains and hence
+// routing are fixed statically) lives in a small line-based format an
+// operator can write by hand and `momtool` can validate:
+//
+//     # an 8-server MOM, Figure 2 of the paper
+//     servers = 1 2 3 4 5 6 7 8
+//     stamp_mode = updates          # or: full
+//     domain 0 = 1 2 3
+//     domain 1 = 4 5
+//     domain 2 = 7 8
+//     domain 3 = 3 5 6 7
+//
+// `servers = <n>` (a single integer) is shorthand for ids 0..n-1.
+// Traffic profiles (for the splitter) are triplets per line:
+//
+//     # from to messages-per-second
+//     0 1 120.5
+//     1 0 80
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "domains/config.h"
+#include "domains/splitter.h"
+
+namespace cmom::domains {
+
+[[nodiscard]] Result<MomConfig> ParseMomConfig(std::string_view text);
+[[nodiscard]] std::string FormatMomConfig(const MomConfig& config);
+
+[[nodiscard]] Result<TrafficProfile> ParseTrafficProfile(
+    std::string_view text);
+[[nodiscard]] std::string FormatTrafficProfile(const TrafficProfile& traffic);
+
+// File helpers.
+[[nodiscard]] Result<MomConfig> LoadMomConfig(const std::string& path);
+[[nodiscard]] Status SaveMomConfig(const MomConfig& config,
+                                   const std::string& path);
+[[nodiscard]] Result<TrafficProfile> LoadTrafficProfile(
+    const std::string& path);
+
+}  // namespace cmom::domains

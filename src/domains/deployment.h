@@ -1,0 +1,86 @@
+// Validated, resolved deployment of a domain-partitioned MOM.
+//
+// A Deployment is the boot-time artifact every agent server is
+// constructed from: the validated MomConfig plus everything derived
+// from it (the domain graph, per-server domain memberships with local
+// id tables, and the routing tables).  Building one performs all the
+// checks the paper's correctness argument relies on, in particular the
+// acyclicity of the domain interconnection graph.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "domains/config.h"
+#include "domains/domain_graph.h"
+#include "domains/routing.h"
+
+namespace cmom::domains {
+
+// One domain, resolved: member order defines the DomainServerId space
+// (the paper's idTable).
+struct ResolvedDomain {
+  DomainId id;
+  std::vector<ServerId> members;
+
+  [[nodiscard]] std::size_t size() const { return members.size(); }
+
+  // Domain-local id of `server`, or nullopt when it is not a member.
+  [[nodiscard]] std::optional<DomainServerId> LocalId(ServerId server) const;
+  [[nodiscard]] ServerId GlobalId(DomainServerId local) const {
+    return members[local.value()];
+  }
+  [[nodiscard]] bool Contains(ServerId server) const {
+    return LocalId(server).has_value();
+  }
+};
+
+class Deployment {
+ public:
+  // Validates `config` and derives all boot-time structures.
+  // Checks: non-empty server/domain sets, unique ids, unique members,
+  // members exist, every server covered by a domain, routable server
+  // graph, and (unless allow_cyclic_domain_graph) an acyclic domain
+  // interconnection graph per the paper's precise characterization.
+  [[nodiscard]] static Result<Deployment> Create(MomConfig config);
+
+  [[nodiscard]] const MomConfig& config() const { return config_; }
+  [[nodiscard]] std::span<const ServerId> servers() const {
+    return config_.servers;
+  }
+  [[nodiscard]] std::span<const ResolvedDomain> domains() const {
+    return resolved_;
+  }
+  [[nodiscard]] const DomainGraph& domain_graph() const { return graph_; }
+  [[nodiscard]] const RoutingTable& routing() const { return routing_; }
+
+  // Domains a server belongs to (indices into domains()).
+  [[nodiscard]] std::span<const std::size_t> DomainIndicesOf(
+      ServerId server) const;
+  [[nodiscard]] const ResolvedDomain& domain(std::size_t index) const {
+    return resolved_[index];
+  }
+
+  // A causal router-server belongs to >= 2 domains.
+  [[nodiscard]] bool IsRouter(ServerId server) const {
+    return DomainIndicesOf(server).size() >= 2;
+  }
+
+  // The domain that covers the link between two adjacent servers; when
+  // several domains contain both, the one with the smallest DomainId is
+  // chosen (deterministic and identical on both sides).
+  [[nodiscard]] Result<std::size_t> LinkDomainIndex(ServerId a,
+                                                    ServerId b) const;
+
+ private:
+  MomConfig config_;
+  std::vector<ResolvedDomain> resolved_;
+  DomainGraph graph_;
+  RoutingTable routing_;
+  std::unordered_map<ServerId, std::vector<std::size_t>> memberships_;
+};
+
+}  // namespace cmom::domains

@@ -1,0 +1,114 @@
+#include "domains/domain_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace cmom::domains {
+
+DomainGraph DomainGraph::Build(const MomConfig& config) {
+  DomainGraph graph;
+
+  std::map<ServerId, std::vector<DomainId>> domains_of;
+  for (const DomainSpec& domain : config.domains) {
+    graph.domain_ids_.push_back(domain.id);
+    for (ServerId member : domain.members) {
+      domains_of[member].push_back(domain.id);
+    }
+  }
+
+  for (const auto& [server, memberships] : domains_of) {
+    if (memberships.size() >= 2) graph.routers_.push_back(server);
+  }
+
+  // Bipartite adjacency: node 0..D-1 = domains, D..D+R-1 = routers.
+  const std::size_t domain_count = graph.domain_ids_.size();
+  graph.adjacency_.resize(domain_count + graph.routers_.size());
+  auto domain_index = [&](DomainId id) {
+    return static_cast<std::size_t>(
+        std::find(graph.domain_ids_.begin(), graph.domain_ids_.end(), id) -
+        graph.domain_ids_.begin());
+  };
+  for (std::size_t r = 0; r < graph.routers_.size(); ++r) {
+    const ServerId router = graph.routers_[r];
+    const std::vector<DomainId>& memberships = domains_of[router];
+    for (DomainId d : memberships) {
+      const std::size_t di = domain_index(d);
+      graph.adjacency_[di].push_back(domain_count + r);
+      graph.adjacency_[domain_count + r].push_back(di);
+    }
+    // Pairwise domain edges through this router, for reporting.
+    for (std::size_t i = 0; i < memberships.size(); ++i) {
+      for (std::size_t j = i + 1; j < memberships.size(); ++j) {
+        graph.edges_.push_back(
+            DomainEdge{memberships[i], memberships[j], router});
+      }
+    }
+  }
+  return graph;
+}
+
+std::optional<std::string> DomainGraph::FindCycle() const {
+  // A connected component with E >= V edges contains a cycle; detect it
+  // with a DFS that tracks the parent edge.
+  const std::size_t node_count = adjacency_.size();
+  std::vector<int> state(node_count, 0);  // 0 unvisited, 1 active, 2 done
+  std::vector<std::size_t> parent(node_count, node_count);
+
+  auto describe = [&](std::size_t node) {
+    const std::size_t domain_count = domain_ids_.size();
+    if (node < domain_count) return to_string(domain_ids_[node]);
+    return to_string(routers_[node - domain_count]);
+  };
+
+  for (std::size_t start = 0; start < node_count; ++start) {
+    if (state[start] != 0) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> stack;  // (node, from)
+    stack.emplace_back(start, node_count);
+    while (!stack.empty()) {
+      auto [node, from] = stack.back();
+      stack.pop_back();
+      if (state[node] != 0) {
+        // Second arrival: a cycle closes here.  Reconstruct a readable
+        // description from the two meeting branches.
+        std::string description = "cycle through " + describe(node) +
+                                  " (reached again from " + describe(from) +
+                                  ")";
+        return description;
+      }
+      state[node] = 1;
+      parent[node] = from;
+      for (std::size_t next : adjacency_[node]) {
+        if (next == from) continue;
+        if (state[next] != 0) {
+          return "cycle through " + describe(next) + " and " + describe(node);
+        }
+        stack.emplace_back(next, node);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool DomainGraph::IsConnected() const {
+  if (domain_ids_.size() <= 1) return true;
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::vector<std::size_t> stack{0};
+  seen[0] = true;
+  while (!stack.empty()) {
+    std::size_t node = stack.back();
+    stack.pop_back();
+    for (std::size_t next : adjacency_[node]) {
+      if (!seen[next]) {
+        seen[next] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+  for (std::size_t d = 0; d < domain_ids_.size(); ++d) {
+    if (!seen[d]) return false;
+  }
+  return true;
+}
+
+}  // namespace cmom::domains

@@ -1,0 +1,72 @@
+// Domain interconnection graph and the acyclicity condition.
+//
+// The theorem (Section 4.3) requires the domain interconnection
+// structure to be acyclic.  The paper warns (Section 4.2) that the
+// naive graph -- one node per domain, an edge when two domains share a
+// server -- does not capture every cycle: two domains sharing *two*
+// router-servers also admit the causality break of Figure 4(a), because
+// the path (s1, p, s2, q) is a cycle in the formal path sense even
+// though the simple domain graph has a single edge.
+//
+// The faithful characterization is: build the bipartite graph whose
+// nodes are domains plus router-servers (servers in >= 2 domains), with
+// an edge (r, d) whenever router r belongs to domain d.  The domain
+// interconnection structure is acyclic in the paper's sense iff this
+// bipartite graph is a forest.  A simple-graph cycle A-B-C-A through
+// three distinct routers and a double edge A=B through two shared
+// routers both show up as bipartite cycles, while a hub router linking
+// many domains (star) stays a tree.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "domains/config.h"
+
+namespace cmom::domains {
+
+struct DomainEdge {
+  DomainId a;
+  DomainId b;
+  ServerId via;  // the shared router-server
+
+  friend bool operator==(const DomainEdge&, const DomainEdge&) = default;
+};
+
+class DomainGraph {
+ public:
+  // Builds the graph from a configuration.  Assumes basic well-
+  // formedness (unique ids, members exist); Deployment validates that
+  // before calling.
+  static DomainGraph Build(const MomConfig& config);
+
+  [[nodiscard]] const std::vector<DomainEdge>& edges() const { return edges_; }
+
+  // Servers that belong to >= 2 domains.
+  [[nodiscard]] const std::vector<ServerId>& routers() const {
+    return routers_;
+  }
+
+  // Returns a human-readable description of one cycle in the bipartite
+  // (routers + domains) graph, or nullopt when the graph is a forest.
+  [[nodiscard]] std::optional<std::string> FindCycle() const;
+
+  [[nodiscard]] bool IsAcyclic() const { return !FindCycle().has_value(); }
+
+  // True when every domain can reach every other domain through shared
+  // routers (single connected component); disconnected configurations
+  // cannot route all traffic.
+  [[nodiscard]] bool IsConnected() const;
+
+ private:
+  std::vector<DomainId> domain_ids_;
+  std::vector<ServerId> routers_;
+  // adjacency over bipartite node indices: domains first, then routers.
+  std::vector<std::vector<std::size_t>> adjacency_;
+  std::vector<DomainEdge> edges_;
+};
+
+}  // namespace cmom::domains

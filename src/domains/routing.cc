@@ -1,0 +1,76 @@
+#include "domains/routing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <set>
+
+namespace cmom::domains {
+
+Result<RoutingTable> RoutingTable::Build(const MomConfig& config) {
+  RoutingTable table;
+  const std::size_t n = config.servers.size();
+  table.by_rank_ = config.servers;
+  std::sort(table.by_rank_.begin(), table.by_rank_.end());
+  for (std::size_t i = 0; i < n; ++i) table.rank_[table.by_rank_[i]] = i;
+
+  // Server adjacency: same-domain pairs.  Neighbor sets are ordered so
+  // BFS visits smaller ServerIds first (deterministic tie-break).
+  std::vector<std::set<std::size_t>> neighbors(n);
+  for (const DomainSpec& domain : config.domains) {
+    for (std::size_t i = 0; i < domain.members.size(); ++i) {
+      for (std::size_t j = i + 1; j < domain.members.size(); ++j) {
+        const std::size_t a = table.rank_.at(domain.members[i]);
+        const std::size_t b = table.rank_.at(domain.members[j]);
+        neighbors[a].insert(b);
+        neighbors[b].insert(a);
+      }
+    }
+  }
+
+  constexpr std::size_t kUnreachable = static_cast<std::size_t>(-1);
+  table.next_hop_.assign(n, std::vector<std::size_t>(n, kUnreachable));
+  table.hops_.assign(n, std::vector<std::size_t>(n, kUnreachable));
+
+  // BFS from every *destination*, recording each node's first hop back
+  // toward it; one pass fills column `dest` of every server's table.
+  for (std::size_t dest = 0; dest < n; ++dest) {
+    std::queue<std::size_t> frontier;
+    table.hops_[dest][dest] = 0;
+    table.next_hop_[dest][dest] = dest;
+    frontier.push(dest);
+    while (!frontier.empty()) {
+      const std::size_t node = frontier.front();
+      frontier.pop();
+      for (std::size_t neighbor : neighbors[node]) {
+        if (table.hops_[neighbor][dest] != kUnreachable) continue;
+        table.hops_[neighbor][dest] = table.hops_[node][dest] + 1;
+        // The neighbor reaches dest through `node` (or directly when
+        // node == dest).
+        table.next_hop_[neighbor][dest] = node;
+        frontier.push(neighbor);
+      }
+    }
+    for (std::size_t from = 0; from < n; ++from) {
+      if (table.hops_[from][dest] == kUnreachable) {
+        return Status::FailedPrecondition(
+            "server graph disconnected: no route " +
+            to_string(table.by_rank_[from]) + " -> " +
+            to_string(table.by_rank_[dest]));
+      }
+    }
+  }
+  return table;
+}
+
+ServerId RoutingTable::NextHop(ServerId from, ServerId dest) const {
+  const std::size_t from_rank = rank_.at(from);
+  const std::size_t dest_rank = rank_.at(dest);
+  return by_rank_[next_hop_[from_rank][dest_rank]];
+}
+
+std::size_t RoutingTable::HopCount(ServerId from, ServerId dest) const {
+  return hops_[rank_.at(from)][rank_.at(dest)];
+}
+
+}  // namespace cmom::domains

@@ -1,0 +1,44 @@
+// Static routing over the server graph.
+//
+// Section 5: "The routing table gives, for each destination server, the
+// identifier of the server to which the message should be sent [...]
+// built statically at boot time [...] based on a shortest path
+// algorithm."  Two servers are adjacent when they share a domain (a
+// message between them travels inside that domain); the table stores
+// the next hop on a shortest path, with deterministic tie-breaking by
+// smallest next-hop ServerId so all runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "domains/config.h"
+
+namespace cmom::domains {
+
+class RoutingTable {
+ public:
+  // Builds routing tables for every server.  Fails when the server
+  // graph is disconnected (some destination unreachable).
+  [[nodiscard]] static Result<RoutingTable> Build(const MomConfig& config);
+
+  // Next hop on the shortest path from `from` toward `dest`.  Returns
+  // `dest` itself when they share a domain (direct delivery).
+  [[nodiscard]] ServerId NextHop(ServerId from, ServerId dest) const;
+
+  // Number of server-to-server hops from `from` to `dest` (0 when they
+  // are equal).
+  [[nodiscard]] std::size_t HopCount(ServerId from, ServerId dest) const;
+
+ private:
+  // next_hop_[from][dest] and hops_[from][dest], by dense rank.
+  std::unordered_map<ServerId, std::size_t> rank_;
+  std::vector<ServerId> by_rank_;
+  std::vector<std::vector<std::size_t>> next_hop_;  // rank of next hop
+  std::vector<std::vector<std::size_t>> hops_;
+};
+
+}  // namespace cmom::domains

@@ -1,0 +1,139 @@
+#include "domains/topologies.h"
+
+#include <cassert>
+#include <deque>
+
+namespace cmom::domains::topologies {
+
+namespace {
+std::vector<ServerId> MakeServers(std::size_t n) {
+  std::vector<ServerId> servers;
+  servers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    servers.push_back(ServerId(static_cast<std::uint16_t>(i)));
+  }
+  return servers;
+}
+}  // namespace
+
+MomConfig Flat(std::size_t n, clocks::StampMode mode) {
+  assert(n >= 1);
+  MomConfig config;
+  config.servers = MakeServers(n);
+  config.domains.push_back(DomainSpec{DomainId(0), config.servers});
+  config.stamp_mode = mode;
+  return config;
+}
+
+MomConfig Bus(std::size_t k, std::size_t s, clocks::StampMode mode) {
+  assert(k >= 1 && s >= 1);
+  MomConfig config;
+  config.servers = MakeServers(k * s);
+  config.stamp_mode = mode;
+
+  DomainSpec backbone{DomainId(0), {}};
+  for (std::size_t leaf = 0; leaf < k; ++leaf) {
+    DomainSpec domain{DomainId(static_cast<std::uint16_t>(leaf + 1)), {}};
+    for (std::size_t i = 0; i < s; ++i) {
+      domain.members.push_back(
+          ServerId(static_cast<std::uint16_t>(leaf * s + i)));
+    }
+    backbone.members.push_back(domain.members.front());
+    config.domains.push_back(std::move(domain));
+  }
+  config.domains.insert(config.domains.begin(), std::move(backbone));
+  return config;
+}
+
+MomConfig Daisy(std::size_t k, std::size_t s, clocks::StampMode mode) {
+  assert(k >= 1 && s >= 2);
+  MomConfig config;
+  config.servers = MakeServers(k * s - (k - 1));
+  config.stamp_mode = mode;
+  for (std::size_t d = 0; d < k; ++d) {
+    DomainSpec domain{DomainId(static_cast<std::uint16_t>(d)), {}};
+    const std::size_t first = d * (s - 1);
+    for (std::size_t i = 0; i < s; ++i) {
+      domain.members.push_back(
+          ServerId(static_cast<std::uint16_t>(first + i)));
+    }
+    config.domains.push_back(std::move(domain));
+  }
+  return config;
+}
+
+MomConfig Tree(std::size_t branching, std::size_t s, std::size_t depth,
+               clocks::StampMode mode) {
+  assert(s >= 2);
+  assert(branching >= 1 && branching <= s - 1);
+  MomConfig config;
+  config.stamp_mode = mode;
+
+  std::uint16_t next_server = 0;
+  std::uint16_t next_domain = 0;
+  auto fresh = [&] { return ServerId(next_server++); };
+
+  struct PendingDomain {
+    std::optional<ServerId> shared_with_parent;
+    std::size_t level;
+  };
+  std::deque<PendingDomain> queue;
+  queue.push_back(PendingDomain{std::nullopt, 0});
+  while (!queue.empty()) {
+    PendingDomain pending = queue.front();
+    queue.pop_front();
+    DomainSpec domain{DomainId(next_domain++), {}};
+    if (pending.shared_with_parent) {
+      domain.members.push_back(*pending.shared_with_parent);
+    }
+    while (domain.members.size() < s) domain.members.push_back(fresh());
+    if (pending.level < depth) {
+      // The last `branching` members become routers into children; they
+      // are always fresh servers, never the parent-facing router.
+      for (std::size_t child = 0; child < branching; ++child) {
+        queue.push_back(PendingDomain{
+            domain.members[s - branching + child], pending.level + 1});
+      }
+    }
+    config.domains.push_back(std::move(domain));
+  }
+  config.servers = MakeServers(next_server);
+  return config;
+}
+
+MomConfig Ring(std::size_t k, std::size_t s, clocks::StampMode mode) {
+  assert(k >= 2 && s >= 2);
+  MomConfig config;
+  config.stamp_mode = mode;
+  config.allow_cyclic_domain_graph = true;
+  // Routers r_0 .. r_{k-1}: r_i is shared between domain i and domain
+  // (i+1) mod k.  Domain i = { r_{(i+k-1) mod k} , s-2 fresh, r_i }.
+  const std::size_t total = k * (s - 1);
+  config.servers = MakeServers(total);
+  std::vector<ServerId> routers;
+  std::uint16_t next_server = 0;
+  // Reserve one router id per domain boundary first, then fill bodies.
+  for (std::size_t i = 0; i < k; ++i) {
+    routers.push_back(ServerId(next_server++));
+  }
+  for (std::size_t d = 0; d < k; ++d) {
+    DomainSpec domain{DomainId(static_cast<std::uint16_t>(d)), {}};
+    domain.members.push_back(routers[(d + k - 1) % k]);
+    for (std::size_t i = 0; i + 2 < s; ++i) {
+      domain.members.push_back(ServerId(next_server++));
+    }
+    domain.members.push_back(routers[d]);
+    config.domains.push_back(std::move(domain));
+  }
+  assert(next_server == total);
+  return config;
+}
+
+MomConfig BusForServerCount(std::size_t n, std::size_t domain_size,
+                            clocks::StampMode mode) {
+  assert(domain_size >= 1);
+  const std::size_t k = (n + domain_size - 1) / domain_size;
+  return Bus(k, domain_size, mode);
+}
+
+}  // namespace cmom::domains::topologies

@@ -1,0 +1,58 @@
+// Canonical domain organizations.
+//
+// Figure 9 of the paper shows the three acyclic organizations used in
+// the evaluation -- Bus, Daisy and Hierarchical (tree) -- plus we
+// provide Flat (one global domain: the classical algorithm, the
+// baseline of Figures 7/8) and Ring (a deliberately cyclic organization
+// used by the theorem demonstration).  All builders number servers
+// densely from 0 and are fully deterministic.
+#pragma once
+
+#include <cstddef>
+
+#include "domains/config.h"
+
+namespace cmom::domains::topologies {
+
+// One global domain containing all `n` servers: the classical matrix
+// clock over the whole MOM.  Matrix size n^2.
+[[nodiscard]] MomConfig Flat(std::size_t n,
+                             clocks::StampMode mode = clocks::StampMode::kUpdates);
+
+// Bus of domains (Figure 9, left): `k` leaf domains of `s` servers
+// each; the first server of every leaf is also a member of the
+// backbone domain D0.  Total servers: k * s.  Depth d = 1, the
+// configuration behind Figure 10's linear cost.
+[[nodiscard]] MomConfig Bus(std::size_t k, std::size_t s,
+                            clocks::StampMode mode = clocks::StampMode::kUpdates);
+
+// Daisy chain (Figure 9, middle): `k` domains of `s` servers; adjacent
+// domains share exactly one router-server.  Total: k*s - (k-1).
+[[nodiscard]] MomConfig Daisy(std::size_t k, std::size_t s,
+                              clocks::StampMode mode = clocks::StampMode::kUpdates);
+
+// Hierarchical tree (Figure 9, right): every domain has `s` servers and
+// `branching` sub-domains down to `depth` (root is depth 0); each child
+// shares one router with its parent.  Requires 2 <= branching <= s-1.
+// Total servers: 1 + (s-1) * (branching^(depth+1) - 1) / (branching - 1).
+[[nodiscard]] MomConfig Tree(std::size_t branching, std::size_t s,
+                             std::size_t depth,
+                             clocks::StampMode mode = clocks::StampMode::kUpdates);
+
+// Ring of `k` domains of `s` servers, each sharing a router with the
+// next, the last closing the cycle.  VIOLATES the theorem's condition;
+// the returned config sets allow_cyclic_domain_graph so a Deployment
+// can be built for the Figure-4 causality-break demonstration.
+// Requires k >= 2 (k == 2 yields two domains sharing two routers, the
+// subtle cycle discussed in domain_graph.h).  Total: k * (s - 1).
+[[nodiscard]] MomConfig Ring(std::size_t k, std::size_t s,
+                             clocks::StampMode mode = clocks::StampMode::kUpdates);
+
+// Bus sized for approximately `n` total servers with `domain_size`
+// servers per leaf domain (the experiment driver for Figure 10 uses
+// this).  The actual server count, k * domain_size, may round up.
+[[nodiscard]] MomConfig BusForServerCount(
+    std::size_t n, std::size_t domain_size,
+    clocks::StampMode mode = clocks::StampMode::kUpdates);
+
+}  // namespace cmom::domains::topologies

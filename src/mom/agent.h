@@ -1,0 +1,62 @@
+// Agents: the AAA programming model.
+//
+// Agents are autonomous reactive objects executing concurrently and
+// communicating through an event/reaction pattern (Section 3).  An
+// agent lives on one server, reacts to delivered messages one at a
+// time, and its reaction is atomic: the state mutation it performs and
+// the messages it sends are committed together, so a crash either
+// happened entirely before the reaction or entirely after it.
+//
+// Agents are persistent: EncodeState/DecodeState serialize the agent's
+// durable state; the Engine saves it on every reaction commit and
+// restores it during recovery.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/status.h"
+#include "mom/message.h"
+
+namespace cmom::mom {
+
+// Capabilities available to an agent during a reaction.  Sends made
+// through the context are buffered and committed atomically with the
+// reaction; they enter the Channel only after the commit succeeds.
+class ReactionContext {
+ public:
+  virtual ~ReactionContext() = default;
+
+  [[nodiscard]] virtual AgentId self() const = 0;
+
+  // Sends `payload` to agent `to` (any server); ordering toward a
+  // given destination follows causal order, as guaranteed by the bus.
+  virtual void Send(AgentId to, std::string subject, Bytes payload) = 0;
+
+  // Convenience overload for payload-less events.
+  void Send(AgentId to, std::string subject) {
+    Send(to, std::move(subject), Bytes{});
+  }
+
+  // Current time (simulated or wall-clock, depending on the runtime).
+  [[nodiscard]] virtual std::uint64_t NowNs() const = 0;
+};
+
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  // Handles one delivered message.  Must not block; long work should be
+  // split by sending messages to oneself.
+  virtual void React(ReactionContext& ctx, const Message& message) = 0;
+
+  // Durable state image.  The default is a stateless agent.
+  virtual void EncodeState(ByteWriter& out) const { (void)out; }
+  [[nodiscard]] virtual Status DecodeState(ByteReader& in) {
+    (void)in;
+    return Status::Ok();
+  }
+};
+
+}  // namespace cmom::mom

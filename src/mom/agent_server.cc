@@ -1,0 +1,726 @@
+#include "mom/agent_server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/log.h"
+
+namespace cmom::mom {
+
+namespace {
+constexpr std::string_view kMetaKey = "meta";
+constexpr std::string_view kClocksKey = "channel/clocks";
+constexpr std::string_view kQueueOutKey = "channel/qout";
+constexpr std::string_view kQueueInKey = "engine/qin";
+constexpr std::string_view kHoldbackKey = "channel/holdback";
+constexpr std::string_view kAgentKeyPrefix = "agent/";
+
+std::string AgentKey(std::uint32_t local_id) {
+  return std::string(kAgentKeyPrefix) + std::to_string(local_id);
+}
+}  // namespace
+
+// Buffers the sends an agent makes during React; they are committed
+// atomically with the reaction by the Engine.
+class ReactionContextImpl final : public ReactionContext {
+ public:
+  ReactionContextImpl(AgentServer* server, net::Runtime* runtime, AgentId self,
+                      std::vector<Message>* sends,
+                      std::function<Message(AgentId, AgentId, std::string,
+                                            Bytes)>
+                          make_message)
+      : server_(server),
+        runtime_(runtime),
+        self_(self),
+        sends_(sends),
+        make_message_(std::move(make_message)) {
+    (void)server_;
+  }
+
+  [[nodiscard]] AgentId self() const override { return self_; }
+
+  void Send(AgentId to, std::string subject, Bytes payload) override {
+    sends_->push_back(
+        make_message_(self_, to, std::move(subject), std::move(payload)));
+  }
+
+  [[nodiscard]] std::uint64_t NowNs() const override {
+    return runtime_->NowNs();
+  }
+
+ private:
+  AgentServer* server_;
+  net::Runtime* runtime_;
+  AgentId self_;
+  std::vector<Message>* sends_;
+  std::function<Message(AgentId, AgentId, std::string, Bytes)> make_message_;
+};
+
+AgentServer::AgentServer(const domains::Deployment& deployment, ServerId self,
+                         net::Endpoint* endpoint, net::Runtime* runtime,
+                         Store* store, AgentServerOptions options)
+    : deployment_(&deployment),
+      self_(self),
+      endpoint_(endpoint),
+      runtime_(runtime),
+      store_(store),
+      options_(options) {
+  assert(endpoint_->self() == self_);
+}
+
+AgentServer::~AgentServer() { Shutdown(); }
+
+void AgentServer::Shutdown() {
+  std::lock_guard lock(mutex_);
+  if (shutdown_) return;
+  shutdown_ = true;
+  alive_->store(false);
+  // Drop frames arriving after shutdown; the durable state in the
+  // store is what the next Boot resumes from.
+  endpoint_->SetReceiveHandler([](ServerId, Bytes) {});
+}
+
+AgentId AgentServer::AttachAgent(std::uint32_t local_id,
+                                 std::unique_ptr<Agent> agent) {
+  std::lock_guard lock(mutex_);
+  assert(!booted_ && "attach agents before Boot()");
+  const AgentId id{self_, local_id};
+  auto [it, inserted] = agents_.try_emplace(local_id, std::move(agent));
+  (void)it;
+  assert(inserted && "duplicate agent local id");
+  return id;
+}
+
+Status AgentServer::Boot() {
+  {
+    std::unique_lock lock(mutex_);
+    if (booted_) return Status::FailedPrecondition("already booted");
+
+    // Build one DomainItem per domain membership (fresh clocks); the
+    // recovery below overwrites them from the durable image if any.
+    for (std::size_t index : deployment_->DomainIndicesOf(self_)) {
+      const domains::ResolvedDomain& domain = deployment_->domain(index);
+      auto local = domain.LocalId(self_);
+      assert(local.has_value());
+      DomainItem item;
+      item.deployment_index = index;
+      item.id = domain.id;
+      item.self_local = *local;
+      item.clock = clocks::CausalDomainClock(
+          *local, domain.size(), deployment_->config().stamp_mode);
+      items_.push_back(std::move(item));
+    }
+
+    CMOM_RETURN_IF_ERROR(RecoverLocked());
+    booted_ = true;
+  }
+
+  endpoint_->SetReceiveHandler(
+      [this](ServerId from, Bytes frame) { HandleFrame(from, frame); });
+
+  // Resume pending work: retransmit every unacknowledged entry and
+  // continue draining QueueIN.
+  Post([this]() -> std::size_t {
+    for (const OutEntry& entry : queue_out_) {
+      DataFrame frame{entry.message, entry.domain, entry.stamp};
+      EmitFrame(entry.next_hop, frame.Serialize());
+      ScheduleRetransmit(entry.message.id, 0);
+    }
+    if (!queue_in_.empty()) engine_step_needed_ = true;
+    return 0;
+  });
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------
+// Work serialization
+// ---------------------------------------------------------------------
+
+void AgentServer::Post(Work work) {
+  std::unique_lock lock(mutex_);
+  if (shutdown_) return;
+  work_queue_.push_back(std::move(work));
+  PumpLocked();
+}
+
+// Runs queued work items.  Caller holds mutex_ via the member lock
+// discipline: this function may temporarily release it to emit frames.
+void AgentServer::PumpLocked() {
+  if (work_running_) return;
+  work_running_ = true;
+  while (!work_queue_.empty()) {
+    Work work = std::move(work_queue_.front());
+    work_queue_.pop_front();
+    txn_bytes_marker_ = 0;
+    const std::size_t entries = work();
+
+    if (options_.cost_model != nullptr &&
+        (entries > 0 || txn_bytes_marker_ > 0)) {
+      // Simulated processing time: outputs become visible after the
+      // modeled cost; the server stays busy (work_running_) meanwhile.
+      const std::uint64_t cost = options_.cost_model->ProcessingCost(
+          entries, txn_bytes_marker_);
+      runtime_->After(cost, [this, alive = alive_] {
+        if (!alive->load()) return;
+        std::vector<std::pair<ServerId, Bytes>> frames;
+        {
+          std::lock_guard relock(mutex_);
+          frames.swap(pending_frames_);
+          if (engine_step_needed_ && !engine_step_queued_) {
+            engine_step_queued_ = true;
+            work_queue_.push_back([this] { return EngineStep(); });
+          }
+          engine_step_needed_ = false;
+        }
+        for (auto& [to, bytes] : frames) {
+          Status status = endpoint_->Send(to, std::move(bytes));
+          if (!status.ok()) {
+            CMOM_LOG(kWarning) << "send failed: " << status;
+          }
+        }
+        std::unique_lock relock(mutex_);
+        work_running_ = false;
+        PumpLocked();
+      });
+      return;  // resumed by the continuation above
+    }
+
+    // Inline mode (or zero-cost work): flush outputs now.
+    std::vector<std::pair<ServerId, Bytes>> frames;
+    frames.swap(pending_frames_);
+    if (engine_step_needed_ && !engine_step_queued_) {
+      engine_step_queued_ = true;
+      work_queue_.push_back([this] { return EngineStep(); });
+    }
+    engine_step_needed_ = false;
+    if (!frames.empty()) {
+      mutex_.unlock();
+      for (auto& [to, bytes] : frames) {
+        Status status = endpoint_->Send(to, std::move(bytes));
+        if (!status.ok()) {
+          CMOM_LOG(kWarning) << "send failed: " << status;
+        }
+      }
+      mutex_.lock();
+    }
+  }
+  work_running_ = false;
+}
+
+// ---------------------------------------------------------------------
+// Channel: receive path
+// ---------------------------------------------------------------------
+
+void AgentServer::HandleFrame(ServerId from, Bytes frame) {
+  Post([this, from, frame = std::move(frame)]() -> std::size_t {
+    auto type = PeekFrameType(frame);
+    if (!type.ok()) {
+      CMOM_LOG(kWarning) << "bad frame from " << to_string(from) << ": "
+                         << type.status();
+      return 0;
+    }
+    if (type.value() == FrameType::kAck) {
+      auto ack = DeserializeAck(frame);
+      if (!ack.ok()) {
+        CMOM_LOG(kWarning) << "bad ack: " << ack.status();
+        return 0;
+      }
+      return ProcessAck(ack.value());
+    }
+    auto data = DataFrame::Deserialize(frame);
+    if (!data.ok()) {
+      CMOM_LOG(kWarning) << "bad data frame: " << data.status();
+      return 0;
+    }
+    return ProcessDataFrame(from, std::move(data).value());
+  });
+}
+
+std::size_t AgentServer::ProcessDataFrame(ServerId from, DataFrame frame) {
+  ++stats_.frames_received;
+  DomainItem* item = FindItemByDomainId(frame.domain);
+  if (item == nullptr) {
+    CMOM_LOG(kError) << to_string(self_) << ": frame in foreign domain "
+                     << to_string(frame.domain);
+    return 0;
+  }
+  const domains::ResolvedDomain& domain =
+      deployment_->domain(item->deployment_index);
+  auto src_local = domain.LocalId(from);
+  if (!src_local) {
+    CMOM_LOG(kError) << to_string(self_) << ": sender " << to_string(from)
+                     << " not in " << to_string(frame.domain);
+    return 0;
+  }
+
+  const MessageId message_id = frame.message.id;
+  std::size_t entries = 0;
+  switch (item->clock.Check(*src_local, frame.stamp)) {
+    case clocks::CheckResult::kDeliver: {
+      entries += frame.stamp.entries.size();
+      item->clock.Commit(*src_local, frame.stamp);
+      entries += CommitDelivery(*item, *src_local, std::move(frame));
+      entries += DrainHoldback(*item);
+      CommitLocked();
+      break;
+    }
+    case clocks::CheckResult::kHold: {
+      // A retransmitted copy of an already-held frame must not be held
+      // again: the earlier copy was acknowledged and persisted, so this
+      // one is a plain duplicate.  (Without this check a congested
+      // router re-holds and re-persists the whole growing hold-back
+      // image for every retransmission -- an O(H^2) overload spiral.)
+      bool already_held = false;
+      for (const HeldFrame& held : item->holdback.pending()) {
+        if (held.frame.message.id == message_id) {
+          already_held = true;
+          break;
+        }
+      }
+      if (already_held) {
+        ++stats_.duplicates_dropped;
+        break;  // just re-acknowledge below
+      }
+      item->holdback.Push(HeldFrame{*src_local, std::move(frame)});
+      stats_.holdback_peak =
+          std::max<std::uint64_t>(stats_.holdback_peak, holdback_size());
+      CommitLocked();
+      break;
+    }
+    case clocks::CheckResult::kDuplicate: {
+      ++stats_.duplicates_dropped;
+      break;  // already durable; just re-acknowledge
+    }
+  }
+  EmitFrame(from, AckFrame{message_id}.Serialize());
+  return entries;
+}
+
+std::size_t AgentServer::DrainHoldback(DomainItem& item) {
+  std::size_t entries = 0;
+  item.holdback.DrainDeliverable(
+      [&](const HeldFrame& held) {
+        return item.clock.Check(held.src_local, held.frame.stamp);
+      },
+      [&](HeldFrame&& held) {
+        entries += held.frame.stamp.entries.size();
+        item.clock.Commit(held.src_local, held.frame.stamp);
+        entries += CommitDelivery(item, held.src_local, std::move(held.frame));
+      });
+  return entries;
+}
+
+std::size_t AgentServer::CommitDelivery(DomainItem& item,
+                                        DomainServerId src_local,
+                                        DataFrame&& frame) {
+  (void)item;
+  (void)src_local;
+  if (frame.message.dest_server() == self_) {
+    if (options_.trace != nullptr) {
+      options_.trace->RecordDeliver(frame.message.id, self_, self_,
+                                    frame.message.from, frame.message.to);
+    }
+    ++stats_.messages_delivered;
+    queue_in_.push_back(std::move(frame.message));
+    engine_step_needed_ = true;
+    return 0;
+  }
+  ++stats_.messages_forwarded;
+  return StampAndEnqueue(std::move(frame.message));
+}
+
+std::size_t AgentServer::ProcessAck(const AckFrame& ack) {
+  auto it = std::find_if(queue_out_.begin(), queue_out_.end(),
+                         [&](const OutEntry& entry) {
+                           return entry.message.id == ack.message;
+                         });
+  if (it == queue_out_.end()) return 0;  // duplicate ack
+  queue_out_.erase(it);
+  CommitLocked();
+  return 0;
+}
+
+// ---------------------------------------------------------------------
+// Channel: send path
+// ---------------------------------------------------------------------
+
+Message AgentServer::MakeMessage(AgentId from, AgentId to, std::string subject,
+                                 Bytes payload) {
+  Message message;
+  message.id = MessageId{self_, next_msg_seq_++};
+  message.from = from;
+  message.to = to;
+  message.subject = std::move(subject);
+  message.payload = std::move(payload);
+  return message;
+}
+
+Result<MessageId> AgentServer::SendMessage(AgentId from, AgentId to,
+                                           std::string subject,
+                                           Bytes payload) {
+  Message message;
+  {
+    std::lock_guard lock(mutex_);
+    if (!booted_) return Status::FailedPrecondition("server not booted");
+    if (from.server != self_) {
+      return Status::InvalidArgument("sender agent not on this server");
+    }
+    message = MakeMessage(from, to, std::move(subject), std::move(payload));
+  }
+  const MessageId id = message.id;
+  Post([this, message = std::move(message)]() mutable -> std::size_t {
+    return ApplySends({std::move(message)});
+  });
+  return id;
+}
+
+// Records, routes and stamps a batch of application sends (from the
+// public API or an agent reaction), then commits.
+std::size_t AgentServer::ApplySends(std::vector<Message> sends) {
+  std::size_t entries = 0;
+  for (Message& message : sends) {
+    ++stats_.messages_sent;
+    if (options_.trace != nullptr) {
+      options_.trace->RecordSend(message.id, self_, message.dest_server(),
+                                 message.from, message.to);
+    }
+    if (message.dest_server() == self_) {
+      if (options_.trace != nullptr) {
+        options_.trace->RecordDeliver(message.id, self_, self_, message.from,
+                                      message.to);
+      }
+      ++stats_.messages_delivered;
+      queue_in_.push_back(std::move(message));
+      engine_step_needed_ = true;
+    } else {
+      entries += StampAndEnqueue(std::move(message));
+    }
+  }
+  CommitLocked();
+  return entries;
+}
+
+std::size_t AgentServer::StampAndEnqueue(Message message) {
+  const ServerId dest = message.dest_server();
+  const ServerId hop = deployment_->routing().NextHop(self_, dest);
+  auto link_index = deployment_->LinkDomainIndex(self_, hop);
+  if (!link_index.ok()) {
+    CMOM_LOG(kError) << "unroutable message " << message.id << ": "
+                     << link_index.status();
+    return 0;
+  }
+  DomainItem* item = nullptr;
+  for (DomainItem& candidate : items_) {
+    if (candidate.deployment_index == link_index.value()) {
+      item = &candidate;
+      break;
+    }
+  }
+  assert(item != nullptr && "link domain not among this server's items");
+  auto hop_local =
+      deployment_->domain(link_index.value()).LocalId(hop);
+  assert(hop_local.has_value());
+
+  OutEntry entry;
+  entry.message = std::move(message);
+  entry.next_hop = hop;
+  entry.domain = item->id;
+  entry.stamp = item->clock.PrepareSend(*hop_local);
+  const std::size_t entries = entry.stamp.entries.size();
+  stats_.stamp_bytes_sent += entry.stamp.EncodedSize();
+
+  DataFrame frame{entry.message, entry.domain, entry.stamp};
+  const MessageId id = entry.message.id;
+  queue_out_.push_back(std::move(entry));
+  EmitFrame(hop, frame.Serialize());
+  ScheduleRetransmit(id, 0);
+  return entries;
+}
+
+void AgentServer::EmitFrame(ServerId to, Bytes bytes) {
+  pending_frames_.emplace_back(to, std::move(bytes));
+}
+
+void AgentServer::ScheduleRetransmit(MessageId id,
+                                     std::uint32_t attempts_so_far) {
+  const std::uint32_t shift = std::min<std::uint32_t>(attempts_so_far, 6);
+  const std::uint64_t delay = options_.retransmit_timeout_ns << shift;
+  runtime_->After(delay, [this, id, alive = alive_] {
+    if (!alive->load()) return;
+    Post([this, id]() -> std::size_t {
+      auto it = std::find_if(
+          queue_out_.begin(), queue_out_.end(),
+          [&](const OutEntry& entry) { return entry.message.id == id; });
+      if (it == queue_out_.end()) return 0;  // acknowledged meanwhile
+      if (options_.max_retransmit_attempts != 0 &&
+          it->attempts >= options_.max_retransmit_attempts) {
+        CMOM_LOG(kError) << "giving up on " << id << " after "
+                         << it->attempts << " retransmissions";
+        return 0;
+      }
+      ++it->attempts;
+      ++stats_.retransmissions;
+      DataFrame frame{it->message, it->domain, it->stamp};
+      EmitFrame(it->next_hop, frame.Serialize());
+      ScheduleRetransmit(id, it->attempts);
+      return 0;
+    });
+  });
+}
+
+// ---------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------
+
+std::size_t AgentServer::EngineStep() {
+  engine_step_queued_ = false;
+  if (queue_in_.empty()) return 0;
+  Message message = std::move(queue_in_.front());
+  queue_in_.pop_front();
+
+  std::vector<Message> sends;
+  auto agent_it = agents_.find(message.to.local);
+  if (agent_it == agents_.end()) {
+    CMOM_LOG(kWarning) << to_string(self_) << ": no agent " << message.to
+                       << " for message " << message.id << "; dropped";
+  } else {
+    ReactionContextImpl ctx(
+        this, runtime_, message.to, &sends,
+        [this](AgentId from, AgentId to, std::string subject, Bytes payload) {
+          return MakeMessage(from, to, std::move(subject),
+                             std::move(payload));
+        });
+    agent_it->second->React(ctx, message);
+    PersistAgent(message.to.local);
+  }
+
+  // ApplySends commits the whole reaction: new QueueIN/QueueOUT state,
+  // clocks and the agent image staged above.
+  const std::size_t entries = ApplySends(std::move(sends));
+  if (!queue_in_.empty()) engine_step_needed_ = true;
+  return entries;
+}
+
+// ---------------------------------------------------------------------
+// Persistence and recovery
+// ---------------------------------------------------------------------
+
+void AgentServer::PersistMeta() {
+  ByteWriter out;
+  out.WriteVarU64(next_msg_seq_);
+  store_->Put(kMetaKey, std::move(out).Take());
+}
+
+void AgentServer::PersistClocks() {
+  ByteWriter out;
+  out.WriteVarU64(items_.size());
+  for (const DomainItem& item : items_) {
+    out.WriteVarU64(item.deployment_index);
+    item.clock.EncodeState(out);
+  }
+  store_->Put(kClocksKey, std::move(out).Take());
+}
+
+void AgentServer::PersistQueueOut() {
+  ByteWriter out;
+  out.WriteVarU64(queue_out_.size());
+  for (const OutEntry& entry : queue_out_) {
+    entry.message.Encode(out);
+    out.WriteU16(entry.next_hop.value());
+    out.WriteU16(entry.domain.value());
+    entry.stamp.Encode(out);
+  }
+  store_->Put(kQueueOutKey, std::move(out).Take());
+}
+
+void AgentServer::PersistQueueIn() {
+  ByteWriter out;
+  out.WriteVarU64(queue_in_.size());
+  for (const Message& message : queue_in_) message.Encode(out);
+  store_->Put(kQueueInKey, std::move(out).Take());
+}
+
+void AgentServer::PersistHoldback() {
+  ByteWriter out;
+  std::size_t total = 0;
+  for (const DomainItem& item : items_) total += item.holdback.size();
+  out.WriteVarU64(total);
+  for (const DomainItem& item : items_) {
+    for (const HeldFrame& held : item.holdback.pending()) {
+      out.WriteVarU64(item.deployment_index);
+      out.WriteU16(held.src_local.value());
+      out.WriteBytes(held.frame.Serialize());
+    }
+  }
+  store_->Put(kHoldbackKey, std::move(out).Take());
+}
+
+void AgentServer::PersistAgent(std::uint32_t local_id) {
+  auto it = agents_.find(local_id);
+  if (it == agents_.end()) return;
+  ByteWriter out;
+  it->second->EncodeState(out);
+  store_->Put(AgentKey(local_id), std::move(out).Take());
+}
+
+// One transaction: the persistent image of the whole channel + engine
+// state (the matrix clocks dominating its size, as in the paper).
+void AgentServer::CommitLocked() {
+  PersistMeta();
+  PersistClocks();
+  PersistQueueOut();
+  PersistQueueIn();
+  PersistHoldback();
+  Status status = store_->Commit();
+  if (!status.ok()) {
+    CMOM_LOG(kError) << to_string(self_) << ": commit failed: " << status;
+    return;
+  }
+  txn_bytes_marker_ += store_->last_commit_bytes();
+  ++stats_.commits;
+}
+
+Status AgentServer::RecoverLocked() {
+  auto meta = store_->Get(kMetaKey);
+  if (!meta.has_value()) {
+    // Fresh server: write the initial durable image.
+    CommitLocked();
+    return Status::Ok();
+  }
+  {
+    ByteReader in(*meta);
+    auto seq = in.ReadVarU64();
+    if (!seq.ok()) return seq.status();
+    next_msg_seq_ = seq.value();
+  }
+  if (auto blob = store_->Get(kClocksKey)) {
+    ByteReader in(*blob);
+    auto count = in.ReadVarU64();
+    if (!count.ok()) return count.status();
+    for (std::uint64_t i = 0; i < count.value(); ++i) {
+      auto index = in.ReadVarU64();
+      if (!index.ok()) return index.status();
+      auto clock = clocks::CausalDomainClock::DecodeState(in);
+      if (!clock.ok()) return clock.status();
+      bool found = false;
+      for (DomainItem& item : items_) {
+        if (item.deployment_index == index.value()) {
+          item.clock = std::move(clock).value();
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::DataLoss("recovered clock for unknown domain index");
+      }
+    }
+  }
+  if (auto blob = store_->Get(kQueueOutKey)) {
+    ByteReader in(*blob);
+    auto count = in.ReadVarU64();
+    if (!count.ok()) return count.status();
+    for (std::uint64_t i = 0; i < count.value(); ++i) {
+      OutEntry entry;
+      auto message = Message::Decode(in);
+      if (!message.ok()) return message.status();
+      entry.message = std::move(message).value();
+      auto hop = in.ReadU16();
+      if (!hop.ok()) return hop.status();
+      entry.next_hop = ServerId(hop.value());
+      auto domain = in.ReadU16();
+      if (!domain.ok()) return domain.status();
+      entry.domain = DomainId(domain.value());
+      auto stamp = clocks::Stamp::Decode(in);
+      if (!stamp.ok()) return stamp.status();
+      entry.stamp = std::move(stamp).value();
+      queue_out_.push_back(std::move(entry));
+    }
+  }
+  if (auto blob = store_->Get(kQueueInKey)) {
+    ByteReader in(*blob);
+    auto count = in.ReadVarU64();
+    if (!count.ok()) return count.status();
+    for (std::uint64_t i = 0; i < count.value(); ++i) {
+      auto message = Message::Decode(in);
+      if (!message.ok()) return message.status();
+      queue_in_.push_back(std::move(message).value());
+    }
+  }
+  if (auto blob = store_->Get(kHoldbackKey)) {
+    ByteReader in(*blob);
+    auto count = in.ReadVarU64();
+    if (!count.ok()) return count.status();
+    for (std::uint64_t i = 0; i < count.value(); ++i) {
+      auto index = in.ReadVarU64();
+      if (!index.ok()) return index.status();
+      auto src = in.ReadU16();
+      if (!src.ok()) return src.status();
+      auto frame_bytes = in.ReadBytes();
+      if (!frame_bytes.ok()) return frame_bytes.status();
+      auto frame = DataFrame::Deserialize(frame_bytes.value());
+      if (!frame.ok()) return frame.status();
+      bool placed = false;
+      for (DomainItem& item : items_) {
+        if (item.deployment_index == index.value()) {
+          item.holdback.Push(HeldFrame{DomainServerId(src.value()),
+                                       std::move(frame).value()});
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) return Status::DataLoss("held frame for unknown domain");
+    }
+  }
+  for (auto& [local_id, agent] : agents_) {
+    if (auto blob = store_->Get(AgentKey(local_id))) {
+      ByteReader in(*blob);
+      CMOM_RETURN_IF_ERROR(agent->DecodeState(in));
+    }
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------
+
+ServerStats AgentServer::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::size_t AgentServer::holdback_size() const {
+  std::size_t total = 0;
+  for (const DomainItem& item : items_) total += item.holdback.size();
+  return total;
+}
+
+std::size_t AgentServer::queue_out_size() const {
+  std::lock_guard lock(mutex_);
+  return queue_out_.size();
+}
+
+bool AgentServer::Idle() const {
+  std::lock_guard lock(mutex_);
+  return work_queue_.empty() && !work_running_ && queue_in_.empty() &&
+         queue_out_.empty();
+}
+
+const clocks::CausalDomainClock* AgentServer::FindDomainClock(
+    std::size_t deployment_domain_index) const {
+  std::lock_guard lock(mutex_);
+  for (const DomainItem& item : items_) {
+    if (item.deployment_index == deployment_domain_index) return &item.clock;
+  }
+  return nullptr;
+}
+
+AgentServer::DomainItem* AgentServer::FindItemByDomainId(DomainId id) {
+  for (DomainItem& item : items_) {
+    if (item.id == id) return &item;
+  }
+  return nullptr;
+}
+
+}  // namespace cmom::mom

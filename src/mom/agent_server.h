@@ -1,0 +1,240 @@
+// Agent server: Engine + Channel (Sections 3 and 5).
+//
+// One AgentServer hosts agents (the Engine side) and moves messages
+// (the Channel side).  The Channel owns one DomainItem per domain the
+// server belongs to -- a causal router-server has several -- each with
+// its own matrix clock and hold-back queue, plus the QueueOUT of
+// stamped messages awaiting acknowledgment.  The Engine owns QueueIN
+// and runs agent reactions one at a time.
+//
+// Every protocol step is a transaction against the server's Store:
+//
+//   send      : assign id, stamp with the link domain's clock, append
+//               to QueueOUT, commit, then emit the frame
+//   receive   : check the stamp against the domain's clock;
+//               deliver -> merge clock, push QueueIN (final dest) or
+//                          stamp for the next hop and append QueueOUT
+//                          (router), commit, then ACK
+//               hold    -> persist in the hold-back queue, commit, ACK
+//               dup     -> just ACK
+//   reaction  : pop QueueIN, run Agent::React, persist agent state and
+//               the stamped sends it produced, commit, emit frames
+//
+// Unacknowledged QueueOUT entries are retransmitted with their original
+// stamp; the receiver's clock check recognizes and drops duplicates, so
+// the bus delivers exactly once across frame loss and server crashes.
+//
+// Processing-cost simulation: with a CostModel configured (simulated
+// runs), each transaction charges
+//     per_hop_fixed + clock_entries * per_clock_entry
+//                   + committed_bytes * per_disk_byte + disk_sync
+// of simulated time before its outputs (frames, next transaction)
+// become visible, and transactions of one server serialize -- modelling
+// the single-threaded Java server of the paper.  Without a CostModel,
+// work runs inline at wall-clock speed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "causality/trace.h"
+#include "clocks/causal_clock.h"
+#include "clocks/holdback.h"
+#include "common/ids.h"
+#include "common/status.h"
+#include "domains/deployment.h"
+#include "mom/agent.h"
+#include "mom/message.h"
+#include "mom/store.h"
+#include "net/cost_model.h"
+#include "net/runtime.h"
+#include "net/transport.h"
+
+namespace cmom::mom {
+
+struct AgentServerOptions {
+  // Non-null enables simulated processing costs (see header comment).
+  const net::CostModel* cost_model = nullptr;
+  // Non-null records application-level send/deliver events.
+  causality::TraceRecorder* trace = nullptr;
+  // Delay before an unacknowledged QueueOUT entry is resent.
+  std::uint64_t retransmit_timeout_ns = 500ull * 1000 * 1000;
+  // Safety valve for runaway retransmission (0 = unlimited).
+  std::uint32_t max_retransmit_attempts = 0;
+};
+
+struct ServerStats {
+  std::uint64_t messages_sent = 0;        // application sends originated
+  std::uint64_t messages_delivered = 0;   // delivered to local agents
+  std::uint64_t messages_forwarded = 0;   // routed onward (router role)
+  std::uint64_t frames_received = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t holdback_peak = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t stamp_bytes_sent = 0;     // wire cost of causal stamps
+  std::uint64_t commits = 0;
+};
+
+class AgentServer {
+ public:
+  // `deployment`, `endpoint`, `runtime` and `store` must outlive the
+  // server.  `self` must be one of the deployment's servers and match
+  // the endpoint's identity.
+  AgentServer(const domains::Deployment& deployment, ServerId self,
+              net::Endpoint* endpoint, net::Runtime* runtime, Store* store,
+              AgentServerOptions options = {});
+  ~AgentServer();
+
+  AgentServer(const AgentServer&) = delete;
+  AgentServer& operator=(const AgentServer&) = delete;
+
+  // Registers an agent under a server-local id.  Must happen before
+  // Boot(); the same ids must be attached again when rebooting after a
+  // crash so persistent state can be restored.
+  AgentId AttachAgent(std::uint32_t local_id, std::unique_ptr<Agent> agent);
+
+  // Recovers durable state from the store (first boot initializes it),
+  // installs the receive handler and resumes pending work
+  // (retransmissions, queued reactions).
+  [[nodiscard]] Status Boot();
+
+  // Stops accepting frames and timers.  Pending durable state remains
+  // in the store for the next Boot.
+  void Shutdown();
+
+  // Application-level send on behalf of a local agent.  Thread-safe.
+  // `from.server` must be this server.
+  Result<MessageId> SendMessage(AgentId from, AgentId to, std::string subject,
+                                Bytes payload = {});
+
+  [[nodiscard]] ServerId self() const { return self_; }
+  [[nodiscard]] ServerStats stats() const;
+
+  // Number of held-back (causally premature) messages over all domains.
+  [[nodiscard]] std::size_t holdback_size() const;
+  // Unacknowledged outgoing messages.
+  [[nodiscard]] std::size_t queue_out_size() const;
+  // True when no transaction is running or queued.
+  [[nodiscard]] bool Idle() const;
+
+  // Matrix clock of the domain item for deployment domain `index`
+  // (tests / introspection).
+  [[nodiscard]] const clocks::CausalDomainClock* FindDomainClock(
+      std::size_t deployment_domain_index) const;
+
+ private:
+  struct HeldFrame {
+    DomainServerId src_local;
+    DataFrame frame;
+  };
+
+  struct DomainItem {
+    std::size_t deployment_index = 0;
+    DomainId id;
+    DomainServerId self_local;
+    clocks::CausalDomainClock clock;
+    clocks::HoldbackQueue<HeldFrame> holdback;
+  };
+
+  struct OutEntry {
+    Message message;
+    ServerId next_hop;
+    DomainId domain;
+    clocks::Stamp stamp;
+    std::uint32_t attempts = 0;
+  };
+
+  // A unit of transactional work.  Returns the number of clock entries
+  // it touched; outputs are collected in pending_frames_ /
+  // engine_step_needed_ and released once the simulated cost elapsed.
+  using Work = std::function<std::size_t()>;
+
+  // --- work serialization -------------------------------------------
+  void Post(Work work);
+  void PumpLocked();
+
+  // --- channel -------------------------------------------------------
+  void HandleFrame(ServerId from, Bytes frame);
+  std::size_t ProcessDataFrame(ServerId from, DataFrame frame);
+  std::size_t ProcessAck(const AckFrame& ack);
+  // Delivers a checked frame: local QueueIN or forward.  Returns clock
+  // entries touched.
+  std::size_t CommitDelivery(DomainItem& item, DomainServerId src_local,
+                             DataFrame&& frame);
+  // Re-examines the hold-back queue after a clock change; returns the
+  // clock entries touched by the deliveries it unblocked.
+  std::size_t DrainHoldback(DomainItem& item);
+  // Stamps `message` toward its destination and appends to QueueOUT;
+  // returns entries touched.  Emits the data frame.
+  std::size_t StampAndEnqueue(Message message);
+  void EmitFrame(ServerId to, Bytes bytes);
+  // Schedules the next retransmission check for `id`.  The delay grows
+  // exponentially with the attempts already made (capped at 64x the
+  // base timeout) so a backlogged peer is probed, not bombarded.
+  void ScheduleRetransmit(MessageId id, std::uint32_t attempts_so_far);
+
+  // --- engine ----------------------------------------------------------
+  std::size_t EngineStep();
+  std::size_t ApplySends(std::vector<Message> sends);
+
+  // --- persistence ----------------------------------------------------
+  void PersistMeta();
+  void PersistClocks();
+  void PersistQueueOut();
+  void PersistQueueIn();
+  void PersistHoldback();
+  void PersistAgent(std::uint32_t local_id);
+  [[nodiscard]] Status RecoverLocked();
+  void CommitLocked();
+
+  // --- helpers ---------------------------------------------------------
+  [[nodiscard]] DomainItem* FindItemByDomainId(DomainId id);
+  [[nodiscard]] Message MakeMessage(AgentId from, AgentId to,
+                                    std::string subject, Bytes payload);
+
+  // Deferred runtime callbacks (retransmit timers, simulated-cost
+  // continuations) capture this token and bail out once the server is
+  // shut down or destroyed; crash tests destroy servers while such
+  // callbacks are still scheduled.  (Fully safe on the single-threaded
+  // simulated runtime; on the threaded runtime, Shutdown() and
+  // quiescence must precede destruction, which the harnesses ensure.)
+  std::shared_ptr<std::atomic<bool>> alive_ =
+      std::make_shared<std::atomic<bool>>(true);
+
+  const domains::Deployment* deployment_;
+  ServerId self_;
+  net::Endpoint* endpoint_;
+  net::Runtime* runtime_;
+  Store* store_;
+  AgentServerOptions options_;
+
+  mutable std::mutex mutex_;
+  bool booted_ = false;
+  bool shutdown_ = false;
+  bool work_running_ = false;
+  std::deque<Work> work_queue_;
+  std::vector<std::pair<ServerId, Bytes>> pending_frames_;
+  bool engine_step_needed_ = false;
+  bool engine_step_queued_ = false;
+
+  std::vector<DomainItem> items_;
+  std::deque<OutEntry> queue_out_;
+  std::deque<Message> queue_in_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<Agent>> agents_;
+  std::uint64_t next_msg_seq_ = 1;
+  // Bytes committed by the currently running work item (feeds the
+  // simulated disk-cost charge).
+  std::uint64_t txn_bytes_marker_ = 0;
+
+  ServerStats stats_;
+};
+
+}  // namespace cmom::mom

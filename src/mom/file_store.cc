@@ -1,0 +1,214 @@
+#include "mom/file_store.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/log.h"
+
+namespace cmom::mom {
+
+namespace {
+constexpr std::uint8_t kOpPut = 0x01;
+constexpr std::uint8_t kOpDelete = 0x02;
+
+constexpr const char* kWalName = "wal.log";
+constexpr const char* kSnapshotName = "snapshot.log";
+constexpr const char* kSnapshotTmpName = "snapshot.log.tmp";
+}  // namespace
+
+FileStore::FileStore(std::filesystem::path directory)
+    : directory_(std::move(directory)) {}
+
+FileStore::~FileStore() {
+  if (wal_ != nullptr) std::fclose(wal_);
+}
+
+Result<std::unique_ptr<FileStore>> FileStore::Open(
+    const std::filesystem::path& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::Unavailable("create_directories: " + ec.message());
+  }
+  auto store = std::unique_ptr<FileStore>(new FileStore(directory));
+
+  // An orphaned snapshot.log.tmp means a crash during compaction before
+  // the rename; the old snapshot + WAL are still authoritative.
+  std::filesystem::remove(directory / kSnapshotTmpName, ec);
+
+  CMOM_RETURN_IF_ERROR(store->LoadFrom(directory / kSnapshotName));
+  CMOM_RETURN_IF_ERROR(store->LoadFrom(directory / kWalName));
+  // Every replayed transaction staged ops into the cache; make them the
+  // committed image without counting them as new writes.
+  (void)store->cache_.Commit();
+
+  store->wal_ = std::fopen((directory / kWalName).c_str(), "ab");
+  if (store->wal_ == nullptr) {
+    return Status::Unavailable("cannot open WAL for append");
+  }
+  store->wal_bytes_ = std::filesystem::file_size(directory / kWalName, ec);
+  if (ec) store->wal_bytes_ = 0;
+  return {std::move(store)};
+}
+
+Status FileStore::LoadFrom(const std::filesystem::path& file) {
+  std::FILE* in = std::fopen(file.c_str(), "rb");
+  if (in == nullptr) return Status::Ok();  // absent file = empty
+  std::error_code size_ec;
+  const std::uintmax_t file_size =
+      std::filesystem::file_size(file, size_ec);
+  std::uintmax_t consumed = 0;
+  Status status = Status::Ok();
+  while (true) {
+    std::uint8_t header[8];
+    const std::size_t got = std::fread(header, 1, sizeof(header), in);
+    if (got == 0) break;
+    if (got < sizeof(header)) break;  // torn tail: discard
+    consumed += sizeof(header);
+    std::uint32_t length = 0;
+    std::uint32_t crc = 0;
+    std::memcpy(&length, header, 4);
+    std::memcpy(&crc, header + 4, 4);
+    // A corrupt header may claim more bytes than the file holds; treat
+    // it as a torn tail rather than allocating from it.
+    if (!size_ec && consumed + length > file_size) break;
+    consumed += length;
+    Bytes body(length);
+    if (std::fread(body.data(), 1, length, in) < length) break;  // torn
+    if (Crc32(body) != crc) {
+      CMOM_LOG(kWarning) << "discarding corrupt transaction in "
+                         << file.string();
+      break;
+    }
+    ByteReader reader(body);
+    while (!reader.exhausted()) {
+      auto op = reader.ReadU8();
+      if (!op.ok()) {
+        status = op.status();
+        break;
+      }
+      auto key = reader.ReadString();
+      if (!key.ok()) {
+        status = key.status();
+        break;
+      }
+      if (op.value() == kOpPut) {
+        auto value = reader.ReadBytes();
+        if (!value.ok()) {
+          status = value.status();
+          break;
+        }
+        cache_.Put(key.value(), std::move(value).value());
+      } else if (op.value() == kOpDelete) {
+        cache_.Delete(key.value());
+      } else {
+        status = Status::DataLoss("unknown WAL op");
+        break;
+      }
+    }
+    if (!status.ok()) break;
+  }
+  std::fclose(in);
+  return status;
+}
+
+void FileStore::Put(std::string_view key, Bytes value) {
+  staged_.push_back(StagedOp{std::string(key), value});
+  cache_.Put(key, std::move(value));
+}
+
+void FileStore::Delete(std::string_view key) {
+  staged_.push_back(StagedOp{std::string(key), std::nullopt});
+  cache_.Delete(key);
+}
+
+std::optional<Bytes> FileStore::Get(std::string_view key) {
+  return cache_.Get(key);
+}
+
+std::vector<std::string> FileStore::Keys(std::string_view prefix) {
+  return cache_.Keys(prefix);
+}
+
+Status FileStore::Commit() {
+  ByteWriter body;
+  for (const StagedOp& op : staged_) {
+    if (op.value.has_value()) {
+      body.WriteU8(kOpPut);
+      body.WriteString(op.key);
+      body.WriteBytes(*op.value);
+    } else {
+      body.WriteU8(kOpDelete);
+      body.WriteString(op.key);
+    }
+  }
+  CMOM_RETURN_IF_ERROR(AppendTransaction(body.buffer()));
+  staged_.clear();
+  CMOM_RETURN_IF_ERROR(cache_.Commit());
+  if (wal_bytes_ > compaction_threshold_bytes_) {
+    CMOM_RETURN_IF_ERROR(Compact());
+  }
+  return Status::Ok();
+}
+
+void FileStore::Rollback() {
+  staged_.clear();
+  cache_.Rollback();
+}
+
+Status FileStore::Compact() {
+  const auto tmp = directory_ / kSnapshotTmpName;
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) return Status::Unavailable("cannot write snapshot");
+  ByteWriter body;
+  for (const std::string& key : cache_.Keys("")) {
+    auto value = cache_.Get(key);
+    if (!value) continue;
+    body.WriteU8(kOpPut);
+    body.WriteString(key);
+    body.WriteBytes(*value);
+  }
+  const Bytes& bytes = body.buffer();
+  std::uint8_t header[8];
+  const std::uint32_t length = static_cast<std::uint32_t>(bytes.size());
+  const std::uint32_t crc = Crc32(bytes);
+  std::memcpy(header, &length, 4);
+  std::memcpy(header + 4, &crc, 4);
+  bool ok = std::fwrite(header, 1, sizeof(header), out) == sizeof(header);
+  ok = ok && (bytes.empty() ||
+              std::fwrite(bytes.data(), 1, bytes.size(), out) == bytes.size());
+  ok = ok && std::fflush(out) == 0;
+  std::fclose(out);
+  if (!ok) return Status::Unavailable("snapshot write failed");
+
+  std::error_code ec;
+  std::filesystem::rename(tmp, directory_ / kSnapshotName, ec);
+  if (ec) return Status::Unavailable("snapshot rename: " + ec.message());
+
+  // Truncate the WAL: its contents are now folded into the snapshot.
+  if (wal_ != nullptr) std::fclose(wal_);
+  wal_ = std::fopen((directory_ / kWalName).c_str(), "wb");
+  if (wal_ == nullptr) return Status::Unavailable("cannot truncate WAL");
+  wal_bytes_ = 0;
+  return Status::Ok();
+}
+
+Status FileStore::AppendTransaction(const Bytes& body) {
+  std::uint8_t header[8];
+  const std::uint32_t length = static_cast<std::uint32_t>(body.size());
+  const std::uint32_t crc = Crc32(body);
+  std::memcpy(header, &length, 4);
+  std::memcpy(header + 4, &crc, 4);
+  if (std::fwrite(header, 1, sizeof(header), wal_) != sizeof(header)) {
+    return Status::Unavailable("WAL write failed");
+  }
+  if (!body.empty() &&
+      std::fwrite(body.data(), 1, body.size(), wal_) != body.size()) {
+    return Status::Unavailable("WAL write failed");
+  }
+  if (std::fflush(wal_) != 0) return Status::Unavailable("WAL flush failed");
+  wal_bytes_ += sizeof(header) + body.size();
+  return Status::Ok();
+}
+
+}  // namespace cmom::mom

@@ -1,0 +1,82 @@
+// File-backed store: write-ahead log plus snapshot.
+//
+// Layout inside the store directory:
+//   snapshot.log - one committed transaction holding the full state at
+//                  the time of the last compaction
+//   wal.log      - transactions committed since the snapshot
+//
+// Each transaction record is  [u32 body_length][u32 crc32][body] where
+// the body is a sequence of operations:
+//   0x01 put    [varint key_len][key][varint value_len][value]
+//   0x02 delete [varint key_len][key]
+// A torn tail (truncated record or CRC mismatch) is discarded on load,
+// which is exactly the atomicity a crash in mid-commit requires.
+// Compaction rewrites snapshot.log.tmp, renames it over snapshot.log
+// and truncates the WAL; a crash between those steps is recovered by
+// preferring the renamed snapshot.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "mom/store.h"
+
+namespace cmom::mom {
+
+class FileStore final : public Store {
+ public:
+  // Opens (creating if needed) the store in `directory`.
+  [[nodiscard]] static Result<std::unique_ptr<FileStore>> Open(
+      const std::filesystem::path& directory);
+
+  ~FileStore() override;
+
+  FileStore(const FileStore&) = delete;
+  FileStore& operator=(const FileStore&) = delete;
+
+  void Put(std::string_view key, Bytes value) override;
+  void Delete(std::string_view key) override;
+  [[nodiscard]] std::optional<Bytes> Get(std::string_view key) override;
+  [[nodiscard]] std::vector<std::string> Keys(std::string_view prefix) override;
+  Status Commit() override;
+  void Rollback() override;
+  [[nodiscard]] std::uint64_t last_commit_bytes() const override {
+    return cache_.last_commit_bytes();
+  }
+  [[nodiscard]] std::uint64_t total_bytes_written() const override {
+    return cache_.total_bytes_written();
+  }
+
+  // Rewrites the snapshot and truncates the WAL.  Called automatically
+  // by Commit when the WAL exceeds `compaction_threshold_bytes`.
+  Status Compact();
+
+  void set_compaction_threshold(std::uint64_t bytes) {
+    compaction_threshold_bytes_ = bytes;
+  }
+
+ private:
+  explicit FileStore(std::filesystem::path directory);
+
+  Status LoadFrom(const std::filesystem::path& file);
+  Status AppendTransaction(const Bytes& body);
+
+  // Mirror of the operations staged into cache_ since the last Commit,
+  // in order; serialized into the WAL transaction body.
+  struct StagedOp {
+    std::string key;
+    std::optional<Bytes> value;  // nullopt = delete
+  };
+  std::vector<StagedOp> staged_;
+
+  std::filesystem::path directory_;
+  std::FILE* wal_ = nullptr;
+  std::uint64_t wal_bytes_ = 0;
+  std::uint64_t compaction_threshold_bytes_ = 4 * 1024 * 1024;
+  // In-memory image of committed state; the files are the durable copy.
+  InMemoryStore cache_;
+};
+
+}  // namespace cmom::mom

@@ -1,0 +1,123 @@
+#include "mom/message.h"
+
+namespace cmom::mom {
+
+namespace {
+
+void EncodeAgentId(ByteWriter& out, const AgentId& id) {
+  out.WriteU16(id.server.value());
+  out.WriteVarU32(id.local);
+}
+
+Result<AgentId> DecodeAgentId(ByteReader& in) {
+  auto server = in.ReadU16();
+  if (!server.ok()) return server.status();
+  auto local = in.ReadVarU32();
+  if (!local.ok()) return local.status();
+  return AgentId{ServerId(server.value()), local.value()};
+}
+
+void EncodeMessageId(ByteWriter& out, const MessageId& id) {
+  out.WriteU16(id.origin.value());
+  out.WriteVarU64(id.seq);
+}
+
+Result<MessageId> DecodeMessageId(ByteReader& in) {
+  auto origin = in.ReadU16();
+  if (!origin.ok()) return origin.status();
+  auto seq = in.ReadVarU64();
+  if (!seq.ok()) return seq.status();
+  return MessageId{ServerId(origin.value()), seq.value()};
+}
+
+}  // namespace
+
+void Message::Encode(ByteWriter& out) const {
+  EncodeMessageId(out, id);
+  EncodeAgentId(out, from);
+  EncodeAgentId(out, to);
+  out.WriteString(subject);
+  out.WriteBytes(payload);
+}
+
+Result<Message> Message::Decode(ByteReader& in) {
+  auto id = DecodeMessageId(in);
+  if (!id.ok()) return id.status();
+  auto from = DecodeAgentId(in);
+  if (!from.ok()) return from.status();
+  auto to = DecodeAgentId(in);
+  if (!to.ok()) return to.status();
+  auto subject = in.ReadString();
+  if (!subject.ok()) return subject.status();
+  auto payload = in.ReadBytes();
+  if (!payload.ok()) return payload.status();
+  Message message;
+  message.id = id.value();
+  message.from = from.value();
+  message.to = to.value();
+  message.subject = std::move(subject).value();
+  message.payload = std::move(payload).value();
+  return message;
+}
+
+Bytes DataFrame::Serialize() const {
+  ByteWriter out;
+  out.WriteU8(static_cast<std::uint8_t>(FrameType::kData));
+  message.Encode(out);
+  out.WriteU16(domain.value());
+  stamp.Encode(out);
+  return std::move(out).Take();
+}
+
+std::size_t DataFrame::SerializedSize() const { return Serialize().size(); }
+
+Result<DataFrame> DataFrame::Deserialize(std::span<const std::uint8_t> bytes) {
+  ByteReader in(bytes);
+  auto type = in.ReadU8();
+  if (!type.ok()) return type.status();
+  if (type.value() != static_cast<std::uint8_t>(FrameType::kData)) {
+    return Status::DataLoss("not a data frame");
+  }
+  auto message = Message::Decode(in);
+  if (!message.ok()) return message.status();
+  auto domain = in.ReadU16();
+  if (!domain.ok()) return domain.status();
+  auto stamp = clocks::Stamp::Decode(in);
+  if (!stamp.ok()) return stamp.status();
+  DataFrame frame;
+  frame.message = std::move(message).value();
+  frame.domain = DomainId(domain.value());
+  frame.stamp = std::move(stamp).value();
+  return frame;
+}
+
+Bytes AckFrame::Serialize() const {
+  ByteWriter out;
+  out.WriteU8(static_cast<std::uint8_t>(FrameType::kAck));
+  EncodeMessageId(out, message);
+  return std::move(out).Take();
+}
+
+Result<FrameType> PeekFrameType(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return Status::DataLoss("empty frame");
+  const std::uint8_t type = bytes[0];
+  if (type != static_cast<std::uint8_t>(FrameType::kData) &&
+      type != static_cast<std::uint8_t>(FrameType::kAck)) {
+    return Status::DataLoss("unknown frame type");
+  }
+  return static_cast<FrameType>(type);
+}
+
+Result<AckFrame> DeserializeAck(std::span<const std::uint8_t> bytes) {
+  ByteReader in(bytes);
+  auto type = in.ReadU8();
+  if (!type.ok()) return type.status();
+  if (type.value() != static_cast<std::uint8_t>(FrameType::kAck)) {
+    return Status::DataLoss("not an ack frame");
+  }
+  auto id = DecodeMessageId(in);
+  if (!id.ok()) return id.status();
+  return AckFrame{id.value()};
+}
+
+}  // namespace cmom::mom

@@ -1,0 +1,70 @@
+// Application messages and wire frames.
+//
+// A Message is what agents exchange (the event of the event/reaction
+// pattern): addressed agent-to-agent, identified by the sending server
+// and a per-sender sequence number, carrying an opaque payload plus a
+// subject string for dispatching inside the reacting agent.
+//
+// On the wire, each server-to-server hop wraps the message in a
+// DataFrame that adds the hop's domain and the causal stamp of that
+// domain's matrix clock (the piggybacking of Section 5).  The receiving
+// Channel answers every data frame with an AckFrame carrying the
+// message id, which releases the sender's QueueOUT entry.
+#pragma once
+
+#include <string>
+
+#include "clocks/stamp.h"
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace cmom::mom {
+
+struct Message {
+  MessageId id;
+  AgentId from;
+  AgentId to;
+  std::string subject;
+  Bytes payload;
+
+  [[nodiscard]] ServerId dest_server() const { return to.server; }
+
+  friend bool operator==(const Message&, const Message&) = default;
+
+  void Encode(ByteWriter& out) const;
+  [[nodiscard]] static Result<Message> Decode(ByteReader& in);
+};
+
+enum class FrameType : std::uint8_t { kData = 1, kAck = 2 };
+
+struct DataFrame {
+  Message message;
+  DomainId domain;      // domain whose matrix clock stamped this hop
+  clocks::Stamp stamp;  // matrix entries (full or Appendix-A delta)
+
+  friend bool operator==(const DataFrame&, const DataFrame&) = default;
+
+  [[nodiscard]] Bytes Serialize() const;
+  [[nodiscard]] static Result<DataFrame> Deserialize(
+      std::span<const std::uint8_t> bytes);
+
+  // Frame body without re-serializing twice; used for wire accounting.
+  [[nodiscard]] std::size_t SerializedSize() const;
+};
+
+struct AckFrame {
+  MessageId message;
+
+  [[nodiscard]] Bytes Serialize() const;
+};
+
+// Frame type discriminator, without decoding the body.
+[[nodiscard]] Result<FrameType> PeekFrameType(
+    std::span<const std::uint8_t> bytes);
+
+// Decodes the ack body (after the type byte).
+[[nodiscard]] Result<AckFrame> DeserializeAck(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace cmom::mom

@@ -1,0 +1,65 @@
+#include "mom/store.h"
+
+#include <algorithm>
+
+namespace cmom::mom {
+
+void InMemoryStore::Put(std::string_view key, Bytes value) {
+  staged_.push_back(StagedOp{std::string(key), std::move(value)});
+}
+
+void InMemoryStore::Delete(std::string_view key) {
+  staged_.push_back(StagedOp{std::string(key), std::nullopt});
+}
+
+std::optional<Bytes> InMemoryStore::Get(std::string_view key) {
+  // Staged view: the most recent staged op for this key wins.
+  for (auto it = staged_.rbegin(); it != staged_.rend(); ++it) {
+    if (it->key == key) return it->value;
+  }
+  auto it = committed_.find(key);
+  if (it == committed_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> InMemoryStore::Keys(std::string_view prefix) {
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : committed_) {
+    (void)value;
+    if (key.starts_with(prefix)) keys.push_back(key);
+  }
+  for (const StagedOp& op : staged_) {
+    if (!op.key.starts_with(prefix)) continue;
+    if (op.value.has_value()) {
+      if (std::find(keys.begin(), keys.end(), op.key) == keys.end()) {
+        keys.push_back(op.key);
+      }
+    } else {
+      keys.erase(std::remove(keys.begin(), keys.end(), op.key), keys.end());
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+Status InMemoryStore::Commit() {
+  std::uint64_t bytes = 0;
+  for (StagedOp& op : staged_) {
+    bytes += op.key.size();
+    if (op.value.has_value()) {
+      bytes += op.value->size();
+      committed_[op.key] = std::move(*op.value);
+    } else {
+      committed_.erase(op.key);
+    }
+  }
+  staged_.clear();
+  last_commit_bytes_ = bytes;
+  total_bytes_written_ += bytes;
+  ++commit_count_;
+  return Status::Ok();
+}
+
+void InMemoryStore::Rollback() { staged_.clear(); }
+
+}  // namespace cmom::mom

@@ -1,0 +1,119 @@
+#include "net/inproc_network.h"
+
+#include <chrono>
+#include <utility>
+
+namespace cmom::net {
+
+class InprocNetwork::InprocEndpoint final : public Endpoint {
+ public:
+  InprocEndpoint(InprocNetwork& network, ServerId self, Inbox& inbox)
+      : network_(&network), self_(self), inbox_(&inbox) {}
+
+  [[nodiscard]] ServerId self() const override { return self_; }
+
+  Status Send(ServerId to, Bytes frame) override {
+    return network_->Push(self_, to, std::move(frame));
+  }
+
+  void SetReceiveHandler(ReceiveHandler handler) override {
+    std::lock_guard lock(inbox_->mutex);
+    inbox_->handler = std::move(handler);
+  }
+
+ private:
+  InprocNetwork* network_;
+  ServerId self_;
+  Inbox* inbox_;
+};
+
+InprocNetwork::~InprocNetwork() {
+  for (auto& [id, inbox] : inboxes_) {
+    (void)id;
+    {
+      std::lock_guard lock(inbox->mutex);
+      inbox->stopping = true;
+    }
+    inbox->ready.notify_all();
+  }
+  for (auto& [id, inbox] : inboxes_) {
+    (void)id;
+    if (inbox->consumer.joinable()) inbox->consumer.join();
+  }
+}
+
+Result<std::unique_ptr<Endpoint>> InprocNetwork::CreateEndpoint(ServerId id) {
+  std::lock_guard registry_lock(registry_mutex_);
+  auto [it, inserted] = inboxes_.try_emplace(id, std::make_unique<Inbox>());
+  if (!inserted) {
+    return Status::InvalidArgument("endpoint already exists: " + to_string(id));
+  }
+  Inbox& inbox = *it->second;
+  inbox.consumer = std::thread([this, &inbox] { ConsumeLoop(inbox); });
+  return {std::make_unique<InprocEndpoint>(*this, id, inbox)};
+}
+
+Status InprocNetwork::Push(ServerId from, ServerId to, Bytes frame) {
+  Inbox* inbox = nullptr;
+  {
+    std::lock_guard registry_lock(registry_mutex_);
+    auto it = inboxes_.find(to);
+    if (it == inboxes_.end()) {
+      return Status::NotFound("no endpoint for " + to_string(to));
+    }
+    inbox = it->second.get();
+  }
+  {
+    std::lock_guard lock(inbox->mutex);
+    inbox->frames.emplace_back(from, std::move(frame));
+  }
+  inbox->ready.notify_one();
+  return Status::Ok();
+}
+
+void InprocNetwork::ConsumeLoop(Inbox& inbox) {
+  std::unique_lock lock(inbox.mutex);
+  while (true) {
+    inbox.ready.wait(lock, [&] {
+      return inbox.stopping || (!inbox.frames.empty() && inbox.handler);
+    });
+    if (inbox.stopping) return;
+    auto [from, frame] = std::move(inbox.frames.front());
+    inbox.frames.pop_front();
+    inbox.busy = true;
+    ReceiveHandler handler = inbox.handler;  // copy under lock
+    lock.unlock();
+    handler(from, std::move(frame));
+    lock.lock();
+    inbox.busy = false;
+    inbox.ready.notify_all();  // WaitQuiescent may be watching
+  }
+}
+
+void InprocNetwork::WaitQuiescent() {
+  // Two consecutive passes must observe every inbox empty and idle;
+  // a single pass could race with a frame in flight between inboxes.
+  for (int stable = 0; stable < 2;) {
+    bool all_idle = true;
+    {
+      std::lock_guard registry_lock(registry_mutex_);
+      for (auto& [id, inbox] : inboxes_) {
+        (void)id;
+        std::unique_lock lock(inbox->mutex);
+        if (!inbox->frames.empty() || inbox->busy) {
+          all_idle = false;
+          break;
+        }
+      }
+    }
+    if (all_idle) {
+      ++stable;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    } else {
+      stable = 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+}  // namespace cmom::net

@@ -1,0 +1,57 @@
+// In-process threaded network.
+//
+// Every endpoint owns a bounded FIFO inbox and a consumer thread that
+// invokes the receive handler; Send() enqueues into the destination's
+// inbox.  This gives real wall-clock behaviour with reliable FIFO
+// links, the configuration the AAA Message Bus assumes, and is what the
+// wall-clock cross-check benches and most examples run on.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace cmom::net {
+
+class InprocNetwork final : public Network {
+ public:
+  InprocNetwork() = default;
+  ~InprocNetwork() override;
+
+  InprocNetwork(const InprocNetwork&) = delete;
+  InprocNetwork& operator=(const InprocNetwork&) = delete;
+
+  Result<std::unique_ptr<Endpoint>> CreateEndpoint(ServerId id) override;
+
+  // Blocks until every inbox is empty and every consumer is idle; used
+  // by tests to reach quiescence without sleeping.
+  void WaitQuiescent();
+
+ private:
+  class InprocEndpoint;
+  friend class InprocEndpoint;
+
+  struct Inbox {
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::deque<std::pair<ServerId, Bytes>> frames;
+    ReceiveHandler handler;
+    bool busy = false;
+    bool stopping = false;
+    std::thread consumer;
+  };
+
+  Status Push(ServerId from, ServerId to, Bytes frame);
+  void ConsumeLoop(Inbox& inbox);
+
+  std::mutex registry_mutex_;
+  std::unordered_map<ServerId, std::unique_ptr<Inbox>> inboxes_;
+};
+
+}  // namespace cmom::net

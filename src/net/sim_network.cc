@@ -1,0 +1,121 @@
+#include "net/sim_network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.h"
+
+namespace cmom::net {
+
+namespace {
+std::uint64_t LinkKey(ServerId from, ServerId to) {
+  return (static_cast<std::uint64_t>(from.value()) << 32) | to.value();
+}
+}  // namespace
+
+class SimNetwork::SimEndpoint final : public Endpoint {
+ public:
+  SimEndpoint(SimNetwork& network, ServerId self)
+      : network_(&network), self_(self) {}
+
+  [[nodiscard]] ServerId self() const override { return self_; }
+
+  Status Send(ServerId to, Bytes frame) override {
+    return network_->Transmit(self_, to, std::move(frame));
+  }
+
+  void SetReceiveHandler(ReceiveHandler handler) override {
+    network_->endpoints_[self_].handler = std::move(handler);
+  }
+
+ private:
+  SimNetwork* network_;
+  ServerId self_;
+};
+
+SimNetwork::SimNetwork(sim::Simulator& simulator, CostModel cost_model,
+                       FaultModel fault_model, std::uint64_t fault_seed)
+    : simulator_(&simulator),
+      cost_model_(cost_model),
+      fault_model_(fault_model),
+      fault_rng_(fault_seed) {}
+
+Result<std::unique_ptr<Endpoint>> SimNetwork::CreateEndpoint(ServerId id) {
+  auto [it, inserted] = endpoints_.try_emplace(id);
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument("endpoint already exists: " + to_string(id));
+  }
+  return {std::make_unique<SimEndpoint>(*this, id)};
+}
+
+void SimNetwork::SetLinkLatency(ServerId from, ServerId to,
+                                sim::Duration extra) {
+  link_extra_latency_[LinkKey(from, to)] = extra;
+}
+
+void SimNetwork::ResetStats() {
+  frames_sent_ = 0;
+  bytes_sent_ = 0;
+  frames_dropped_ = 0;
+}
+
+Status SimNetwork::Transmit(ServerId from, ServerId to, Bytes frame) {
+  if (!endpoints_.contains(to)) {
+    return Status::NotFound("no endpoint for " + to_string(to));
+  }
+  ++frames_sent_;
+  bytes_sent_ += frame.size();
+
+  if (fault_model_.drop_probability > 0 &&
+      fault_rng_.NextBool(fault_model_.drop_probability)) {
+    ++frames_dropped_;
+    CMOM_LOG(kDebug) << "dropping frame " << to_string(from) << " -> "
+                     << to_string(to);
+    return Status::Ok();  // silent loss: sender believes it was sent
+  }
+
+  // Transmission queueing: the frame occupies the link for its
+  // serialization time, starting when the link frees up.
+  const sim::Duration tx_time = frame.size() * cost_model_.per_wire_byte;
+  sim::Time& busy_until = link_busy_until_[LinkKey(from, to)];
+  const sim::Time start = std::max(simulator_->now(), busy_until);
+  busy_until = start + tx_time;
+  sim::Duration delay = (start - simulator_->now()) + tx_time +
+                        cost_model_.wire_latency;
+  if (auto extra = link_extra_latency_.find(LinkKey(from, to));
+      extra != link_extra_latency_.end()) {
+    delay += extra->second;
+  }
+
+  if (fault_model_.jitter_probability > 0 &&
+      fault_rng_.NextBool(fault_model_.jitter_probability)) {
+    const sim::Duration jitter =
+        fault_rng_.NextBelow(fault_model_.max_jitter + 1);
+    delay += jitter;
+    if (!fault_model_.allow_reordering) {
+      // Keep the link FIFO: remember the jitter as link occupancy.
+      busy_until = std::max(busy_until, start + tx_time + jitter);
+    }
+  }
+
+  const bool duplicate =
+      fault_model_.duplicate_probability > 0 &&
+      fault_rng_.NextBool(fault_model_.duplicate_probability);
+
+  Deliver(from, to, frame, delay);
+  if (duplicate) {
+    Deliver(from, to, frame, delay + cost_model_.wire_latency);
+  }
+  return Status::Ok();
+}
+
+void SimNetwork::Deliver(ServerId from, ServerId to, const Bytes& frame,
+                         sim::Duration delay) {
+  simulator_->ScheduleAfter(delay, [this, from, to, frame] {
+    const EndpointState& state = endpoints_.at(to);
+    if (state.handler) state.handler(from, frame);
+  });
+}
+
+}  // namespace cmom::net

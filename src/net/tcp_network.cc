@@ -1,0 +1,280 @@
+#include "net/tcp_network.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/log.h"
+
+namespace cmom::net {
+
+namespace {
+
+// RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() { Close(); }
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+Status WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("send: ") + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+class TcpEndpoint final : public Endpoint {
+ public:
+  TcpEndpoint(ServerId self, std::uint16_t base_port)
+      : self_(self), base_port_(base_port) {}
+
+  ~TcpEndpoint() override {
+    {
+      std::lock_guard lock(mutex_);
+      stopping_ = true;
+    }
+    Wake();
+    if (receive_thread_.joinable()) receive_thread_.join();
+  }
+
+  Status Start() {
+    listen_fd_ = Fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!listen_fd_.valid()) {
+      return Status::Unavailable(std::string("socket: ") +
+                                 std::strerror(errno));
+    }
+    int one = 1;
+    ::setsockopt(listen_fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(base_port_ + self_.value()));
+    if (::bind(listen_fd_.get(), reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Status::Unavailable(std::string("bind: ") + std::strerror(errno));
+    }
+    if (::listen(listen_fd_.get(), 64) != 0) {
+      return Status::Unavailable(std::string("listen: ") +
+                                 std::strerror(errno));
+    }
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+      return Status::Unavailable(std::string("pipe: ") + std::strerror(errno));
+    }
+    wake_read_ = Fd(pipe_fds[0]);
+    wake_write_ = Fd(pipe_fds[1]);
+    receive_thread_ = std::thread([this] { ReceiveLoop(); });
+    return Status::Ok();
+  }
+
+  [[nodiscard]] ServerId self() const override { return self_; }
+
+  Status Send(ServerId to, Bytes frame) override {
+    std::lock_guard lock(send_mutex_);
+    auto it = out_connections_.find(to);
+    if (it == out_connections_.end()) {
+      auto connected = Connect(to);
+      if (!connected.ok()) return connected.status();
+      it = out_connections_.emplace(to, std::move(connected).value()).first;
+    }
+    // [u32 length][u16 sender][payload]
+    std::uint8_t header[6];
+    const std::uint32_t length = static_cast<std::uint32_t>(frame.size()) + 2;
+    std::memcpy(header, &length, 4);
+    const std::uint16_t sender = self_.value();
+    std::memcpy(header + 4, &sender, 2);
+    Status status = WriteAll(it->second.get(), header, sizeof(header));
+    if (status.ok() && !frame.empty()) {
+      status = WriteAll(it->second.get(), frame.data(), frame.size());
+    }
+    if (!status.ok()) out_connections_.erase(to);
+    return status;
+  }
+
+  void SetReceiveHandler(ReceiveHandler handler) override {
+    std::lock_guard lock(mutex_);
+    handler_ = std::move(handler);
+  }
+
+ private:
+  struct Connection {
+    Fd fd;
+    Bytes buffer;
+  };
+
+  void Wake() {
+    if (wake_write_.valid()) {
+      const char byte = 'w';
+      [[maybe_unused]] ssize_t n = ::write(wake_write_.get(), &byte, 1);
+    }
+  }
+
+  Result<Fd> Connect(ServerId to) {
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+      return Status::Unavailable(std::string("socket: ") +
+                                 std::strerror(errno));
+    }
+    int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(base_port_ + to.value()));
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      return Status::Unavailable("connect to " + to_string(to) + ": " +
+                                 std::strerror(errno));
+    }
+    return fd;
+  }
+
+  void ReceiveLoop() {
+    std::vector<Connection> connections;
+    while (true) {
+      {
+        std::lock_guard lock(mutex_);
+        if (stopping_) return;
+      }
+      std::vector<pollfd> fds;
+      fds.push_back(pollfd{wake_read_.get(), POLLIN, 0});
+      fds.push_back(pollfd{listen_fd_.get(), POLLIN, 0});
+      for (const Connection& connection : connections) {
+        fds.push_back(pollfd{connection.fd.get(), POLLIN, 0});
+      }
+      if (::poll(fds.data(), fds.size(), 100) < 0) {
+        if (errno == EINTR) continue;
+        CMOM_LOG(kError) << "poll: " << std::strerror(errno);
+        return;
+      }
+      if (fds[0].revents & POLLIN) {
+        char scratch[64];
+        [[maybe_unused]] ssize_t n =
+            ::read(wake_read_.get(), scratch, sizeof(scratch));
+      }
+      if (fds[1].revents & POLLIN) {
+        int accepted = ::accept(listen_fd_.get(), nullptr, nullptr);
+        if (accepted >= 0) {
+          int one = 1;
+          ::setsockopt(accepted, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          connections.push_back(Connection{Fd(accepted), {}});
+        }
+      }
+      for (std::size_t i = 0; i + 2 < fds.size() + 0; ++i) {
+        // connection i corresponds to fds[i + 2]
+        if (i + 2 >= fds.size()) break;
+        if (!(fds[i + 2].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+        if (!ReadFrames(connections[i])) {
+          connections[i].fd.Close();
+        }
+      }
+      std::erase_if(connections,
+                    [](const Connection& c) { return !c.fd.valid(); });
+    }
+  }
+
+  // Reads available bytes and dispatches every complete frame; returns
+  // false when the peer closed or errored.
+  bool ReadFrames(Connection& connection) {
+    std::uint8_t chunk[16 * 1024];
+    while (true) {
+      ssize_t n = ::recv(connection.fd.get(), chunk, sizeof(chunk),
+                         MSG_DONTWAIT);
+      if (n > 0) {
+        connection.buffer.insert(connection.buffer.end(), chunk, chunk + n);
+        continue;
+      }
+      if (n == 0) return DispatchBuffered(connection), false;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    DispatchBuffered(connection);
+    return true;
+  }
+
+  void DispatchBuffered(Connection& connection) {
+    Bytes& buffer = connection.buffer;
+    std::size_t offset = 0;
+    while (buffer.size() - offset >= 6) {
+      std::uint32_t length = 0;
+      std::memcpy(&length, buffer.data() + offset, 4);
+      if (buffer.size() - offset - 4 < length) break;
+      std::uint16_t sender = 0;
+      std::memcpy(&sender, buffer.data() + offset + 4, 2);
+      Bytes payload(buffer.begin() + static_cast<std::ptrdiff_t>(offset + 6),
+                    buffer.begin() +
+                        static_cast<std::ptrdiff_t>(offset + 4 + length));
+      offset += 4 + length;
+      ReceiveHandler handler;
+      {
+        std::lock_guard lock(mutex_);
+        handler = handler_;
+      }
+      if (handler) handler(ServerId(sender), std::move(payload));
+    }
+    buffer.erase(buffer.begin(), buffer.begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+
+  ServerId self_;
+  std::uint16_t base_port_;
+  Fd listen_fd_;
+  Fd wake_read_;
+  Fd wake_write_;
+  std::mutex mutex_;
+  bool stopping_ = false;
+  ReceiveHandler handler_;
+  std::mutex send_mutex_;
+  std::unordered_map<ServerId, Fd> out_connections_;
+  std::thread receive_thread_;
+};
+
+Result<std::unique_ptr<Endpoint>> TcpNetwork::CreateEndpoint(ServerId id) {
+  auto endpoint = std::make_unique<TcpEndpoint>(id, base_port_);
+  Status status = endpoint->Start();
+  if (!status.ok()) return status;
+  return {std::unique_ptr<Endpoint>(std::move(endpoint))};
+}
+
+}  // namespace cmom::net

@@ -1,0 +1,40 @@
+// TCP loopback network.
+//
+// The closest analogue of the paper's deployment (agent servers as
+// separate JVMs on ten LAN hosts): every endpoint listens on
+// 127.0.0.1:base_port+server_id, connections are opened lazily on first
+// send, and frames travel length-prefixed as
+//     [u32 length][u16 sender id][payload bytes].
+// TCP gives the reliable FIFO links the Message Bus assumes.  Each
+// endpoint runs one poll()-based receive thread; the receive handler is
+// invoked on that thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace cmom::net {
+
+class TcpNetwork final : public Network {
+ public:
+  // Endpoints listen on base_port + id; the caller must pick a base so
+  // that the whole range is free.
+  explicit TcpNetwork(std::uint16_t base_port) : base_port_(base_port) {}
+
+  Result<std::unique_ptr<Endpoint>> CreateEndpoint(ServerId id) override;
+
+  [[nodiscard]] std::uint16_t PortFor(ServerId id) const {
+    return static_cast<std::uint16_t>(base_port_ + id.value());
+  }
+
+ private:
+  std::uint16_t base_port_;
+};
+
+}  // namespace cmom::net

@@ -1,0 +1,62 @@
+// Transport abstraction between agent servers.
+//
+// The AAA Message Bus assumes reliable FIFO point-to-point links between
+// servers ("the Channel ensures reliable message delivery", Section 3);
+// on top of that the Channel layers its own transactional ACK protocol
+// so messages survive server crashes.  Three interchangeable transports
+// implement this interface:
+//
+//   SimNetwork    - discrete-event simulation with a calibrated cost
+//                   model and optional fault injection (frame loss,
+//                   duplication, jitter); used by the figure benches.
+//   InprocNetwork - real threads and queues, wall-clock time; used by
+//                   examples and wall-clock cross-checks.
+//   TcpNetwork    - real TCP sockets on loopback with length-prefixed
+//                   frames; the closest analogue of the paper's
+//                   multi-host deployment.
+//
+// Frames are opaque byte vectors; all message structure (stamps,
+// routing headers, ACKs) is encoded by the MOM layer.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace cmom::net {
+
+// Invoked when a frame arrives: (sender, frame bytes).
+using ReceiveHandler = std::function<void(ServerId, Bytes)>;
+
+// One server's attachment point to the network.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  [[nodiscard]] virtual ServerId self() const = 0;
+
+  // Queues `frame` for delivery to `to`.  Send is asynchronous and may
+  // outlive the call; delivery is FIFO per (from, to) pair unless fault
+  // injection is configured.  Fails fast when `to` is unknown.
+  virtual Status Send(ServerId to, Bytes frame) = 0;
+
+  // Installs the receive callback.  Must be set before any peer sends.
+  // The handler runs on the transport's delivery context (the simulator
+  // event loop, or the endpoint's receive thread).
+  virtual void SetReceiveHandler(ReceiveHandler handler) = 0;
+};
+
+// Factory for endpoints of one transport instance.
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  // Creates the endpoint for server `id`.  Each id may be created once.
+  [[nodiscard]] virtual Result<std::unique_ptr<Endpoint>> CreateEndpoint(
+      ServerId id) = 0;
+};
+
+}  // namespace cmom::net

@@ -1,0 +1,73 @@
+// Point-to-point queue destination (the JMS "queue" to topic.h's
+// "topic", completing the JORAM-style messaging pair on the causal
+// bus).
+//
+// Producers put messages into the queue; competing consumers register
+// and each queued message is dispatched to exactly one consumer,
+// round-robin.  Messages that arrive while no consumer is registered
+// are buffered durably and flushed when one appears.  Because the
+// queue agent reacts to puts one at a time on the causal bus, dispatch
+// order per consumer respects the causal order of the puts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "mom/agent.h"
+#include "mom/agent_server.h"
+
+namespace cmom::pubsub {
+
+// Control subjects understood by QueueAgent.
+inline constexpr const char* kQueuePut = "queue.put";
+inline constexpr const char* kQueueListen = "queue.listen";
+inline constexpr const char* kQueueIgnore = "queue.ignore";
+// Consumers receive dispatched work with this subject; the payload is
+// (task name, body, original producer), as in pubsub::Event.
+inline constexpr const char* kQueueTask = "queue.task";
+
+class QueueAgent final : public mom::Agent {
+ public:
+  void React(mom::ReactionContext& ctx, const mom::Message& message) override;
+
+  [[nodiscard]] const std::vector<AgentId>& consumers() const {
+    return consumers_;
+  }
+  [[nodiscard]] std::size_t buffered() const { return buffered_.size(); }
+  [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
+
+  void EncodeState(ByteWriter& out) const override;
+  [[nodiscard]] Status DecodeState(ByteReader& in) override;
+
+ private:
+  void Dispatch(mom::ReactionContext& ctx, const Bytes& task_payload);
+
+  std::vector<AgentId> consumers_;
+  std::deque<Bytes> buffered_;  // task payloads awaiting a consumer
+  std::size_t next_consumer_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+// Client-side helpers (mirroring topic.h).
+[[nodiscard]] Result<MessageId> Put(mom::AgentServer& server,
+                                    AgentId producer, AgentId queue,
+                                    std::string task_name, Bytes body = {});
+[[nodiscard]] Result<MessageId> Listen(mom::AgentServer& server,
+                                       AgentId consumer, AgentId queue);
+[[nodiscard]] Result<MessageId> Ignore(mom::AgentServer& server,
+                                       AgentId consumer, AgentId queue);
+
+// Decodes a kQueueTask message received by a consumer.  Reuses the
+// Event shape of topic.h: (name, body, producer).
+struct Task {
+  std::string name;
+  Bytes body;
+  AgentId producer;
+};
+[[nodiscard]] Result<Task> DecodeTask(const mom::Message& message);
+
+}  // namespace cmom::pubsub

@@ -1,0 +1,157 @@
+#include "pubsub/topic.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace cmom::pubsub {
+
+namespace {
+
+void WriteAgentId(ByteWriter& out, AgentId id) {
+  out.WriteU16(id.server.value());
+  out.WriteVarU32(id.local);
+}
+
+Result<AgentId> ReadAgentId(ByteReader& in) {
+  auto server = in.ReadU16();
+  if (!server.ok()) return server.status();
+  auto local = in.ReadVarU32();
+  if (!local.ok()) return local.status();
+  return AgentId{ServerId(server.value()), local.value()};
+}
+
+}  // namespace
+
+Bytes EncodeAgentIdPayload(AgentId id) {
+  ByteWriter out;
+  WriteAgentId(out, id);
+  return std::move(out).Take();
+}
+
+Result<AgentId> DecodeAgentIdPayload(const Bytes& payload) {
+  ByteReader in(payload);
+  return ReadAgentId(in);
+}
+
+Bytes EncodePublishPayload(const std::string& event_name, const Bytes& body) {
+  ByteWriter out;
+  out.WriteString(event_name);
+  out.WriteBytes(body);
+  return std::move(out).Take();
+}
+
+void TopicAgent::React(mom::ReactionContext& ctx,
+                       const mom::Message& message) {
+  if (message.subject == kSubscribe) {
+    auto subscriber = DecodeAgentIdPayload(message.payload);
+    if (!subscriber.ok()) {
+      CMOM_LOG(kWarning) << "bad subscribe payload: " << subscriber.status();
+      return;
+    }
+    if (std::find(subscribers_.begin(), subscribers_.end(),
+                  subscriber.value()) == subscribers_.end()) {
+      subscribers_.push_back(subscriber.value());
+    }
+    return;
+  }
+  if (message.subject == kUnsubscribe) {
+    auto subscriber = DecodeAgentIdPayload(message.payload);
+    if (!subscriber.ok()) return;
+    subscribers_.erase(std::remove(subscribers_.begin(), subscribers_.end(),
+                                   subscriber.value()),
+                       subscribers_.end());
+    return;
+  }
+  if (message.subject == kPublish) {
+    ++events_published_;
+    // Re-wrap with the original publisher so subscribers can attribute
+    // the event.
+    ByteReader in(message.payload);
+    auto event_name = in.ReadString();
+    auto body = in.ReadBytes();
+    if (!event_name.ok() || !body.ok()) {
+      CMOM_LOG(kWarning) << "bad publish payload on topic " << ctx.self();
+      return;
+    }
+    ByteWriter out;
+    out.WriteString(event_name.value());
+    out.WriteBytes(body.value());
+    WriteAgentId(out, message.from);
+    const Bytes event_payload = std::move(out).Take();
+    for (AgentId subscriber : subscribers_) {
+      ctx.Send(subscriber, kEvent, event_payload);
+    }
+    return;
+  }
+  CMOM_LOG(kWarning) << "topic " << ctx.self() << ": unknown subject '"
+                     << message.subject << "'";
+}
+
+void TopicAgent::EncodeState(ByteWriter& out) const {
+  out.WriteVarU64(subscribers_.size());
+  for (AgentId subscriber : subscribers_) WriteAgentId(out, subscriber);
+  out.WriteVarU64(events_published_);
+}
+
+Status TopicAgent::DecodeState(ByteReader& in) {
+  auto count = in.ReadVarU64();
+  if (!count.ok()) return count.status();
+  subscribers_.clear();
+  for (std::uint64_t i = 0; i < count.value(); ++i) {
+    auto subscriber = ReadAgentId(in);
+    if (!subscriber.ok()) return subscriber.status();
+    subscribers_.push_back(subscriber.value());
+  }
+  auto published = in.ReadVarU64();
+  if (!published.ok()) return published.status();
+  events_published_ = published.value();
+  return Status::Ok();
+}
+
+Result<MessageId> Subscribe(mom::AgentServer& server, AgentId subscriber,
+                            AgentId topic) {
+  return server.SendMessage(subscriber, topic, kSubscribe,
+                            EncodeAgentIdPayload(subscriber));
+}
+
+Result<MessageId> Unsubscribe(mom::AgentServer& server, AgentId subscriber,
+                              AgentId topic) {
+  return server.SendMessage(subscriber, topic, kUnsubscribe,
+                            EncodeAgentIdPayload(subscriber));
+}
+
+Result<MessageId> Publish(mom::AgentServer& server, AgentId publisher,
+                          AgentId topic, std::string event_name, Bytes body) {
+  return server.SendMessage(publisher, topic, kPublish,
+                            EncodePublishPayload(event_name, body));
+}
+
+void SubscribeFrom(mom::ReactionContext& ctx, AgentId topic) {
+  ctx.Send(topic, kSubscribe, EncodeAgentIdPayload(ctx.self()));
+}
+
+void PublishFrom(mom::ReactionContext& ctx, AgentId topic,
+                 std::string event_name, Bytes body) {
+  ctx.Send(topic, kPublish, EncodePublishPayload(event_name, body));
+}
+
+Result<Event> DecodeEvent(const mom::Message& message) {
+  if (message.subject != kEvent) {
+    return Status::InvalidArgument("not a topic event");
+  }
+  ByteReader in(message.payload);
+  auto name = in.ReadString();
+  if (!name.ok()) return name.status();
+  auto body = in.ReadBytes();
+  if (!body.ok()) return body.status();
+  auto publisher = ReadAgentId(in);
+  if (!publisher.ok()) return publisher.status();
+  Event event;
+  event.name = std::move(name).value();
+  event.body = std::move(body).value();
+  event.publisher = publisher.value();
+  return event;
+}
+
+}  // namespace cmom::pubsub

@@ -1,0 +1,92 @@
+// Topic-based publish/subscribe on top of the causal agent bus.
+//
+// The AAA MOM grew into JORAM, a JMS provider; this module provides the
+// corresponding publish/subscribe abstraction over this repo's agent
+// model.  A TopicAgent hosts one topic: it keeps the durable subscriber
+// list and fans every published event out to all subscribers.
+//
+// Ordering guarantees inherited from the causal bus:
+//  - per-topic total order: the topic agent reacts to publications one
+//    at a time, so every subscriber sees the same event order;
+//  - global causal order: if publish(e1) causally precedes publish(e2)
+//    (even on different topics), no subscriber sees e2 before e1,
+//    because fan-out messages travel on the same causally ordered bus.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "mom/agent.h"
+#include "mom/agent_server.h"
+
+namespace cmom::pubsub {
+
+// Control subjects understood by TopicAgent.
+inline constexpr const char* kSubscribe = "topic.subscribe";
+inline constexpr const char* kUnsubscribe = "topic.unsubscribe";
+inline constexpr const char* kPublish = "topic.publish";
+// Events reach subscribers with this subject; the payload carries the
+// publisher-chosen event name plus the event body.
+inline constexpr const char* kEvent = "topic.event";
+
+class TopicAgent final : public mom::Agent {
+ public:
+  void React(mom::ReactionContext& ctx, const mom::Message& message) override;
+
+  [[nodiscard]] const std::vector<AgentId>& subscribers() const {
+    return subscribers_;
+  }
+  [[nodiscard]] std::uint64_t events_published() const {
+    return events_published_;
+  }
+
+  void EncodeState(ByteWriter& out) const override;
+  [[nodiscard]] Status DecodeState(ByteReader& in) override;
+
+ private:
+  std::vector<AgentId> subscribers_;
+  std::uint64_t events_published_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Client-side helpers (usable from outside a reaction).
+// ---------------------------------------------------------------------
+
+// Asks `topic` to add `subscriber` to its durable subscriber list.  The
+// request is a plain causal message from `subscriber`'s server.
+[[nodiscard]] Result<MessageId> Subscribe(mom::AgentServer& server,
+                                          AgentId subscriber, AgentId topic);
+[[nodiscard]] Result<MessageId> Unsubscribe(mom::AgentServer& server,
+                                            AgentId subscriber,
+                                            AgentId topic);
+// Publishes an event (name + body) on `topic` on behalf of `publisher`.
+[[nodiscard]] Result<MessageId> Publish(mom::AgentServer& server,
+                                        AgentId publisher, AgentId topic,
+                                        std::string event_name,
+                                        Bytes body = {});
+
+// In-reaction variants, for agents that subscribe or publish while
+// reacting (keeps the operation atomic with the reaction).
+void SubscribeFrom(mom::ReactionContext& ctx, AgentId topic);
+void PublishFrom(mom::ReactionContext& ctx, AgentId topic,
+                 std::string event_name, Bytes body = {});
+
+// Decodes a kEvent message received by a subscriber into (event name,
+// body, original publisher).
+struct Event {
+  std::string name;
+  Bytes body;
+  AgentId publisher;
+};
+[[nodiscard]] Result<Event> DecodeEvent(const mom::Message& message);
+
+// Payload codecs shared by the helpers and the TopicAgent (exposed for
+// tests).
+[[nodiscard]] Bytes EncodeAgentIdPayload(AgentId id);
+[[nodiscard]] Result<AgentId> DecodeAgentIdPayload(const Bytes& payload);
+[[nodiscard]] Bytes EncodePublishPayload(const std::string& event_name,
+                                         const Bytes& body);
+
+}  // namespace cmom::pubsub

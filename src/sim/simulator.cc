@@ -1,0 +1,40 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace cmom::sim {
+
+void Simulator::ScheduleAt(Time t, Callback callback) {
+  assert(t >= now_ && "cannot schedule into the past");
+  events_.push(Event{t, next_seq_++, std::move(callback)});
+}
+
+bool Simulator::Step() {
+  if (events_.empty()) return false;
+  // priority_queue::top returns const&; the callback must be moved out
+  // before pop, so copy the metadata and steal the functor.
+  Event event = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  now_ = event.time;
+  event.callback();
+  return true;
+}
+
+std::size_t Simulator::RunToCompletion() {
+  std::size_t executed = 0;
+  while (Step()) ++executed;
+  return executed;
+}
+
+std::size_t Simulator::RunUntil(Time deadline) {
+  std::size_t executed = 0;
+  while (!events_.empty() && events_.top().time <= deadline) {
+    Step();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+}  // namespace cmom::sim

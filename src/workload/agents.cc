@@ -1,0 +1,142 @@
+#include "workload/agents.h"
+
+#include "common/log.h"
+
+namespace cmom::workload {
+
+// ---------------------------------------------------------------- Echo
+
+void EchoAgent::React(mom::ReactionContext& ctx, const mom::Message& message) {
+  if (message.subject == kPing) {
+    ++pings_seen_;
+    ctx.Send(message.from, kPong, message.payload);
+  }
+}
+
+void EchoAgent::EncodeState(ByteWriter& out) const {
+  out.WriteVarU64(pings_seen_);
+}
+
+Status EchoAgent::DecodeState(ByteReader& in) {
+  auto pings = in.ReadVarU64();
+  if (!pings.ok()) return pings.status();
+  pings_seen_ = pings.value();
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------- Sink
+
+void SinkAgent::React(mom::ReactionContext& ctx,
+                      const mom::Message& message) {
+  (void)ctx;
+  ++received_;
+  order_.push_back(message.id);
+}
+
+// ---------------------------------------------------- PingPongDriver
+
+void PingPongDriver::SendPing(mom::ReactionContext& ctx) {
+  round_start_ns_ = ctx.NowNs();
+  ctx.Send(target_, kPing);
+}
+
+void PingPongDriver::React(mom::ReactionContext& ctx,
+                           const mom::Message& message) {
+  if (message.subject == kStart) {
+    if (!done()) SendPing(ctx);
+    return;
+  }
+  if (message.subject != kPong) return;
+  round_trips_ns_.push_back(ctx.NowNs() - round_start_ns_);
+  ++completed_;
+  if (!done()) SendPing(ctx);
+}
+
+void PingPongDriver::EncodeState(ByteWriter& out) const {
+  out.WriteVarU64(completed_);
+  out.WriteVarU64(round_start_ns_);
+  out.WriteVarU64(round_trips_ns_.size());
+  for (std::uint64_t rtt : round_trips_ns_) out.WriteVarU64(rtt);
+}
+
+Status PingPongDriver::DecodeState(ByteReader& in) {
+  auto completed = in.ReadVarU64();
+  if (!completed.ok()) return completed.status();
+  completed_ = static_cast<std::size_t>(completed.value());
+  auto start = in.ReadVarU64();
+  if (!start.ok()) return start.status();
+  round_start_ns_ = start.value();
+  auto count = in.ReadVarU64();
+  if (!count.ok()) return count.status();
+  round_trips_ns_.clear();
+  for (std::uint64_t i = 0; i < count.value(); ++i) {
+    auto rtt = in.ReadVarU64();
+    if (!rtt.ok()) return rtt.status();
+    round_trips_ns_.push_back(rtt.value());
+  }
+  return Status::Ok();
+}
+
+// --------------------------------------------------- BroadcastDriver
+
+void BroadcastDriver::StartRound(mom::ReactionContext& ctx) {
+  round_start_ns_ = ctx.NowNs();
+  pongs_outstanding_ = targets_.size();
+  for (AgentId target : targets_) ctx.Send(target, kPing);
+}
+
+void BroadcastDriver::React(mom::ReactionContext& ctx,
+                            const mom::Message& message) {
+  if (message.subject == kStart) {
+    if (!done() && !targets_.empty()) StartRound(ctx);
+    return;
+  }
+  if (message.subject != kPong || pongs_outstanding_ == 0) return;
+  if (--pongs_outstanding_ > 0) return;
+  round_trips_ns_.push_back(ctx.NowNs() - round_start_ns_);
+  ++completed_;
+  if (!done()) StartRound(ctx);
+}
+
+// ------------------------------------------------------ ChatterAgent
+
+Bytes ChatterAgent::MakeChatPayload(std::uint32_t hops) {
+  ByteWriter out;
+  out.WriteVarU32(hops);
+  return std::move(out).Take();
+}
+
+void ChatterAgent::React(mom::ReactionContext& ctx,
+                         const mom::Message& message) {
+  if (message.subject != kChat) return;
+  ++received_;
+  ByteReader in(message.payload);
+  auto hops = in.ReadVarU32();
+  if (!hops.ok() || hops.value() == 0) return;
+
+  Rng rng(rng_state_);
+  const std::size_t fanout = 1 + rng.NextBelow(2);
+  for (std::size_t i = 0; i < fanout && !peers_.empty(); ++i) {
+    const AgentId peer = peers_[rng.NextBelow(peers_.size())];
+    ctx.Send(peer, kChat, MakeChatPayload(hops.value() - 1));
+  }
+  // Advance the persistent RNG stream so the next reaction differs.
+  rng_state_ = rng.NextU64();
+}
+
+void ChatterAgent::EncodeState(ByteWriter& out) const {
+  out.WriteU64(rng_state_);
+  out.WriteVarU64(received_);
+}
+
+Status ChatterAgent::DecodeState(ByteReader& in) {
+  auto state = in.ReadU64();
+  if (!state.ok()) return state.status();
+  rng_state_ = state.value();
+  auto received = in.ReadVarU64();
+  if (!received.ok()) return received.status();
+  received_ = received.value();
+  return Status::Ok();
+}
+
+}  // namespace cmom::workload

@@ -1,0 +1,164 @@
+#include "workload/experiments.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "workload/agents.h"
+#include "workload/fit.h"
+
+namespace cmom::workload {
+
+namespace {
+
+constexpr std::uint32_t kDriverLocalId = 100;
+constexpr std::uint32_t kEchoLocalId = 1;
+
+double NsToMs(std::uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+ExperimentResult Summarize(SimHarness& harness,
+                           const std::vector<std::uint64_t>& rtts_ns,
+                           std::size_t servers, std::size_t sim_events) {
+  ExperimentResult result;
+  result.servers = servers;
+  result.rounds = rtts_ns.size();
+  if (!rtts_ns.empty()) {
+    std::uint64_t total = 0;
+    std::uint64_t lo = rtts_ns.front();
+    std::uint64_t hi = rtts_ns.front();
+    for (std::uint64_t rtt : rtts_ns) {
+      total += rtt;
+      lo = std::min(lo, rtt);
+      hi = std::max(hi, rtt);
+    }
+    result.avg_rtt_ms = NsToMs(total / rtts_ns.size());
+    result.min_rtt_ms = NsToMs(lo);
+    result.max_rtt_ms = NsToMs(hi);
+  }
+  result.wire_frames = harness.network().frames_sent();
+  result.wire_bytes = harness.network().bytes_sent();
+  for (ServerId id : harness.deployment().servers()) {
+    result.stamp_bytes += harness.server(id).stats().stamp_bytes_sent;
+    result.disk_bytes += harness.store(id).total_bytes_written();
+  }
+  result.sim_events = sim_events;
+  return result;
+}
+
+Status VerifyRun(SimHarness& harness) {
+  CMOM_RETURN_IF_ERROR(harness.CheckQuiescent());
+  auto checker = harness.MakeChecker();
+  const causality::Trace trace = harness.trace().Snapshot();
+  auto report = checker.CheckCausalDelivery(trace);
+  if (!report.causal()) {
+    return Status::Internal("causality violated: " +
+                            report.violations.front().description);
+  }
+  return checker.CheckExactlyOnce(trace);
+}
+
+}  // namespace
+
+Result<ExperimentResult> RunPingPong(const domains::MomConfig& config,
+                                     ServerId main_server,
+                                     ServerId echo_server,
+                                     const ExperimentOptions& options) {
+  SimHarness harness(config, options.harness);
+  PingPongDriver* driver = nullptr;
+
+  const AgentId echo_id{echo_server, kEchoLocalId};
+  Status init = harness.Init([&](ServerId id, mom::AgentServer& server) {
+    if (id == echo_server) {
+      server.AttachAgent(kEchoLocalId, std::make_unique<EchoAgent>());
+    }
+    if (id == main_server) {
+      auto agent = std::make_unique<PingPongDriver>(echo_id, options.rounds);
+      driver = agent.get();
+      server.AttachAgent(kDriverLocalId, std::move(agent));
+    }
+  });
+  if (!init.ok()) return init;
+  CMOM_RETURN_IF_ERROR(harness.BootAll());
+
+  auto start = harness.Send(main_server, kDriverLocalId, main_server,
+                            kDriverLocalId, kStart);
+  if (!start.ok()) return start.status();
+  const std::size_t events = harness.Run();
+
+  if (driver == nullptr || !driver->done()) {
+    return Status::Internal("ping-pong driver did not finish");
+  }
+  if (options.verify_causality) CMOM_RETURN_IF_ERROR(VerifyRun(harness));
+  return Summarize(harness, driver->round_trip_ns(), config.servers.size(),
+                   events);
+}
+
+Result<ExperimentResult> RunBroadcast(const domains::MomConfig& config,
+                                      ServerId main_server,
+                                      const ExperimentOptions& options) {
+  SimHarness harness(config, options.harness);
+  BroadcastDriver* driver = nullptr;
+
+  std::vector<AgentId> targets;
+  for (ServerId id : config.servers) {
+    if (id != main_server) targets.push_back(AgentId{id, kEchoLocalId});
+  }
+
+  Status init = harness.Init([&](ServerId id, mom::AgentServer& server) {
+    if (id != main_server) {
+      server.AttachAgent(kEchoLocalId, std::make_unique<EchoAgent>());
+    } else {
+      auto agent = std::make_unique<BroadcastDriver>(targets, options.rounds);
+      driver = agent.get();
+      server.AttachAgent(kDriverLocalId, std::move(agent));
+    }
+  });
+  if (!init.ok()) return init;
+  CMOM_RETURN_IF_ERROR(harness.BootAll());
+
+  auto start = harness.Send(main_server, kDriverLocalId, main_server,
+                            kDriverLocalId, kStart);
+  if (!start.ok()) return start.status();
+  const std::size_t events = harness.Run();
+
+  if (driver == nullptr || !driver->done()) {
+    return Status::Internal("broadcast driver did not finish");
+  }
+  if (options.verify_causality) CMOM_RETURN_IF_ERROR(VerifyRun(harness));
+  return Summarize(harness, driver->round_trip_ns(), config.servers.size(),
+                   events);
+}
+
+void PrintSeries(const std::string& title,
+                 const std::vector<SeriesPoint>& series) {
+  std::printf("\n%s\n", title.c_str());
+  const bool have_paper =
+      std::any_of(series.begin(), series.end(),
+                  [](const SeriesPoint& p) { return p.paper_ms >= 0; });
+  if (have_paper) {
+    std::printf("%10s %16s %16s\n", "servers", "measured (ms)", "paper (ms)");
+  } else {
+    std::printf("%10s %16s\n", "servers", "measured (ms)");
+  }
+  std::vector<double> xs, ys;
+  for (const SeriesPoint& point : series) {
+    if (have_paper && point.paper_ms >= 0) {
+      std::printf("%10zu %16.2f %16.2f\n", point.n, point.measured_ms,
+                  point.paper_ms);
+    } else {
+      std::printf("%10zu %16.2f\n", point.n, point.measured_ms);
+    }
+    xs.push_back(static_cast<double>(point.n));
+    ys.push_back(point.measured_ms);
+  }
+  if (series.size() >= 3) {
+    const FitResult linear = FitLinear(xs, ys);
+    const FitResult quadratic = FitQuadratic(xs, ys);
+    std::printf("  linear fit    y = %.3f + %.4f * n      (R^2 = %.4f)\n",
+                linear.intercept, linear.slope, linear.r_squared);
+    std::printf("  quadratic fit y = %.3f + %.6f * n^2    (R^2 = %.4f)\n",
+                quadratic.intercept, quadratic.slope, quadratic.r_squared);
+  }
+}
+
+}  // namespace cmom::workload

@@ -1,0 +1,66 @@
+// The measurement protocols of Section 6.1, packaged as functions the
+// figure benches call: a main agent on server 0 runs `rounds` rounds of
+// ping-pong (unicast local, unicast remote, or broadcast) and the
+// average round-trip time is reported, together with wire-level and
+// causal-ordering cost counters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "domains/config.h"
+#include "workload/sim_harness.h"
+
+namespace cmom::workload {
+
+struct ExperimentResult {
+  std::size_t servers = 0;
+  std::size_t rounds = 0;
+  double avg_rtt_ms = 0;
+  double min_rtt_ms = 0;
+  double max_rtt_ms = 0;
+  // Totals over the whole run:
+  std::uint64_t wire_frames = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t stamp_bytes = 0;      // causal timestamps on the wire
+  std::uint64_t disk_bytes = 0;       // persistent-image writes
+  std::uint64_t sim_events = 0;
+};
+
+struct ExperimentOptions {
+  std::size_t rounds = 100;  // the paper's "100 sends"
+  SimHarnessOptions harness{};
+  // Cross-check every run with the causality oracle (cheap insurance;
+  // on by default).
+  bool verify_causality = true;
+};
+
+// Unicast ping-pong between the main agent on `main_server` and an echo
+// agent on `echo_server` (equal ids = the "local server" series).
+[[nodiscard]] Result<ExperimentResult> RunPingPong(
+    const domains::MomConfig& config, ServerId main_server,
+    ServerId echo_server, const ExperimentOptions& options = {});
+
+// Broadcast ping-pong: the main agent on `main_server` pings echo
+// agents on every other server and waits for all pongs each round.
+[[nodiscard]] Result<ExperimentResult> RunBroadcast(
+    const domains::MomConfig& config, ServerId main_server,
+    const ExperimentOptions& options = {});
+
+// ------------------------------------------------------------------
+// Reporting helpers shared by the figure benches.
+// ------------------------------------------------------------------
+
+struct SeriesPoint {
+  std::size_t n = 0;          // number of servers
+  double measured_ms = 0;     // our simulated measurement
+  double paper_ms = -1;       // the paper's value; < 0 when not given
+};
+
+// Prints an aligned table: n | measured | paper (when available) and,
+// when the series has >= 3 points, linear and quadratic fits with R^2.
+void PrintSeries(const std::string& title,
+                 const std::vector<SeriesPoint>& series);
+
+}  // namespace cmom::workload

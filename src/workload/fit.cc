@@ -1,0 +1,53 @@
+#include "workload/fit.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cmom::workload {
+
+namespace {
+
+// Least squares on y = a + b * t where t = f(x) is precomputed.
+FitResult FitAgainst(const std::vector<double>& t,
+                     const std::vector<double>& y) {
+  assert(t.size() == y.size());
+  const std::size_t n = t.size();
+  assert(n >= 2);
+  double sum_t = 0, sum_y = 0, sum_tt = 0, sum_ty = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum_t += t[i];
+    sum_y += y[i];
+    sum_tt += t[i] * t[i];
+    sum_ty += t[i] * y[i];
+  }
+  const double denom = n * sum_tt - sum_t * sum_t;
+  FitResult fit;
+  fit.slope = denom != 0 ? (n * sum_ty - sum_t * sum_y) / denom : 0;
+  fit.intercept = (sum_y - fit.slope * sum_t) / n;
+
+  const double mean_y = sum_y / n;
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double predicted = fit.intercept + fit.slope * t[i];
+    ss_res += (y[i] - predicted) * (y[i] - predicted);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  fit.r_squared = ss_tot != 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace
+
+FitResult FitLinear(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  return FitAgainst(x, y);
+}
+
+FitResult FitQuadratic(const std::vector<double>& x,
+                       const std::vector<double>& y) {
+  std::vector<double> squared(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) squared[i] = x[i] * x[i];
+  return FitAgainst(squared, y);
+}
+
+}  // namespace cmom::workload

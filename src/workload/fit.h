@@ -1,0 +1,30 @@
+// Least-squares fits used to report the paper's "quadratic fit" /
+// "linear fit" curves (Figures 7, 8 and 10) together with an R^2
+// goodness measure, so EXPERIMENTS.md can state which model explains a
+// measured series.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cmom::workload {
+
+struct FitResult {
+  double intercept = 0;  // a in y = a + b * f(x)
+  double slope = 0;      // b
+  double r_squared = 0;
+
+  [[nodiscard]] double Evaluate(double fx) const {
+    return intercept + slope * fx;
+  }
+};
+
+// Fits y = a + b * x.
+[[nodiscard]] FitResult FitLinear(const std::vector<double>& x,
+                                  const std::vector<double>& y);
+
+// Fits y = a + b * x^2 (the paper's quadratic fit has no linear term).
+[[nodiscard]] FitResult FitQuadratic(const std::vector<double>& x,
+                                     const std::vector<double>& y);
+
+}  // namespace cmom::workload

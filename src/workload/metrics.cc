@@ -1,0 +1,82 @@
+#include "workload/metrics.h"
+
+#include <sstream>
+
+namespace cmom::workload {
+
+namespace {
+template <typename Getter>
+std::uint64_t Sum(const std::vector<ServerMetrics>& servers, Getter get) {
+  std::uint64_t total = 0;
+  for (const ServerMetrics& m : servers) total += get(m);
+  return total;
+}
+}  // namespace
+
+std::uint64_t MetricsSummary::TotalSent() const {
+  return Sum(servers,
+             [](const ServerMetrics& m) { return m.stats.messages_sent; });
+}
+std::uint64_t MetricsSummary::TotalDelivered() const {
+  return Sum(servers, [](const ServerMetrics& m) {
+    return m.stats.messages_delivered;
+  });
+}
+std::uint64_t MetricsSummary::TotalForwarded() const {
+  return Sum(servers, [](const ServerMetrics& m) {
+    return m.stats.messages_forwarded;
+  });
+}
+std::uint64_t MetricsSummary::TotalStampBytes() const {
+  return Sum(servers,
+             [](const ServerMetrics& m) { return m.stats.stamp_bytes_sent; });
+}
+std::uint64_t MetricsSummary::TotalDiskBytes() const {
+  return Sum(servers, [](const ServerMetrics& m) { return m.disk_bytes; });
+}
+std::uint64_t MetricsSummary::TotalRetransmissions() const {
+  return Sum(servers,
+             [](const ServerMetrics& m) { return m.stats.retransmissions; });
+}
+
+void MetricsSummary::Add(ServerId id, const mom::AgentServer& server,
+                         const mom::Store& store) {
+  ServerMetrics metrics;
+  metrics.server = id;
+  metrics.stats = server.stats();
+  metrics.disk_bytes = store.total_bytes_written();
+  servers.push_back(metrics);
+}
+
+std::string MetricsSummary::ToTable() const {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-6s %8s %8s %8s %10s %12s %8s\n",
+                "server", "sent", "delivrd", "fwd", "stamp B", "disk B",
+                "rexmit");
+  out << line;
+  for (const ServerMetrics& m : servers) {
+    std::snprintf(line, sizeof(line),
+                  "%-6s %8llu %8llu %8llu %10llu %12llu %8llu\n",
+                  to_string(m.server).c_str(),
+                  static_cast<unsigned long long>(m.stats.messages_sent),
+                  static_cast<unsigned long long>(m.stats.messages_delivered),
+                  static_cast<unsigned long long>(m.stats.messages_forwarded),
+                  static_cast<unsigned long long>(m.stats.stamp_bytes_sent),
+                  static_cast<unsigned long long>(m.disk_bytes),
+                  static_cast<unsigned long long>(m.stats.retransmissions));
+    out << line;
+  }
+  std::snprintf(line, sizeof(line),
+                "total  %8llu %8llu %8llu %10llu %12llu %8llu\n",
+                static_cast<unsigned long long>(TotalSent()),
+                static_cast<unsigned long long>(TotalDelivered()),
+                static_cast<unsigned long long>(TotalForwarded()),
+                static_cast<unsigned long long>(TotalStampBytes()),
+                static_cast<unsigned long long>(TotalDiskBytes()),
+                static_cast<unsigned long long>(TotalRetransmissions()));
+  out << line;
+  return out.str();
+}
+
+}  // namespace cmom::workload

@@ -1,0 +1,42 @@
+// Aggregated metrics reporting for a running MOM.
+//
+// Collects per-server ServerStats plus store I/O counters into one
+// summary a bench or operator tool can print -- the counters behind
+// the paper's two Section-3 problems (network overload from timestamp
+// data, disk I/O for the persistent clock image) made visible.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mom/agent_server.h"
+#include "mom/store.h"
+
+namespace cmom::workload {
+
+struct ServerMetrics {
+  ServerId server;
+  mom::ServerStats stats;
+  std::uint64_t disk_bytes = 0;
+};
+
+struct MetricsSummary {
+  std::vector<ServerMetrics> servers;
+
+  [[nodiscard]] std::uint64_t TotalSent() const;
+  [[nodiscard]] std::uint64_t TotalDelivered() const;
+  [[nodiscard]] std::uint64_t TotalForwarded() const;
+  [[nodiscard]] std::uint64_t TotalStampBytes() const;
+  [[nodiscard]] std::uint64_t TotalDiskBytes() const;
+  [[nodiscard]] std::uint64_t TotalRetransmissions() const;
+
+  // Appends one server's numbers.
+  void Add(ServerId id, const mom::AgentServer& server,
+           const mom::Store& store);
+
+  // Renders an aligned table plus a totals line.
+  [[nodiscard]] std::string ToTable() const;
+};
+
+}  // namespace cmom::workload

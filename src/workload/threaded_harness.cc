@@ -1,0 +1,92 @@
+#include "workload/threaded_harness.h"
+
+#include <chrono>
+#include <thread>
+
+namespace cmom::workload {
+
+ThreadedHarness::ThreadedHarness(domains::MomConfig config,
+                                 ThreadedHarnessOptions options)
+    : config_(std::move(config)), options_(options) {}
+
+ThreadedHarness::~ThreadedHarness() { ShutdownAll(); }
+
+Status ThreadedHarness::Init(AgentInstaller installer) {
+  auto deployment = domains::Deployment::Create(config_);
+  if (!deployment.ok()) return deployment.status();
+  deployment_ =
+      std::make_unique<domains::Deployment>(std::move(deployment).value());
+
+  network_ = std::make_unique<net::InprocNetwork>();
+
+  for (ServerId id : deployment_->servers()) {
+    auto endpoint = network_->CreateEndpoint(id);
+    if (!endpoint.ok()) return endpoint.status();
+    endpoints_.emplace(id, std::move(endpoint).value());
+    stores_.emplace(id, std::make_unique<mom::InMemoryStore>());
+
+    mom::AgentServerOptions server_options;
+    server_options.trace = &trace_;
+    server_options.retransmit_timeout_ns = options_.retransmit_timeout_ns;
+
+    auto server = std::make_unique<mom::AgentServer>(
+        *deployment_, id, endpoints_.at(id).get(), &runtime_,
+        stores_.at(id).get(), server_options);
+    if (installer) installer(id, *server);
+    servers_.emplace(id, std::move(server));
+  }
+  return Status::Ok();
+}
+
+Status ThreadedHarness::BootAll() {
+  for (ServerId id : deployment_->servers()) {
+    CMOM_RETURN_IF_ERROR(servers_.at(id)->Boot());
+  }
+  return Status::Ok();
+}
+
+Result<MessageId> ThreadedHarness::Send(ServerId from,
+                                        std::uint32_t from_local, ServerId to,
+                                        std::uint32_t to_local,
+                                        std::string subject, Bytes payload) {
+  return servers_.at(from)->SendMessage(AgentId{from, from_local},
+                                        AgentId{to, to_local},
+                                        std::move(subject),
+                                        std::move(payload));
+}
+
+void ThreadedHarness::WaitQuiescent() {
+  int stable = 0;
+  while (stable < 2) {
+    network_->WaitQuiescent();
+    bool idle = true;
+    for (const auto& [id, server] : servers_) {
+      (void)id;
+      if (!server->Idle()) {
+        idle = false;
+        break;
+      }
+    }
+    if (idle) {
+      ++stable;
+    } else {
+      stable = 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void ThreadedHarness::ShutdownAll() {
+  for (auto& [id, server] : servers_) {
+    (void)id;
+    if (server) server->Shutdown();
+  }
+}
+
+causality::CausalityChecker ThreadedHarness::MakeChecker() const {
+  std::vector<ServerId> servers(deployment_->servers().begin(),
+                                deployment_->servers().end());
+  return causality::CausalityChecker(std::move(servers));
+}
+
+}  // namespace cmom::workload

@@ -1,0 +1,73 @@
+// Assembles a wall-clock MOM over the in-process threaded transport.
+//
+// Same shape as SimHarness but with real threads and real time: every
+// server has its own receive thread (the InprocNetwork consumer), the
+// timer thread drives retransmissions, and WaitQuiescent() polls until
+// the whole bus drains.  Used by the examples and by the wall-clock
+// cross-check benches (the paper's single-host configuration).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "causality/checker.h"
+#include "causality/trace.h"
+#include "domains/deployment.h"
+#include "mom/agent_server.h"
+#include "mom/store.h"
+#include "net/inproc_network.h"
+#include "net/runtime.h"
+
+namespace cmom::workload {
+
+struct ThreadedHarnessOptions {
+  std::uint64_t retransmit_timeout_ns = 500ull * 1000 * 1000;
+};
+
+class ThreadedHarness {
+ public:
+  using AgentInstaller = std::function<void(ServerId, mom::AgentServer&)>;
+
+  explicit ThreadedHarness(domains::MomConfig config,
+                           ThreadedHarnessOptions options = {});
+  ~ThreadedHarness();
+
+  [[nodiscard]] Status Init(AgentInstaller installer = {});
+  [[nodiscard]] Status BootAll();
+
+  Result<MessageId> Send(ServerId from, std::uint32_t from_local, ServerId to,
+                         std::uint32_t to_local, std::string subject,
+                         Bytes payload = {});
+
+  // Blocks until every server is idle and the network has no frames in
+  // flight (two stable observations in a row).
+  void WaitQuiescent();
+
+  // Shuts every server down (before network/runtime teardown).
+  void ShutdownAll();
+
+  [[nodiscard]] mom::AgentServer& server(ServerId id) {
+    return *servers_.at(id);
+  }
+  [[nodiscard]] causality::TraceRecorder& trace() { return trace_; }
+  [[nodiscard]] const domains::Deployment& deployment() const {
+    return *deployment_;
+  }
+  [[nodiscard]] causality::CausalityChecker MakeChecker() const;
+
+ private:
+  domains::MomConfig config_;
+  ThreadedHarnessOptions options_;
+
+  net::ThreadRuntime runtime_;
+  std::unique_ptr<domains::Deployment> deployment_;
+  std::unique_ptr<net::InprocNetwork> network_;
+  causality::TraceRecorder trace_;
+
+  std::unordered_map<ServerId, std::unique_ptr<mom::InMemoryStore>> stores_;
+  std::unordered_map<ServerId, std::unique_ptr<net::Endpoint>> endpoints_;
+  std::unordered_map<ServerId, std::unique_ptr<mom::AgentServer>> servers_;
+};
+
+}  // namespace cmom::workload

@@ -1,0 +1,136 @@
+// Tests for the workload agents (echo, drivers, chatter), including
+// persistent-state round trips.
+#include "workload/agents.h"
+
+#include <gtest/gtest.h>
+
+#include "domains/topologies.h"
+#include "workload/sim_harness.h"
+
+namespace cmom::workload {
+namespace {
+
+using domains::topologies::Flat;
+
+SimHarnessOptions FastOptions() {
+  SimHarnessOptions options;
+  options.simulate_processing_costs = false;
+  return options;
+}
+
+TEST(EchoAgent, StateRoundTrip) {
+  EchoAgent agent;
+  ByteWriter writer;
+  agent.EncodeState(writer);
+  EchoAgent restored;
+  ByteReader reader(writer.buffer());
+  ASSERT_TRUE(restored.DecodeState(reader).ok());
+  EXPECT_EQ(restored.pings_seen(), agent.pings_seen());
+}
+
+TEST(PingPongDriver, CompletesConfiguredRounds) {
+  SimHarness harness(Flat(2), FastOptions());
+  PingPongDriver* driver = nullptr;
+  ASSERT_TRUE(harness
+                  .Init([&](ServerId id, mom::AgentServer& server) {
+                    if (id == ServerId(0)) {
+                      auto agent = std::make_unique<PingPongDriver>(
+                          AgentId{ServerId(1), 1}, 7);
+                      driver = agent.get();
+                      server.AttachAgent(2, std::move(agent));
+                    } else {
+                      server.AttachAgent(1, std::make_unique<EchoAgent>());
+                    }
+                  })
+                  .ok());
+  ASSERT_TRUE(harness.BootAll().ok());
+  ASSERT_TRUE(harness.Send(ServerId(0), 2, ServerId(0), 2, kStart).ok());
+  harness.Run();
+  ASSERT_NE(driver, nullptr);
+  EXPECT_TRUE(driver->done());
+  EXPECT_EQ(driver->round_trip_ns().size(), 7u);
+  for (std::uint64_t rtt : driver->round_trip_ns()) EXPECT_GT(rtt, 0u);
+}
+
+TEST(PingPongDriver, StateRoundTrip) {
+  PingPongDriver driver(AgentId{ServerId(1), 1}, 5);
+  ByteWriter writer;
+  driver.EncodeState(writer);
+  PingPongDriver restored(AgentId{ServerId(1), 1}, 5);
+  ByteReader reader(writer.buffer());
+  ASSERT_TRUE(restored.DecodeState(reader).ok());
+  EXPECT_EQ(restored.done(), driver.done());
+  EXPECT_EQ(restored.round_trip_ns(), driver.round_trip_ns());
+}
+
+TEST(BroadcastDriver, WaitsForAllPongsEachRound) {
+  SimHarness harness(Flat(4), FastOptions());
+  BroadcastDriver* driver = nullptr;
+  std::vector<AgentId> targets = {AgentId{ServerId(1), 1},
+                                  AgentId{ServerId(2), 1},
+                                  AgentId{ServerId(3), 1}};
+  ASSERT_TRUE(harness
+                  .Init([&](ServerId id, mom::AgentServer& server) {
+                    if (id == ServerId(0)) {
+                      auto agent =
+                          std::make_unique<BroadcastDriver>(targets, 4);
+                      driver = agent.get();
+                      server.AttachAgent(2, std::move(agent));
+                    } else {
+                      server.AttachAgent(1, std::make_unique<EchoAgent>());
+                    }
+                  })
+                  .ok());
+  ASSERT_TRUE(harness.BootAll().ok());
+  ASSERT_TRUE(harness.Send(ServerId(0), 2, ServerId(0), 2, kStart).ok());
+  harness.Run();
+  ASSERT_NE(driver, nullptr);
+  EXPECT_TRUE(driver->done());
+  EXPECT_EQ(driver->round_trip_ns().size(), 4u);
+  // 4 rounds * 3 targets pings each, all echoed.
+  EXPECT_EQ(harness.server(ServerId(0)).stats().messages_sent, 13u);
+}
+
+TEST(ChatterAgent, PayloadHopsDecrementToZero) {
+  SimHarness harness(Flat(3), FastOptions());
+  std::vector<ChatterAgent*> chatters;
+  std::vector<AgentId> peers = {AgentId{ServerId(0), 1},
+                                AgentId{ServerId(1), 1},
+                                AgentId{ServerId(2), 1}};
+  ASSERT_TRUE(harness
+                  .Init([&](ServerId id, mom::AgentServer& server) {
+                    auto agent = std::make_unique<ChatterAgent>(
+                        id.value() + 1, peers);
+                    chatters.push_back(agent.get());
+                    server.AttachAgent(1, std::move(agent));
+                  })
+                  .ok());
+  ASSERT_TRUE(harness.BootAll().ok());
+  ASSERT_TRUE(harness
+                  .Send(ServerId(0), 1, ServerId(1), 1, kChat,
+                        ChatterAgent::MakeChatPayload(3))
+                  .ok());
+  harness.Run();  // must terminate: hops strictly decrease
+  std::uint64_t total = 0;
+  for (ChatterAgent* chatter : chatters) total += chatter->received();
+  EXPECT_GE(total, 1u);
+  // With fanout 1-2 and 3 hops the storm is bounded by 1+2+4+8.
+  EXPECT_LE(total, 15u);
+  EXPECT_TRUE(harness.CheckQuiescent().ok());
+}
+
+TEST(ChatterAgent, StateRoundTripPreservesRngStream) {
+  std::vector<AgentId> peers = {AgentId{ServerId(0), 1}};
+  ChatterAgent agent(42, peers);
+  ByteWriter writer;
+  agent.EncodeState(writer);
+  ChatterAgent restored(0, peers);
+  ByteReader reader(writer.buffer());
+  ASSERT_TRUE(restored.DecodeState(reader).ok());
+  ByteWriter again;
+  restored.EncodeState(again);
+  EXPECT_EQ(writer.buffer(), again.buffer());
+}
+
+}  // namespace
+}  // namespace cmom::workload

@@ -1,0 +1,110 @@
+// Unit tests for the serialization primitives (common/bytes.h) and the
+// CRC helper: round trips, boundary encodings, and truncation handling.
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+
+namespace cmom {
+namespace {
+
+TEST(ByteWriter, FixedWidthRoundTrip) {
+  ByteWriter writer;
+  writer.WriteU8(0xAB);
+  writer.WriteU16(0xBEEF);
+  writer.WriteU32(0xDEADBEEF);
+  writer.WriteU64(0x0123456789ABCDEFull);
+
+  ByteReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadU8().value(), 0xAB);
+  EXPECT_EQ(reader.ReadU16().value(), 0xBEEF);
+  EXPECT_EQ(reader.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.ReadU64().value(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(ByteWriter, VarintBoundaries) {
+  const std::uint64_t values[] = {0,    1,    127,        128,
+                                  129,  255,  16383,      16384,
+                                  1u << 21,   (1ull << 35) + 7,
+                                  ~0ull};
+  for (std::uint64_t value : values) {
+    ByteWriter writer;
+    writer.WriteVarU64(value);
+    ByteReader reader(writer.buffer());
+    auto read = reader.ReadVarU64();
+    ASSERT_TRUE(read.ok()) << value;
+    EXPECT_EQ(read.value(), value);
+    EXPECT_TRUE(reader.exhausted());
+  }
+}
+
+TEST(ByteWriter, SmallVarintsAreOneByte) {
+  for (std::uint64_t value = 0; value < 128; ++value) {
+    ByteWriter writer;
+    writer.WriteVarU64(value);
+    EXPECT_EQ(writer.size(), 1u);
+  }
+}
+
+TEST(ByteWriter, StringAndBytesRoundTrip) {
+  ByteWriter writer;
+  writer.WriteString("hello middleware");
+  writer.WriteBytes(Bytes{1, 2, 3, 4, 5});
+  writer.WriteString("");
+
+  ByteReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadString().value(), "hello middleware");
+  EXPECT_EQ(reader.ReadBytes().value(), (Bytes{1, 2, 3, 4, 5}));
+  EXPECT_EQ(reader.ReadString().value(), "");
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(ByteReader, TruncatedFixedWidthIsDataLoss) {
+  Bytes buffer{0x01, 0x02};
+  ByteReader reader(buffer);
+  auto value = reader.ReadU32();
+  ASSERT_FALSE(value.ok());
+  EXPECT_EQ(value.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ByteReader, TruncatedVarintIsDataLoss) {
+  Bytes buffer{0x80, 0x80};  // continuation bits with no terminator
+  ByteReader reader(buffer);
+  auto value = reader.ReadVarU64();
+  ASSERT_FALSE(value.ok());
+  EXPECT_EQ(value.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ByteReader, OverlongVarintIsDataLoss) {
+  Bytes buffer(11, 0xFF);  // 11 continuation bytes > 64 bits
+  ByteReader reader(buffer);
+  auto value = reader.ReadVarU64();
+  ASSERT_FALSE(value.ok());
+}
+
+TEST(ByteReader, TruncatedByteStringIsDataLoss) {
+  ByteWriter writer;
+  writer.WriteVarU64(100);  // claims 100 bytes follow
+  writer.WriteU8(1);
+  ByteReader reader(writer.buffer());
+  auto bytes = reader.ReadBytes();
+  ASSERT_FALSE(bytes.ok());
+  EXPECT_EQ(bytes.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Crc32, KnownVector) {
+  const Bytes data{'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32(data), 0xCBF43926u);  // the standard check value
+}
+
+TEST(Crc32, DetectsBitFlip) {
+  Bytes data{'c', 'a', 'u', 's', 'a', 'l'};
+  const std::uint32_t original = Crc32(data);
+  data[2] ^= 0x01;
+  EXPECT_NE(Crc32(data), original);
+}
+
+}  // namespace
+}  // namespace cmom

@@ -1,0 +1,159 @@
+// Tests for the offline causality oracle on hand-built traces.
+#include "causality/checker.h"
+
+#include <gtest/gtest.h>
+
+namespace cmom::causality {
+namespace {
+
+ServerId S(std::uint16_t v) { return ServerId(v); }
+AgentId A(std::uint16_t server, std::uint32_t local) {
+  return AgentId{S(server), local};
+}
+MessageId M(std::uint16_t origin, std::uint64_t seq) {
+  return MessageId{S(origin), seq};
+}
+
+TraceEvent Send(MessageId id, std::uint16_t at, std::uint16_t dest) {
+  return {EventKind::kSend, id, S(at), S(dest), A(at, 1), A(dest, 1)};
+}
+TraceEvent Deliver(MessageId id, std::uint16_t at, std::uint16_t origin) {
+  return {EventKind::kDeliver, id, S(at), S(at), A(origin, 1), A(at, 1)};
+}
+
+CausalityChecker MakeChecker(std::uint16_t n) {
+  std::vector<ServerId> servers;
+  for (std::uint16_t i = 0; i < n; ++i) servers.push_back(S(i));
+  return CausalityChecker(std::move(servers));
+}
+
+TEST(Checker, EmptyTraceIsCausal) {
+  auto report = MakeChecker(2).CheckCausalDelivery({});
+  EXPECT_TRUE(report.causal());
+  EXPECT_EQ(report.messages_sent, 0u);
+}
+
+TEST(Checker, SameSenderFifoViolationDetected) {
+  // S0 sends m1 then m2 to S1; S1 delivers m2 first.
+  Trace trace = {
+      Send(M(0, 1), 0, 1),
+      Send(M(0, 2), 0, 1),
+      Deliver(M(0, 2), 1, 0),
+      Deliver(M(0, 1), 1, 0),
+  };
+  auto report = MakeChecker(2).CheckCausalDelivery(trace);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].earlier, M(0, 1));
+  EXPECT_EQ(report.violations[0].later, M(0, 2));
+  EXPECT_EQ(report.violations[0].process, S(1));
+}
+
+TEST(Checker, SameSenderFifoOrderPasses) {
+  Trace trace = {
+      Send(M(0, 1), 0, 1),
+      Send(M(0, 2), 0, 1),
+      Deliver(M(0, 1), 1, 0),
+      Deliver(M(0, 2), 1, 0),
+  };
+  EXPECT_TRUE(MakeChecker(2).CheckCausalDelivery(trace).causal());
+}
+
+TEST(Checker, TransitiveChainViolationDetected) {
+  // The Figure 4(b) shape: S0 sends n to S2, then m1 to S1; S1 receives
+  // m1 and sends m2 to S2.  n causally precedes m2, so delivering m2
+  // before n at S2 is a violation.
+  Trace trace = {
+      Send(M(0, 1), 0, 2),     // n
+      Send(M(0, 2), 0, 1),     // m1
+      Deliver(M(0, 2), 1, 0),  //
+      Send(M(1, 1), 1, 2),     // m2 (after receiving m1)
+      Deliver(M(1, 1), 2, 1),  // m2 before n: violation
+      Deliver(M(0, 1), 2, 0),
+  };
+  auto report = MakeChecker(3).CheckCausalDelivery(trace);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].earlier, M(0, 1));
+  EXPECT_EQ(report.violations[0].later, M(1, 1));
+}
+
+TEST(Checker, ConcurrentMessagesDeliverInAnyOrder) {
+  // S0 and S1 send to S2 concurrently; either order is fine.
+  Trace trace = {
+      Send(M(0, 1), 0, 2),
+      Send(M(1, 1), 1, 2),
+      Deliver(M(1, 1), 2, 1),
+      Deliver(M(0, 1), 2, 0),
+  };
+  EXPECT_TRUE(MakeChecker(3).CheckCausalDelivery(trace).causal());
+}
+
+TEST(Checker, ViolationRequiresSameDestination) {
+  // Causally ordered messages to DIFFERENT processes have no delivery
+  // order constraint.
+  Trace trace = {
+      Send(M(0, 1), 0, 1),
+      Send(M(0, 2), 0, 2),
+      Deliver(M(0, 2), 2, 0),
+      Deliver(M(0, 1), 1, 0),
+  };
+  EXPECT_TRUE(MakeChecker(3).CheckCausalDelivery(trace).causal());
+}
+
+TEST(Checker, MaxViolationsCapsTheReport) {
+  Trace trace;
+  for (std::uint64_t i = 1; i <= 10; ++i) trace.push_back(Send(M(0, i), 0, 1));
+  for (std::uint64_t i = 10; i >= 1; --i) {
+    trace.push_back(Deliver(M(0, i), 1, 0));
+  }
+  auto report = MakeChecker(2).CheckCausalDelivery(trace, 3);
+  EXPECT_EQ(report.violations.size(), 3u);
+  EXPECT_FALSE(report.causal());
+}
+
+TEST(Checker, ExactlyOncePassesOnCleanTrace) {
+  Trace trace = {
+      Send(M(0, 1), 0, 1),
+      Deliver(M(0, 1), 1, 0),
+  };
+  EXPECT_TRUE(MakeChecker(2).CheckExactlyOnce(trace).ok());
+}
+
+TEST(Checker, ExactlyOnceCatchesLoss) {
+  Trace trace = {Send(M(0, 1), 0, 1)};
+  const Status status = MakeChecker(2).CheckExactlyOnce(trace);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+}
+
+TEST(Checker, ExactlyOnceCatchesDuplicateDelivery) {
+  Trace trace = {
+      Send(M(0, 1), 0, 1),
+      Deliver(M(0, 1), 1, 0),
+      Deliver(M(0, 1), 1, 0),
+  };
+  EXPECT_FALSE(MakeChecker(2).CheckExactlyOnce(trace).ok());
+}
+
+TEST(Checker, ExactlyOnceCatchesGhostDelivery) {
+  Trace trace = {Deliver(M(0, 7), 1, 0)};
+  EXPECT_FALSE(MakeChecker(2).CheckExactlyOnce(trace).ok());
+}
+
+TEST(Checker, ExactlyOnceCatchesDuplicateSend) {
+  Trace trace = {Send(M(0, 1), 0, 1), Send(M(0, 1), 0, 1)};
+  EXPECT_FALSE(MakeChecker(2).CheckExactlyOnce(trace).ok());
+}
+
+TEST(Checker, CountsSendsAndDeliveries) {
+  Trace trace = {
+      Send(M(0, 1), 0, 1),
+      Send(M(0, 2), 0, 1),
+      Deliver(M(0, 1), 1, 0),
+  };
+  auto report = MakeChecker(2).CheckCausalDelivery(trace);
+  EXPECT_EQ(report.messages_sent, 2u);
+  EXPECT_EQ(report.messages_delivered, 1u);
+}
+
+}  // namespace
+}  // namespace cmom::causality

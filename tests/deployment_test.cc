@@ -1,0 +1,126 @@
+// Tests for deployment validation and resolved structures.
+#include "domains/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include "domains/topologies.h"
+
+namespace cmom::domains {
+namespace {
+
+ServerId S(std::uint16_t v) { return ServerId(v); }
+
+TEST(Deployment, RejectsEmptyConfigs) {
+  EXPECT_FALSE(Deployment::Create(MomConfig{}).ok());
+  MomConfig no_domains;
+  no_domains.servers = {S(0)};
+  EXPECT_FALSE(Deployment::Create(no_domains).ok());
+}
+
+TEST(Deployment, RejectsDuplicateServerIds) {
+  MomConfig config;
+  config.servers = {S(0), S(0)};
+  config.domains = {{DomainId(0), {S(0)}}};
+  auto result = Deployment::Create(config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Deployment, RejectsDuplicateDomainIds) {
+  MomConfig config;
+  config.servers = {S(0), S(1)};
+  config.domains = {{DomainId(0), {S(0)}}, {DomainId(0), {S(1)}}};
+  EXPECT_FALSE(Deployment::Create(config).ok());
+}
+
+TEST(Deployment, RejectsUnknownMembers) {
+  MomConfig config;
+  config.servers = {S(0)};
+  config.domains = {{DomainId(0), {S(0), S(9)}}};
+  EXPECT_FALSE(Deployment::Create(config).ok());
+}
+
+TEST(Deployment, RejectsDuplicateMembership) {
+  MomConfig config;
+  config.servers = {S(0), S(1)};
+  config.domains = {{DomainId(0), {S(0), S(1), S(0)}}};
+  EXPECT_FALSE(Deployment::Create(config).ok());
+}
+
+TEST(Deployment, RejectsUncoveredServer) {
+  MomConfig config;
+  config.servers = {S(0), S(1)};
+  config.domains = {{DomainId(0), {S(0)}}};
+  EXPECT_FALSE(Deployment::Create(config).ok());
+}
+
+TEST(Deployment, RejectsCyclicGraphByDefault) {
+  auto ring = topologies::Ring(3, 3);
+  ring.allow_cyclic_domain_graph = false;
+  auto result = Deployment::Create(ring);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Deployment, AllowsCyclicGraphWhenExplicitlyRequested) {
+  // The theorem demo needs to build the broken configuration.
+  EXPECT_TRUE(Deployment::Create(topologies::Ring(3, 3)).ok());
+}
+
+TEST(Deployment, ResolvesLocalIdsByMemberOrder) {
+  auto deployment = Deployment::Create(topologies::Bus(2, 3)).value();
+  // Domain 0 is the backbone {S0, S3}; leaves follow.
+  const ResolvedDomain& backbone = deployment.domain(0);
+  EXPECT_EQ(backbone.id, DomainId(0));
+  ASSERT_EQ(backbone.size(), 2u);
+  EXPECT_EQ(backbone.LocalId(S(0)), DomainServerId(0));
+  EXPECT_EQ(backbone.LocalId(S(3)), DomainServerId(1));
+  EXPECT_EQ(backbone.GlobalId(DomainServerId(1)), S(3));
+  EXPECT_FALSE(backbone.LocalId(S(1)).has_value());
+}
+
+TEST(Deployment, IdentifiesRouters) {
+  auto deployment = Deployment::Create(topologies::Bus(3, 3)).value();
+  EXPECT_TRUE(deployment.IsRouter(S(0)));
+  EXPECT_TRUE(deployment.IsRouter(S(3)));
+  EXPECT_TRUE(deployment.IsRouter(S(6)));
+  EXPECT_FALSE(deployment.IsRouter(S(1)));
+  EXPECT_FALSE(deployment.IsRouter(S(8)));
+}
+
+TEST(Deployment, DomainIndicesOfCoverAllMemberships) {
+  auto deployment = Deployment::Create(topologies::Bus(3, 3)).value();
+  EXPECT_EQ(deployment.DomainIndicesOf(S(0)).size(), 2u);  // backbone + leaf
+  EXPECT_EQ(deployment.DomainIndicesOf(S(1)).size(), 1u);
+  EXPECT_TRUE(deployment.DomainIndicesOf(S(42)).empty());
+}
+
+TEST(Deployment, LinkDomainPicksSharedDomain) {
+  auto deployment = Deployment::Create(topologies::Bus(3, 3)).value();
+  // S0 and S3 share only the backbone (domain index 0).
+  auto link = deployment.LinkDomainIndex(S(0), S(3));
+  ASSERT_TRUE(link.ok());
+  EXPECT_EQ(deployment.domain(link.value()).id, DomainId(0));
+  // S0 and S1 share only leaf 1.
+  auto leaf_link = deployment.LinkDomainIndex(S(0), S(1));
+  ASSERT_TRUE(leaf_link.ok());
+  EXPECT_EQ(deployment.domain(leaf_link.value()).id, DomainId(1));
+  // S1 and S8 share nothing.
+  EXPECT_FALSE(deployment.LinkDomainIndex(S(1), S(8)).ok());
+}
+
+TEST(Deployment, LinkDomainTieBreaksBySmallestDomainId) {
+  MomConfig config;
+  config.servers = {S(0), S(1)};
+  config.domains = {{DomainId(5), {S(0), S(1)}}, {DomainId(2), {S(0), S(1)}}};
+  // Both domains contain both servers: a doubled edge, i.e. a cycle --
+  // allowed only for this structural check.
+  config.allow_cyclic_domain_graph = true;
+  auto deployment = Deployment::Create(config).value();
+  auto link = deployment.LinkDomainIndex(S(0), S(1));
+  ASSERT_TRUE(link.ok());
+  EXPECT_EQ(deployment.domain(link.value()).id, DomainId(2));
+}
+
+}  // namespace
+}  // namespace cmom::domains

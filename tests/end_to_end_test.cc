@@ -1,0 +1,111 @@
+// End-to-end smoke tests over the simulated network: messages travel
+// between servers (within a domain and across routers), are delivered
+// exactly once, and the trace passes the causal-delivery oracle.
+#include <gtest/gtest.h>
+
+#include "domains/topologies.h"
+#include "workload/agents.h"
+#include "workload/experiments.h"
+#include "workload/sim_harness.h"
+
+namespace cmom {
+namespace {
+
+using domains::topologies::Bus;
+using domains::topologies::Flat;
+using workload::EchoAgent;
+using workload::SimHarness;
+using workload::SimHarnessOptions;
+
+SimHarnessOptions FastOptions() {
+  SimHarnessOptions options;
+  options.simulate_processing_costs = false;
+  return options;
+}
+
+TEST(EndToEnd, SingleDomainUnicast) {
+  SimHarness harness(Flat(3), FastOptions());
+  EchoAgent* echo = nullptr;
+  ASSERT_TRUE(harness
+                  .Init([&](ServerId id, mom::AgentServer& server) {
+                    if (id == ServerId(2)) {
+                      auto agent = std::make_unique<EchoAgent>();
+                      echo = agent.get();
+                      server.AttachAgent(1, std::move(agent));
+                    }
+                  })
+                  .ok());
+  ASSERT_TRUE(harness.BootAll().ok());
+
+  auto sent =
+      harness.Send(ServerId(0), 7, ServerId(2), 1, workload::kPing);
+  ASSERT_TRUE(sent.ok());
+  harness.Run();
+
+  ASSERT_NE(echo, nullptr);
+  EXPECT_EQ(echo->pings_seen(), 1u);
+  EXPECT_TRUE(harness.CheckQuiescent().ok());
+
+  auto checker = harness.MakeChecker();
+  auto trace = harness.trace().Snapshot();
+  EXPECT_TRUE(checker.CheckCausalDelivery(trace).causal());
+  // The pong goes to a non-existent agent (7) on S0: still recorded as
+  // delivered to the server, so exactly-once holds.
+  EXPECT_TRUE(checker.CheckExactlyOnce(trace).ok());
+}
+
+TEST(EndToEnd, RoutedAcrossBusOfDomains) {
+  // 3 leaf domains of 3 servers: S0..S8; backbone D0 = {S0, S3, S6}.
+  SimHarness harness(Bus(3, 3), FastOptions());
+  EchoAgent* echo = nullptr;
+  ASSERT_TRUE(harness
+                  .Init([&](ServerId id, mom::AgentServer& server) {
+                    if (id == ServerId(8)) {
+                      auto agent = std::make_unique<EchoAgent>();
+                      echo = agent.get();
+                      server.AttachAgent(1, std::move(agent));
+                    }
+                  })
+                  .ok());
+  ASSERT_TRUE(harness.BootAll().ok());
+
+  // S1 (leaf 0) -> S8 (leaf 2) must route via S0 and S6.
+  EXPECT_EQ(harness.deployment().routing().HopCount(ServerId(1), ServerId(8)),
+            3u);
+
+  ASSERT_TRUE(
+      harness.Send(ServerId(1), 7, ServerId(8), 1, workload::kPing).ok());
+  harness.Run();
+
+  ASSERT_NE(echo, nullptr);
+  EXPECT_EQ(echo->pings_seen(), 1u);
+  EXPECT_TRUE(harness.CheckQuiescent().ok());
+
+  // The routers did forwarding work.
+  EXPECT_GE(harness.server(ServerId(0)).stats().messages_forwarded, 1u);
+}
+
+TEST(EndToEnd, PingPongExperimentCompletes) {
+  workload::ExperimentOptions options;
+  options.rounds = 10;
+  options.harness = FastOptions();
+  auto result = workload::RunPingPong(Flat(5), ServerId(0), ServerId(4),
+                                      options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().rounds, 10u);
+  EXPECT_GT(result.value().avg_rtt_ms, 0.0);
+  EXPECT_GT(result.value().wire_frames, 0u);
+}
+
+TEST(EndToEnd, BroadcastExperimentCompletes) {
+  workload::ExperimentOptions options;
+  options.rounds = 5;
+  options.harness = FastOptions();
+  auto result = workload::RunBroadcast(Bus(2, 3), ServerId(0), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().rounds, 5u);
+  EXPECT_GT(result.value().avg_rtt_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace cmom

@@ -1,0 +1,101 @@
+// Unit tests for strong id types (common/ids.h) and Status/Result
+// (common/status.h).
+#include "common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/status.h"
+
+namespace cmom {
+namespace {
+
+TEST(Ids, DistinctTagTypesDoNotMix) {
+  static_assert(!std::is_convertible_v<ServerId, DomainId>);
+  static_assert(!std::is_convertible_v<DomainServerId, ServerId>);
+  static_assert(!std::is_constructible_v<ServerId, DomainId>);
+}
+
+TEST(Ids, OrderingAndEquality) {
+  EXPECT_EQ(ServerId(3), ServerId(3));
+  EXPECT_NE(ServerId(3), ServerId(4));
+  EXPECT_LT(ServerId(3), ServerId(4));
+  EXPECT_GT(DomainId(9), DomainId(1));
+}
+
+TEST(Ids, HashingWorksInUnorderedContainers) {
+  std::unordered_set<ServerId> set;
+  for (std::uint16_t i = 0; i < 100; ++i) set.insert(ServerId(i));
+  set.insert(ServerId(50));  // duplicate
+  EXPECT_EQ(set.size(), 100u);
+}
+
+TEST(Ids, AgentIdOrderingIsLexicographic) {
+  const AgentId a{ServerId(1), 5};
+  const AgentId b{ServerId(2), 0};
+  const AgentId c{ServerId(1), 6};
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a, (AgentId{ServerId(1), 5}));
+}
+
+TEST(Ids, MessageIdStreamsReadably) {
+  std::ostringstream out;
+  out << MessageId{ServerId(7), 42};
+  EXPECT_EQ(out.str(), "m7:42");
+}
+
+TEST(Ids, ToStringHelpers) {
+  EXPECT_EQ(to_string(ServerId(3)), "S3");
+  EXPECT_EQ(to_string(DomainId(12)), "D12");
+}
+
+TEST(Status, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.to_string(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status status = Status::NotFound("missing thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing thing");
+  EXPECT_EQ(status.to_string(), "NOT_FOUND: missing thing");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> result(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(Result, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(9));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> taken = std::move(result).value();
+  EXPECT_EQ(*taken, 9);
+}
+
+TEST(Result, ReturnIfErrorMacro) {
+  auto passthrough = [](Status status) -> Status {
+    CMOM_RETURN_IF_ERROR(status);
+    return Status::Internal("reached end");
+  };
+  EXPECT_EQ(passthrough(Status::DataLoss("x")).code(), StatusCode::kDataLoss);
+  EXPECT_EQ(passthrough(Status::Ok()).code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace cmom

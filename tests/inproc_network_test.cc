@@ -1,0 +1,104 @@
+// Tests for the in-process threaded transport.
+#include "net/inproc_network.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+namespace cmom::net {
+namespace {
+
+TEST(InprocNetwork, DeliversAcrossThreads) {
+  InprocNetwork network;
+  auto a = network.CreateEndpoint(ServerId(0)).value();
+  auto b = network.CreateEndpoint(ServerId(1)).value();
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<Bytes> received;
+  b->SetReceiveHandler([&](ServerId from, Bytes frame) {
+    EXPECT_EQ(from, ServerId(0));
+    std::lock_guard lock(mutex);
+    received.push_back(std::move(frame));
+    cv.notify_one();
+  });
+
+  ASSERT_TRUE(a->Send(ServerId(1), Bytes{9, 8, 7}).ok());
+  std::unique_lock lock(mutex);
+  cv.wait(lock, [&] { return !received.empty(); });
+  EXPECT_EQ(received[0], (Bytes{9, 8, 7}));
+}
+
+TEST(InprocNetwork, FifoPerSender) {
+  InprocNetwork network;
+  auto a = network.CreateEndpoint(ServerId(0)).value();
+  auto b = network.CreateEndpoint(ServerId(1)).value();
+
+  std::vector<int> order;
+  std::atomic<int> count{0};
+  b->SetReceiveHandler([&](ServerId, Bytes frame) {
+    order.push_back(frame[0]);
+    ++count;
+  });
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(a->Send(ServerId(1), Bytes{i}).ok());
+  }
+  network.WaitQuiescent();
+  ASSERT_EQ(count.load(), 100);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(InprocNetwork, BidirectionalPingPong) {
+  InprocNetwork network;
+  auto a = network.CreateEndpoint(ServerId(0)).value();
+  auto b = network.CreateEndpoint(ServerId(1)).value();
+
+  std::atomic<int> bounces{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  b->SetReceiveHandler([&](ServerId, Bytes frame) {
+    (void)b->Send(ServerId(0), std::move(frame));
+  });
+  a->SetReceiveHandler([&](ServerId, Bytes frame) {
+    if (++bounces < 50) {
+      (void)a->Send(ServerId(1), std::move(frame));
+    } else {
+      cv.notify_one();
+    }
+  });
+  ASSERT_TRUE(a->Send(ServerId(1), Bytes{1}).ok());
+  std::unique_lock lock(mutex);
+  cv.wait(lock, [&] { return bounces.load() >= 50; });
+  EXPECT_EQ(bounces.load(), 50);
+}
+
+TEST(InprocNetwork, UnknownDestinationFails) {
+  InprocNetwork network;
+  auto a = network.CreateEndpoint(ServerId(0)).value();
+  EXPECT_EQ(a->Send(ServerId(9), Bytes{1}).code(), StatusCode::kNotFound);
+}
+
+TEST(InprocNetwork, DuplicateEndpointRejected) {
+  InprocNetwork network;
+  auto a = network.CreateEndpoint(ServerId(0)).value();
+  EXPECT_FALSE(network.CreateEndpoint(ServerId(0)).ok());
+}
+
+TEST(InprocNetwork, WaitQuiescentSeesDrainedState) {
+  InprocNetwork network;
+  auto a = network.CreateEndpoint(ServerId(0)).value();
+  auto b = network.CreateEndpoint(ServerId(1)).value();
+  std::atomic<int> received{0};
+  b->SetReceiveHandler([&](ServerId, Bytes) { ++received; });
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(a->Send(ServerId(1), Bytes{1}).ok());
+  }
+  network.WaitQuiescent();
+  EXPECT_EQ(received.load(), 20);
+}
+
+}  // namespace
+}  // namespace cmom::net

@@ -1,0 +1,134 @@
+// Unit and property tests for the matrix clock.
+#include "clocks/matrix_clock.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cmom::clocks {
+namespace {
+
+DomainServerId D(std::uint16_t v) { return DomainServerId(v); }
+
+TEST(MatrixClock, StartsAtZero) {
+  MatrixClock clock(4);
+  for (std::uint16_t i = 0; i < 4; ++i) {
+    for (std::uint16_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(clock.at(D(i), D(j)), 0u);
+    }
+  }
+  EXPECT_EQ(clock.Total(), 0u);
+}
+
+TEST(MatrixClock, IncrementAndSet) {
+  MatrixClock clock(3);
+  EXPECT_EQ(clock.Increment(D(1), D(2)), 1u);
+  EXPECT_EQ(clock.Increment(D(1), D(2)), 2u);
+  clock.set(D(0), D(1), 7);
+  EXPECT_EQ(clock.at(D(1), D(2)), 2u);
+  EXPECT_EQ(clock.at(D(0), D(1)), 7u);
+  EXPECT_EQ(clock.Total(), 9u);
+}
+
+TEST(MatrixClock, RowColumnIndependence) {
+  // (i,j) and (j,i) are distinct cells.
+  MatrixClock clock(3);
+  clock.set(D(1), D(2), 5);
+  EXPECT_EQ(clock.at(D(2), D(1)), 0u);
+}
+
+TEST(MatrixClock, MergeTakesEntrywiseMax) {
+  MatrixClock a(2), b(2);
+  a.set(D(0), D(1), 3);
+  b.set(D(0), D(1), 1);
+  b.set(D(1), D(0), 9);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.at(D(0), D(1)), 3u);
+  EXPECT_EQ(a.at(D(1), D(0)), 9u);
+}
+
+TEST(MatrixClock, DominatedBy) {
+  MatrixClock lo(2), hi(2);
+  hi.set(D(0), D(0), 1);
+  EXPECT_TRUE(lo.DominatedBy(hi));
+  EXPECT_FALSE(hi.DominatedBy(lo));
+  EXPECT_TRUE(lo.DominatedBy(lo));
+  lo.set(D(1), D(1), 5);
+  EXPECT_FALSE(lo.DominatedBy(hi));
+}
+
+TEST(MatrixClock, CodecRoundTrip) {
+  MatrixClock clock(5);
+  Rng rng(3);
+  for (std::uint16_t i = 0; i < 5; ++i) {
+    for (std::uint16_t j = 0; j < 5; ++j) {
+      clock.set(D(i), D(j), rng.NextBelow(1u << 20));
+    }
+  }
+  ByteWriter writer;
+  clock.Encode(writer);
+  ByteReader reader(writer.buffer());
+  auto decoded = MatrixClock::Decode(reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), clock);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(MatrixClock, DecodeTruncatedFails) {
+  MatrixClock clock(4);
+  ByteWriter writer;
+  clock.Encode(writer);
+  Bytes truncated(writer.buffer().begin(), writer.buffer().end() - 3);
+  ByteReader reader(truncated);
+  EXPECT_FALSE(MatrixClock::Decode(reader).ok());
+}
+
+// Lattice property sweep over random matrices and sizes.
+class MatrixLattice
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(MatrixLattice, MergeLaws) {
+  const auto [size, seed] = GetParam();
+  Rng rng(seed);
+  auto random_matrix = [&] {
+    MatrixClock matrix(size);
+    for (std::uint16_t i = 0; i < size; ++i) {
+      for (std::uint16_t j = 0; j < size; ++j) {
+        matrix.set(D(i), D(j), rng.NextBelow(50));
+      }
+    }
+    return matrix;
+  };
+  for (int round = 0; round < 20; ++round) {
+    const MatrixClock a = random_matrix();
+    const MatrixClock b = random_matrix();
+
+    MatrixClock ab = a;
+    ab.MergeFrom(b);
+    MatrixClock ba = b;
+    ba.MergeFrom(a);
+    EXPECT_EQ(ab, ba);
+
+    // Join dominates both operands.
+    EXPECT_TRUE(a.DominatedBy(ab));
+    EXPECT_TRUE(b.DominatedBy(ab));
+
+    // Idempotence.
+    MatrixClock aa = a;
+    aa.MergeFrom(a);
+    EXPECT_EQ(aa, a);
+
+    // Total is monotone under merge.
+    EXPECT_GE(ab.Total(), a.Total());
+    EXPECT_GE(ab.Total(), b.Total());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, MatrixLattice,
+    ::testing::Combine(::testing::Values(1, 2, 3, 8, 16),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace cmom::clocks

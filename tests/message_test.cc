@@ -1,0 +1,104 @@
+// Tests for message and frame codecs.
+#include "mom/message.h"
+
+#include <gtest/gtest.h>
+
+namespace cmom::mom {
+namespace {
+
+Message SampleMessage() {
+  Message message;
+  message.id = MessageId{ServerId(3), 99};
+  message.from = AgentId{ServerId(3), 1};
+  message.to = AgentId{ServerId(7), 2};
+  message.subject = "quote";
+  message.payload = Bytes{10, 20, 30};
+  return message;
+}
+
+TEST(Message, CodecRoundTrip) {
+  const Message message = SampleMessage();
+  ByteWriter writer;
+  message.Encode(writer);
+  ByteReader reader(writer.buffer());
+  auto decoded = Message::Decode(reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), message);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Message, DestServerComesFromToAgent) {
+  EXPECT_EQ(SampleMessage().dest_server(), ServerId(7));
+}
+
+TEST(Message, EmptySubjectAndPayload) {
+  Message message;
+  message.id = MessageId{ServerId(0), 1};
+  ByteWriter writer;
+  message.Encode(writer);
+  ByteReader reader(writer.buffer());
+  auto decoded = Message::Decode(reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), message);
+}
+
+TEST(DataFrame, SerializeDeserializeRoundTrip) {
+  DataFrame frame;
+  frame.message = SampleMessage();
+  frame.domain = DomainId(4);
+  frame.stamp.entries = {{DomainServerId(0), DomainServerId(1), 17}};
+  const Bytes bytes = frame.Serialize();
+  EXPECT_EQ(bytes.size(), frame.SerializedSize());
+  auto decoded = DataFrame::Deserialize(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), frame);
+}
+
+TEST(DataFrame, PeekIdentifiesType) {
+  DataFrame frame;
+  frame.message = SampleMessage();
+  frame.domain = DomainId(0);
+  EXPECT_EQ(PeekFrameType(frame.Serialize()).value(), FrameType::kData);
+  EXPECT_EQ(PeekFrameType(AckFrame{MessageId{ServerId(1), 2}}.Serialize())
+                .value(),
+            FrameType::kAck);
+}
+
+TEST(DataFrame, PeekRejectsGarbage) {
+  EXPECT_FALSE(PeekFrameType(Bytes{}).ok());
+  EXPECT_FALSE(PeekFrameType(Bytes{0x77}).ok());
+}
+
+TEST(DataFrame, DeserializeRejectsAckFrame) {
+  const Bytes ack = AckFrame{MessageId{ServerId(1), 2}}.Serialize();
+  EXPECT_FALSE(DataFrame::Deserialize(ack).ok());
+}
+
+TEST(DataFrame, DeserializeRejectsTruncation) {
+  DataFrame frame;
+  frame.message = SampleMessage();
+  frame.domain = DomainId(1);
+  frame.stamp.entries = {{DomainServerId(0), DomainServerId(1), 17}};
+  const Bytes bytes = frame.Serialize();
+  for (std::size_t cut = 1; cut < bytes.size(); cut += 3) {
+    Bytes truncated(bytes.begin(), bytes.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(DataFrame::Deserialize(truncated).ok()) << "cut " << cut;
+  }
+}
+
+TEST(AckFrame, RoundTrip) {
+  const AckFrame ack{MessageId{ServerId(9), 123456}};
+  auto decoded = DeserializeAck(ack.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().message, ack.message);
+}
+
+TEST(AckFrame, DeserializeRejectsDataFrame) {
+  DataFrame frame;
+  frame.message = SampleMessage();
+  frame.domain = DomainId(0);
+  EXPECT_FALSE(DeserializeAck(frame.Serialize()).ok());
+}
+
+}  // namespace
+}  // namespace cmom::mom

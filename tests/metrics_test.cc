@@ -1,0 +1,77 @@
+// Tests for the metrics aggregation module.
+#include "workload/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "domains/topologies.h"
+#include "workload/agents.h"
+#include "workload/sim_harness.h"
+
+namespace cmom::workload {
+namespace {
+
+TEST(Metrics, AggregatesAcrossServers) {
+  SimHarnessOptions options;
+  options.simulate_processing_costs = false;
+  SimHarness harness(domains::topologies::Bus(2, 2), options);
+  ASSERT_TRUE(harness
+                  .Init([&](ServerId id, mom::AgentServer& server) {
+                    if (id == ServerId(3)) {
+                      server.AttachAgent(1, std::make_unique<EchoAgent>());
+                    }
+                  })
+                  .ok());
+  ASSERT_TRUE(harness.BootAll().ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(harness.Send(ServerId(1), 7, ServerId(3), 1, kPing).ok());
+  }
+  harness.Run();
+
+  MetricsSummary summary;
+  for (ServerId id : harness.deployment().servers()) {
+    summary.Add(id, harness.server(id), harness.store(id));
+  }
+  ASSERT_EQ(summary.servers.size(), 4u);
+  // 4 pings + 4 pongs originated.
+  EXPECT_EQ(summary.TotalSent(), 8u);
+  EXPECT_EQ(summary.TotalDelivered(), 8u);
+  // Each ping and each pong crosses routers S0 and S2: 2 forwards per
+  // message.
+  EXPECT_EQ(summary.TotalForwarded(), 16u);
+  EXPECT_GT(summary.TotalStampBytes(), 0u);
+  EXPECT_GT(summary.TotalDiskBytes(), 0u);
+  EXPECT_EQ(summary.TotalRetransmissions(), 0u);
+}
+
+TEST(Metrics, TableRendersAllRowsAndTotals) {
+  SimHarnessOptions options;
+  options.simulate_processing_costs = false;
+  SimHarness harness(domains::topologies::Flat(2), options);
+  ASSERT_TRUE(harness.Init().ok());
+  ASSERT_TRUE(harness.BootAll().ok());
+  ASSERT_TRUE(harness.Send(ServerId(0), 1, ServerId(1), 1, "x").ok());
+  harness.Run();
+
+  MetricsSummary summary;
+  for (ServerId id : harness.deployment().servers()) {
+    summary.Add(id, harness.server(id), harness.store(id));
+  }
+  const std::string table = summary.ToTable();
+  EXPECT_NE(table.find("S0"), std::string::npos);
+  EXPECT_NE(table.find("S1"), std::string::npos);
+  EXPECT_NE(table.find("total"), std::string::npos);
+  // One line per server + header + totals.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 4);
+}
+
+TEST(Metrics, EmptySummaryIsAllZero) {
+  MetricsSummary summary;
+  EXPECT_EQ(summary.TotalSent(), 0u);
+  EXPECT_EQ(summary.TotalDiskBytes(), 0u);
+  EXPECT_NE(summary.ToTable().find("total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cmom::workload

@@ -1,0 +1,111 @@
+// Tests for the formal path machinery (Section 4.2 definitions),
+// exercised on the paper's own Figure 2 example.
+#include "causality/paths.h"
+
+#include <gtest/gtest.h>
+
+#include "domains/topologies.h"
+
+namespace cmom::causality {
+namespace {
+
+ServerId S(std::uint16_t v) { return ServerId(v); }
+
+// Figure 2: A={S1,S2,S3}, B={S4,S5}, C={S7,S8}, D={S3,S5,S6,S7}.
+domains::MomConfig Figure2() {
+  domains::MomConfig config;
+  for (std::uint16_t i = 1; i <= 8; ++i) config.servers.push_back(S(i));
+  config.domains = {{DomainId(0), {S(1), S(2), S(3)}},
+                    {DomainId(1), {S(4), S(5)}},
+                    {DomainId(2), {S(7), S(8)}},
+                    {DomainId(3), {S(3), S(5), S(6), S(7)}}};
+  return config;
+}
+
+TEST(PathAnalyzer, SameDomain) {
+  PathAnalyzer analyzer(Figure2());
+  EXPECT_TRUE(analyzer.SameDomain(S(1), S(3)));
+  EXPECT_TRUE(analyzer.SameDomain(S(3), S(7)));
+  EXPECT_FALSE(analyzer.SameDomain(S(1), S(8)));
+  EXPECT_FALSE(analyzer.SameDomain(S(4), S(6)));
+}
+
+TEST(PathAnalyzer, PaperRoutingPathIsValid) {
+  // The paper routes S1 -> S8 as S1, S3, S7, S8.
+  PathAnalyzer analyzer(Figure2());
+  const Path route = {S(1), S(3), S(7), S(8)};
+  EXPECT_TRUE(analyzer.IsPath(route));
+  EXPECT_TRUE(analyzer.IsDirect(route));
+  EXPECT_TRUE(analyzer.IsMinimal(route));
+}
+
+TEST(PathAnalyzer, NonPathsRejected) {
+  PathAnalyzer analyzer(Figure2());
+  EXPECT_FALSE(analyzer.IsPath({}));
+  EXPECT_FALSE(analyzer.IsPath({S(1), S(8)}));        // no shared domain
+  EXPECT_FALSE(analyzer.IsPath({S(1), S(4), S(8)}));  // both hops invalid
+}
+
+TEST(PathAnalyzer, LoopsAreNotDirect) {
+  PathAnalyzer analyzer(Figure2());
+  const Path loopy = {S(1), S(3), S(1)};
+  EXPECT_TRUE(analyzer.IsPath(loopy));
+  EXPECT_FALSE(analyzer.IsDirect(loopy));
+}
+
+TEST(PathAnalyzer, LingeringPathIsNotMinimal) {
+  // S1 -> S2 -> S3: direct, but S1 and S3 share domain A, so the path
+  // "lingers" in A (the shortcut S1 -> S3 exists).
+  PathAnalyzer analyzer(Figure2());
+  const Path lingering = {S(1), S(2), S(3)};
+  EXPECT_TRUE(analyzer.IsDirect(lingering));
+  EXPECT_FALSE(analyzer.IsMinimal(lingering));
+}
+
+TEST(PathAnalyzer, MinimalPathOfLengthOverTwoCrossesDomains) {
+  PathAnalyzer analyzer(Figure2());
+  const Path route = {S(1), S(3), S(6)};
+  ASSERT_TRUE(analyzer.IsMinimal(route));
+  EXPECT_FALSE(analyzer.SameDomain(route.front(), route.back()));
+}
+
+TEST(PathAnalyzer, CoveredByOneDomain) {
+  PathAnalyzer analyzer(Figure2());
+  EXPECT_TRUE(analyzer.CoveredByOneDomain({S(3), S(5), S(7)}));  // all in D
+  EXPECT_FALSE(analyzer.CoveredByOneDomain({S(1), S(3), S(7)}));
+}
+
+TEST(PathAnalyzer, Figure2HasNoCycle) {
+  PathAnalyzer analyzer(Figure2());
+  EXPECT_FALSE(analyzer.FindAnyCycle().has_value());
+}
+
+TEST(PathAnalyzer, RingHasACycle) {
+  auto ring = domains::topologies::Ring(3, 3);
+  PathAnalyzer analyzer(ring);
+  auto cycle = analyzer.FindAnyCycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_TRUE(analyzer.IsCycle(*cycle));
+}
+
+TEST(PathAnalyzer, TwoSharedRoutersFormACycle) {
+  // The subtle case from Section 4.2: domains A and B share two
+  // servers; the path (r1, p, r2, q)-style cycles exist even though
+  // the naive domain graph has a single edge.
+  domains::MomConfig config;
+  config.servers = {S(0), S(1), S(2), S(3)};
+  config.domains = {{DomainId(0), {S(0), S(1), S(2)}},
+                    {DomainId(1), {S(1), S(2), S(3)}}};
+  PathAnalyzer analyzer(config);
+  auto cycle = analyzer.FindAnyCycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_TRUE(analyzer.IsCycle(*cycle));
+}
+
+TEST(PathAnalyzer, SingletonPathIsNeverACycle) {
+  PathAnalyzer analyzer(Figure2());
+  EXPECT_FALSE(analyzer.IsCycle({S(1)}));
+}
+
+}  // namespace
+}  // namespace cmom::causality

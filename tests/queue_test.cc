@@ -1,0 +1,186 @@
+// Tests for the point-to-point queue destination.
+#include "pubsub/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "domains/topologies.h"
+#include "workload/sim_harness.h"
+
+namespace cmom::pubsub {
+namespace {
+
+using workload::SimHarness;
+using workload::SimHarnessOptions;
+
+SimHarnessOptions FastOptions() {
+  SimHarnessOptions options;
+  options.simulate_processing_costs = false;
+  return options;
+}
+
+constexpr std::uint32_t kQueueLocal = 10;
+constexpr std::uint32_t kWorkerLocal = 11;
+constexpr std::uint32_t kProducerLocal = 12;
+
+class WorkerAgent final : public mom::Agent {
+ public:
+  void React(mom::ReactionContext& ctx, const mom::Message& message) override {
+    (void)ctx;
+    auto task = DecodeTask(message);
+    if (task.ok()) tasks_.push_back(std::move(task).value());
+  }
+  [[nodiscard]] const std::vector<Task>& tasks() const { return tasks_; }
+
+ private:
+  std::vector<Task> tasks_;
+};
+
+struct QueueFixture {
+  SimHarness harness;
+  QueueAgent* queue = nullptr;
+  std::vector<WorkerAgent*> workers;
+  AgentId queue_id{ServerId(0), kQueueLocal};
+
+  explicit QueueFixture(std::size_t worker_count)
+      : harness(domains::topologies::Bus(2, 3), FastOptions()) {
+    const std::vector<ServerId> worker_servers = {ServerId(1), ServerId(4),
+                                                  ServerId(5)};
+    // Capture by value: the harness re-runs the installer on Restart,
+    // long after this constructor's locals are gone.
+    Status status = harness.Init(
+        [this, worker_count, worker_servers](ServerId id,
+                                             mom::AgentServer& server) {
+          if (id == ServerId(0)) {
+            auto agent = std::make_unique<QueueAgent>();
+            queue = agent.get();
+            server.AttachAgent(kQueueLocal, std::move(agent));
+          }
+          for (std::size_t w = 0; w < worker_count; ++w) {
+            if (id == worker_servers[w]) {
+              auto agent = std::make_unique<WorkerAgent>();
+              workers.push_back(agent.get());
+              server.AttachAgent(kWorkerLocal, std::move(agent));
+            }
+          }
+        });
+    EXPECT_TRUE(status.ok());
+    EXPECT_TRUE(harness.BootAll().ok());
+  }
+
+  void ListenAll() {
+    const std::vector<ServerId> worker_servers = {ServerId(1), ServerId(4),
+                                                  ServerId(5)};
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      ASSERT_TRUE(Listen(harness.server(worker_servers[w]),
+                         AgentId{worker_servers[w], kWorkerLocal}, queue_id)
+                      .ok());
+    }
+    harness.Run();
+  }
+
+  void PutTasks(int count) {
+    for (int i = 0; i < count; ++i) {
+      ASSERT_TRUE(Put(harness.server(ServerId(2)),
+                      AgentId{ServerId(2), kProducerLocal}, queue_id,
+                      "task" + std::to_string(i))
+                      .ok());
+    }
+    harness.Run();
+  }
+};
+
+TEST(Queue, RoundRobinAcrossConsumers) {
+  QueueFixture fx(3);
+  fx.ListenAll();
+  fx.PutTasks(9);
+  ASSERT_EQ(fx.workers.size(), 3u);
+  for (WorkerAgent* worker : fx.workers) {
+    EXPECT_EQ(worker->tasks().size(), 3u);
+  }
+  EXPECT_EQ(fx.queue->dispatched(), 9u);
+  EXPECT_EQ(fx.queue->buffered(), 0u);
+}
+
+TEST(Queue, EachTaskGoesToExactlyOneConsumer) {
+  QueueFixture fx(3);
+  fx.ListenAll();
+  fx.PutTasks(10);
+  std::set<std::string> names;
+  std::size_t total = 0;
+  for (WorkerAgent* worker : fx.workers) {
+    for (const Task& task : worker->tasks()) {
+      names.insert(task.name);
+      ++total;
+      EXPECT_EQ(task.producer, (AgentId{ServerId(2), kProducerLocal}));
+    }
+  }
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(names.size(), 10u);  // no duplicates across workers
+}
+
+TEST(Queue, BuffersUntilAConsumerListens) {
+  QueueFixture fx(1);
+  fx.PutTasks(5);
+  EXPECT_EQ(fx.queue->buffered(), 5u);
+  EXPECT_TRUE(fx.workers[0]->tasks().empty());
+
+  fx.ListenAll();
+  EXPECT_EQ(fx.queue->buffered(), 0u);
+  EXPECT_EQ(fx.workers[0]->tasks().size(), 5u);
+  // Buffered tasks flush in put order.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(fx.workers[0]->tasks()[i].name, "task" + std::to_string(i));
+  }
+}
+
+TEST(Queue, IgnoreStopsDispatchToThatConsumer) {
+  QueueFixture fx(2);
+  fx.ListenAll();
+  fx.PutTasks(4);
+  const std::size_t before = fx.workers[1]->tasks().size();
+  ASSERT_TRUE(Ignore(fx.harness.server(ServerId(4)),
+                     AgentId{ServerId(4), kWorkerLocal}, fx.queue_id)
+                  .ok());
+  fx.harness.Run();
+  fx.PutTasks(4);
+  EXPECT_EQ(fx.workers[1]->tasks().size(), before);  // nothing new
+  EXPECT_EQ(fx.workers[0]->tasks().size(), 2u + 4u);
+}
+
+TEST(Queue, PerConsumerOrderFollowsPutOrder) {
+  QueueFixture fx(2);
+  fx.ListenAll();
+  fx.PutTasks(10);
+  for (WorkerAgent* worker : fx.workers) {
+    int last = -1;
+    for (const Task& task : worker->tasks()) {
+      const int n = std::stoi(task.name.substr(4));
+      EXPECT_GT(n, last);
+      last = n;
+    }
+  }
+}
+
+TEST(Queue, StateSurvivesCrash) {
+  QueueFixture fx(1);
+  fx.PutTasks(3);  // buffered, no consumer yet
+  EXPECT_EQ(fx.queue->buffered(), 3u);
+
+  fx.harness.Crash(ServerId(0));
+  ASSERT_TRUE(fx.harness.Restart(ServerId(0)).ok());
+  fx.harness.Run();
+
+  fx.ListenAll();
+  EXPECT_EQ(fx.workers[0]->tasks().size(), 3u);  // backlog survived
+}
+
+TEST(Queue, DecodeTaskRejectsForeignSubjects) {
+  mom::Message message;
+  message.subject = "something-else";
+  EXPECT_FALSE(DecodeTask(message).ok());
+}
+
+}  // namespace
+}  // namespace cmom::pubsub

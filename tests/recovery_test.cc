@@ -1,0 +1,230 @@
+// Crash/recovery tests: the transactional protocol of Section 5 must
+// deliver exactly once, in causal order, across server crashes, lost
+// frames and restarts from the persistent store.
+#include <gtest/gtest.h>
+
+#include "domains/topologies.h"
+#include "workload/agents.h"
+#include "workload/sim_harness.h"
+
+namespace cmom {
+namespace {
+
+using domains::topologies::Bus;
+using domains::topologies::Flat;
+using workload::ChatterAgent;
+using workload::EchoAgent;
+using workload::SimHarness;
+using workload::SimHarnessOptions;
+using workload::SinkAgent;
+
+SimHarnessOptions FastOptions() {
+  SimHarnessOptions options;
+  options.simulate_processing_costs = false;
+  options.retransmit_timeout_ns = 100 * sim::kMillisecond;
+  return options;
+}
+
+Status VerifyTrace(SimHarness& harness) {
+  auto checker = harness.MakeChecker();
+  const causality::Trace trace = harness.trace().Snapshot();
+  auto report = checker.CheckCausalDelivery(trace);
+  if (!report.causal()) {
+    return Status::Internal(report.violations.front().description);
+  }
+  return checker.CheckExactlyOnce(trace);
+}
+
+TEST(Recovery, FrameLostToCrashedServerIsRetransmitted) {
+  SimHarness harness(Flat(2), FastOptions());
+  SinkAgent* sink = nullptr;
+  auto install = [&](ServerId id, mom::AgentServer& server) {
+    if (id == ServerId(1)) {
+      auto agent = std::make_unique<SinkAgent>();
+      sink = agent.get();
+      server.AttachAgent(1, std::move(agent));
+    }
+  };
+  ASSERT_TRUE(harness.Init(install).ok());
+  ASSERT_TRUE(harness.BootAll().ok());
+
+  // Crash the receiver immediately; the in-flight frame is dropped.
+  ASSERT_TRUE(harness.Send(ServerId(0), 1, ServerId(1), 1, "payload").ok());
+  harness.Crash(ServerId(1));
+  harness.RunUntil(50 * sim::kMillisecond);
+  EXPECT_EQ(harness.server(ServerId(0)).queue_out_size(), 1u);  // unacked
+
+  ASSERT_TRUE(harness.Restart(ServerId(1)).ok());
+  harness.Run();  // retransmission timer fires, delivery completes
+
+  ASSERT_NE(sink, nullptr);
+  EXPECT_EQ(sink->received(), 1u);
+  EXPECT_EQ(harness.server(ServerId(0)).queue_out_size(), 0u);
+  EXPECT_GE(harness.server(ServerId(0)).stats().retransmissions, 1u);
+  EXPECT_TRUE(VerifyTrace(harness).ok());
+}
+
+TEST(Recovery, AgentStateSurvivesCrash) {
+  SimHarness harness(Flat(2), FastOptions());
+  EchoAgent* echo = nullptr;
+  auto install = [&](ServerId id, mom::AgentServer& server) {
+    if (id == ServerId(1)) {
+      auto agent = std::make_unique<EchoAgent>();
+      echo = agent.get();
+      server.AttachAgent(1, std::move(agent));
+    }
+  };
+  ASSERT_TRUE(harness.Init(install).ok());
+  ASSERT_TRUE(harness.BootAll().ok());
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        harness.Send(ServerId(0), 7, ServerId(1), 1, workload::kPing).ok());
+  }
+  harness.Run();
+  EXPECT_EQ(echo->pings_seen(), 3u);
+
+  harness.Crash(ServerId(1));
+  ASSERT_TRUE(harness.Restart(ServerId(1)).ok());
+  harness.Run();
+  // The reattached agent decoded its persistent counter.
+  EXPECT_EQ(echo->pings_seen(), 3u);
+
+  ASSERT_TRUE(
+      harness.Send(ServerId(0), 7, ServerId(1), 1, workload::kPing).ok());
+  harness.Run();
+  EXPECT_EQ(echo->pings_seen(), 4u);
+}
+
+TEST(Recovery, MessageIdsAreNotReusedAfterCrash) {
+  SimHarness harness(Flat(2), FastOptions());
+  ASSERT_TRUE(harness.Init().ok());
+  ASSERT_TRUE(harness.BootAll().ok());
+  const MessageId before =
+      harness.Send(ServerId(0), 1, ServerId(1), 1, "a").value();
+  harness.Run();
+  harness.Crash(ServerId(0));
+  ASSERT_TRUE(harness.Restart(ServerId(0)).ok());
+  harness.Run();
+  const MessageId after =
+      harness.Send(ServerId(0), 1, ServerId(1), 1, "b").value();
+  harness.Run();
+  EXPECT_GT(after.seq, before.seq);
+  EXPECT_TRUE(VerifyTrace(harness).ok());
+}
+
+TEST(Recovery, HeldBackMessageSurvivesCrash) {
+  // Triangle: S0 -> S1 (m1, slow link), S0 -> S2 (m2), S2's reaction
+  // sends m3 to S1.  m3 arrives first and is held.  S1 crashes with m3
+  // in the hold-back queue; after recovery m1 arrives, and m3 must
+  // still be delivered -- after m1.
+  SimHarness harness(Flat(3), FastOptions());
+  SinkAgent* sink = nullptr;
+  auto install = [&](ServerId id, mom::AgentServer& server) {
+    if (id == ServerId(1)) {
+      auto agent = std::make_unique<SinkAgent>();
+      sink = agent.get();
+      server.AttachAgent(1, std::move(agent));
+    }
+  };
+  ASSERT_TRUE(harness.Init(install).ok());
+  ASSERT_TRUE(harness.BootAll().ok());
+  harness.network().SetLinkLatency(ServerId(0), ServerId(1),
+                                   400 * sim::kMillisecond);
+
+  const MessageId m1 =
+      harness.Send(ServerId(0), 1, ServerId(1), 1, "direct").value();
+  ASSERT_TRUE(
+      harness.Send(ServerId(0), 1, ServerId(2), 1, "relay").ok());  // m2
+  harness.RunUntil(10 * sim::kMillisecond);  // m2 delivered at S2
+  // m3: S2 -> S1, causally after m2, whose stamp carries S2's knowledge
+  // of m1 (learned from m2's stamp) -- so S1 must hold m3 back.
+  const MessageId m3 =
+      harness.Send(ServerId(2), 1, ServerId(1), 1, "indirect").value();
+  harness.RunUntil(50 * sim::kMillisecond);
+  EXPECT_EQ(harness.server(ServerId(1)).holdback_size(), 1u);
+
+  harness.Crash(ServerId(1));
+  ASSERT_TRUE(harness.Restart(ServerId(1)).ok());
+  EXPECT_EQ(harness.server(ServerId(1)).holdback_size(), 1u);  // recovered
+
+  harness.Run();
+  ASSERT_NE(sink, nullptr);
+  ASSERT_EQ(sink->received(), 2u);
+  EXPECT_EQ(sink->order()[0], m1);  // causal order respected
+  EXPECT_EQ(sink->order()[1], m3);
+  EXPECT_TRUE(VerifyTrace(harness).ok());
+}
+
+TEST(Recovery, RouterCrashMidForwardRecovers) {
+  // Bus(2,3): S1 -> S5 routes S1 -> S0 -> S3 -> S5.  Crash the backbone
+  // router S3 while traffic flows; everything still arrives once, in
+  // order.
+  SimHarness harness(Bus(2, 3), FastOptions());
+  SinkAgent* sink = nullptr;
+  auto install = [&](ServerId id, mom::AgentServer& server) {
+    if (id == ServerId(5)) {
+      auto agent = std::make_unique<SinkAgent>();
+      sink = agent.get();
+      server.AttachAgent(1, std::move(agent));
+    }
+  };
+  ASSERT_TRUE(harness.Init(install).ok());
+  ASSERT_TRUE(harness.BootAll().ok());
+
+  std::vector<MessageId> sent;
+  for (int i = 0; i < 5; ++i) {
+    sent.push_back(
+        harness.Send(ServerId(1), 1, ServerId(5), 1, "msg").value());
+  }
+  // Let the first frames reach the router, then crash it.
+  harness.RunUntil(1 * sim::kMillisecond);
+  harness.Crash(ServerId(3));
+  harness.RunUntil(30 * sim::kMillisecond);
+  ASSERT_TRUE(harness.Restart(ServerId(3)).ok());
+  harness.Run();
+
+  ASSERT_NE(sink, nullptr);
+  EXPECT_EQ(sink->received(), 5u);
+  EXPECT_EQ(sink->order(), sent);
+  EXPECT_TRUE(VerifyTrace(harness).ok());
+  EXPECT_TRUE(harness.CheckQuiescent().ok());
+}
+
+TEST(Recovery, RepeatedCrashesDuringChatterStaysConsistent) {
+  auto config = Bus(3, 3);
+  SimHarness harness(config, FastOptions());
+  std::vector<AgentId> peers;
+  for (ServerId id : config.servers) peers.push_back(AgentId{id, 1});
+  auto install = [&](ServerId id, mom::AgentServer& server) {
+    server.AttachAgent(
+        1, std::make_unique<ChatterAgent>(100 + id.value(), peers));
+  };
+  ASSERT_TRUE(harness.Init(install).ok());
+  ASSERT_TRUE(harness.BootAll().ok());
+
+  for (ServerId id : config.servers) {
+    ASSERT_TRUE(harness
+                    .Send(id, 1, id, 1, workload::kChat,
+                          ChatterAgent::MakeChatPayload(5))
+                    .ok());
+  }
+  // Crash a different server every 20 ms for a while, restarting the
+  // previous victim.
+  const ServerId victims[] = {ServerId(0), ServerId(3), ServerId(6),
+                              ServerId(1), ServerId(4)};
+  sim::Time when = 5 * sim::kMillisecond;
+  for (ServerId victim : victims) {
+    harness.RunUntil(when);
+    harness.Crash(victim);
+    harness.RunUntil(when + 10 * sim::kMillisecond);
+    ASSERT_TRUE(harness.Restart(victim).ok());
+    when += 20 * sim::kMillisecond;
+  }
+  harness.Run();
+  EXPECT_TRUE(VerifyTrace(harness).ok());
+  EXPECT_TRUE(harness.CheckQuiescent().ok());
+}
+
+}  // namespace
+}  // namespace cmom

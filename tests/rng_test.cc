@@ -1,0 +1,124 @@
+// Unit and property tests for the deterministic RNG (common/rng.h).
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace cmom {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() != b.NextU64()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.NextBelow(bound), bound);
+  }
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BoolRespectsProbabilityRoughly) {
+  Rng rng(4);
+  int trues = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.25)) ++trues;
+  }
+  EXPECT_NEAR(trues, 2500, 200);
+}
+
+TEST(Rng, ZipfSkewsTowardSmallRanks) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.NextZipf(10, 1.0)];
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[0], counts[9]);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0), 10000);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(5);
+  std::vector<int> items(50);
+  std::iota(items.begin(), items.end(), 0);
+  auto original = items;
+  rng.Shuffle(items);
+  EXPECT_NE(items, original);  // astronomically unlikely to be identity
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, original);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(42);
+  Rng child = parent.Fork();
+  // Parent's continued stream should not equal the child's.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.NextU64() == child.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+// Determinism sweep: the same seed must reproduce the same sequence
+// across test invocations (hard-coded golden values guard against
+// accidental algorithm changes that would break replayability).
+TEST(Rng, GoldenSequence) {
+  Rng rng(0);
+  EXPECT_EQ(rng.NextU64(), 7960286522194355700ull);
+  EXPECT_EQ(rng.NextU64(), 487617019471545679ull);
+  EXPECT_EQ(rng.NextU64(), 17909611376780542444ull);
+}
+
+class RngRangeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngRangeSweep, UniformishOverSmallBound) {
+  const std::uint64_t bound = GetParam();
+  Rng rng(bound * 31 + 1);
+  std::vector<int> counts(bound, 0);
+  const int samples = 2000 * static_cast<int>(bound);
+  for (int i = 0; i < samples; ++i) ++counts[rng.NextBelow(bound)];
+  for (std::uint64_t v = 0; v < bound; ++v) {
+    EXPECT_NEAR(counts[v], 2000, 350) << "bound " << bound << " value " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngRangeSweep,
+                         ::testing::Values(2, 3, 5, 7, 16));
+
+}  // namespace
+}  // namespace cmom

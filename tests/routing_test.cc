@@ -1,0 +1,99 @@
+// Tests for boot-time shortest-path routing tables.
+#include "domains/routing.h"
+
+#include <gtest/gtest.h>
+
+#include "domains/topologies.h"
+
+namespace cmom::domains {
+namespace {
+
+ServerId S(std::uint16_t v) { return ServerId(v); }
+
+TEST(Routing, DirectDeliveryInsideOneDomain) {
+  auto table = RoutingTable::Build(topologies::Flat(4)).value();
+  for (std::uint16_t a = 0; a < 4; ++a) {
+    for (std::uint16_t b = 0; b < 4; ++b) {
+      EXPECT_EQ(table.NextHop(S(a), S(b)), S(b));
+      EXPECT_EQ(table.HopCount(S(a), S(b)), a == b ? 0u : 1u);
+    }
+  }
+}
+
+TEST(Routing, BusRoutesThroughBackboneRouters) {
+  // Bus(3,3): leaves {0,1,2},{3,4,5},{6,7,8}; backbone {0,3,6}.
+  auto table = RoutingTable::Build(topologies::Bus(3, 3)).value();
+  // S1 (leaf 0) to S8 (leaf 2): S1 -> S0 -> S6 -> S8.
+  EXPECT_EQ(table.NextHop(S(1), S(8)), S(0));
+  EXPECT_EQ(table.NextHop(S(0), S(8)), S(6));
+  EXPECT_EQ(table.NextHop(S(6), S(8)), S(8));
+  EXPECT_EQ(table.HopCount(S(1), S(8)), 3u);
+  // Backbone members reach each other directly.
+  EXPECT_EQ(table.NextHop(S(0), S(6)), S(6));
+  EXPECT_EQ(table.HopCount(S(0), S(6)), 1u);
+}
+
+TEST(Routing, DaisyWalksTheChain) {
+  // Daisy(3,3): domains {0,1,2},{2,3,4},{4,5,6}.
+  auto table = RoutingTable::Build(topologies::Daisy(3, 3)).value();
+  EXPECT_EQ(table.NextHop(S(0), S(6)), S(2));
+  EXPECT_EQ(table.NextHop(S(2), S(6)), S(4));
+  EXPECT_EQ(table.NextHop(S(4), S(6)), S(6));
+  EXPECT_EQ(table.HopCount(S(0), S(6)), 3u);
+}
+
+TEST(Routing, HopCountIsSymmetricOnUndirectedTopologies) {
+  auto config = topologies::Tree(2, 4, 2);
+  auto table = RoutingTable::Build(config).value();
+  for (ServerId a : config.servers) {
+    for (ServerId b : config.servers) {
+      EXPECT_EQ(table.HopCount(a, b), table.HopCount(b, a));
+    }
+  }
+}
+
+TEST(Routing, NextHopAlwaysMakesProgress) {
+  auto config = topologies::Tree(3, 5, 2);
+  auto table = RoutingTable::Build(config).value();
+  for (ServerId a : config.servers) {
+    for (ServerId b : config.servers) {
+      if (a == b) continue;
+      const ServerId hop = table.NextHop(a, b);
+      EXPECT_EQ(table.HopCount(a, b), table.HopCount(hop, b) + 1)
+          << to_string(a) << " -> " << to_string(b);
+    }
+  }
+}
+
+TEST(Routing, DisconnectedGraphRejected) {
+  MomConfig config;
+  config.servers = {S(0), S(1), S(2), S(3)};
+  config.domains = {{DomainId(0), {S(0), S(1)}},
+                    {DomainId(1), {S(2), S(3)}}};
+  auto table = RoutingTable::Build(config);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Routing, DeterministicTieBreakPrefersSmallerNextHop) {
+  // Two equal-length routes: S0 -> {S1 or S2} -> S3.
+  MomConfig config;
+  config.servers = {S(0), S(1), S(2), S(3)};
+  config.domains = {{DomainId(0), {S(0), S(1), S(2)}},
+                    {DomainId(1), {S(1), S(2), S(3)}}};
+  auto table = RoutingTable::Build(config).value();
+  EXPECT_EQ(table.NextHop(S(0), S(3)), S(1));
+}
+
+TEST(Routing, NonContiguousServerIds) {
+  MomConfig config;
+  config.servers = {S(10), S(20), S(30)};
+  config.domains = {{DomainId(0), {S(10), S(20)}},
+                    {DomainId(1), {S(20), S(30)}}};
+  auto table = RoutingTable::Build(config).value();
+  EXPECT_EQ(table.NextHop(S(10), S(30)), S(20));
+  EXPECT_EQ(table.HopCount(S(10), S(30)), 2u);
+}
+
+}  // namespace
+}  // namespace cmom::domains

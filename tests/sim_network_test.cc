@@ -1,0 +1,157 @@
+// Unit tests for the simulated network: latency math, per-link FIFO,
+// fault injection and statistics.
+#include "net/sim_network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cmom::net {
+namespace {
+
+struct Fixture {
+  sim::Simulator simulator;
+  CostModel cost;
+  std::unique_ptr<SimNetwork> network;
+  std::unique_ptr<Endpoint> a;
+  std::unique_ptr<Endpoint> b;
+
+  explicit Fixture(FaultModel faults = {}, std::uint64_t seed = 1) {
+    cost.wire_latency = 100;
+    cost.per_wire_byte = 10;
+    network = std::make_unique<SimNetwork>(simulator, cost, faults, seed);
+    a = network->CreateEndpoint(ServerId(0)).value();
+    b = network->CreateEndpoint(ServerId(1)).value();
+  }
+};
+
+TEST(SimNetwork, DeliversWithModeledLatency) {
+  Fixture fx;
+  std::vector<sim::Time> arrivals;
+  fx.b->SetReceiveHandler([&](ServerId from, Bytes frame) {
+    EXPECT_EQ(from, ServerId(0));
+    EXPECT_EQ(frame.size(), 4u);
+    arrivals.push_back(fx.simulator.now());
+  });
+  ASSERT_TRUE(fx.a->Send(ServerId(1), Bytes{1, 2, 3, 4}).ok());
+  fx.simulator.RunToCompletion();
+  ASSERT_EQ(arrivals.size(), 1u);
+  // 4 bytes * 10 ns + 100 ns latency = 140 ns.
+  EXPECT_EQ(arrivals[0], 140u);
+}
+
+TEST(SimNetwork, PerLinkFifoEvenWithBackToBackSends) {
+  Fixture fx;
+  std::vector<int> order;
+  fx.b->SetReceiveHandler([&](ServerId, Bytes frame) {
+    order.push_back(frame[0]);
+  });
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fx.a->Send(ServerId(1), Bytes{i}).ok());
+  }
+  fx.simulator.RunToCompletion();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimNetwork, TransmissionQueueingSerializesLink) {
+  // Two 10-byte frames back to back: the second starts transmitting
+  // only after the first finished (100 ns each), so arrivals are
+  // 100+100=200 and 200+100=300.
+  Fixture fx;
+  std::vector<sim::Time> arrivals;
+  fx.b->SetReceiveHandler(
+      [&](ServerId, Bytes) { arrivals.push_back(fx.simulator.now()); });
+  ASSERT_TRUE(fx.a->Send(ServerId(1), Bytes(10, 0)).ok());
+  ASSERT_TRUE(fx.a->Send(ServerId(1), Bytes(10, 0)).ok());
+  fx.simulator.RunToCompletion();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], 200u);
+  EXPECT_EQ(arrivals[1], 300u);
+}
+
+TEST(SimNetwork, UnknownDestinationFailsFast) {
+  Fixture fx;
+  const Status status = fx.a->Send(ServerId(42), Bytes{1});
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(SimNetwork, DuplicateEndpointRejected) {
+  Fixture fx;
+  auto dup = fx.network->CreateEndpoint(ServerId(0));
+  EXPECT_FALSE(dup.ok());
+}
+
+TEST(SimNetwork, DropsLoseFramesSilently) {
+  FaultModel faults;
+  faults.drop_probability = 1.0;
+  Fixture fx(faults);
+  int received = 0;
+  fx.b->SetReceiveHandler([&](ServerId, Bytes) { ++received; });
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(fx.a->Send(ServerId(1), Bytes{1}).ok());  // sender unaware
+  }
+  fx.simulator.RunToCompletion();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(fx.network->frames_dropped(), 5u);
+}
+
+TEST(SimNetwork, DuplicatesDeliverTwice) {
+  FaultModel faults;
+  faults.duplicate_probability = 1.0;
+  Fixture fx(faults);
+  int received = 0;
+  fx.b->SetReceiveHandler([&](ServerId, Bytes) { ++received; });
+  ASSERT_TRUE(fx.a->Send(ServerId(1), Bytes{1}).ok());
+  fx.simulator.RunToCompletion();
+  EXPECT_EQ(received, 2);
+}
+
+TEST(SimNetwork, JitterWithoutReorderingKeepsFifo) {
+  FaultModel faults;
+  faults.jitter_probability = 0.5;
+  faults.max_jitter = 10000;
+  faults.allow_reordering = false;
+  Fixture fx(faults, /*seed=*/7);
+  std::vector<int> order;
+  fx.b->SetReceiveHandler(
+      [&](ServerId, Bytes frame) { order.push_back(frame[0]); });
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(fx.a->Send(ServerId(1), Bytes{i}).ok());
+  }
+  fx.simulator.RunToCompletion();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimNetwork, ExtraLinkLatencyAppliesToOneDirection) {
+  Fixture fx;
+  fx.network->SetLinkLatency(ServerId(0), ServerId(1), 1000000);
+  std::vector<sim::Time> b_arrivals, a_arrivals;
+  fx.b->SetReceiveHandler(
+      [&](ServerId, Bytes) { b_arrivals.push_back(fx.simulator.now()); });
+  fx.a->SetReceiveHandler(
+      [&](ServerId, Bytes) { a_arrivals.push_back(fx.simulator.now()); });
+  ASSERT_TRUE(fx.a->Send(ServerId(1), Bytes{1}).ok());
+  ASSERT_TRUE(fx.b->Send(ServerId(0), Bytes{1}).ok());
+  fx.simulator.RunToCompletion();
+  ASSERT_EQ(b_arrivals.size(), 1u);
+  ASSERT_EQ(a_arrivals.size(), 1u);
+  EXPECT_EQ(b_arrivals[0], 1000110u);  // slow direction
+  EXPECT_EQ(a_arrivals[0], 110u);      // normal direction
+}
+
+TEST(SimNetwork, StatsCountFramesAndBytes) {
+  Fixture fx;
+  fx.b->SetReceiveHandler([](ServerId, Bytes) {});
+  ASSERT_TRUE(fx.a->Send(ServerId(1), Bytes(7, 0)).ok());
+  ASSERT_TRUE(fx.a->Send(ServerId(1), Bytes(3, 0)).ok());
+  EXPECT_EQ(fx.network->frames_sent(), 2u);
+  EXPECT_EQ(fx.network->bytes_sent(), 10u);
+  fx.network->ResetStats();
+  EXPECT_EQ(fx.network->frames_sent(), 0u);
+  EXPECT_EQ(fx.network->bytes_sent(), 0u);
+}
+
+}  // namespace
+}  // namespace cmom::net

@@ -1,0 +1,105 @@
+// Unit tests for the discrete-event simulator core.
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cmom::sim {
+namespace {
+
+TEST(Simulator, StartsIdleAtTimeZero) {
+  Simulator simulator;
+  EXPECT_EQ(simulator.now(), 0u);
+  EXPECT_TRUE(simulator.idle());
+  EXPECT_FALSE(simulator.Step());
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.ScheduleAt(30, [&] { order.push_back(3); });
+  simulator.ScheduleAt(10, [&] { order.push_back(1); });
+  simulator.ScheduleAt(20, [&] { order.push_back(2); });
+  EXPECT_EQ(simulator.RunToCompletion(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.now(), 30u);
+}
+
+TEST(Simulator, EqualTimesRunInSchedulingOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    simulator.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  simulator.RunToCompletion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, CallbacksMayScheduleMore) {
+  Simulator simulator;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) simulator.ScheduleAfter(10, chain);
+  };
+  simulator.ScheduleAfter(10, chain);
+  simulator.RunToCompletion();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(simulator.now(), 50u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.ScheduleAt(10, [&] { order.push_back(1); });
+  simulator.ScheduleAt(20, [&] { order.push_back(2); });
+  simulator.ScheduleAt(30, [&] { order.push_back(3); });
+  EXPECT_EQ(simulator.RunUntil(20), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(simulator.now(), 20u);
+  EXPECT_EQ(simulator.pending(), 1u);
+  simulator.RunToCompletion();
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator simulator;
+  simulator.RunUntil(1000);
+  EXPECT_EQ(simulator.now(), 1000u);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator simulator;
+  Time observed = 0;
+  simulator.ScheduleAt(100, [&] {
+    simulator.ScheduleAfter(50, [&] { observed = simulator.now(); });
+  });
+  simulator.RunToCompletion();
+  EXPECT_EQ(observed, 150u);
+}
+
+TEST(Simulator, DurationHelpers) {
+  EXPECT_EQ(kMillisecond, 1000u * kMicrosecond);
+  EXPECT_EQ(kSecond, 1000u * kMillisecond);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(2 * kMillisecond + 500 * kMicrosecond),
+                   2.5);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  auto run = [] {
+    Simulator simulator;
+    std::vector<std::uint64_t> trace;
+    for (int i = 0; i < 100; ++i) {
+      simulator.ScheduleAt((i * 37) % 50, [&trace, &simulator] {
+        trace.push_back(simulator.now());
+      });
+    }
+    simulator.RunToCompletion();
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace cmom::sim

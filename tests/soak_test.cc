@@ -1,0 +1,86 @@
+// Soak tests: larger topologies, deeper causal chains, faults and
+// modeled costs together -- the closest thing to production traffic
+// the simulator can produce, with the full oracle at the end.
+#include <gtest/gtest.h>
+
+#include "domains/topologies.h"
+#include "workload/agents.h"
+#include "workload/metrics.h"
+#include "workload/sim_harness.h"
+
+namespace cmom {
+namespace {
+
+using workload::ChatterAgent;
+using workload::SimHarness;
+using workload::SimHarnessOptions;
+
+struct SoakCase {
+  const char* name;
+  domains::MomConfig config;
+  std::uint32_t hops;
+};
+
+class Soak : public ::testing::TestWithParam<int> {};
+
+TEST_P(Soak, LargeChatterStormStaysCorrect) {
+  SoakCase cases[] = {
+      {"bus 5x5", domains::topologies::Bus(5, 5), 8},
+      {"tree k=3 s=6 d=2", domains::topologies::Tree(3, 6, 2), 8},
+      {"daisy 6x5", domains::topologies::Daisy(6, 5), 6},
+  };
+  SoakCase& test_case = cases[GetParam()];
+  const auto& config = test_case.config;
+
+  SimHarnessOptions options;
+  options.simulate_processing_costs = true;  // full cost model active
+  options.fault_model.drop_probability = 0.05;
+  options.fault_model.duplicate_probability = 0.05;
+  options.fault_model.jitter_probability = 0.2;
+  options.fault_model.max_jitter = 100 * sim::kMillisecond;
+  options.retransmit_timeout_ns = 200 * sim::kMillisecond;
+  options.fault_seed = 20260706;
+
+  SimHarness harness(config, options);
+  std::vector<AgentId> peers;
+  for (ServerId id : config.servers) peers.push_back(AgentId{id, 1});
+  ASSERT_TRUE(harness
+                  .Init([&](ServerId id, mom::AgentServer& server) {
+                    server.AttachAgent(1, std::make_unique<ChatterAgent>(
+                                              911 + id.value(), peers));
+                  })
+                  .ok());
+  ASSERT_TRUE(harness.BootAll().ok());
+
+  for (ServerId id : config.servers) {
+    ASSERT_TRUE(harness
+                    .Send(id, 1, id, 1, workload::kChat,
+                          ChatterAgent::MakeChatPayload(test_case.hops))
+                    .ok());
+  }
+  harness.Run();
+
+  auto checker = harness.MakeChecker();
+  const causality::Trace trace = harness.trace().Snapshot();
+  auto report = checker.CheckCausalDelivery(trace);
+  EXPECT_TRUE(report.causal())
+      << test_case.name << ": " << report.violations.front().description;
+  EXPECT_TRUE(checker.CheckExactlyOnce(trace).ok()) << test_case.name;
+  EXPECT_TRUE(harness.CheckQuiescent().ok()) << test_case.name;
+
+  // The storm must have actually stressed the system.
+  workload::MetricsSummary summary;
+  for (ServerId id : config.servers) {
+    summary.Add(id, harness.server(id), harness.store(id));
+  }
+  EXPECT_GT(summary.TotalDelivered(), 3u * config.servers.size())
+      << test_case.name;
+  EXPECT_GT(summary.TotalForwarded(), 0u) << test_case.name;
+  EXPECT_GT(summary.TotalRetransmissions(), 0u) << test_case.name;
+  EXPECT_GT(summary.TotalDiskBytes(), 0u) << test_case.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, Soak, ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace cmom

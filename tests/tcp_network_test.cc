@@ -1,0 +1,133 @@
+// Tests for the TCP loopback transport.
+#include "net/tcp_network.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cmom::net {
+namespace {
+
+// Each test gets its own port range to avoid clashes between tests
+// run in one ctest invocation.
+std::uint16_t NextBasePort() {
+  static std::atomic<std::uint16_t> next{42000};
+  return next.fetch_add(50);
+}
+
+struct Waiter {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::pair<ServerId, Bytes>> received;
+
+  ReceiveHandler Handler() {
+    return [this](ServerId from, Bytes frame) {
+      std::lock_guard lock(mutex);
+      received.emplace_back(from, std::move(frame));
+      cv.notify_all();
+    };
+  }
+
+  bool WaitForCount(std::size_t count) {
+    std::unique_lock lock(mutex);
+    return cv.wait_for(lock, std::chrono::seconds(10),
+                       [&] { return received.size() >= count; });
+  }
+};
+
+TEST(TcpNetwork, DeliversFrames) {
+  TcpNetwork network(NextBasePort());
+  auto a = network.CreateEndpoint(ServerId(0)).value();
+  auto b = network.CreateEndpoint(ServerId(1)).value();
+  Waiter waiter;
+  b->SetReceiveHandler(waiter.Handler());
+
+  ASSERT_TRUE(a->Send(ServerId(1), Bytes{1, 2, 3}).ok());
+  ASSERT_TRUE(waiter.WaitForCount(1));
+  EXPECT_EQ(waiter.received[0].first, ServerId(0));
+  EXPECT_EQ(waiter.received[0].second, (Bytes{1, 2, 3}));
+}
+
+TEST(TcpNetwork, FifoOrderOverOneConnection) {
+  TcpNetwork network(NextBasePort());
+  auto a = network.CreateEndpoint(ServerId(0)).value();
+  auto b = network.CreateEndpoint(ServerId(1)).value();
+  Waiter waiter;
+  b->SetReceiveHandler(waiter.Handler());
+
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(a->Send(ServerId(1), Bytes{i}).ok());
+  }
+  ASSERT_TRUE(waiter.WaitForCount(100));
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(waiter.received[i].second[0], i);
+  }
+}
+
+TEST(TcpNetwork, LargeFramesSurviveChunkedReads) {
+  TcpNetwork network(NextBasePort());
+  auto a = network.CreateEndpoint(ServerId(0)).value();
+  auto b = network.CreateEndpoint(ServerId(1)).value();
+  Waiter waiter;
+  b->SetReceiveHandler(waiter.Handler());
+
+  Bytes big(512 * 1024);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  ASSERT_TRUE(a->Send(ServerId(1), big).ok());
+  ASSERT_TRUE(waiter.WaitForCount(1));
+  EXPECT_EQ(waiter.received[0].second, big);
+}
+
+TEST(TcpNetwork, EmptyPayloadFrame) {
+  TcpNetwork network(NextBasePort());
+  auto a = network.CreateEndpoint(ServerId(0)).value();
+  auto b = network.CreateEndpoint(ServerId(1)).value();
+  Waiter waiter;
+  b->SetReceiveHandler(waiter.Handler());
+  ASSERT_TRUE(a->Send(ServerId(1), Bytes{}).ok());
+  ASSERT_TRUE(waiter.WaitForCount(1));
+  EXPECT_TRUE(waiter.received[0].second.empty());
+}
+
+TEST(TcpNetwork, ManyPeersIntoOneReceiver) {
+  TcpNetwork network(NextBasePort());
+  auto hub = network.CreateEndpoint(ServerId(0)).value();
+  Waiter waiter;
+  hub->SetReceiveHandler(waiter.Handler());
+
+  std::vector<std::unique_ptr<Endpoint>> peers;
+  for (std::uint16_t i = 1; i <= 5; ++i) {
+    peers.push_back(network.CreateEndpoint(ServerId(i)).value());
+  }
+  for (auto& peer : peers) {
+    ASSERT_TRUE(peer->Send(ServerId(0),
+                           Bytes{static_cast<std::uint8_t>(
+                               peer->self().value())})
+                    .ok());
+  }
+  ASSERT_TRUE(waiter.WaitForCount(5));
+  // Each sender id appears exactly once.
+  std::vector<int> seen(6, 0);
+  for (auto& [from, frame] : waiter.received) {
+    EXPECT_EQ(from.value(), frame[0]);
+    ++seen[from.value()];
+  }
+  for (int i = 1; i <= 5; ++i) EXPECT_EQ(seen[i], 1);
+}
+
+TEST(TcpNetwork, SendToUnboundPortFails) {
+  TcpNetwork network(NextBasePort());
+  auto a = network.CreateEndpoint(ServerId(0)).value();
+  const Status status = a->Send(ServerId(40), Bytes{1});
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace cmom::net

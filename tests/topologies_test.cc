@@ -1,0 +1,132 @@
+// Property tests for the topology builders: server counts match the
+// paper's formulas, canonical organizations validate as deployments,
+// and the ring is the only cyclic one.
+#include "domains/topologies.h"
+
+#include <gtest/gtest.h>
+
+#include "domains/deployment.h"
+#include "domains/domain_graph.h"
+
+namespace cmom::domains::topologies {
+namespace {
+
+TEST(Flat, OneDomainWithAllServers) {
+  auto config = Flat(7);
+  EXPECT_EQ(config.servers.size(), 7u);
+  ASSERT_EQ(config.domains.size(), 1u);
+  EXPECT_EQ(config.domains[0].members.size(), 7u);
+  EXPECT_TRUE(Deployment::Create(config).ok());
+}
+
+class BusSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(BusSweep, StructureInvariants) {
+  const auto [k, s] = GetParam();
+  auto config = Bus(k, s);
+  EXPECT_EQ(config.servers.size(), k * s);
+  ASSERT_EQ(config.domains.size(), k + 1);  // backbone + k leaves
+  EXPECT_EQ(config.domains[0].members.size(), k);  // backbone
+  for (std::size_t leaf = 1; leaf <= k; ++leaf) {
+    EXPECT_EQ(config.domains[leaf].members.size(), s);
+  }
+  auto deployment = Deployment::Create(config);
+  ASSERT_TRUE(deployment.ok()) << deployment.status();
+  EXPECT_TRUE(deployment.value().domain_graph().IsAcyclic());
+  // Exactly the k backbone members are routers (for s >= 2).
+  if (s >= 2) {
+    EXPECT_EQ(deployment.value().domain_graph().routers().size(), k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BusSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 12),
+                       ::testing::Values(1, 2, 4, 12)));
+
+class DaisySweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(DaisySweep, StructureInvariants) {
+  const auto [k, s] = GetParam();
+  auto config = Daisy(k, s);
+  EXPECT_EQ(config.servers.size(), k * s - (k - 1));
+  EXPECT_EQ(config.domains.size(), k);
+  auto deployment = Deployment::Create(config);
+  ASSERT_TRUE(deployment.ok()) << deployment.status();
+  // Adjacent domains share exactly one server; diameter is k hops...
+  if (k >= 2) {
+    EXPECT_EQ(deployment.value().domain_graph().routers().size(), k - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, DaisySweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 8),
+                       ::testing::Values(2, 3, 7)));
+
+class TreeSweep : public ::testing::TestWithParam<
+                      std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(TreeSweep, MatchesThePapersFormula) {
+  const auto [branching, s, depth] = GetParam();
+  if (branching > s - 1) GTEST_SKIP() << "requires branching <= s-1";
+  auto config = Tree(branching, s, depth);
+  // n = 1 + (s-1) (k^(d+1) - 1) / (k - 1); for k=1 the sum is d+1 terms.
+  std::size_t domain_count = 0;
+  std::size_t power = 1;
+  for (std::size_t level = 0; level <= depth; ++level) {
+    domain_count += power;
+    power *= branching;
+  }
+  EXPECT_EQ(config.domains.size(), domain_count);
+  EXPECT_EQ(config.servers.size(), 1 + (s - 1) * domain_count);
+  auto deployment = Deployment::Create(config);
+  ASSERT_TRUE(deployment.ok()) << deployment.status();
+  EXPECT_TRUE(deployment.value().domain_graph().IsAcyclic());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TreeSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(3, 4, 6),
+                       ::testing::Values(0, 1, 2, 3)));
+
+TEST(Ring, IsCyclicAndSized) {
+  for (std::size_t k = 2; k <= 5; ++k) {
+    auto config = Ring(k, 4);
+    EXPECT_EQ(config.servers.size(), k * 3);
+    EXPECT_TRUE(config.allow_cyclic_domain_graph);
+    EXPECT_FALSE(DomainGraph::Build(config).IsAcyclic());
+    EXPECT_TRUE(Deployment::Create(config).ok());  // allowed explicitly
+  }
+}
+
+TEST(Ring, MinimalRingOfTwoServersPerDomain) {
+  auto config = Ring(3, 2);
+  EXPECT_EQ(config.servers.size(), 3u);
+  EXPECT_FALSE(DomainGraph::Build(config).IsAcyclic());
+}
+
+TEST(BusForServerCount, RoundsUpToWholeDomains) {
+  auto config = BusForServerCount(10, 4);
+  EXPECT_EQ(config.servers.size(), 12u);  // 3 domains of 4
+  EXPECT_EQ(config.domains.size(), 4u);   // backbone + 3
+  auto exact = BusForServerCount(12, 4);
+  EXPECT_EQ(exact.servers.size(), 12u);
+}
+
+TEST(AllBuilders, ServerIdsAreDenseFromZero) {
+  for (const MomConfig& config :
+       {Flat(5), Bus(3, 4), Daisy(4, 3), Tree(2, 4, 2), Ring(3, 3)}) {
+    for (std::size_t i = 0; i < config.servers.size(); ++i) {
+      EXPECT_EQ(config.servers[i], ServerId(static_cast<std::uint16_t>(i)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cmom::domains::topologies

@@ -1,0 +1,154 @@
+// momd -- one agent server as one OS process, the paper's deployment
+// unit (they ran one JVM per agent server across ten hosts).
+//
+//   momd <config-file> <server-id> [--base-port P] [--store DIR]
+//        [--echo LOCAL_ID] [--ping SERVER:AGENT COUNT]
+//
+// Loads the shared configuration, boots the agent server for
+// <server-id> on TCP 127.0.0.1:(base-port + id), optionally hosts an
+// echo agent, optionally drives COUNT pings to a remote agent, then
+// serves until EOF on stdin.  State persists in the store directory, so
+// killing and restarting a momd recovers mid-stream.
+//
+// A two-terminal smoke run:
+//   momtool topo flat 2 > /tmp/mom.cfg
+//   momd /tmp/mom.cfg 1 --echo 1 &
+//   momd /tmp/mom.cfg 0 --ping 1:1 5
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "domains/config_io.h"
+#include "domains/deployment.h"
+#include "mom/agent_server.h"
+#include "mom/file_store.h"
+#include "net/runtime.h"
+#include "net/tcp_network.h"
+#include "workload/agents.h"
+
+using namespace cmom;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "momd: %s\n", status.to_string().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: momd <config-file> <server-id> [--base-port P] "
+                 "[--store DIR] [--echo LOCAL_ID] "
+                 "[--ping SERVER:AGENT COUNT]\n");
+    return 2;
+  }
+  const std::string config_path = argv[1];
+  const ServerId self(static_cast<std::uint16_t>(std::stoul(argv[2])));
+
+  std::uint16_t base_port = 46000;
+  std::string store_dir;
+  std::uint32_t echo_local = 0;
+  bool run_echo = false;
+  ServerId ping_server(0);
+  std::uint32_t ping_agent = 0;
+  std::size_t ping_count = 0;
+
+  for (int arg = 3; arg < argc; ++arg) {
+    if (std::strcmp(argv[arg], "--base-port") == 0 && arg + 1 < argc) {
+      base_port = static_cast<std::uint16_t>(std::stoul(argv[++arg]));
+    } else if (std::strcmp(argv[arg], "--store") == 0 && arg + 1 < argc) {
+      store_dir = argv[++arg];
+    } else if (std::strcmp(argv[arg], "--echo") == 0 && arg + 1 < argc) {
+      run_echo = true;
+      echo_local = static_cast<std::uint32_t>(std::stoul(argv[++arg]));
+    } else if (std::strcmp(argv[arg], "--ping") == 0 && arg + 2 < argc) {
+      const std::string target = argv[++arg];
+      const auto colon = target.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "momd: --ping expects SERVER:AGENT\n");
+        return 2;
+      }
+      ping_server = ServerId(
+          static_cast<std::uint16_t>(std::stoul(target.substr(0, colon))));
+      ping_agent = static_cast<std::uint32_t>(
+          std::stoul(target.substr(colon + 1)));
+      ping_count = std::stoul(argv[++arg]);
+    } else {
+      std::fprintf(stderr, "momd: unknown argument '%s'\n", argv[arg]);
+      return 2;
+    }
+  }
+  if (store_dir.empty()) {
+    store_dir = "momd-store-" + std::to_string(self.value());
+  }
+
+  auto config = domains::LoadMomConfig(config_path);
+  if (!config.ok()) return Fail(config.status());
+  auto deployment = domains::Deployment::Create(config.value());
+  if (!deployment.ok()) return Fail(deployment.status());
+
+  net::TcpNetwork network(base_port);
+  net::ThreadRuntime runtime;
+  auto endpoint = network.CreateEndpoint(self);
+  if (!endpoint.ok()) return Fail(endpoint.status());
+  auto store = mom::FileStore::Open(store_dir);
+  if (!store.ok()) return Fail(store.status());
+
+  mom::AgentServer server(deployment.value(), self, endpoint.value().get(),
+                          &runtime, store.value().get());
+  workload::EchoAgent* echo = nullptr;
+  workload::PingPongDriver* driver = nullptr;
+  constexpr std::uint32_t kDriverLocal = 1000;
+  if (run_echo) {
+    auto agent = std::make_unique<workload::EchoAgent>();
+    echo = agent.get();
+    server.AttachAgent(echo_local, std::move(agent));
+  }
+  if (ping_count > 0) {
+    auto agent = std::make_unique<workload::PingPongDriver>(
+        AgentId{ping_server, ping_agent}, ping_count);
+    driver = agent.get();
+    server.AttachAgent(kDriverLocal, std::move(agent));
+  }
+  if (Status status = server.Boot(); !status.ok()) return Fail(status);
+  std::printf("momd: %s up on 127.0.0.1:%u, store '%s'\n",
+              to_string(self).c_str(), network.PortFor(self),
+              store_dir.c_str());
+
+  if (driver != nullptr) {
+    auto start = server.SendMessage(AgentId{self, kDriverLocal},
+                                    AgentId{self, kDriverLocal},
+                                    workload::kStart);
+    if (!start.ok()) return Fail(start.status());
+    while (!driver->done()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    std::uint64_t total = 0;
+    for (std::uint64_t rtt : driver->round_trip_ns()) total += rtt;
+    std::printf("momd: %zu pings to %s:%u, avg RTT %.3f ms\n",
+                driver->round_trip_ns().size(),
+                to_string(ping_server).c_str(), ping_agent,
+                static_cast<double>(total) /
+                    static_cast<double>(driver->round_trip_ns().size()) /
+                    1e6);
+    server.Shutdown();
+    return 0;
+  }
+
+  // Serve until stdin closes (Ctrl-D or the orchestrating script's
+  // pipe teardown).
+  std::printf("momd: serving (EOF on stdin to stop)%s\n",
+              echo != nullptr ? ", echo agent attached" : "");
+  std::fflush(stdout);
+  while (std::fgetc(stdin) != EOF) {
+  }
+  if (echo != nullptr) {
+    std::printf("momd: echoed %llu pings\n",
+                static_cast<unsigned long long>(echo->pings_seen()));
+  }
+  server.Shutdown();
+  return 0;
+}

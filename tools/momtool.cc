@@ -1,0 +1,176 @@
+// momtool -- command-line administration for domain-partitioned MOMs.
+//
+//   momtool validate <config>             check a configuration: ids,
+//                                         coverage, routing, and the
+//                                         theorem's acyclicity condition
+//   momtool routes <config> <from> <to>   print the routed path
+//   momtool topo <kind> <args...>         emit a canonical topology:
+//       flat <n> | bus <k> <s> | daisy <k> <s> | tree <k> <s> <d> |
+//       ring <k> <s>
+//   momtool split <traffic> <max-size>    traffic-aware domain split
+//                                         (Section 7 future work);
+//                                         emits the config, plus cost
+//                                         vs the naive index bus
+//   momtool estimate <config> <traffic>   analytic cost of a config
+//                                         under a traffic profile
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "domains/config_io.h"
+#include "domains/deployment.h"
+#include "domains/splitter.h"
+#include "domains/topologies.h"
+
+using namespace cmom;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  return 1;
+}
+
+int Validate(const std::string& path) {
+  auto config = domains::LoadMomConfig(path);
+  if (!config.ok()) return Fail(config.status());
+  auto deployment = domains::Deployment::Create(config.value());
+  if (!deployment.ok()) return Fail(deployment.status());
+  const auto& d = deployment.value();
+
+  std::size_t diameter = 0;
+  for (ServerId a : d.servers()) {
+    for (ServerId b : d.servers()) {
+      diameter = std::max(diameter, d.routing().HopCount(a, b));
+    }
+  }
+  std::size_t max_domain = 0;
+  for (const auto& domain : d.domains()) {
+    max_domain = std::max(max_domain, domain.size());
+  }
+  std::printf("OK: %zu servers, %zu domains, %zu causal router-servers\n",
+              d.servers().size(), d.domains().size(),
+              d.domain_graph().routers().size());
+  std::printf("domain graph: acyclic, %s\n",
+              d.domain_graph().IsConnected() ? "connected" : "DISCONNECTED");
+  std::printf("largest domain: %zu servers (matrix %zux%zu)\n", max_domain,
+              max_domain, max_domain);
+  std::printf("routing diameter: %zu hops\n", diameter);
+  return 0;
+}
+
+int Routes(const std::string& path, const std::string& from_str,
+           const std::string& to_str) {
+  auto config = domains::LoadMomConfig(path);
+  if (!config.ok()) return Fail(config.status());
+  auto deployment = domains::Deployment::Create(config.value());
+  if (!deployment.ok()) return Fail(deployment.status());
+  const auto& d = deployment.value();
+
+  const ServerId from(static_cast<std::uint16_t>(std::stoul(from_str)));
+  const ServerId to(static_cast<std::uint16_t>(std::stoul(to_str)));
+  std::printf("%s", to_string(from).c_str());
+  ServerId at = from;
+  while (at != to) {
+    const ServerId hop = d.routing().NextHop(at, to);
+    auto link = d.LinkDomainIndex(at, hop);
+    std::printf(" -[%s]-> %s",
+                link.ok() ? to_string(d.domain(link.value()).id).c_str()
+                          : "?",
+                to_string(hop).c_str());
+    at = hop;
+  }
+  std::printf("   (%zu hops)\n", d.routing().HopCount(from, to));
+  return 0;
+}
+
+int Topo(int argc, char** argv) {
+  const std::string kind = argv[0];
+  auto arg = [&](int i) {
+    return static_cast<std::size_t>(std::stoul(argv[i]));
+  };
+  domains::MomConfig config;
+  if (kind == "flat" && argc == 2) {
+    config = domains::topologies::Flat(arg(1));
+  } else if (kind == "bus" && argc == 3) {
+    config = domains::topologies::Bus(arg(1), arg(2));
+  } else if (kind == "daisy" && argc == 3) {
+    config = domains::topologies::Daisy(arg(1), arg(2));
+  } else if (kind == "tree" && argc == 4) {
+    config = domains::topologies::Tree(arg(1), arg(2), arg(3));
+  } else if (kind == "ring" && argc == 3) {
+    config = domains::topologies::Ring(arg(1), arg(2));
+  } else {
+    std::fprintf(stderr, "usage: momtool topo flat <n> | bus <k> <s> | "
+                         "daisy <k> <s> | tree <k> <s> <d> | ring <k> <s>\n");
+    return 1;
+  }
+  std::fputs(domains::FormatMomConfig(config).c_str(), stdout);
+  return 0;
+}
+
+int Split(const std::string& traffic_path, const std::string& size_str) {
+  auto traffic = domains::LoadTrafficProfile(traffic_path);
+  if (!traffic.ok()) return Fail(traffic.status());
+  domains::SplitterOptions options;
+  options.max_domain_size =
+      static_cast<std::size_t>(std::stoul(size_str));
+  auto config = domains::DomainSplitter::Split(traffic.value(), options);
+  if (!config.ok()) return Fail(config.status());
+
+  const auto naive = domains::DomainSplitter::NaiveSplit(
+      traffic.value().server_count(), options);
+  const double optimized_cost =
+      domains::CostEstimator::Estimate(config.value(), traffic.value())
+          .value_or(-1);
+  const double naive_cost =
+      domains::CostEstimator::Estimate(naive, traffic.value()).value_or(-1);
+
+  std::fputs(domains::FormatMomConfig(config.value()).c_str(), stdout);
+  std::fprintf(stderr,
+               "# analytic cost: %.1f (naive index bus: %.1f, %.1fx)\n",
+               optimized_cost, naive_cost,
+               optimized_cost > 0 ? naive_cost / optimized_cost : 0.0);
+  return 0;
+}
+
+int Estimate(const std::string& config_path,
+             const std::string& traffic_path) {
+  auto config = domains::LoadMomConfig(config_path);
+  if (!config.ok()) return Fail(config.status());
+  auto traffic = domains::LoadTrafficProfile(traffic_path);
+  if (!traffic.ok()) return Fail(traffic.status());
+  auto cost = domains::CostEstimator::Estimate(config.value(),
+                                               traffic.value());
+  if (!cost.ok()) return Fail(cost.status());
+  std::printf("analytic cost: %.2f\n", cost.value());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "validate") == 0) {
+    return Validate(argv[2]);
+  }
+  if (argc == 5 && std::strcmp(argv[1], "routes") == 0) {
+    return Routes(argv[2], argv[3], argv[4]);
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "topo") == 0) {
+    return Topo(argc - 2, argv + 2);
+  }
+  if (argc == 4 && std::strcmp(argv[1], "split") == 0) {
+    return Split(argv[2], argv[3]);
+  }
+  if (argc == 4 && std::strcmp(argv[1], "estimate") == 0) {
+    return Estimate(argv[2], argv[3]);
+  }
+  std::fprintf(stderr,
+               "usage:\n"
+               "  momtool validate <config>\n"
+               "  momtool routes <config> <from> <to>\n"
+               "  momtool topo <kind> <args...>\n"
+               "  momtool split <traffic> <max-domain-size>\n"
+               "  momtool estimate <config> <traffic>\n");
+  return 2;
+}
