@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendixA_updates_ablation.dir/appendixA_updates_ablation.cc.o"
+  "CMakeFiles/appendixA_updates_ablation.dir/appendixA_updates_ablation.cc.o.d"
+  "appendixA_updates_ablation"
+  "appendixA_updates_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendixA_updates_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

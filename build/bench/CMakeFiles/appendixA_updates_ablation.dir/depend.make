@@ -1,0 +1,2 @@
+# Empty dependencies file for appendixA_updates_ablation.
+# This may be replaced when dependencies are built.

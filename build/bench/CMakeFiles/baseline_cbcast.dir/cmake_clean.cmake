@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_cbcast.dir/baseline_cbcast.cc.o"
+  "CMakeFiles/baseline_cbcast.dir/baseline_cbcast.cc.o.d"
+  "baseline_cbcast"
+  "baseline_cbcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_cbcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

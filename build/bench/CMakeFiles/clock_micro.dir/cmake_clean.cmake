@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_micro.dir/clock_micro.cc.o"
+  "CMakeFiles/clock_micro.dir/clock_micro.cc.o.d"
+  "clock_micro"
+  "clock_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

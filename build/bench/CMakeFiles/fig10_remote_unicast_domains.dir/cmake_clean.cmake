@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_remote_unicast_domains.dir/fig10_remote_unicast_domains.cc.o"
+  "CMakeFiles/fig10_remote_unicast_domains.dir/fig10_remote_unicast_domains.cc.o.d"
+  "fig10_remote_unicast_domains"
+  "fig10_remote_unicast_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_remote_unicast_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

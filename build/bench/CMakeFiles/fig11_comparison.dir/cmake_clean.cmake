@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_comparison.dir/fig11_comparison.cc.o"
+  "CMakeFiles/fig11_comparison.dir/fig11_comparison.cc.o.d"
+  "fig11_comparison"
+  "fig11_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_remote_unicast_flat.dir/fig7_remote_unicast_flat.cc.o"
+  "CMakeFiles/fig7_remote_unicast_flat.dir/fig7_remote_unicast_flat.cc.o.d"
+  "fig7_remote_unicast_flat"
+  "fig7_remote_unicast_flat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_remote_unicast_flat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

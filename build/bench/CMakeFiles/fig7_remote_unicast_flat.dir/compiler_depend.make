@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_remote_unicast_flat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_broadcast_flat.dir/fig8_broadcast_flat.cc.o"
+  "CMakeFiles/fig8_broadcast_flat.dir/fig8_broadcast_flat.cc.o.d"
+  "fig8_broadcast_flat"
+  "fig8_broadcast_flat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_broadcast_flat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

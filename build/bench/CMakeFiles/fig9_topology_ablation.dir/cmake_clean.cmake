@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_topology_ablation.dir/fig9_topology_ablation.cc.o"
+  "CMakeFiles/fig9_topology_ablation.dir/fig9_topology_ablation.cc.o.d"
+  "fig9_topology_ablation"
+  "fig9_topology_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_topology_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

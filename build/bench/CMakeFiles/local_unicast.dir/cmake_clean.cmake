@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_unicast.dir/local_unicast.cc.o"
+  "CMakeFiles/local_unicast.dir/local_unicast.cc.o.d"
+  "local_unicast"
+  "local_unicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_unicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitting_ablation.dir/splitting_ablation.cc.o"
+  "CMakeFiles/splitting_ablation.dir/splitting_ablation.cc.o.d"
+  "splitting_ablation"
+  "splitting_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitting_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

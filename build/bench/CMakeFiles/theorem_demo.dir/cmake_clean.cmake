@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem_demo.dir/theorem_demo.cc.o"
+  "CMakeFiles/theorem_demo.dir/theorem_demo.cc.o.d"
+  "theorem_demo"
+  "theorem_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_cost_model.dir/tree_cost_model.cc.o"
+  "CMakeFiles/tree_cost_model.dir/tree_cost_model.cc.o.d"
+  "tree_cost_model"
+  "tree_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wallclock_crosscheck.dir/wallclock_crosscheck.cc.o"
+  "CMakeFiles/wallclock_crosscheck.dir/wallclock_crosscheck.cc.o.d"
+  "wallclock_crosscheck"
+  "wallclock_crosscheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wallclock_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

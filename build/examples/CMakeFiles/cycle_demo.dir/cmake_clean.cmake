@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycle_demo.dir/cycle_demo.cpp.o"
+  "CMakeFiles/cycle_demo.dir/cycle_demo.cpp.o.d"
+  "cycle_demo"
+  "cycle_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycle_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

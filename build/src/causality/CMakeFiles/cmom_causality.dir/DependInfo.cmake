@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/causality/chains.cc" "src/causality/CMakeFiles/cmom_causality.dir/chains.cc.o" "gcc" "src/causality/CMakeFiles/cmom_causality.dir/chains.cc.o.d"
+  "/root/repo/src/causality/checker.cc" "src/causality/CMakeFiles/cmom_causality.dir/checker.cc.o" "gcc" "src/causality/CMakeFiles/cmom_causality.dir/checker.cc.o.d"
+  "/root/repo/src/causality/paths.cc" "src/causality/CMakeFiles/cmom_causality.dir/paths.cc.o" "gcc" "src/causality/CMakeFiles/cmom_causality.dir/paths.cc.o.d"
+  "/root/repo/src/causality/trace.cc" "src/causality/CMakeFiles/cmom_causality.dir/trace.cc.o" "gcc" "src/causality/CMakeFiles/cmom_causality.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cmom_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocks/CMakeFiles/cmom_clocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/domains/CMakeFiles/cmom_domains.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmom_causality.dir/chains.cc.o"
+  "CMakeFiles/cmom_causality.dir/chains.cc.o.d"
+  "CMakeFiles/cmom_causality.dir/checker.cc.o"
+  "CMakeFiles/cmom_causality.dir/checker.cc.o.d"
+  "CMakeFiles/cmom_causality.dir/paths.cc.o"
+  "CMakeFiles/cmom_causality.dir/paths.cc.o.d"
+  "CMakeFiles/cmom_causality.dir/trace.cc.o"
+  "CMakeFiles/cmom_causality.dir/trace.cc.o.d"
+  "libcmom_causality.a"
+  "libcmom_causality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmom_causality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

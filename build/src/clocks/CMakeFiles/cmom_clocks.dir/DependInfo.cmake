@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clocks/causal_clock.cc" "src/clocks/CMakeFiles/cmom_clocks.dir/causal_clock.cc.o" "gcc" "src/clocks/CMakeFiles/cmom_clocks.dir/causal_clock.cc.o.d"
+  "/root/repo/src/clocks/cbcast.cc" "src/clocks/CMakeFiles/cmom_clocks.dir/cbcast.cc.o" "gcc" "src/clocks/CMakeFiles/cmom_clocks.dir/cbcast.cc.o.d"
+  "/root/repo/src/clocks/matrix_clock.cc" "src/clocks/CMakeFiles/cmom_clocks.dir/matrix_clock.cc.o" "gcc" "src/clocks/CMakeFiles/cmom_clocks.dir/matrix_clock.cc.o.d"
+  "/root/repo/src/clocks/stamp.cc" "src/clocks/CMakeFiles/cmom_clocks.dir/stamp.cc.o" "gcc" "src/clocks/CMakeFiles/cmom_clocks.dir/stamp.cc.o.d"
+  "/root/repo/src/clocks/updates_tracker.cc" "src/clocks/CMakeFiles/cmom_clocks.dir/updates_tracker.cc.o" "gcc" "src/clocks/CMakeFiles/cmom_clocks.dir/updates_tracker.cc.o.d"
+  "/root/repo/src/clocks/vector_clock.cc" "src/clocks/CMakeFiles/cmom_clocks.dir/vector_clock.cc.o" "gcc" "src/clocks/CMakeFiles/cmom_clocks.dir/vector_clock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cmom_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

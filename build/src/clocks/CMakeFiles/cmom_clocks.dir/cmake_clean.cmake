@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmom_clocks.dir/causal_clock.cc.o"
+  "CMakeFiles/cmom_clocks.dir/causal_clock.cc.o.d"
+  "CMakeFiles/cmom_clocks.dir/cbcast.cc.o"
+  "CMakeFiles/cmom_clocks.dir/cbcast.cc.o.d"
+  "CMakeFiles/cmom_clocks.dir/matrix_clock.cc.o"
+  "CMakeFiles/cmom_clocks.dir/matrix_clock.cc.o.d"
+  "CMakeFiles/cmom_clocks.dir/stamp.cc.o"
+  "CMakeFiles/cmom_clocks.dir/stamp.cc.o.d"
+  "CMakeFiles/cmom_clocks.dir/updates_tracker.cc.o"
+  "CMakeFiles/cmom_clocks.dir/updates_tracker.cc.o.d"
+  "CMakeFiles/cmom_clocks.dir/vector_clock.cc.o"
+  "CMakeFiles/cmom_clocks.dir/vector_clock.cc.o.d"
+  "libcmom_clocks.a"
+  "libcmom_clocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmom_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmom_common.dir/bytes.cc.o"
+  "CMakeFiles/cmom_common.dir/bytes.cc.o.d"
+  "CMakeFiles/cmom_common.dir/log.cc.o"
+  "CMakeFiles/cmom_common.dir/log.cc.o.d"
+  "libcmom_common.a"
+  "libcmom_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmom_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/domains/config_io.cc" "src/domains/CMakeFiles/cmom_domains.dir/config_io.cc.o" "gcc" "src/domains/CMakeFiles/cmom_domains.dir/config_io.cc.o.d"
+  "/root/repo/src/domains/deployment.cc" "src/domains/CMakeFiles/cmom_domains.dir/deployment.cc.o" "gcc" "src/domains/CMakeFiles/cmom_domains.dir/deployment.cc.o.d"
+  "/root/repo/src/domains/domain_graph.cc" "src/domains/CMakeFiles/cmom_domains.dir/domain_graph.cc.o" "gcc" "src/domains/CMakeFiles/cmom_domains.dir/domain_graph.cc.o.d"
+  "/root/repo/src/domains/routing.cc" "src/domains/CMakeFiles/cmom_domains.dir/routing.cc.o" "gcc" "src/domains/CMakeFiles/cmom_domains.dir/routing.cc.o.d"
+  "/root/repo/src/domains/splitter.cc" "src/domains/CMakeFiles/cmom_domains.dir/splitter.cc.o" "gcc" "src/domains/CMakeFiles/cmom_domains.dir/splitter.cc.o.d"
+  "/root/repo/src/domains/topologies.cc" "src/domains/CMakeFiles/cmom_domains.dir/topologies.cc.o" "gcc" "src/domains/CMakeFiles/cmom_domains.dir/topologies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cmom_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocks/CMakeFiles/cmom_clocks.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmom_domains.dir/config_io.cc.o"
+  "CMakeFiles/cmom_domains.dir/config_io.cc.o.d"
+  "CMakeFiles/cmom_domains.dir/deployment.cc.o"
+  "CMakeFiles/cmom_domains.dir/deployment.cc.o.d"
+  "CMakeFiles/cmom_domains.dir/domain_graph.cc.o"
+  "CMakeFiles/cmom_domains.dir/domain_graph.cc.o.d"
+  "CMakeFiles/cmom_domains.dir/routing.cc.o"
+  "CMakeFiles/cmom_domains.dir/routing.cc.o.d"
+  "CMakeFiles/cmom_domains.dir/splitter.cc.o"
+  "CMakeFiles/cmom_domains.dir/splitter.cc.o.d"
+  "CMakeFiles/cmom_domains.dir/topologies.cc.o"
+  "CMakeFiles/cmom_domains.dir/topologies.cc.o.d"
+  "libcmom_domains.a"
+  "libcmom_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmom_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmom_mom.dir/agent_server.cc.o"
+  "CMakeFiles/cmom_mom.dir/agent_server.cc.o.d"
+  "CMakeFiles/cmom_mom.dir/file_store.cc.o"
+  "CMakeFiles/cmom_mom.dir/file_store.cc.o.d"
+  "CMakeFiles/cmom_mom.dir/message.cc.o"
+  "CMakeFiles/cmom_mom.dir/message.cc.o.d"
+  "CMakeFiles/cmom_mom.dir/store.cc.o"
+  "CMakeFiles/cmom_mom.dir/store.cc.o.d"
+  "libcmom_mom.a"
+  "libcmom_mom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmom_mom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

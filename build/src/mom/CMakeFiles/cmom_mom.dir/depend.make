@@ -1,0 +1,2 @@
+# Empty dependencies file for cmom_mom.
+# This may be replaced when dependencies are built.

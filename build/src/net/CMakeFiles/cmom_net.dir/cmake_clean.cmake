@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmom_net.dir/inproc_network.cc.o"
+  "CMakeFiles/cmom_net.dir/inproc_network.cc.o.d"
+  "CMakeFiles/cmom_net.dir/runtime.cc.o"
+  "CMakeFiles/cmom_net.dir/runtime.cc.o.d"
+  "CMakeFiles/cmom_net.dir/sim_network.cc.o"
+  "CMakeFiles/cmom_net.dir/sim_network.cc.o.d"
+  "CMakeFiles/cmom_net.dir/tcp_network.cc.o"
+  "CMakeFiles/cmom_net.dir/tcp_network.cc.o.d"
+  "libcmom_net.a"
+  "libcmom_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmom_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcmom_net.a"
+)

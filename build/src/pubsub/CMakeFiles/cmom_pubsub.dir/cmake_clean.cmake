@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmom_pubsub.dir/queue.cc.o"
+  "CMakeFiles/cmom_pubsub.dir/queue.cc.o.d"
+  "CMakeFiles/cmom_pubsub.dir/topic.cc.o"
+  "CMakeFiles/cmom_pubsub.dir/topic.cc.o.d"
+  "libcmom_pubsub.a"
+  "libcmom_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmom_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmom_sim.dir/simulator.cc.o"
+  "CMakeFiles/cmom_sim.dir/simulator.cc.o.d"
+  "libcmom_sim.a"
+  "libcmom_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmom_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

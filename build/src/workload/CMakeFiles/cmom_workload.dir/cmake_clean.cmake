@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmom_workload.dir/agents.cc.o"
+  "CMakeFiles/cmom_workload.dir/agents.cc.o.d"
+  "CMakeFiles/cmom_workload.dir/experiments.cc.o"
+  "CMakeFiles/cmom_workload.dir/experiments.cc.o.d"
+  "CMakeFiles/cmom_workload.dir/fit.cc.o"
+  "CMakeFiles/cmom_workload.dir/fit.cc.o.d"
+  "CMakeFiles/cmom_workload.dir/metrics.cc.o"
+  "CMakeFiles/cmom_workload.dir/metrics.cc.o.d"
+  "CMakeFiles/cmom_workload.dir/sim_harness.cc.o"
+  "CMakeFiles/cmom_workload.dir/sim_harness.cc.o.d"
+  "CMakeFiles/cmom_workload.dir/threaded_harness.cc.o"
+  "CMakeFiles/cmom_workload.dir/threaded_harness.cc.o.d"
+  "libcmom_workload.a"
+  "libcmom_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmom_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agent_server_test.dir/agent_server_test.cc.o"
+  "CMakeFiles/agent_server_test.dir/agent_server_test.cc.o.d"
+  "agent_server_test"
+  "agent_server_test.pdb"
+  "agent_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causal_clock_test.dir/causal_clock_test.cc.o"
+  "CMakeFiles/causal_clock_test.dir/causal_clock_test.cc.o.d"
+  "causal_clock_test"
+  "causal_clock_test.pdb"
+  "causal_clock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causal_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

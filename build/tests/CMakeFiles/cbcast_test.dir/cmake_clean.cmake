@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbcast_test.dir/cbcast_test.cc.o"
+  "CMakeFiles/cbcast_test.dir/cbcast_test.cc.o.d"
+  "cbcast_test"
+  "cbcast_test.pdb"
+  "cbcast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbcast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

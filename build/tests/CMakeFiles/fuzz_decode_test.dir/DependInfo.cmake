@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fuzz_decode_test.cc" "tests/CMakeFiles/fuzz_decode_test.dir/fuzz_decode_test.cc.o" "gcc" "tests/CMakeFiles/fuzz_decode_test.dir/fuzz_decode_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/cmom_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/cmom_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/mom/CMakeFiles/cmom_mom.dir/DependInfo.cmake"
+  "/root/repo/build/src/causality/CMakeFiles/cmom_causality.dir/DependInfo.cmake"
+  "/root/repo/build/src/domains/CMakeFiles/cmom_domains.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cmom_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cmom_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clocks/CMakeFiles/cmom_clocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cmom_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

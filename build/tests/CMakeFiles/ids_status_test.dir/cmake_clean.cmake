@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_status_test.dir/ids_status_test.cc.o"
+  "CMakeFiles/ids_status_test.dir/ids_status_test.cc.o.d"
+  "ids_status_test"
+  "ids_status_test.pdb"
+  "ids_status_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_status_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inproc_network_test.dir/inproc_network_test.cc.o"
+  "CMakeFiles/inproc_network_test.dir/inproc_network_test.cc.o.d"
+  "inproc_network_test"
+  "inproc_network_test.pdb"
+  "inproc_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inproc_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

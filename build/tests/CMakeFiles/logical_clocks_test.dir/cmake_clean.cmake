@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logical_clocks_test.dir/logical_clocks_test.cc.o"
+  "CMakeFiles/logical_clocks_test.dir/logical_clocks_test.cc.o.d"
+  "logical_clocks_test"
+  "logical_clocks_test.pdb"
+  "logical_clocks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logical_clocks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_clock_test.dir/matrix_clock_test.cc.o"
+  "CMakeFiles/matrix_clock_test.dir/matrix_clock_test.cc.o.d"
+  "matrix_clock_test"
+  "matrix_clock_test.pdb"
+  "matrix_clock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

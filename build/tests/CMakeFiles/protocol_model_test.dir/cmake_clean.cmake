@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_model_test.dir/protocol_model_test.cc.o"
+  "CMakeFiles/protocol_model_test.dir/protocol_model_test.cc.o.d"
+  "protocol_model_test"
+  "protocol_model_test.pdb"
+  "protocol_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_semantics_test.dir/router_semantics_test.cc.o"
+  "CMakeFiles/router_semantics_test.dir/router_semantics_test.cc.o.d"
+  "router_semantics_test"
+  "router_semantics_test.pdb"
+  "router_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_harness_test.dir/threaded_harness_test.cc.o"
+  "CMakeFiles/threaded_harness_test.dir/threaded_harness_test.cc.o.d"
+  "threaded_harness_test"
+  "threaded_harness_test.pdb"
+  "threaded_harness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_harness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

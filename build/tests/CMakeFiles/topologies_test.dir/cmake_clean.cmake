@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topologies_test.dir/topologies_test.cc.o"
+  "CMakeFiles/topologies_test.dir/topologies_test.cc.o.d"
+  "topologies_test"
+  "topologies_test.pdb"
+  "topologies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topologies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updates_tracker_test.dir/updates_tracker_test.cc.o"
+  "CMakeFiles/updates_tracker_test.dir/updates_tracker_test.cc.o.d"
+  "updates_tracker_test"
+  "updates_tracker_test.pdb"
+  "updates_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updates_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

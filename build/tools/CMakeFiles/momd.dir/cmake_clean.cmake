@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/momd.dir/momd.cc.o"
+  "CMakeFiles/momd.dir/momd.cc.o.d"
+  "momd"
+  "momd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/momd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/momtool.dir/momtool.cc.o"
+  "CMakeFiles/momtool.dir/momtool.cc.o.d"
+  "momtool"
+  "momtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/momtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
