@@ -21,7 +21,7 @@ using namespace cmom;
 
 namespace {
 
-constexpr std::uint16_t kBasePort = 45100;
+constexpr std::uint16_t kBasePort = 24100;
 
 class InventoryAgent final : public mom::Agent {
  public:

@@ -69,15 +69,25 @@ AgentServer::AgentServer(const domains::Deployment& deployment, ServerId self,
   assert(endpoint_->self() == self_);
 }
 
-AgentServer::~AgentServer() { Shutdown(); }
+AgentServer::~AgentServer() { Halt(); }
+
+void AgentServer::Halt() {
+  Shutdown();
+  // Bar pending runtime callbacks (and wait out any mid-flight one,
+  // including a retransmission currently handing frames to the
+  // endpoint) before the members they reference go away.
+  std::lock_guard hold(life_->mutex);
+  life_->alive = false;
+}
 
 void AgentServer::Shutdown() {
   std::lock_guard lock(mutex_);
   if (shutdown_) return;
   shutdown_ = true;
-  alive_->store(false);
   // Drop frames arriving after shutdown; the durable state in the
-  // store is what the next Boot resumes from.
+  // store is what the next Boot resumes from.  Timer callbacks keep
+  // firing until destruction but become no-ops via the shutdown_ check
+  // in Post.
   endpoint_->SetReceiveHandler([](ServerId, Bytes) {});
 }
 
@@ -161,8 +171,9 @@ void AgentServer::PumpLocked() {
       // modeled cost; the server stays busy (work_running_) meanwhile.
       const std::uint64_t cost = options_.cost_model->ProcessingCost(
           entries, txn_bytes_marker_);
-      runtime_->After(cost, [this, alive = alive_] {
-        if (!alive->load()) return;
+      runtime_->After(cost, [this, life = life_] {
+        std::lock_guard hold(life->mutex);
+        if (!life->alive) return;
         std::vector<std::pair<ServerId, Bytes>> frames;
         {
           std::lock_guard relock(mutex_);
@@ -173,12 +184,7 @@ void AgentServer::PumpLocked() {
           }
           engine_step_needed_ = false;
         }
-        for (auto& [to, bytes] : frames) {
-          Status status = endpoint_->Send(to, std::move(bytes));
-          if (!status.ok()) {
-            CMOM_LOG(kWarning) << "send failed: " << status;
-          }
-        }
+        FlushFrames(std::move(frames));
         std::unique_lock relock(mutex_);
         work_running_ = false;
         PumpLocked();
@@ -196,16 +202,31 @@ void AgentServer::PumpLocked() {
     engine_step_needed_ = false;
     if (!frames.empty()) {
       mutex_.unlock();
-      for (auto& [to, bytes] : frames) {
-        Status status = endpoint_->Send(to, std::move(bytes));
-        if (!status.ok()) {
-          CMOM_LOG(kWarning) << "send failed: " << status;
-        }
-      }
+      FlushFrames(std::move(frames));
       mutex_.lock();
     }
   }
   work_running_ = false;
+}
+
+// Hands staged frames to the transport.  A refusal (supervised outbox
+// overflow, unreachable peer) is not an error for the protocol: the
+// message stays in QueueOUT and its retransmission timer re-emits it
+// with the original stamp, so delivery converges once the transport
+// recovers.  Called without mutex_ held.
+void AgentServer::FlushFrames(std::vector<std::pair<ServerId, Bytes>> frames) {
+  for (auto& [to, bytes] : frames) {
+    Status status = endpoint_->Send(to, std::move(bytes));
+    if (!status.ok()) {
+      {
+        std::lock_guard lock(mutex_);
+        ++stats_.transport_send_failures;
+      }
+      CMOM_LOG(kWarning) << to_string(self_) << ": transport refused frame to "
+                         << to_string(to) << " (" << status
+                         << "); relying on retransmission";
+    }
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -446,8 +467,9 @@ void AgentServer::ScheduleRetransmit(MessageId id,
                                      std::uint32_t attempts_so_far) {
   const std::uint32_t shift = std::min<std::uint32_t>(attempts_so_far, 6);
   const std::uint64_t delay = options_.retransmit_timeout_ns << shift;
-  runtime_->After(delay, [this, id, alive = alive_] {
-    if (!alive->load()) return;
+  runtime_->After(delay, [this, id, life = life_] {
+    std::lock_guard hold(life->mutex);
+    if (!life->alive) return;
     Post([this, id]() -> std::size_t {
       auto it = std::find_if(
           queue_out_.begin(), queue_out_.end(),

@@ -81,6 +81,9 @@ struct ServerStats {
   std::uint64_t retransmissions = 0;
   std::uint64_t stamp_bytes_sent = 0;     // wire cost of causal stamps
   std::uint64_t commits = 0;
+  // Frames the transport refused (e.g. supervised outbox overflow);
+  // each is covered by a later QueueOUT retransmission.
+  std::uint64_t transport_send_failures = 0;
 };
 
 class AgentServer {
@@ -109,6 +112,13 @@ class AgentServer {
   // Stops accepting frames and timers.  Pending durable state remains
   // in the store for the next Boot.
   void Shutdown();
+
+  // Crash-test teardown barrier: Shutdown() plus waiting out (and
+  // permanently barring) every pending runtime callback.  After Halt
+  // returns the server never touches its endpoint again, so a chaos
+  // test may destroy the endpoint before the server object --
+  // simulating a whole-process kill one subsystem at a time.
+  void Halt();
 
   // Application-level send on behalf of a local agent.  Thread-safe.
   // `from.server` must be this server.
@@ -176,6 +186,7 @@ class AgentServer {
   // returns entries touched.  Emits the data frame.
   std::size_t StampAndEnqueue(Message message);
   void EmitFrame(ServerId to, Bytes bytes);
+  void FlushFrames(std::vector<std::pair<ServerId, Bytes>> frames);
   // Schedules the next retransmission check for `id`.  The delay grows
   // exponentially with the attempts already made (capped at 64x the
   // base timeout) so a backlogged peer is probed, not bombarded.
@@ -201,13 +212,17 @@ class AgentServer {
                                     std::string subject, Bytes payload);
 
   // Deferred runtime callbacks (retransmit timers, simulated-cost
-  // continuations) capture this token and bail out once the server is
-  // shut down or destroyed; crash tests destroy servers while such
-  // callbacks are still scheduled.  (Fully safe on the single-threaded
-  // simulated runtime; on the threaded runtime, Shutdown() and
-  // quiescence must precede destruction, which the harnesses ensure.)
-  std::shared_ptr<std::atomic<bool>> alive_ =
-      std::make_shared<std::atomic<bool>>(true);
+  // continuations) capture this token; each callback holds the token's
+  // mutex for its whole body and bails out when `alive` is false.  The
+  // destructor sets `alive` under the same mutex, which both bars
+  // future callbacks and waits out any callback currently mid-flight --
+  // so chaos tests may destroy a server at any moment, even with
+  // timers pending on a threaded runtime.
+  struct LifeToken {
+    std::mutex mutex;
+    bool alive = true;
+  };
+  std::shared_ptr<LifeToken> life_ = std::make_shared<LifeToken>();
 
   const domains::Deployment* deployment_;
   ServerId self_;

@@ -1,0 +1,219 @@
+#include "net/faulty_network.h"
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace cmom::net {
+
+namespace {
+std::uint64_t LinkKey(ServerId from, ServerId to) {
+  return (static_cast<std::uint64_t>(from.value()) << 16) | to.value();
+}
+}  // namespace
+
+// Wraps (and owns) one inner endpoint; every Send runs through the
+// network's fault pipeline.
+class FaultyNetwork::FaultyEndpoint final : public Endpoint {
+ public:
+  FaultyEndpoint(FaultyNetwork& network, std::unique_ptr<Endpoint> inner)
+      : network_(&network), inner_(std::move(inner)) {
+    std::lock_guard lock(network_->mutex_);
+    network_->live_[inner_->self()] = inner_.get();
+  }
+
+  ~FaultyEndpoint() override {
+    std::lock_guard lock(network_->mutex_);
+    network_->live_.erase(inner_->self());
+  }
+
+  [[nodiscard]] ServerId self() const override { return inner_->self(); }
+
+  Status Send(ServerId to, Bytes frame) override {
+    return network_->InjectedSend(inner_->self(), to, std::move(frame));
+  }
+
+  void SetReceiveHandler(ReceiveHandler handler) override {
+    inner_->SetReceiveHandler(std::move(handler));
+  }
+
+  void Disconnect(ServerId peer) override { inner_->Disconnect(peer); }
+
+  [[nodiscard]] TransportStats stats() const override {
+    return inner_->stats();
+  }
+
+ private:
+  FaultyNetwork* network_;
+  std::unique_ptr<Endpoint> inner_;
+};
+
+FaultyNetwork::FaultyNetwork(Network& inner, FaultyNetworkOptions options,
+                             Runtime* runtime)
+    : inner_(&inner),
+      options_(options),
+      runtime_(runtime),
+      rng_(options.seed) {}
+
+FaultyNetwork::~FaultyNetwork() = default;
+
+Result<std::unique_ptr<Endpoint>> FaultyNetwork::CreateEndpoint(ServerId id) {
+  auto inner = inner_->CreateEndpoint(id);
+  if (!inner.ok()) return inner.status();
+  return {std::make_unique<FaultyEndpoint>(*this, std::move(inner).value())};
+}
+
+Status FaultyNetwork::InjectedSend(ServerId from, ServerId to, Bytes frame) {
+  bool duplicate = false;
+  std::uint64_t delay_ns = 0;
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.frames_seen;
+    auto sender = live_.find(from);
+    if (sender == live_.end()) return Status::NotFound("sender gone");
+
+    if (options_.disconnect_probability > 0 &&
+        rng_.NextBool(options_.disconnect_probability)) {
+      ++stats_.disconnects_forced;
+      sender->second->Disconnect(to);
+    }
+    if (rng_.NextBool(options_.model.drop_probability)) {
+      ++stats_.frames_dropped;
+      return Status::Ok();  // silently lost, as on a lossy wire
+    }
+    duplicate = rng_.NextBool(options_.model.duplicate_probability);
+    if (duplicate) ++stats_.frames_duplicated;
+
+    if (runtime_ != nullptr &&
+        rng_.NextBool(options_.model.jitter_probability)) {
+      delay_ns = rng_.NextBelow(
+          static_cast<std::uint64_t>(options_.model.max_jitter) + 1);
+    }
+
+    if (!options_.model.allow_reordering && runtime_ != nullptr) {
+      // FIFO release: a delayed frame holds back everything sent after
+      // it on the link.  Scheduling stays under the lock so After calls
+      // happen in send order with non-decreasing deadlines, and while
+      // any frame of the link is parked on a timer, undelayed frames go
+      // through the timer too -- a lagging timer thread must not let
+      // them overtake.
+      const std::uint64_t key = LinkKey(from, to);
+      const std::uint64_t now = runtime_->NowNs();
+      std::uint64_t& link_release = link_release_ns_[key];
+      const std::uint64_t release = std::max(link_release, now + delay_ns);
+      link_release = release;
+      delay_ns = release - now;
+      if (delay_ns > 0 || link_pending_[key] > 0) {
+        if (delay_ns > 0) ++stats_.frames_delayed;
+        const std::size_t copies = duplicate ? 2 : 1;
+        link_pending_[key] += copies;
+        pending_delayed_ += copies;
+        if (duplicate) ScheduleFifoLocked(key, from, to, frame, delay_ns);
+        ScheduleFifoLocked(key, from, to, std::move(frame), delay_ns);
+        return Status::Ok();
+      }
+      link_pending_.erase(key);
+      delay_ns = 0;  // link idle and no jitter: forward directly below
+    } else if (delay_ns > 0) {
+      ++stats_.frames_delayed;
+    }
+  }
+
+  if (duplicate) {
+    Bytes copy = frame;
+    if (delay_ns == 0) {
+      ForwardNow(from, to, std::move(copy));
+    } else {
+      ScheduleDelayed(from, to, std::move(copy), delay_ns);
+    }
+  }
+  if (delay_ns == 0) {
+    ForwardNow(from, to, std::move(frame));
+  } else {
+    ScheduleDelayed(from, to, std::move(frame), delay_ns);
+  }
+  return Status::Ok();
+}
+
+void FaultyNetwork::ForwardNow(ServerId from, ServerId to, Bytes frame) {
+  Endpoint* sender = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = live_.find(from);
+    if (it == live_.end()) return;  // sender died mid-delay: frame lost
+    sender = it->second;
+  }
+  // Outside the lock: the inner Send may itself take time (it only
+  // enqueues on every current transport, but don't depend on that).
+  const Status status = sender->Send(to, std::move(frame));
+  if (!status.ok()) {
+    CMOM_LOG(kDebug) << "faulty forward " << to_string(from) << "->"
+                     << to_string(to) << ": " << status;
+  }
+}
+
+void FaultyNetwork::ScheduleDelayed(ServerId from, ServerId to, Bytes frame,
+                                    std::uint64_t delay_ns) {
+  {
+    std::lock_guard lock(mutex_);
+    ++pending_delayed_;
+  }
+  // The runtime is required to outlive and be destroyed before this
+  // network (see header), so `this` is valid whenever the timer fires.
+  runtime_->After(delay_ns,
+                  [this, from, to, frame = std::move(frame)]() mutable {
+                    {
+                      std::lock_guard lock(mutex_);
+                      --pending_delayed_;
+                    }
+                    ForwardNow(from, to, std::move(frame));
+                  });
+}
+
+void FaultyNetwork::ScheduleFifoLocked(std::uint64_t key, ServerId from,
+                                       ServerId to, Bytes frame,
+                                       std::uint64_t delay_ns) {
+  // mutex_ is held; ThreadRuntime::After only enqueues (never runs the
+  // callback inline), so this cannot deadlock.  The frame goes to the
+  // tail of the link's parked queue and the callback releases the HEAD:
+  // even if After's internal clock re-read hands two equal-release
+  // frames swapped deadlines, frames still leave in send order.  All
+  // callbacks run on the runtime's single timer thread, so the head
+  // pops are themselves serialized.  Counters are decremented only
+  // *after* forwarding, so a later undelayed frame keeps taking the
+  // timer path until its predecessors really reached the inner network.
+  link_parked_[key].push_back(std::move(frame));
+  runtime_->After(delay_ns, [this, key, from, to]() {
+    Bytes head;
+    bool have = false;
+    {
+      std::lock_guard lock(mutex_);
+      auto parked = link_parked_.find(key);
+      if (parked != link_parked_.end() && !parked->second.empty()) {
+        head = std::move(parked->second.front());
+        parked->second.pop_front();
+        if (parked->second.empty()) link_parked_.erase(parked);
+        have = true;
+      }
+    }
+    if (have) ForwardNow(from, to, std::move(head));
+    std::lock_guard lock(mutex_);
+    --pending_delayed_;
+    auto it = link_pending_.find(key);
+    if (it != link_pending_.end() && --it->second == 0) {
+      link_pending_.erase(it);
+    }
+  });
+}
+
+FaultyNetworkStats FaultyNetwork::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::size_t FaultyNetwork::pending_delayed() const {
+  std::lock_guard lock(mutex_);
+  return pending_delayed_;
+}
+
+}  // namespace cmom::net

@@ -1,0 +1,113 @@
+// Transport-agnostic fault injection.
+//
+// FaultyNetwork wraps any Network (inproc, TCP, even sim) and injects
+// frame drops, duplication, reordering delay and forced disconnects on
+// the send path from a seeded RNG -- the same FaultModel knobs the
+// simulated transport honors, so one fault sweep runs unchanged on real
+// sockets.  The Channel's ACK/retransmit protocol plus clock-based
+// duplicate detection must mask everything injected here.
+//
+// Delays need a timer: pass the Runtime the cluster already uses
+// (ThreadRuntime for real transports, SimRuntime under the simulator).
+// With a null runtime, jitter is ignored and only drops, duplicates and
+// disconnects fire.  When the model's allow_reordering is false,
+// delayed frames are released through a per-link FIFO (a delayed frame
+// also delays everything sent after it on that link), preserving the
+// wire-FIFO contract the Message Bus assumes; with reordering enabled,
+// frames overtake each other and exercise the hold-back queue.
+//
+// The RNG is shared across all wrapped endpoints and protected by the
+// network mutex: a given seed yields one deterministic fault stream per
+// interleaving of Send calls.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "net/cost_model.h"
+#include "net/runtime.h"
+#include "net/transport.h"
+
+namespace cmom::net {
+
+struct FaultyNetworkOptions {
+  FaultModel model;
+  // Probability (per frame sent) of forcibly severing the sender's
+  // connection to the destination first.  The frame itself still goes
+  // through the normal drop/duplicate/delay pipeline and is buffered by
+  // the supervised transport.
+  double disconnect_probability = 0.0;
+  std::uint64_t seed = 1;
+};
+
+// Injection counters (what the decorator did, not what the transport
+// saw).
+struct FaultyNetworkStats {
+  std::uint64_t frames_seen = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_duplicated = 0;
+  std::uint64_t frames_delayed = 0;
+  std::uint64_t disconnects_forced = 0;
+};
+
+class FaultyNetwork final : public Network {
+ public:
+  // `inner` must outlive this network; `runtime` (optional) must
+  // outlive it too and be destroyed *before* it, so that pending delay
+  // callbacks never fire into a dead FaultyNetwork.
+  FaultyNetwork(Network& inner, FaultyNetworkOptions options,
+                Runtime* runtime = nullptr);
+  ~FaultyNetwork() override;
+
+  Result<std::unique_ptr<Endpoint>> CreateEndpoint(ServerId id) override;
+
+  [[nodiscard]] FaultyNetworkStats stats() const;
+
+  // Frames currently parked on delay timers (quiescence checks).
+  [[nodiscard]] std::size_t pending_delayed() const;
+
+ private:
+  class FaultyEndpoint;
+  friend class FaultyEndpoint;
+
+  // Runs the fault pipeline for one frame; called with an alive inner
+  // endpoint looked up from the registry.
+  Status InjectedSend(ServerId from, ServerId to, Bytes frame);
+  void ForwardNow(ServerId from, ServerId to, Bytes frame);
+  void ScheduleDelayed(ServerId from, ServerId to, Bytes frame,
+                       std::uint64_t delay_ns);
+  // FIFO-preserving variant: called with mutex_ held.  The frame is
+  // parked at the tail of the link's queue and the timer callback
+  // releases whatever is at the head, so timer deadline jitter (After
+  // re-reads the clock) cannot reorder frames within a link.
+  void ScheduleFifoLocked(std::uint64_t key, ServerId from, ServerId to,
+                          Bytes frame, std::uint64_t delay_ns);
+
+  Network* inner_;
+  FaultyNetworkOptions options_;
+  Runtime* runtime_;
+
+  mutable std::mutex mutex_;
+  Rng rng_;
+  FaultyNetworkStats stats_;
+  std::size_t pending_delayed_ = 0;
+  // Live wrapped endpoints by id; delayed sends re-resolve through this
+  // map so a frame whose sender died mid-delay is dropped, not a UAF.
+  std::unordered_map<ServerId, Endpoint*> live_;
+  // FIFO release ordering per directed link when reordering is off.
+  std::unordered_map<std::uint64_t, std::uint64_t> link_release_ns_;
+  // Frames per link still parked on timers; while nonzero, undelayed
+  // frames on that link are routed through the timer too so they cannot
+  // overtake a delayed predecessor whose callback lags its deadline.
+  // (Decremented only after the frame reached the inner network.)
+  std::unordered_map<std::uint64_t, std::size_t> link_pending_;
+  // The parked frames themselves, FIFO per link: each timer callback
+  // forwards the head, not "its own" frame.
+  std::unordered_map<std::uint64_t, std::deque<Bytes>> link_parked_;
+};
+
+}  // namespace cmom::net

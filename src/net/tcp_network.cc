@@ -8,15 +8,28 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <deque>
 #include <utility>
 
 #include "common/log.h"
+#include "common/rng.h"
 
 namespace cmom::net {
 
 namespace {
+
+constexpr std::uint64_t kIdlePollNs = 100ull * 1000 * 1000;  // 100 ms
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 // RAII file descriptor.
 class Fd {
@@ -48,25 +61,21 @@ class Fd {
   int fd_ = -1;
 };
 
-Status WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
-  std::size_t written = 0;
-  while (written < size) {
-    ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Unavailable(std::string("send: ") + std::strerror(errno));
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  return Status::Ok();
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
 }  // namespace
 
 class TcpEndpoint final : public Endpoint {
  public:
-  TcpEndpoint(ServerId self, std::uint16_t base_port)
-      : self_(self), base_port_(base_port) {}
+  TcpEndpoint(ServerId self, std::uint16_t base_port,
+              TcpNetworkOptions options)
+      : self_(self),
+        base_port_(base_port),
+        options_(options),
+        jitter_rng_(options.jitter_seed * 0x9E3779B9ull + self.value()) {}
 
   ~TcpEndpoint() override {
     {
@@ -74,7 +83,7 @@ class TcpEndpoint final : public Endpoint {
       stopping_ = true;
     }
     Wake();
-    if (receive_thread_.joinable()) receive_thread_.join();
+    if (io_thread_.joinable()) io_thread_.join();
   }
 
   Status Start() {
@@ -89,7 +98,8 @@ class TcpEndpoint final : public Endpoint {
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<std::uint16_t>(base_port_ + self_.value()));
+    addr.sin_port =
+        htons(static_cast<std::uint16_t>(base_port_ + self_.value()));
     if (::bind(listen_fd_.get(), reinterpret_cast<sockaddr*>(&addr),
                sizeof(addr)) != 0) {
       return Status::Unavailable(std::string("bind: ") + std::strerror(errno));
@@ -98,38 +108,48 @@ class TcpEndpoint final : public Endpoint {
       return Status::Unavailable(std::string("listen: ") +
                                  std::strerror(errno));
     }
+    SetNonBlocking(listen_fd_.get());
     int pipe_fds[2];
     if (::pipe(pipe_fds) != 0) {
       return Status::Unavailable(std::string("pipe: ") + std::strerror(errno));
     }
     wake_read_ = Fd(pipe_fds[0]);
     wake_write_ = Fd(pipe_fds[1]);
-    receive_thread_ = std::thread([this] { ReceiveLoop(); });
+    SetNonBlocking(wake_read_.get());
+    io_thread_ = std::thread([this] { IoLoop(); });
     return Status::Ok();
   }
 
   [[nodiscard]] ServerId self() const override { return self_; }
 
+  // Frames and enqueues; all socket I/O happens on the I/O thread so
+  // partial writes can never interleave.
   Status Send(ServerId to, Bytes frame) override {
-    std::lock_guard lock(send_mutex_);
-    auto it = out_connections_.find(to);
-    if (it == out_connections_.end()) {
-      auto connected = Connect(to);
-      if (!connected.ok()) return connected.status();
-      it = out_connections_.emplace(to, std::move(connected).value()).first;
-    }
     // [u32 length][u16 sender][payload]
-    std::uint8_t header[6];
+    Bytes wire(6 + frame.size());
     const std::uint32_t length = static_cast<std::uint32_t>(frame.size()) + 2;
-    std::memcpy(header, &length, 4);
+    std::memcpy(wire.data(), &length, 4);
     const std::uint16_t sender = self_.value();
-    std::memcpy(header + 4, &sender, 2);
-    Status status = WriteAll(it->second.get(), header, sizeof(header));
-    if (status.ok() && !frame.empty()) {
-      status = WriteAll(it->second.get(), frame.data(), frame.size());
+    std::memcpy(wire.data() + 4, &sender, 2);
+    if (!frame.empty()) {
+      std::memcpy(wire.data() + 6, frame.data(), frame.size());
     }
-    if (!status.ok()) out_connections_.erase(to);
-    return status;
+
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) return Status::FailedPrecondition("endpoint stopped");
+      Peer& peer = PeerFor(to);
+      if (peer.outbox.size() >= options_.outbox_max_frames ||
+          peer.outbox_bytes + wire.size() > options_.outbox_max_bytes) {
+        ++stats_.frames_dropped;
+        return Status::Unavailable("outbox full for " + to_string(to));
+      }
+      if (peer.state != PeerState::kConnected) ++stats_.frames_buffered;
+      peer.outbox_bytes += wire.size();
+      peer.outbox.push_back(std::move(wire));
+    }
+    Wake();
+    return Status::Ok();
   }
 
   void SetReceiveHandler(ReceiveHandler handler) override {
@@ -137,11 +157,66 @@ class TcpEndpoint final : public Endpoint {
     handler_ = std::move(handler);
   }
 
+  void Disconnect(ServerId to) override {
+    {
+      std::lock_guard lock(mutex_);
+      auto it = peers_.find(to);
+      if (it == peers_.end() ||
+          it->second->state == PeerState::kDisconnected) {
+        return;  // nothing live to sever
+      }
+      it->second->kill = true;
+      ++stats_.forced_disconnects;
+    }
+    Wake();
+  }
+
+  [[nodiscard]] TransportStats stats() const override {
+    std::lock_guard lock(mutex_);
+    TransportStats out = stats_;
+    for (const auto& [id, peer] : peers_) {
+      (void)id;
+      out.outbox_frames += peer->outbox.size();
+      out.outbox_bytes += peer->outbox_bytes;
+      if (peer->state == PeerState::kDisconnected) {
+        out.current_backoff_ns =
+            std::max(out.current_backoff_ns, peer->backoff_ns);
+      }
+    }
+    return out;
+  }
+
  private:
+  enum class PeerState { kDisconnected, kConnecting, kConnected };
+
+  // Supervised outbound link to one peer.
+  struct Peer {
+    ServerId id;
+    PeerState state = PeerState::kDisconnected;
+    Fd fd;
+    std::deque<Bytes> outbox;       // framed wire bytes, FIFO
+    std::size_t front_offset = 0;   // bytes of outbox.front() already sent
+    std::size_t outbox_bytes = 0;
+    std::uint64_t backoff_ns = 0;   // current delay; 0 = no failures yet
+    std::uint64_t retry_at_ns = 0;  // next connect attempt deadline
+    bool ever_connected = false;
+    bool kill = false;              // forced disconnect pending
+  };
+
   struct Connection {
     Fd fd;
     Bytes buffer;
   };
+
+  Peer& PeerFor(ServerId to) {
+    auto it = peers_.find(to);
+    if (it == peers_.end()) {
+      auto peer = std::make_unique<Peer>();
+      peer->id = to;
+      it = peers_.emplace(to, std::move(peer)).first;
+    }
+    return *it->second;
+  }
 
   void Wake() {
     if (wake_write_.valid()) {
@@ -150,61 +225,231 @@ class TcpEndpoint final : public Endpoint {
     }
   }
 
-  Result<Fd> Connect(ServerId to) {
+  // Next backoff delay with jitter; grows exponentially up to the cap.
+  std::uint64_t NextBackoff(Peer& peer) {
+    peer.backoff_ns = peer.backoff_ns == 0
+                          ? options_.backoff_initial_ns
+                          : std::min(options_.backoff_max_ns,
+                                     peer.backoff_ns * 2);
+    const double jitter =
+        1.0 + options_.backoff_jitter * (2.0 * jitter_rng_.NextDouble() - 1.0);
+    return static_cast<std::uint64_t>(
+        static_cast<double>(peer.backoff_ns) * std::max(0.0, jitter));
+  }
+
+  // The connection died (write error, EOF, refused connect or forced
+  // disconnect): keep the outbox, rewind the partially-written front
+  // frame and schedule a supervised reconnect.
+  void MarkDown(Peer& peer, std::uint64_t now, bool connect_failed) {
+    peer.fd.Close();
+    peer.state = PeerState::kDisconnected;
+    if (peer.front_offset > 0) {
+      stats_.bytes_retransmitted += peer.front_offset;
+      peer.front_offset = 0;  // resend the whole frame on the next link
+    }
+    if (connect_failed) ++stats_.connect_failures;
+    peer.retry_at_ns = now + NextBackoff(peer);
+  }
+
+  // Begins (or completes) a non-blocking connect.
+  void StartConnect(Peer& peer, std::uint64_t now) {
     Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
     if (!fd.valid()) {
-      return Status::Unavailable(std::string("socket: ") +
-                                 std::strerror(errno));
+      MarkDown(peer, now, /*connect_failed=*/true);
+      return;
     }
+    SetNonBlocking(fd.get());
     int one = 1;
     ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<std::uint16_t>(base_port_ + to.value()));
-    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
-                  sizeof(addr)) != 0) {
-      return Status::Unavailable("connect to " + to_string(to) + ": " +
-                                 std::strerror(errno));
+    addr.sin_port =
+        htons(static_cast<std::uint16_t>(base_port_ + peer.id.value()));
+    const int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr));
+    if (rc == 0) {
+      peer.fd = std::move(fd);
+      MarkUp(peer);
+      return;
     }
-    return fd;
+    if (errno == EINPROGRESS || errno == EINTR) {
+      peer.fd = std::move(fd);
+      peer.state = PeerState::kConnecting;
+      return;
+    }
+    MarkDown(peer, now, /*connect_failed=*/true);
   }
 
-  void ReceiveLoop() {
+  void MarkUp(Peer& peer) {
+    peer.state = PeerState::kConnected;
+    ++stats_.connects;
+    if (peer.ever_connected) ++stats_.reconnects;
+    peer.ever_connected = true;
+    peer.backoff_ns = 0;
+  }
+
+  // Writes as much of the outbox as the socket accepts; never blocks.
+  void FlushPeer(Peer& peer, std::uint64_t now) {
+    while (!peer.outbox.empty()) {
+      const Bytes& wire = peer.outbox.front();
+      while (peer.front_offset < wire.size()) {
+        const ssize_t n =
+            ::send(peer.fd.get(), wire.data() + peer.front_offset,
+                   wire.size() - peer.front_offset, MSG_NOSIGNAL);
+        if (n >= 0) {
+          peer.front_offset += static_cast<std::size_t>(n);
+          continue;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // poll again
+        MarkDown(peer, now, /*connect_failed=*/false);
+        return;
+      }
+      ++stats_.frames_sent;
+      peer.outbox_bytes -= wire.size();
+      peer.outbox.pop_front();
+      peer.front_offset = 0;
+    }
+  }
+
+  void IoLoop() {
     std::vector<Connection> connections;
+    std::vector<Peer*> polled_peers;
+    std::vector<pollfd> fds;
     while (true) {
+      std::uint64_t timeout_ns = kIdlePollNs;
+      fds.clear();
+      polled_peers.clear();
       {
         std::lock_guard lock(mutex_);
         if (stopping_) return;
+        const std::uint64_t now = NowNs();
+        for (auto& [id, peer_ptr] : peers_) {
+          (void)id;
+          Peer& peer = *peer_ptr;
+          if (peer.kill) {
+            peer.kill = false;
+            if (peer.state != PeerState::kDisconnected) {
+              // Forced disconnects retry quickly: the peer is usually
+              // still alive, this is fault injection, not an outage.
+              peer.fd.Close();
+              peer.state = PeerState::kDisconnected;
+              if (peer.front_offset > 0) {
+                stats_.bytes_retransmitted += peer.front_offset;
+                peer.front_offset = 0;
+              }
+              peer.backoff_ns = 0;
+              peer.retry_at_ns = now + NextBackoff(peer);
+            }
+          }
+          if (peer.state == PeerState::kDisconnected &&
+              !peer.outbox.empty() && peer.retry_at_ns <= now) {
+            StartConnect(peer, now);
+          }
+          switch (peer.state) {
+            case PeerState::kDisconnected:
+              if (!peer.outbox.empty() && peer.retry_at_ns > now) {
+                timeout_ns = std::min(timeout_ns, peer.retry_at_ns - now);
+              }
+              break;
+            case PeerState::kConnecting:
+              fds.push_back(pollfd{peer.fd.get(), POLLOUT, 0});
+              polled_peers.push_back(&peer);
+              break;
+            case PeerState::kConnected: {
+              short events = POLLIN;  // detect FIN/RST from the peer
+              if (!peer.outbox.empty()) events |= POLLOUT;
+              fds.push_back(pollfd{peer.fd.get(), events, 0});
+              polled_peers.push_back(&peer);
+              break;
+            }
+          }
+        }
       }
-      std::vector<pollfd> fds;
+      const std::size_t peer_fds = fds.size();
       fds.push_back(pollfd{wake_read_.get(), POLLIN, 0});
       fds.push_back(pollfd{listen_fd_.get(), POLLIN, 0});
       for (const Connection& connection : connections) {
         fds.push_back(pollfd{connection.fd.get(), POLLIN, 0});
       }
-      if (::poll(fds.data(), fds.size(), 100) < 0) {
+
+      const int timeout_ms = static_cast<int>(
+          std::min<std::uint64_t>(timeout_ns / 1000000 + 1, 100));
+      if (::poll(fds.data(), fds.size(), timeout_ms) < 0) {
         if (errno == EINTR) continue;
         CMOM_LOG(kError) << "poll: " << std::strerror(errno);
         return;
       }
-      if (fds[0].revents & POLLIN) {
+
+      // Outbound side.
+      {
+        std::lock_guard lock(mutex_);
+        if (stopping_) return;
+        const std::uint64_t now = NowNs();
+        for (std::size_t i = 0; i < peer_fds; ++i) {
+          Peer& peer = *polled_peers[i];
+          // A kill flag raced in while we were polling; next pass
+          // handles it (the fd is still the one we polled).
+          if (fds[i].revents == 0) continue;
+          if (peer.state == PeerState::kConnecting) {
+            int error = 0;
+            socklen_t len = sizeof(error);
+            if (::getsockopt(peer.fd.get(), SOL_SOCKET, SO_ERROR, &error,
+                             &len) != 0) {
+              error = errno;
+            }
+            if (error == 0 && (fds[i].revents & POLLOUT)) {
+              MarkUp(peer);
+              FlushPeer(peer, now);
+            } else if (error != 0 ||
+                       (fds[i].revents & (POLLERR | POLLHUP))) {
+              MarkDown(peer, now, /*connect_failed=*/true);
+            }
+            continue;
+          }
+          if (peer.state != PeerState::kConnected) continue;
+          if (fds[i].revents & POLLIN) {
+            // The outbound socket never carries frames toward us; any
+            // readable event is a FIN (n==0) or an error.
+            std::uint8_t scratch[256];
+            const ssize_t n = ::recv(peer.fd.get(), scratch, sizeof(scratch),
+                                     MSG_DONTWAIT);
+            if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                           errno != EINTR)) {
+              MarkDown(peer, now, /*connect_failed=*/false);
+              continue;
+            }
+          }
+          if (fds[i].revents & (POLLERR | POLLHUP)) {
+            MarkDown(peer, now, /*connect_failed=*/false);
+            continue;
+          }
+          if (fds[i].revents & POLLOUT) FlushPeer(peer, now);
+        }
+      }
+
+      // Wake pipe.
+      if (fds[peer_fds].revents & POLLIN) {
         char scratch[64];
         [[maybe_unused]] ssize_t n =
             ::read(wake_read_.get(), scratch, sizeof(scratch));
       }
-      if (fds[1].revents & POLLIN) {
-        int accepted = ::accept(listen_fd_.get(), nullptr, nullptr);
-        if (accepted >= 0) {
+      // Inbound side.
+      if (fds[peer_fds + 1].revents & POLLIN) {
+        while (true) {
+          const int accepted = ::accept(listen_fd_.get(), nullptr, nullptr);
+          if (accepted < 0) break;
           int one = 1;
           ::setsockopt(accepted, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          SetNonBlocking(accepted);
           connections.push_back(Connection{Fd(accepted), {}});
         }
       }
-      for (std::size_t i = 0; i + 2 < fds.size() + 0; ++i) {
-        // connection i corresponds to fds[i + 2]
-        if (i + 2 >= fds.size()) break;
-        if (!(fds[i + 2].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      for (std::size_t i = 0; i < connections.size(); ++i) {
+        const std::size_t fd_index = peer_fds + 2 + i;
+        if (fd_index >= fds.size()) break;  // accepted this round
+        if (!(fds[fd_index].revents & (POLLIN | POLLHUP | POLLERR))) continue;
         if (!ReadFrames(connections[i])) {
           connections[i].fd.Close();
         }
@@ -215,7 +460,9 @@ class TcpEndpoint final : public Endpoint {
   }
 
   // Reads available bytes and dispatches every complete frame; returns
-  // false when the peer closed or errored.
+  // false when the peer closed or errored.  A torn trailing frame is
+  // discarded with the connection -- the sender rewrites it from its
+  // first byte on the replacement connection.
   bool ReadFrames(Connection& connection) {
     std::uint8_t chunk[16 * 1024];
     while (true) {
@@ -254,24 +501,29 @@ class TcpEndpoint final : public Endpoint {
       }
       if (handler) handler(ServerId(sender), std::move(payload));
     }
-    buffer.erase(buffer.begin(), buffer.begin() + static_cast<std::ptrdiff_t>(offset));
+    buffer.erase(buffer.begin(),
+                 buffer.begin() + static_cast<std::ptrdiff_t>(offset));
   }
 
   ServerId self_;
   std::uint16_t base_port_;
+  TcpNetworkOptions options_;
   Fd listen_fd_;
   Fd wake_read_;
   Fd wake_write_;
-  std::mutex mutex_;
+
+  mutable std::mutex mutex_;
   bool stopping_ = false;
   ReceiveHandler handler_;
-  std::mutex send_mutex_;
-  std::unordered_map<ServerId, Fd> out_connections_;
-  std::thread receive_thread_;
+  std::unordered_map<ServerId, std::unique_ptr<Peer>> peers_;
+  Rng jitter_rng_;
+  TransportStats stats_;
+
+  std::thread io_thread_;
 };
 
 Result<std::unique_ptr<Endpoint>> TcpNetwork::CreateEndpoint(ServerId id) {
-  auto endpoint = std::make_unique<TcpEndpoint>(id, base_port_);
+  auto endpoint = std::make_unique<TcpEndpoint>(id, base_port_, options_);
   Status status = endpoint->Start();
   if (!status.ok()) return status;
   return {std::unique_ptr<Endpoint>(std::move(endpoint))};

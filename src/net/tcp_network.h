@@ -1,13 +1,29 @@
-// TCP loopback network.
+// TCP loopback network with connection supervision.
 //
 // The closest analogue of the paper's deployment (agent servers as
 // separate JVMs on ten LAN hosts): every endpoint listens on
-// 127.0.0.1:base_port+server_id, connections are opened lazily on first
-// send, and frames travel length-prefixed as
+// 127.0.0.1:base_port+server_id and frames travel length-prefixed as
 //     [u32 length][u16 sender id][payload bytes].
-// TCP gives the reliable FIFO links the Message Bus assumes.  Each
-// endpoint runs one poll()-based receive thread; the receive handler is
-// invoked on that thread.
+//
+// Outbound connections are supervised per peer:
+//   - connects are non-blocking and retried with exponential backoff
+//     plus jitter (capped), so a dead or not-yet-started peer never
+//     blocks a sender;
+//   - Send() never blocks: frames enter a bounded per-peer outbox and
+//     are written by the endpoint's I/O thread as the socket allows
+//     (partial writes continue where they left off);
+//   - while a link is down the outbox buffers frames and flushes them
+//     on reconnect; overflow makes Send() return Unavailable, at which
+//     point the Channel's QueueOUT retransmission takes over;
+//   - a frame interrupted by a connection loss is rewritten from its
+//     first byte on the fresh connection (the receiver's per-connection
+//     parse buffer discards the torn prefix), so frames stay atomic;
+//   - writes use MSG_NOSIGNAL, so a dead peer cannot SIGPIPE-kill the
+//     process.
+//
+// Each endpoint runs one poll()-based I/O thread handling the listen
+// socket, inbound connections, outbound connects/writes and backoff
+// timers; the receive handler is invoked on that thread.
 #pragma once
 
 #include <cstdint>
@@ -21,11 +37,30 @@
 
 namespace cmom::net {
 
+// Supervision knobs; the defaults suit loopback tests (fast reconnect)
+// and stay safe for LAN use.
+struct TcpNetworkOptions {
+  // First retry delay after a failed connect or a lost connection.
+  std::uint64_t backoff_initial_ns = 10ull * 1000 * 1000;  // 10 ms
+  // Backoff doubles per consecutive failure up to this cap.
+  std::uint64_t backoff_max_ns = 2ull * 1000 * 1000 * 1000;  // 2 s
+  // Uniform jitter applied to each backoff delay, as a fraction of the
+  // delay (0.2 = +-20%); avoids reconnect stampedes after an outage.
+  double backoff_jitter = 0.2;
+  // Per-peer outbox bounds; exceeding either makes Send() return
+  // Unavailable (the frame is rejected, buffered frames are kept).
+  std::size_t outbox_max_frames = 4096;
+  std::size_t outbox_max_bytes = 16ull * 1024 * 1024;
+  // Seed for the backoff jitter RNG (mixed with the server id).
+  std::uint64_t jitter_seed = 1;
+};
+
 class TcpNetwork final : public Network {
  public:
   // Endpoints listen on base_port + id; the caller must pick a base so
   // that the whole range is free.
-  explicit TcpNetwork(std::uint16_t base_port) : base_port_(base_port) {}
+  explicit TcpNetwork(std::uint16_t base_port, TcpNetworkOptions options = {})
+      : base_port_(base_port), options_(options) {}
 
   Result<std::unique_ptr<Endpoint>> CreateEndpoint(ServerId id) override;
 
@@ -33,8 +68,11 @@ class TcpNetwork final : public Network {
     return static_cast<std::uint16_t>(base_port_ + id.value());
   }
 
+  [[nodiscard]] const TcpNetworkOptions& options() const { return options_; }
+
  private:
   std::uint16_t base_port_;
+  TcpNetworkOptions options_;
 };
 
 }  // namespace cmom::net

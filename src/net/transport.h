@@ -19,6 +19,7 @@
 // routing headers, ACKs) is encoded by the MOM layer.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 
@@ -31,6 +32,23 @@ namespace cmom::net {
 // Invoked when a frame arrives: (sender, frame bytes).
 using ReceiveHandler = std::function<void(ServerId, Bytes)>;
 
+// Health counters of one endpoint's outbound side.  Only transports
+// with connection supervision (TcpNetwork) fill these in; the default
+// implementation returns zeros.
+struct TransportStats {
+  std::uint64_t connects = 0;           // successful connection attempts
+  std::uint64_t reconnects = 0;         // connects after a prior success
+  std::uint64_t connect_failures = 0;   // failed connection attempts
+  std::uint64_t forced_disconnects = 0; // Disconnect() fault injections
+  std::uint64_t frames_sent = 0;        // fully written to a socket
+  std::uint64_t frames_buffered = 0;    // accepted while link was down
+  std::uint64_t frames_dropped = 0;     // rejected: outbox overflow
+  std::uint64_t bytes_retransmitted = 0;  // rewritten after a reconnect
+  std::uint64_t outbox_frames = 0;      // currently queued (gauge)
+  std::uint64_t outbox_bytes = 0;       // currently queued (gauge)
+  std::uint64_t current_backoff_ns = 0; // max over peers in backoff
+};
+
 // One server's attachment point to the network.
 class Endpoint {
  public:
@@ -40,13 +58,24 @@ class Endpoint {
 
   // Queues `frame` for delivery to `to`.  Send is asynchronous and may
   // outlive the call; delivery is FIFO per (from, to) pair unless fault
-  // injection is configured.  Fails fast when `to` is unknown.
+  // injection is configured.  A supervised transport accepts frames
+  // while the link is down (bounded buffering) and returns Unavailable
+  // on overflow; unsupervised transports fail fast when `to` is
+  // unreachable.
   virtual Status Send(ServerId to, Bytes frame) = 0;
 
   // Installs the receive callback.  Must be set before any peer sends.
   // The handler runs on the transport's delivery context (the simulator
   // event loop, or the endpoint's receive thread).
   virtual void SetReceiveHandler(ReceiveHandler handler) = 0;
+
+  // Forcibly severs any live outbound connection to `peer` (fault
+  // injection).  A supervised transport keeps the buffered frames and
+  // reconnects; transports without connections treat this as a no-op.
+  virtual void Disconnect(ServerId peer) { (void)peer; }
+
+  // Outbound health counters; zeros for transports without supervision.
+  [[nodiscard]] virtual TransportStats stats() const { return {}; }
 };
 
 // Factory for endpoints of one transport instance.

@@ -18,9 +18,15 @@ Status ThreadedHarness::Init(AgentInstaller installer) {
       std::make_unique<domains::Deployment>(std::move(deployment).value());
 
   network_ = std::make_unique<net::InprocNetwork>();
+  net::Network* frontend = network_.get();
+  if (options_.fault.has_value()) {
+    faulty_ = std::make_unique<net::FaultyNetwork>(*network_, *options_.fault,
+                                                   &runtime_);
+    frontend = faulty_.get();
+  }
 
   for (ServerId id : deployment_->servers()) {
-    auto endpoint = network_->CreateEndpoint(id);
+    auto endpoint = frontend->CreateEndpoint(id);
     if (!endpoint.ok()) return endpoint.status();
     endpoints_.emplace(id, std::move(endpoint).value());
     stores_.emplace(id, std::make_unique<mom::InMemoryStore>());
@@ -59,10 +65,14 @@ void ThreadedHarness::WaitQuiescent() {
   int stable = 0;
   while (stable < 2) {
     network_->WaitQuiescent();
-    bool idle = true;
+    bool idle = faulty_ == nullptr || faulty_->pending_delayed() == 0;
     for (const auto& [id, server] : servers_) {
       (void)id;
-      if (!server->Idle()) {
+      // Idle() alone is not quiescence under fault injection: a server
+      // is idle while a dropped frame waits on its retransmit timer, so
+      // the outgoing queue must have drained (everything ACKed) too.
+      if (!server->Idle() || server->queue_out_size() != 0 ||
+          server->holdback_size() != 0) {
         idle = false;
         break;
       }

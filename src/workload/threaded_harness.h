@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "causality/checker.h"
@@ -16,6 +17,7 @@
 #include "domains/deployment.h"
 #include "mom/agent_server.h"
 #include "mom/store.h"
+#include "net/faulty_network.h"
 #include "net/inproc_network.h"
 #include "net/runtime.h"
 
@@ -23,6 +25,10 @@ namespace cmom::workload {
 
 struct ThreadedHarnessOptions {
   std::uint64_t retransmit_timeout_ns = 500ull * 1000 * 1000;
+  // When set, every endpoint is wrapped in a FaultyNetwork decorator
+  // injecting drops/duplicates/delays/disconnects on real threads --
+  // the wall-clock counterpart of the simulated fault sweeps.
+  std::optional<net::FaultyNetworkOptions> fault;
 };
 
 class ThreadedHarness {
@@ -50,6 +56,8 @@ class ThreadedHarness {
   [[nodiscard]] mom::AgentServer& server(ServerId id) {
     return *servers_.at(id);
   }
+  // Null unless fault injection was configured.
+  [[nodiscard]] net::FaultyNetwork* faulty_network() { return faulty_.get(); }
   [[nodiscard]] causality::TraceRecorder& trace() { return trace_; }
   [[nodiscard]] const domains::Deployment& deployment() const {
     return *deployment_;
@@ -60,9 +68,14 @@ class ThreadedHarness {
   domains::MomConfig config_;
   ThreadedHarnessOptions options_;
 
+  // Destruction order matters: servers and endpoints go first (members
+  // below), then the runtime (joins its timer thread, so no delay
+  // callback can outlive it), then the fault decorator, then the inner
+  // network.
+  std::unique_ptr<net::InprocNetwork> network_;
+  std::unique_ptr<net::FaultyNetwork> faulty_;
   net::ThreadRuntime runtime_;
   std::unique_ptr<domains::Deployment> deployment_;
-  std::unique_ptr<net::InprocNetwork> network_;
   causality::TraceRecorder trace_;
 
   std::unordered_map<ServerId, std::unique_ptr<mom::InMemoryStore>> stores_;

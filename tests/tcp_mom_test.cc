@@ -52,7 +52,17 @@ struct TcpCluster {
     while (stable < 3) {
       bool idle = true;
       for (auto& server : servers) {
-        if (!server->Idle()) {
+        // Everything processed AND acknowledged: a frame may still sit
+        // in a supervised outbox waiting out a reconnect backoff, in
+        // which case its QueueOUT entry is unacknowledged too.
+        if (!server->Idle() || server->queue_out_size() != 0 ||
+            server->holdback_size() != 0) {
+          idle = false;
+          break;
+        }
+      }
+      for (auto& endpoint : endpoints) {
+        if (endpoint->stats().outbox_frames != 0) {
           idle = false;
           break;
         }
@@ -69,7 +79,7 @@ struct TcpCluster {
 
 TEST(TcpMom, RoutedCausalDeliveryOverLoopback) {
   // Bus(2,2): S0,S1 in leaf 1; S2,S3 in leaf 2; backbone {S0, S2}.
-  TcpCluster cluster(domains::topologies::Bus(2, 2), 43100);
+  TcpCluster cluster(domains::topologies::Bus(2, 2), 22100);
   workload::EchoAgent* echo = nullptr;
   cluster.Build([&](ServerId id, mom::AgentServer& server) {
     if (id == ServerId(3)) {
@@ -101,7 +111,7 @@ TEST(TcpMom, RoutedCausalDeliveryOverLoopback) {
 
 TEST(TcpMom, ChatterOverLoopbackStaysCausal) {
   auto config = domains::topologies::Daisy(2, 3);  // 5 servers
-  TcpCluster cluster(config, 43200);
+  TcpCluster cluster(config, 22200);
   std::vector<AgentId> peers;
   for (ServerId id : config.servers) peers.push_back(AgentId{id, 1});
   cluster.Build([&](ServerId id, mom::AgentServer& server) {
@@ -126,6 +136,61 @@ TEST(TcpMom, ChatterOverLoopbackStaysCausal) {
               ? ""
               : report.violations.front().description);
   EXPECT_TRUE(checker.CheckExactlyOnce(trace).ok());
+  cluster.ShutdownAll();
+}
+
+// Forced connection kills under routed traffic: the supervised
+// transport reconnects and flushes its outage buffer, so the bus never
+// loses or doubles a message even while every link is being severed.
+TEST(TcpMom, RoutedDeliverySurvivesForcedDisconnects) {
+  TcpCluster cluster(domains::topologies::Bus(2, 2), 22300);
+  workload::EchoAgent* echo = nullptr;
+  cluster.Build([&](ServerId id, mom::AgentServer& server) {
+    if (id == ServerId(3)) {
+      auto agent = std::make_unique<workload::EchoAgent>();
+      echo = agent.get();
+      server.AttachAgent(1, std::move(agent));
+    }
+  });
+
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(cluster.server(1)
+                    .SendMessage(AgentId{ServerId(1), 7},
+                                 AgentId{ServerId(3), 1}, workload::kPing)
+                    .ok());
+    if (i % 5 == 2) {
+      // Wait for this ping to land so the routing path's connections
+      // are provably established before we sever them.
+      while (echo->pings_seen() < static_cast<std::size_t>(i) + 1) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      // Sever every link of the routing path, both directions.
+      for (std::uint16_t from = 0; from < 4; ++from) {
+        for (std::uint16_t to = 0; to < 4; ++to) {
+          if (from != to) {
+            cluster.endpoints[from]->Disconnect(ServerId(to));
+          }
+        }
+      }
+    }
+  }
+  cluster.WaitQuiescent();
+  EXPECT_EQ(echo->pings_seen(), 30u);
+
+  causality::CausalityChecker checker(
+      {ServerId(0), ServerId(1), ServerId(2), ServerId(3)});
+  const causality::Trace trace = cluster.trace.Snapshot();
+  EXPECT_TRUE(checker.CheckCausalDelivery(trace).causal());
+  EXPECT_TRUE(checker.CheckExactlyOnce(trace).ok());
+
+  std::uint64_t forced = 0;
+  std::uint64_t reconnects = 0;
+  for (auto& endpoint : cluster.endpoints) {
+    forced += endpoint->stats().forced_disconnects;
+    reconnects += endpoint->stats().reconnects;
+  }
+  EXPECT_GE(forced, 3u);
+  EXPECT_GE(reconnects, 1u);
   cluster.ShutdownAll();
 }
 

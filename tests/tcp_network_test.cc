@@ -3,7 +3,6 @@
 
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
@@ -13,12 +12,9 @@
 namespace cmom::net {
 namespace {
 
-// Each test gets its own port range to avoid clashes between tests
-// run in one ctest invocation.
-std::uint16_t NextBasePort() {
-  static std::atomic<std::uint16_t> next{42000};
-  return next.fetch_add(50);
-}
+// Each test gets its own literal port range: ctest runs every test in
+// its own process (a static counter would restart at the same value)
+// and may run them in parallel.
 
 struct Waiter {
   std::mutex mutex;
@@ -41,7 +37,7 @@ struct Waiter {
 };
 
 TEST(TcpNetwork, DeliversFrames) {
-  TcpNetwork network(NextBasePort());
+  TcpNetwork network(21000);
   auto a = network.CreateEndpoint(ServerId(0)).value();
   auto b = network.CreateEndpoint(ServerId(1)).value();
   Waiter waiter;
@@ -54,7 +50,7 @@ TEST(TcpNetwork, DeliversFrames) {
 }
 
 TEST(TcpNetwork, FifoOrderOverOneConnection) {
-  TcpNetwork network(NextBasePort());
+  TcpNetwork network(21050);
   auto a = network.CreateEndpoint(ServerId(0)).value();
   auto b = network.CreateEndpoint(ServerId(1)).value();
   Waiter waiter;
@@ -70,7 +66,7 @@ TEST(TcpNetwork, FifoOrderOverOneConnection) {
 }
 
 TEST(TcpNetwork, LargeFramesSurviveChunkedReads) {
-  TcpNetwork network(NextBasePort());
+  TcpNetwork network(21100);
   auto a = network.CreateEndpoint(ServerId(0)).value();
   auto b = network.CreateEndpoint(ServerId(1)).value();
   Waiter waiter;
@@ -86,7 +82,7 @@ TEST(TcpNetwork, LargeFramesSurviveChunkedReads) {
 }
 
 TEST(TcpNetwork, EmptyPayloadFrame) {
-  TcpNetwork network(NextBasePort());
+  TcpNetwork network(21150);
   auto a = network.CreateEndpoint(ServerId(0)).value();
   auto b = network.CreateEndpoint(ServerId(1)).value();
   Waiter waiter;
@@ -97,7 +93,7 @@ TEST(TcpNetwork, EmptyPayloadFrame) {
 }
 
 TEST(TcpNetwork, ManyPeersIntoOneReceiver) {
-  TcpNetwork network(NextBasePort());
+  TcpNetwork network(21200);
   auto hub = network.CreateEndpoint(ServerId(0)).value();
   Waiter waiter;
   hub->SetReceiveHandler(waiter.Handler());
@@ -122,11 +118,121 @@ TEST(TcpNetwork, ManyPeersIntoOneReceiver) {
   for (int i = 1; i <= 5; ++i) EXPECT_EQ(seen[i], 1);
 }
 
-TEST(TcpNetwork, SendToUnboundPortFails) {
-  TcpNetwork network(NextBasePort());
+// With supervision, sending to a peer that is not up yet succeeds and
+// buffers: the outbox flushes once the peer appears.
+TEST(TcpNetwork, BuffersUntilPeerAppears) {
+  TcpNetwork network(21250);
   auto a = network.CreateEndpoint(ServerId(0)).value();
-  const Status status = a->Send(ServerId(40), Bytes{1});
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(a->Send(ServerId(1), Bytes{i}).ok());
+  }
+  // Give the supervisor time to fail at least one connect attempt.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_GE(a->stats().connect_failures, 1u);
+  EXPECT_EQ(a->stats().frames_sent, 0u);
+  EXPECT_GE(a->stats().outbox_frames, 10u);
+
+  auto b = network.CreateEndpoint(ServerId(1)).value();
+  Waiter waiter;
+  b->SetReceiveHandler(waiter.Handler());
+  ASSERT_TRUE(waiter.WaitForCount(10));
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(waiter.received[i].second[0], i);
+  }
+  EXPECT_GE(a->stats().connects, 1u);
+  EXPECT_GE(a->stats().frames_buffered, 10u);
+  EXPECT_EQ(a->stats().outbox_frames, 0u);
+}
+
+// The outbox is bounded: overflow rejects the frame with Unavailable
+// (the Channel's retransmission owns recovery from there) and keeps
+// what was already buffered.
+TEST(TcpNetwork, OutboxOverflowReturnsUnavailable) {
+  TcpNetworkOptions options;
+  options.outbox_max_frames = 4;
+  TcpNetwork network(21300, options);
+  auto a = network.CreateEndpoint(ServerId(0)).value();
+  // No peer listening on ServerId(1): everything buffers.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(a->Send(ServerId(1), Bytes{1}).ok());
+  }
+  const Status status = a->Send(ServerId(1), Bytes{1});
   EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_GE(a->stats().frames_dropped, 1u);
+  EXPECT_EQ(a->stats().outbox_frames, 4u);
+}
+
+// Satellite: an endpoint restarted on the same port receives the
+// frames buffered during its outage exactly once, in order.
+TEST(TcpNetwork, PeerRestartOnSamePortDeliversExactlyOnce) {
+  const std::uint16_t base = 21350;
+  TcpNetwork network(base);
+  auto a = network.CreateEndpoint(ServerId(0)).value();
+  Waiter waiter;
+  {
+    auto b = network.CreateEndpoint(ServerId(1)).value();
+    b->SetReceiveHandler(waiter.Handler());
+    for (std::uint8_t i = 0; i < 50; ++i) {
+      ASSERT_TRUE(a->Send(ServerId(1), Bytes{i}).ok());
+    }
+    ASSERT_TRUE(waiter.WaitForCount(50));
+    // Sever the live connection first (deterministically counted), then
+    // crash the peer for real.
+    a->Disconnect(ServerId(1));
+  }  // peer crashes
+
+  // Frames sent into the outage buffer in the supervised outbox.
+  for (std::uint8_t i = 50; i < 100; ++i) {
+    ASSERT_TRUE(a->Send(ServerId(1), Bytes{i}).ok());
+  }
+
+  auto b = network.CreateEndpoint(ServerId(1)).value();  // same port
+  b->SetReceiveHandler(waiter.Handler());
+  ASSERT_TRUE(waiter.WaitForCount(100));
+  ASSERT_EQ(waiter.received.size(), 100u);  // exactly once: no extras
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(waiter.received[i].second[0], i);
+  }
+  const TransportStats stats = a->stats();
+  EXPECT_GE(stats.reconnects, 1u);
+  EXPECT_GE(stats.forced_disconnects, 1u);
+  EXPECT_EQ(stats.outbox_frames, 0u);
+}
+
+// Forced disconnects mid-stream (the FaultyNetwork primitive) lose and
+// duplicate nothing: unwritten frames survive in the outbox and a
+// partially-written frame is rewritten from its first byte.
+TEST(TcpNetwork, ForcedDisconnectsLoseNothing) {
+  TcpNetwork network(21400);
+  auto a = network.CreateEndpoint(ServerId(0)).value();
+  auto b = network.CreateEndpoint(ServerId(1)).value();
+  Waiter waiter;
+  b->SetReceiveHandler(waiter.Handler());
+
+  for (int i = 0; i < 200; ++i) {
+    Bytes frame(3);
+    frame[0] = static_cast<std::uint8_t>(i & 0xff);
+    frame[1] = static_cast<std::uint8_t>(i >> 8);
+    frame[2] = 0x5a;
+    ASSERT_TRUE(a->Send(ServerId(1), std::move(frame)).ok());
+    if (i % 50 == 25) {
+      // Wait until this frame arrived, so the connection is provably
+      // live and the kill severs an established link.
+      ASSERT_TRUE(waiter.WaitForCount(static_cast<std::size_t>(i) + 1));
+      a->Disconnect(ServerId(1));
+    }
+  }
+  ASSERT_TRUE(waiter.WaitForCount(200));
+  ASSERT_EQ(waiter.received.size(), 200u);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const Bytes& frame = waiter.received[i].second;
+    ASSERT_EQ(frame.size(), 3u);
+    const std::size_t seq = frame[0] | (static_cast<std::size_t>(frame[1]) << 8);
+    EXPECT_EQ(seq, i);  // FIFO preserved across reconnects
+  }
+  EXPECT_GE(a->stats().forced_disconnects, 1u);
+  EXPECT_GE(a->stats().reconnects, 1u);
 }
 
 }  // namespace

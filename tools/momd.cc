@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   const std::string config_path = argv[1];
   const ServerId self(static_cast<std::uint16_t>(std::stoul(argv[2])));
 
-  std::uint16_t base_port = 46000;
+  std::uint16_t base_port = 25000;
   std::string store_dir;
   std::uint32_t echo_local = 0;
   bool run_echo = false;

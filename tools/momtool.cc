@@ -13,14 +13,31 @@
 //                                         vs the naive index bus
 //   momtool estimate <config> <traffic>   analytic cost of a config
 //                                         under a traffic profile
+//   momtool tcpsmoke <servers> <pings>    boot a flat MOM over real TCP
+//       [--base-port P] [--drop p]        loopback sockets with fault
+//       [--dup p] [--disc p] [--seed s]   injection, run a ping storm,
+//                                         verify causal exactly-once
+//                                         delivery and print transport
+//                                         health counters
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "causality/checker.h"
 #include "domains/config_io.h"
 #include "domains/deployment.h"
 #include "domains/splitter.h"
 #include "domains/topologies.h"
+#include "mom/agent_server.h"
+#include "net/faulty_network.h"
+#include "net/runtime.h"
+#include "net/tcp_network.h"
+#include "workload/agents.h"
 
 using namespace cmom;
 
@@ -134,6 +151,191 @@ int Split(const std::string& traffic_path, const std::string& size_str) {
   return 0;
 }
 
+void PrintTransportStats(ServerId id, const net::TransportStats& stats) {
+  std::printf("S%u: connects=%llu reconnects=%llu connect_failures=%llu "
+              "forced_disconnects=%llu frames_sent=%llu buffered=%llu "
+              "dropped=%llu bytes_retx=%llu outbox=%llu/%lluB backoff=%.1fms\n",
+              id.value(),
+              static_cast<unsigned long long>(stats.connects),
+              static_cast<unsigned long long>(stats.reconnects),
+              static_cast<unsigned long long>(stats.connect_failures),
+              static_cast<unsigned long long>(stats.forced_disconnects),
+              static_cast<unsigned long long>(stats.frames_sent),
+              static_cast<unsigned long long>(stats.frames_buffered),
+              static_cast<unsigned long long>(stats.frames_dropped),
+              static_cast<unsigned long long>(stats.bytes_retransmitted),
+              static_cast<unsigned long long>(stats.outbox_frames),
+              static_cast<unsigned long long>(stats.outbox_bytes),
+              static_cast<double>(stats.current_backoff_ns) / 1e6);
+}
+
+// Parses the value of `--flag` at argv[arg + 1], reporting a clear
+// error instead of letting std::stod terminate the process on junk.
+bool ParseValue(const char* flag, int argc, char** argv, int& arg,
+                double lo, double hi, double& out) {
+  if (arg + 1 >= argc) {
+    std::fprintf(stderr, "tcpsmoke: %s requires a value\n", flag);
+    return false;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(argv[++arg], &end);
+  if (end == argv[arg] || *end != '\0' || value < lo || value > hi) {
+    std::fprintf(stderr, "tcpsmoke: %s expects a number in [%g, %g], got '%s'\n",
+                 flag, lo, hi, argv[arg]);
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+// Boots a flat-topology MOM over real TCP loopback sockets (optionally
+// behind a FaultyNetwork), fires `pings` echo round trips, then checks
+// exactly-once causal delivery and dumps the transport counters.
+int TcpSmoke(int argc, char** argv) {
+  char* end = nullptr;
+  const std::size_t n_servers = std::strtoul(argv[0], &end, 10);
+  if (end == argv[0] || *end != '\0') {
+    std::fprintf(stderr, "tcpsmoke: <servers> must be a number, got '%s'\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::size_t pings = std::strtoul(argv[1], &end, 10);
+  if (end == argv[1] || *end != '\0') {
+    std::fprintf(stderr, "tcpsmoke: <pings> must be a number, got '%s'\n",
+                 argv[1]);
+    return 2;
+  }
+  std::uint16_t base_port = 26000;
+  net::FaultyNetworkOptions fault;
+  bool any_fault = false;
+  for (int arg = 2; arg < argc; ++arg) {
+    double value = 0;
+    if (std::strcmp(argv[arg], "--base-port") == 0) {
+      if (!ParseValue("--base-port", argc, argv, arg, 1024, 65535, value)) {
+        return 2;
+      }
+      base_port = static_cast<std::uint16_t>(value);
+    } else if (std::strcmp(argv[arg], "--drop") == 0) {
+      if (!ParseValue("--drop", argc, argv, arg, 0, 1, value)) return 2;
+      fault.model.drop_probability = value;
+      any_fault = true;
+    } else if (std::strcmp(argv[arg], "--dup") == 0) {
+      if (!ParseValue("--dup", argc, argv, arg, 0, 1, value)) return 2;
+      fault.model.duplicate_probability = value;
+      any_fault = true;
+    } else if (std::strcmp(argv[arg], "--disc") == 0) {
+      if (!ParseValue("--disc", argc, argv, arg, 0, 1, value)) return 2;
+      fault.disconnect_probability = value;
+      any_fault = true;
+    } else if (std::strcmp(argv[arg], "--seed") == 0) {
+      if (!ParseValue("--seed", argc, argv, arg, 0, 1e18, value)) return 2;
+      fault.seed = static_cast<std::uint64_t>(value);
+    } else {
+      std::fprintf(stderr, "tcpsmoke: unknown argument '%s'\n", argv[arg]);
+      return 2;
+    }
+  }
+  if (n_servers < 2) {
+    std::fprintf(stderr, "tcpsmoke: need at least 2 servers\n");
+    return 2;
+  }
+
+  auto deployment =
+      domains::Deployment::Create(domains::topologies::Flat(n_servers));
+  if (!deployment.ok()) return Fail(deployment.status());
+
+  net::TcpNetwork tcp(base_port);
+  std::unique_ptr<net::FaultyNetwork> faulty;
+  net::ThreadRuntime runtime;
+  net::Network* network = &tcp;
+  if (any_fault) {
+    faulty = std::make_unique<net::FaultyNetwork>(tcp, fault, &runtime);
+    network = faulty.get();
+  }
+
+  causality::TraceRecorder trace;
+  std::vector<std::unique_ptr<mom::InMemoryStore>> stores;
+  std::vector<std::unique_ptr<net::Endpoint>> endpoints;
+  std::vector<std::unique_ptr<mom::AgentServer>> servers;
+  workload::EchoAgent* echo = nullptr;
+  for (ServerId id : deployment.value().servers()) {
+    auto endpoint = network->CreateEndpoint(id);
+    if (!endpoint.ok()) return Fail(endpoint.status());
+    endpoints.push_back(std::move(endpoint).value());
+    stores.push_back(std::make_unique<mom::InMemoryStore>());
+    mom::AgentServerOptions options;
+    options.trace = &trace;
+    options.retransmit_timeout_ns = 100ull * 1000 * 1000;
+    servers.push_back(std::make_unique<mom::AgentServer>(
+        deployment.value(), id, endpoints.back().get(), &runtime,
+        stores.back().get(), options));
+    if (id.value() == n_servers - 1) {
+      auto agent = std::make_unique<workload::EchoAgent>();
+      echo = agent.get();
+      servers.back()->AttachAgent(1, std::move(agent));
+    } else {
+      // Pongs come back to the pinging agent; give them a home.
+      servers.back()->AttachAgent(7, std::make_unique<workload::SinkAgent>());
+    }
+  }
+  for (auto& server : servers) {
+    if (Status status = server->Boot(); !status.ok()) return Fail(status);
+  }
+
+  const AgentId target{ServerId(static_cast<std::uint16_t>(n_servers - 1)), 1};
+  for (std::size_t i = 0; i < pings; ++i) {
+    const auto from =
+        ServerId(static_cast<std::uint16_t>(i % (n_servers - 1)));
+    auto sent = servers[from.value()]->SendMessage(AgentId{from, 7}, target,
+                                                   workload::kPing);
+    if (!sent.ok()) return Fail(sent.status());
+  }
+
+  // Quiescence: every server idle (QueueOUT drained => all ACKed).
+  int stable = 0;
+  while (stable < 3) {
+    bool idle = true;
+    for (auto& server : servers) {
+      if (!server->Idle()) {
+        idle = false;
+        break;
+      }
+    }
+    if (faulty != nullptr && faulty->pending_delayed() > 0) idle = false;
+    stable = idle ? stable + 1 : 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    PrintTransportStats(ServerId(static_cast<std::uint16_t>(i)),
+                        endpoints[i]->stats());
+  }
+  if (faulty != nullptr) {
+    const auto injected = faulty->stats();
+    std::printf("injected: dropped=%llu duplicated=%llu delayed=%llu "
+                "disconnects=%llu of %llu frames\n",
+                static_cast<unsigned long long>(injected.frames_dropped),
+                static_cast<unsigned long long>(injected.frames_duplicated),
+                static_cast<unsigned long long>(injected.frames_delayed),
+                static_cast<unsigned long long>(injected.disconnects_forced),
+                static_cast<unsigned long long>(injected.frames_seen));
+  }
+
+  std::vector<ServerId> ids(deployment.value().servers().begin(),
+                            deployment.value().servers().end());
+  causality::CausalityChecker checker(std::move(ids));
+  const causality::Trace snapshot = trace.Snapshot();
+  const auto report = checker.CheckCausalDelivery(snapshot);
+  const Status once = checker.CheckExactlyOnce(snapshot);
+  std::printf("echoed %llu pings; causal=%s exactly-once=%s\n",
+              static_cast<unsigned long long>(
+                  echo != nullptr ? echo->pings_seen() : 0),
+              report.causal() ? "yes" : "NO",
+              once.ok() ? "yes" : once.to_string().c_str());
+  for (auto& server : servers) server->Shutdown();
+  return report.causal() && once.ok() ? 0 : 1;
+}
+
 int Estimate(const std::string& config_path,
              const std::string& traffic_path) {
   auto config = domains::LoadMomConfig(config_path);
@@ -165,12 +367,17 @@ int main(int argc, char** argv) {
   if (argc == 4 && std::strcmp(argv[1], "estimate") == 0) {
     return Estimate(argv[2], argv[3]);
   }
+  if (argc >= 4 && std::strcmp(argv[1], "tcpsmoke") == 0) {
+    return TcpSmoke(argc - 2, argv + 2);
+  }
   std::fprintf(stderr,
                "usage:\n"
                "  momtool validate <config>\n"
                "  momtool routes <config> <from> <to>\n"
                "  momtool topo <kind> <args...>\n"
                "  momtool split <traffic> <max-domain-size>\n"
-               "  momtool estimate <config> <traffic>\n");
+               "  momtool estimate <config> <traffic>\n"
+               "  momtool tcpsmoke <servers> <pings> [--base-port P] "
+               "[--drop p] [--dup p] [--disc p] [--seed s]\n");
   return 2;
 }
