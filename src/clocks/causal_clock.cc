@@ -14,6 +14,7 @@ CausalDomainClock::CausalDomainClock(DomainServerId self,
 Stamp CausalDomainClock::PrepareSend(DomainServerId dest) {
   assert(dest.value() < matrix_.size());
   matrix_.Increment(self_, dest);
+  ++version_;
   tracker_.NoteChange(self_, dest, std::nullopt);
   if (mode_ == StampMode::kUpdates) {
     return tracker_.CollectFor(dest, matrix_);
@@ -48,12 +49,15 @@ CheckResult CausalDomainClock::Check(DomainServerId src,
 }
 
 void CausalDomainClock::Commit(DomainServerId src, const Stamp& stamp) {
+  bool changed = false;
   for (const StampEntry& e : stamp.entries) {
     if (e.value > matrix_.at(e.row, e.col)) {
       matrix_.set(e.row, e.col, e.value);
       tracker_.NoteChange(e.row, e.col, src);
+      changed = true;
     }
   }
+  if (changed) ++version_;
 }
 
 void CausalDomainClock::EncodeState(ByteWriter& out) const {

@@ -66,19 +66,34 @@ class CausalDomainClock {
 
   [[nodiscard]] const MatrixClock& matrix() const { return matrix_; }
 
-  // Durable image (matrix + updates tracker), written by the Channel on
-  // every transactional commit so that recovery resumes exactly where
-  // the crash happened.
+  // Durable image (matrix + updates tracker), written by the Channel
+  // whenever the clock advanced since the last commit so that recovery
+  // resumes exactly where the crash happened.
   void EncodeState(ByteWriter& out) const;
   [[nodiscard]] static Result<CausalDomainClock> DecodeState(ByteReader& in);
 
-  [[nodiscard]] bool operator==(const CausalDomainClock&) const = default;
+  // Mutation counter (dirty-tracking hook for incremental persistence):
+  // bumped by every PrepareSend and by every Commit that changed at
+  // least one matrix entry.  The Channel remembers the version it last
+  // persisted and skips the domain's durable image when unchanged --
+  // the disk-layer analogue of the Appendix A "send only the delta"
+  // optimization.  Not part of the durable image: a recovered clock
+  // restarts at version 0.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  [[nodiscard]] bool operator==(const CausalDomainClock& other) const {
+    // version_ is transient bookkeeping; two clocks with equal protocol
+    // state compare equal regardless of their mutation history.
+    return self_ == other.self_ && mode_ == other.mode_ &&
+           matrix_ == other.matrix_ && tracker_ == other.tracker_;
+  }
 
  private:
   DomainServerId self_;
   StampMode mode_ = StampMode::kUpdates;
   MatrixClock matrix_;
   UpdatesTracker tracker_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace cmom::clocks

@@ -28,9 +28,12 @@ class HoldbackQueue {
 
   // Repeatedly scans the queue, delivering every message whose check
   // passes, until a whole pass makes no progress.  Duplicates are
-  // dropped.  Returns the number of messages delivered.
-  template <typename Checker, typename Deliverer>
-  std::size_t DrainDeliverable(Checker&& check, Deliverer&& deliver) {
+  // dropped, passing through `drop` so an owner keeping an external
+  // index (or a per-entry durable image) of the queue can stay in sync.
+  // Returns the number of messages delivered.
+  template <typename Checker, typename Deliverer, typename Dropper>
+  std::size_t DrainDeliverable(Checker&& check, Deliverer&& deliver,
+                               Dropper&& drop) {
     std::size_t delivered = 0;
     bool progressed = true;
     while (progressed) {
@@ -45,10 +48,13 @@ class HoldbackQueue {
             progressed = true;
             break;
           }
-          case CheckResult::kDuplicate:
+          case CheckResult::kDuplicate: {
+            M message = std::move(*it);
             it = pending_.erase(it);
+            drop(std::move(message));
             progressed = true;
             break;
+          }
           case CheckResult::kHold:
             ++it;
             break;
@@ -56,6 +62,12 @@ class HoldbackQueue {
       }
     }
     return delivered;
+  }
+
+  template <typename Checker, typename Deliverer>
+  std::size_t DrainDeliverable(Checker&& check, Deliverer&& deliver) {
+    return DrainDeliverable(std::forward<Checker>(check),
+                            std::forward<Deliverer>(deliver), [](M&&) {});
   }
 
   // Access for persistence: the queue is part of the channel's durable

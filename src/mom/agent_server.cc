@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <utility>
 
 #include "common/log.h"
@@ -10,16 +11,96 @@ namespace cmom::mom {
 
 namespace {
 constexpr std::string_view kMetaKey = "meta";
-constexpr std::string_view kClocksKey = "channel/clocks";
-constexpr std::string_view kQueueOutKey = "channel/qout";
-constexpr std::string_view kQueueInKey = "engine/qin";
-constexpr std::string_view kHoldbackKey = "channel/holdback";
+// Legacy monolithic blobs (PersistMode::kFullImage).  A store written
+// under these keys is migrated to the per-entry schema once, on the
+// first incremental Boot.
+constexpr std::string_view kLegacyClocksKey = "channel/clocks";
+constexpr std::string_view kLegacyQueueOutKey = "channel/qout";
+constexpr std::string_view kLegacyQueueInKey = "engine/qin";
+constexpr std::string_view kLegacyHoldbackKey = "channel/holdback";
+// Incremental per-entry schema.  Fixed-width hex suffixes keep
+// Store::Keys(prefix) ordering aligned with numeric ordering.
+constexpr std::string_view kClockKeyPrefix = "clk/";
+constexpr std::string_view kQueueOutKeyPrefix = "qout/";
+constexpr std::string_view kQueueInKeyPrefix = "qin/";
+constexpr std::string_view kHoldKeyPrefix = "hold/";
 constexpr std::string_view kAgentKeyPrefix = "agent/";
 
 std::string AgentKey(std::uint32_t local_id) {
   return std::string(kAgentKeyPrefix) + std::to_string(local_id);
 }
+
+void AppendHex(std::string& out, std::uint64_t value, int digits) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%0*llx", digits,
+                static_cast<unsigned long long>(value));
+  out += buf;
+}
+
+std::string ClockKey(std::size_t deployment_index) {
+  std::string key(kClockKeyPrefix);
+  AppendHex(key, deployment_index, 4);
+  return key;
+}
+
+std::string OutKey(MessageId id) {
+  std::string key(kQueueOutKeyPrefix);
+  AppendHex(key, id.origin.value(), 4);
+  AppendHex(key, id.seq, 16);
+  return key;
+}
+
+std::string InKey(std::uint64_t seq) {
+  std::string key(kQueueInKeyPrefix);
+  AppendHex(key, seq, 16);
+  return key;
+}
+
+std::string HoldKey(std::size_t deployment_index, MessageId id) {
+  std::string key(kHoldKeyPrefix);
+  AppendHex(key, deployment_index, 4);
+  key += '/';
+  AppendHex(key, id.origin.value(), 4);
+  AppendHex(key, id.seq, 16);
+  return key;
+}
+
+Result<std::uint64_t> ParseHexSuffix(std::string_view key,
+                                     std::string_view prefix) {
+  std::uint64_t value = 0;
+  std::string_view digits = key.substr(prefix.size());
+  if (digits.empty()) return Status::DataLoss("empty store key suffix");
+  for (char c : digits) {
+    std::uint64_t nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return Status::DataLoss("bad hex digit in store key");
+    }
+    value = (value << 4) | nibble;
+  }
+  return value;
+}
 }  // namespace
+
+std::string LogHistogram::ToString() const {
+  char head[96];
+  std::snprintf(head, sizeof(head), "n=%llu mean=%.1f max=%llu",
+                static_cast<unsigned long long>(count), Mean(),
+                static_cast<unsigned long long>(max));
+  std::string out = head;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    char cell[48];
+    std::snprintf(cell, sizeof(cell), " <%llu:%llu",
+                  static_cast<unsigned long long>(1ull << b),
+                  static_cast<unsigned long long>(buckets[b]));
+    out += cell;
+  }
+  return out;
+}
 
 // Buffers the sends an agent makes during React; they are committed
 // atomically with the reaction by the Engine.
@@ -234,28 +315,66 @@ void AgentServer::FlushFrames(std::vector<std::pair<ServerId, Bytes>> frames) {
 // ---------------------------------------------------------------------
 
 void AgentServer::HandleFrame(ServerId from, Bytes frame) {
-  Post([this, from, frame = std::move(frame)]() -> std::size_t {
-    auto type = PeekFrameType(frame);
+  std::unique_lock lock(mutex_);
+  if (shutdown_) return;
+  inbox_.emplace_back(from, std::move(frame));
+  if (!inbox_drain_queued_) {
+    inbox_drain_queued_ = true;
+    work_queue_.push_back([this] { return DrainInbox(); });
+    PumpLocked();
+  }
+}
+
+// One Channel transaction: processes up to channel_batch inbox frames,
+// commits everything they changed in one store transaction, then sends
+// one coalesced ack frame per peer.  Under load the per-message commit
+// (and ack frame) count drops toward 1/batch; when frames trickle in
+// one at a time this degenerates to the classical one-commit-per-frame
+// protocol.
+std::size_t AgentServer::DrainInbox() {
+  inbox_drain_queued_ = false;
+  commit_needed_ = false;
+  std::size_t entries = 0;
+  std::size_t processed = 0;
+  const std::size_t limit = std::max<std::size_t>(1, options_.channel_batch);
+  while (!inbox_.empty() && processed < limit) {
+    auto [from, bytes] = std::move(inbox_.front());
+    inbox_.pop_front();
+    ++processed;
+    auto type = PeekFrameType(bytes);
     if (!type.ok()) {
       CMOM_LOG(kWarning) << "bad frame from " << to_string(from) << ": "
                          << type.status();
-      return 0;
+      continue;
     }
     if (type.value() == FrameType::kAck) {
-      auto ack = DeserializeAck(frame);
+      auto ack = DeserializeAck(bytes);
       if (!ack.ok()) {
         CMOM_LOG(kWarning) << "bad ack: " << ack.status();
-        return 0;
+        continue;
       }
-      return ProcessAck(ack.value());
+      entries += ProcessAck(ack.value());
+      continue;
     }
-    auto data = DataFrame::Deserialize(frame);
+    auto data = DataFrame::Deserialize(bytes);
     if (!data.ok()) {
       CMOM_LOG(kWarning) << "bad data frame: " << data.status();
-      return 0;
+      continue;
     }
-    return ProcessDataFrame(from, std::move(data).value());
-  });
+    entries += ProcessDataFrame(from, std::move(data).value());
+  }
+  stats_.channel_batch_hist.Record(processed);
+  if (commit_needed_) {
+    CommitLocked();
+    commit_needed_ = false;
+  }
+  // Acks only leave after the batch is durable (commit-then-ack).
+  FlushStagedAcks();
+  if (!inbox_.empty() && !inbox_drain_queued_) {
+    inbox_drain_queued_ = true;
+    work_queue_.push_back([this] { return DrainInbox(); });
+  }
+  return entries;
 }
 
 std::size_t AgentServer::ProcessDataFrame(ServerId from, DataFrame frame) {
@@ -283,30 +402,26 @@ std::size_t AgentServer::ProcessDataFrame(ServerId from, DataFrame frame) {
       item->clock.Commit(*src_local, frame.stamp);
       entries += CommitDelivery(*item, *src_local, std::move(frame));
       entries += DrainHoldback(*item);
-      CommitLocked();
+      commit_needed_ = true;
       break;
     }
     case clocks::CheckResult::kHold: {
       // A retransmitted copy of an already-held frame must not be held
       // again: the earlier copy was acknowledged and persisted, so this
-      // one is a plain duplicate.  (Without this check a congested
-      // router re-holds and re-persists the whole growing hold-back
-      // image for every retransmission -- an O(H^2) overload spiral.)
-      bool already_held = false;
-      for (const HeldFrame& held : item->holdback.pending()) {
-        if (held.frame.message.id == message_id) {
-          already_held = true;
-          break;
-        }
-      }
-      if (already_held) {
+      // one is a plain duplicate.  The MessageId index makes the check
+      // O(1) where scanning the hold-back queue would invite an O(H^2)
+      // overload spiral on a congested router.
+      if (item->held_ids.contains(message_id)) {
         ++stats_.duplicates_dropped;
         break;  // just re-acknowledge below
       }
-      item->holdback.Push(HeldFrame{*src_local, std::move(frame)});
+      HeldFrame held{*src_local, std::move(frame)};
+      PersistHeldFrame(*item, held, next_hold_seq_++);
+      item->held_ids.insert(message_id);
+      item->holdback.Push(std::move(held));
       stats_.holdback_peak =
           std::max<std::uint64_t>(stats_.holdback_peak, holdback_size());
-      CommitLocked();
+      commit_needed_ = true;
       break;
     }
     case clocks::CheckResult::kDuplicate: {
@@ -314,7 +429,7 @@ std::size_t AgentServer::ProcessDataFrame(ServerId from, DataFrame frame) {
       break;  // already durable; just re-acknowledge
     }
   }
-  EmitFrame(from, AckFrame{message_id}.Serialize());
+  StageAck(from, message_id);
   return entries;
 }
 
@@ -325,9 +440,17 @@ std::size_t AgentServer::DrainHoldback(DomainItem& item) {
         return item.clock.Check(held.src_local, held.frame.stamp);
       },
       [&](HeldFrame&& held) {
+        const MessageId id = held.frame.message.id;
+        item.held_ids.erase(id);
+        EraseHeldFrame(item, id);
         entries += held.frame.stamp.entries.size();
         item.clock.Commit(held.src_local, held.frame.stamp);
         entries += CommitDelivery(item, held.src_local, std::move(held.frame));
+      },
+      [&](HeldFrame&& dropped) {
+        const MessageId id = dropped.frame.message.id;
+        item.held_ids.erase(id);
+        EraseHeldFrame(item, id);
       });
   return entries;
 }
@@ -343,7 +466,9 @@ std::size_t AgentServer::CommitDelivery(DomainItem& item,
                                     frame.message.from, frame.message.to);
     }
     ++stats_.messages_delivered;
-    queue_in_.push_back(std::move(frame.message));
+    InEntry entry{next_in_seq_++, std::move(frame.message)};
+    PersistInEntry(entry);
+    queue_in_.push_back(std::move(entry));
     engine_step_needed_ = true;
     return 0;
   }
@@ -352,14 +477,34 @@ std::size_t AgentServer::CommitDelivery(DomainItem& item,
 }
 
 std::size_t AgentServer::ProcessAck(const AckFrame& ack) {
-  auto it = std::find_if(queue_out_.begin(), queue_out_.end(),
-                         [&](const OutEntry& entry) {
-                           return entry.message.id == ack.message;
-                         });
-  if (it == queue_out_.end()) return 0;  // duplicate ack
-  queue_out_.erase(it);
-  CommitLocked();
+  for (const MessageId& id : ack.messages) {
+    auto it = queue_out_index_.find(id);
+    if (it == queue_out_index_.end()) continue;  // duplicate ack
+    EraseOutEntry(*it->second);
+    queue_out_.erase(it->second);
+    queue_out_index_.erase(it);
+    commit_needed_ = true;
+  }
   return 0;
+}
+
+void AgentServer::StageAck(ServerId peer, MessageId id) {
+  for (auto& [to, ids] : staged_acks_) {
+    if (to == peer) {
+      ids.push_back(id);
+      return;
+    }
+  }
+  staged_acks_.emplace_back(peer, std::vector<MessageId>{id});
+}
+
+void AgentServer::FlushStagedAcks() {
+  for (auto& [peer, ids] : staged_acks_) {
+    ++stats_.ack_frames_sent;
+    stats_.acks_sent += ids.size();
+    EmitFrame(peer, AckFrame(std::move(ids)).Serialize());
+  }
+  staged_acks_.clear();
 }
 
 // ---------------------------------------------------------------------
@@ -370,6 +515,7 @@ Message AgentServer::MakeMessage(AgentId from, AgentId to, std::string subject,
                                  Bytes payload) {
   Message message;
   message.id = MessageId{self_, next_msg_seq_++};
+  meta_dirty_ = true;
   message.from = from;
   message.to = to;
   message.subject = std::move(subject);
@@ -412,7 +558,9 @@ std::size_t AgentServer::ApplySends(std::vector<Message> sends) {
                                       message.to);
       }
       ++stats_.messages_delivered;
-      queue_in_.push_back(std::move(message));
+      InEntry entry{next_in_seq_++, std::move(message)};
+      PersistInEntry(entry);
+      queue_in_.push_back(std::move(entry));
       engine_step_needed_ = true;
     } else {
       entries += StampAndEnqueue(std::move(message));
@@ -448,12 +596,15 @@ std::size_t AgentServer::StampAndEnqueue(Message message) {
   entry.next_hop = hop;
   entry.domain = item->id;
   entry.stamp = item->clock.PrepareSend(*hop_local);
+  entry.enqueue_seq = next_out_enqueue_seq_++;
   const std::size_t entries = entry.stamp.entries.size();
   stats_.stamp_bytes_sent += entry.stamp.EncodedSize();
 
   DataFrame frame{entry.message, entry.domain, entry.stamp};
   const MessageId id = entry.message.id;
+  PersistOutEntry(entry);
   queue_out_.push_back(std::move(entry));
+  queue_out_index_.emplace(id, std::prev(queue_out_.end()));
   EmitFrame(hop, frame.Serialize());
   ScheduleRetransmit(id, 0);
   return entries;
@@ -471,21 +622,20 @@ void AgentServer::ScheduleRetransmit(MessageId id,
     std::lock_guard hold(life->mutex);
     if (!life->alive) return;
     Post([this, id]() -> std::size_t {
-      auto it = std::find_if(
-          queue_out_.begin(), queue_out_.end(),
-          [&](const OutEntry& entry) { return entry.message.id == id; });
-      if (it == queue_out_.end()) return 0;  // acknowledged meanwhile
+      auto it = queue_out_index_.find(id);
+      if (it == queue_out_index_.end()) return 0;  // acknowledged meanwhile
+      OutEntry& entry = *it->second;
       if (options_.max_retransmit_attempts != 0 &&
-          it->attempts >= options_.max_retransmit_attempts) {
+          entry.attempts >= options_.max_retransmit_attempts) {
         CMOM_LOG(kError) << "giving up on " << id << " after "
-                         << it->attempts << " retransmissions";
+                         << entry.attempts << " retransmissions";
         return 0;
       }
-      ++it->attempts;
+      ++entry.attempts;
       ++stats_.retransmissions;
-      DataFrame frame{it->message, it->domain, it->stamp};
-      EmitFrame(it->next_hop, frame.Serialize());
-      ScheduleRetransmit(id, it->attempts);
+      DataFrame frame{entry.message, entry.domain, entry.stamp};
+      EmitFrame(entry.next_hop, frame.Serialize());
+      ScheduleRetransmit(id, entry.attempts);
       return 0;
     });
   });
@@ -495,30 +645,50 @@ void AgentServer::ScheduleRetransmit(MessageId id,
 // Engine
 // ---------------------------------------------------------------------
 
+// One Engine transaction: reacts to up to engine_batch QueueIN
+// messages, persists each touched agent image once, and commits the
+// whole batch -- QueueIN deletions, agent state and all the stamped
+// sends the reactions produced -- atomically.
 std::size_t AgentServer::EngineStep() {
   engine_step_queued_ = false;
   if (queue_in_.empty()) return 0;
-  Message message = std::move(queue_in_.front());
-  queue_in_.pop_front();
+  const std::size_t limit = std::max<std::size_t>(1, options_.engine_batch);
 
   std::vector<Message> sends;
-  auto agent_it = agents_.find(message.to.local);
-  if (agent_it == agents_.end()) {
-    CMOM_LOG(kWarning) << to_string(self_) << ": no agent " << message.to
-                       << " for message " << message.id << "; dropped";
-  } else {
+  std::vector<std::uint32_t> reacted;  // agents to persist, insert order
+  std::size_t batch = 0;
+  while (!queue_in_.empty() && batch < limit) {
+    InEntry entry = std::move(queue_in_.front());
+    queue_in_.pop_front();
+    EraseInEntry(entry);
+    ++batch;
+
+    auto agent_it = agents_.find(entry.message.to.local);
+    if (agent_it == agents_.end()) {
+      CMOM_LOG(kWarning) << to_string(self_) << ": no agent "
+                         << entry.message.to << " for message "
+                         << entry.message.id << "; dropped";
+      continue;
+    }
     ReactionContextImpl ctx(
-        this, runtime_, message.to, &sends,
+        this, runtime_, entry.message.to, &sends,
         [this](AgentId from, AgentId to, std::string subject, Bytes payload) {
           return MakeMessage(from, to, std::move(subject),
                              std::move(payload));
         });
-    agent_it->second->React(ctx, message);
-    PersistAgent(message.to.local);
+    agent_it->second->React(ctx, entry.message);
+    if (std::find(reacted.begin(), reacted.end(), entry.message.to.local) ==
+        reacted.end()) {
+      reacted.push_back(entry.message.to.local);
+    }
   }
+  // An agent that reacted several times in this batch is persisted
+  // once, with its final state -- the batch is one transaction.
+  for (std::uint32_t local_id : reacted) PersistAgent(local_id);
+  stats_.engine_batch_hist.Record(batch);
 
-  // ApplySends commits the whole reaction: new QueueIN/QueueOUT state,
-  // clocks and the agent image staged above.
+  // ApplySends commits the whole batch: QueueIN deletions, new
+  // QueueOUT state, clocks and the agent images staged above.
   const std::size_t entries = ApplySends(std::move(sends));
   if (!queue_in_.empty()) engine_step_needed_ = true;
   return entries;
@@ -528,20 +698,44 @@ std::size_t AgentServer::EngineStep() {
 // Persistence and recovery
 // ---------------------------------------------------------------------
 
-void AgentServer::PersistMeta() {
-  ByteWriter out;
-  out.WriteVarU64(next_msg_seq_);
-  store_->Put(kMetaKey, std::move(out).Take());
+void AgentServer::StorePut(std::string_view key, Bytes value) {
+  store_->Put(key, std::move(value));
+  ++txn_ops_staged_;
 }
 
-void AgentServer::PersistClocks() {
+void AgentServer::StoreDelete(std::string_view key) {
+  store_->Delete(key);
+  ++txn_ops_staged_;
+}
+
+void AgentServer::PersistMeta() {
+  if (!meta_dirty_) return;
   ByteWriter out;
-  out.WriteVarU64(items_.size());
-  for (const DomainItem& item : items_) {
-    out.WriteVarU64(item.deployment_index);
-    item.clock.EncodeState(out);
+  out.WriteVarU64(next_msg_seq_);
+  StorePut(kMetaKey, std::move(out).Take());
+  meta_dirty_ = false;
+}
+
+void AgentServer::PersistClocks(bool force) {
+  if (!incremental()) {
+    ByteWriter out;
+    out.WriteVarU64(items_.size());
+    for (const DomainItem& item : items_) {
+      out.WriteVarU64(item.deployment_index);
+      item.clock.EncodeState(out);
+    }
+    StorePut(kLegacyClocksKey, std::move(out).Take());
+    return;
   }
-  store_->Put(kClocksKey, std::move(out).Take());
+  for (DomainItem& item : items_) {
+    if (!force && item.persisted_clock_version == item.clock.version()) {
+      continue;
+    }
+    ByteWriter out;
+    item.clock.EncodeState(out);
+    StorePut(ClockKey(item.deployment_index), std::move(out).Take());
+    item.persisted_clock_version = item.clock.version();
+  }
 }
 
 void AgentServer::PersistQueueOut() {
@@ -553,14 +747,14 @@ void AgentServer::PersistQueueOut() {
     out.WriteU16(entry.domain.value());
     entry.stamp.Encode(out);
   }
-  store_->Put(kQueueOutKey, std::move(out).Take());
+  StorePut(kLegacyQueueOutKey, std::move(out).Take());
 }
 
 void AgentServer::PersistQueueIn() {
   ByteWriter out;
   out.WriteVarU64(queue_in_.size());
-  for (const Message& message : queue_in_) message.Encode(out);
-  store_->Put(kQueueInKey, std::move(out).Take());
+  for (const InEntry& entry : queue_in_) entry.message.Encode(out);
+  StorePut(kLegacyQueueInKey, std::move(out).Take());
 }
 
 void AgentServer::PersistHoldback() {
@@ -575,7 +769,7 @@ void AgentServer::PersistHoldback() {
       out.WriteBytes(held.frame.Serialize());
     }
   }
-  store_->Put(kHoldbackKey, std::move(out).Take());
+  StorePut(kLegacyHoldbackKey, std::move(out).Take());
 }
 
 void AgentServer::PersistAgent(std::uint32_t local_id) {
@@ -583,30 +777,90 @@ void AgentServer::PersistAgent(std::uint32_t local_id) {
   if (it == agents_.end()) return;
   ByteWriter out;
   it->second->EncodeState(out);
-  store_->Put(AgentKey(local_id), std::move(out).Take());
+  StorePut(AgentKey(local_id), std::move(out).Take());
 }
 
-// One transaction: the persistent image of the whole channel + engine
-// state (the matrix clocks dominating its size, as in the paper).
+void AgentServer::PersistOutEntry(const OutEntry& entry) {
+  if (!incremental()) return;
+  ByteWriter out;
+  out.WriteVarU64(entry.enqueue_seq);
+  entry.message.Encode(out);
+  out.WriteU16(entry.next_hop.value());
+  out.WriteU16(entry.domain.value());
+  entry.stamp.Encode(out);
+  StorePut(OutKey(entry.message.id), std::move(out).Take());
+}
+
+void AgentServer::EraseOutEntry(const OutEntry& entry) {
+  if (!incremental()) return;
+  StoreDelete(OutKey(entry.message.id));
+}
+
+void AgentServer::PersistInEntry(const InEntry& entry) {
+  if (!incremental()) return;
+  ByteWriter out;
+  entry.message.Encode(out);
+  StorePut(InKey(entry.seq), std::move(out).Take());
+}
+
+void AgentServer::EraseInEntry(const InEntry& entry) {
+  if (!incremental()) return;
+  StoreDelete(InKey(entry.seq));
+}
+
+void AgentServer::PersistHeldFrame(const DomainItem& item,
+                                   const HeldFrame& held,
+                                   std::uint64_t arrival_seq) {
+  if (!incremental()) return;
+  ByteWriter out;
+  out.WriteVarU64(arrival_seq);
+  out.WriteU16(held.src_local.value());
+  out.WriteBytes(held.frame.Serialize());
+  StorePut(HoldKey(item.deployment_index, held.frame.message.id),
+           std::move(out).Take());
+}
+
+void AgentServer::EraseHeldFrame(const DomainItem& item, MessageId id) {
+  if (!incremental()) return;
+  StoreDelete(HoldKey(item.deployment_index, id));
+}
+
+// One transaction: in full-image mode, the persistent image of the
+// whole channel + engine state (the matrix clocks dominating its size,
+// as in the paper); in incremental mode, only the delta -- dirty domain
+// clocks, the bumped meta counter, and whatever per-entry queue keys
+// the transaction staged on its way here.
 void AgentServer::CommitLocked() {
-  PersistMeta();
-  PersistClocks();
-  PersistQueueOut();
-  PersistQueueIn();
-  PersistHoldback();
+  if (incremental()) {
+    PersistMeta();
+    PersistClocks(/*force=*/false);
+  } else {
+    meta_dirty_ = true;  // full image rewrites everything, every commit
+    PersistMeta();
+    PersistClocks(/*force=*/true);
+    PersistQueueOut();
+    PersistQueueIn();
+    PersistHoldback();
+  }
+  if (txn_ops_staged_ == 0) return;  // nothing changed durable state
   Status status = store_->Commit();
   if (!status.ok()) {
     CMOM_LOG(kError) << to_string(self_) << ": commit failed: " << status;
     return;
   }
+  txn_ops_staged_ = 0;
   txn_bytes_marker_ += store_->last_commit_bytes();
   ++stats_.commits;
+  stats_.commit_bytes += store_->last_commit_bytes();
+  stats_.commit_bytes_hist.Record(store_->last_commit_bytes());
 }
 
 Status AgentServer::RecoverLocked() {
   auto meta = store_->Get(kMetaKey);
   if (!meta.has_value()) {
     // Fresh server: write the initial durable image.
+    meta_dirty_ = true;
+    if (incremental()) PersistClocks(/*force=*/true);
     CommitLocked();
     return Status::Ok();
   }
@@ -616,7 +870,39 @@ Status AgentServer::RecoverLocked() {
     if (!seq.ok()) return seq.status();
     next_msg_seq_ = seq.value();
   }
-  if (auto blob = store_->Get(kClocksKey)) {
+
+  const bool legacy_present = store_->Get(kLegacyClocksKey).has_value() ||
+                              store_->Get(kLegacyQueueOutKey).has_value() ||
+                              store_->Get(kLegacyQueueInKey).has_value() ||
+                              store_->Get(kLegacyHoldbackKey).has_value();
+  if (legacy_present) {
+    CMOM_RETURN_IF_ERROR(RecoverLegacyLocked());
+    if (incremental()) MigrateToIncrementalLocked();
+  } else {
+    CMOM_RETURN_IF_ERROR(RecoverIncrementalLocked());
+    if (!incremental()) {
+      // Downgrade (tests / baseline measurements): fold the per-entry
+      // keys back into the monolithic blobs.
+      for (std::string_view prefix :
+           {kClockKeyPrefix, kQueueOutKeyPrefix, kQueueInKeyPrefix,
+            kHoldKeyPrefix}) {
+        for (const std::string& key : store_->Keys(prefix)) StoreDelete(key);
+      }
+      CommitLocked();
+    }
+  }
+
+  for (auto& [local_id, agent] : agents_) {
+    if (auto blob = store_->Get(AgentKey(local_id))) {
+      ByteReader in(*blob);
+      CMOM_RETURN_IF_ERROR(agent->DecodeState(in));
+    }
+  }
+  return Status::Ok();
+}
+
+Status AgentServer::RecoverLegacyLocked() {
+  if (auto blob = store_->Get(kLegacyClocksKey)) {
     ByteReader in(*blob);
     auto count = in.ReadVarU64();
     if (!count.ok()) return count.status();
@@ -629,6 +915,7 @@ Status AgentServer::RecoverLocked() {
       for (DomainItem& item : items_) {
         if (item.deployment_index == index.value()) {
           item.clock = std::move(clock).value();
+          item.persisted_clock_version = item.clock.version();
           found = true;
           break;
         }
@@ -638,7 +925,7 @@ Status AgentServer::RecoverLocked() {
       }
     }
   }
-  if (auto blob = store_->Get(kQueueOutKey)) {
+  if (auto blob = store_->Get(kLegacyQueueOutKey)) {
     ByteReader in(*blob);
     auto count = in.ReadVarU64();
     if (!count.ok()) return count.status();
@@ -656,20 +943,23 @@ Status AgentServer::RecoverLocked() {
       auto stamp = clocks::Stamp::Decode(in);
       if (!stamp.ok()) return stamp.status();
       entry.stamp = std::move(stamp).value();
+      entry.enqueue_seq = next_out_enqueue_seq_++;
+      const MessageId id = entry.message.id;
       queue_out_.push_back(std::move(entry));
+      queue_out_index_.emplace(id, std::prev(queue_out_.end()));
     }
   }
-  if (auto blob = store_->Get(kQueueInKey)) {
+  if (auto blob = store_->Get(kLegacyQueueInKey)) {
     ByteReader in(*blob);
     auto count = in.ReadVarU64();
     if (!count.ok()) return count.status();
     for (std::uint64_t i = 0; i < count.value(); ++i) {
       auto message = Message::Decode(in);
       if (!message.ok()) return message.status();
-      queue_in_.push_back(std::move(message).value());
+      queue_in_.push_back(InEntry{next_in_seq_++, std::move(message).value()});
     }
   }
-  if (auto blob = store_->Get(kHoldbackKey)) {
+  if (auto blob = store_->Get(kLegacyHoldbackKey)) {
     ByteReader in(*blob);
     auto count = in.ReadVarU64();
     if (!count.ok()) return count.status();
@@ -685,6 +975,7 @@ Status AgentServer::RecoverLocked() {
       bool placed = false;
       for (DomainItem& item : items_) {
         if (item.deployment_index == index.value()) {
+          item.held_ids.insert(frame.value().message.id);
           item.holdback.Push(HeldFrame{DomainServerId(src.value()),
                                        std::move(frame).value()});
           placed = true;
@@ -694,13 +985,153 @@ Status AgentServer::RecoverLocked() {
       if (!placed) return Status::DataLoss("held frame for unknown domain");
     }
   }
-  for (auto& [local_id, agent] : agents_) {
-    if (auto blob = store_->Get(AgentKey(local_id))) {
-      ByteReader in(*blob);
-      CMOM_RETURN_IF_ERROR(agent->DecodeState(in));
+  return Status::Ok();
+}
+
+Status AgentServer::RecoverIncrementalLocked() {
+  for (const std::string& key : store_->Keys(kClockKeyPrefix)) {
+    auto index = ParseHexSuffix(key, kClockKeyPrefix);
+    if (!index.ok()) return index.status();
+    auto blob = store_->Get(key);
+    if (!blob) continue;
+    ByteReader in(*blob);
+    auto clock = clocks::CausalDomainClock::DecodeState(in);
+    if (!clock.ok()) return clock.status();
+    bool found = false;
+    for (DomainItem& item : items_) {
+      if (item.deployment_index == index.value()) {
+        item.clock = std::move(clock).value();
+        item.persisted_clock_version = item.clock.version();
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::DataLoss("recovered clock for unknown domain index");
     }
   }
+
+  // QueueOUT keys sort by message id; the persisted enqueue ticket
+  // restores the original FIFO order (and seeds the ticket counter).
+  std::vector<OutEntry> out_entries;
+  for (const std::string& key : store_->Keys(kQueueOutKeyPrefix)) {
+    auto blob = store_->Get(key);
+    if (!blob) continue;
+    ByteReader in(*blob);
+    OutEntry entry;
+    auto seq = in.ReadVarU64();
+    if (!seq.ok()) return seq.status();
+    entry.enqueue_seq = seq.value();
+    auto message = Message::Decode(in);
+    if (!message.ok()) return message.status();
+    entry.message = std::move(message).value();
+    auto hop = in.ReadU16();
+    if (!hop.ok()) return hop.status();
+    entry.next_hop = ServerId(hop.value());
+    auto domain = in.ReadU16();
+    if (!domain.ok()) return domain.status();
+    entry.domain = DomainId(domain.value());
+    auto stamp = clocks::Stamp::Decode(in);
+    if (!stamp.ok()) return stamp.status();
+    entry.stamp = std::move(stamp).value();
+    out_entries.push_back(std::move(entry));
+  }
+  std::sort(out_entries.begin(), out_entries.end(),
+            [](const OutEntry& a, const OutEntry& b) {
+              return a.enqueue_seq < b.enqueue_seq;
+            });
+  for (OutEntry& entry : out_entries) {
+    next_out_enqueue_seq_ =
+        std::max(next_out_enqueue_seq_, entry.enqueue_seq + 1);
+    const MessageId id = entry.message.id;
+    queue_out_.push_back(std::move(entry));
+    queue_out_index_.emplace(id, std::prev(queue_out_.end()));
+  }
+
+  // QueueIN keys are zero-padded sequence numbers: sorted key order IS
+  // arrival order.
+  for (const std::string& key : store_->Keys(kQueueInKeyPrefix)) {
+    auto seq = ParseHexSuffix(key, kQueueInKeyPrefix);
+    if (!seq.ok()) return seq.status();
+    auto blob = store_->Get(key);
+    if (!blob) continue;
+    ByteReader in(*blob);
+    auto message = Message::Decode(in);
+    if (!message.ok()) return message.status();
+    queue_in_.push_back(InEntry{seq.value(), std::move(message).value()});
+    next_in_seq_ = std::max(next_in_seq_, seq.value() + 1);
+  }
+
+  // Held frames carry their arrival ticket; re-push per domain in
+  // arrival order so repeated drains stay deterministic.
+  struct RecoveredHold {
+    std::uint64_t arrival_seq;
+    DomainItem* item;
+    HeldFrame held;
+  };
+  std::vector<RecoveredHold> holds;
+  for (const std::string& key : store_->Keys(kHoldKeyPrefix)) {
+    const std::size_t slash = key.find('/', kHoldKeyPrefix.size());
+    if (slash == std::string::npos) {
+      return Status::DataLoss("malformed hold-back key");
+    }
+    auto index =
+        ParseHexSuffix(key.substr(0, slash), kHoldKeyPrefix);
+    if (!index.ok()) return index.status();
+    auto blob = store_->Get(key);
+    if (!blob) continue;
+    ByteReader in(*blob);
+    auto seq = in.ReadVarU64();
+    if (!seq.ok()) return seq.status();
+    auto src = in.ReadU16();
+    if (!src.ok()) return src.status();
+    auto frame_bytes = in.ReadBytes();
+    if (!frame_bytes.ok()) return frame_bytes.status();
+    auto frame = DataFrame::Deserialize(frame_bytes.value());
+    if (!frame.ok()) return frame.status();
+    DomainItem* owner = nullptr;
+    for (DomainItem& item : items_) {
+      if (item.deployment_index == index.value()) {
+        owner = &item;
+        break;
+      }
+    }
+    if (owner == nullptr) {
+      return Status::DataLoss("held frame for unknown domain");
+    }
+    holds.push_back(RecoveredHold{seq.value(), owner,
+                                  HeldFrame{DomainServerId(src.value()),
+                                            std::move(frame).value()}});
+  }
+  std::sort(holds.begin(), holds.end(),
+            [](const RecoveredHold& a, const RecoveredHold& b) {
+              return a.arrival_seq < b.arrival_seq;
+            });
+  for (RecoveredHold& hold : holds) {
+    next_hold_seq_ = std::max(next_hold_seq_, hold.arrival_seq + 1);
+    hold.item->held_ids.insert(hold.held.frame.message.id);
+    hold.item->holdback.Push(std::move(hold.held));
+  }
   return Status::Ok();
+}
+
+void AgentServer::MigrateToIncrementalLocked() {
+  CMOM_LOG(kInfo) << to_string(self_)
+                  << ": migrating full-image store to incremental schema";
+  StoreDelete(kLegacyClocksKey);
+  StoreDelete(kLegacyQueueOutKey);
+  StoreDelete(kLegacyQueueInKey);
+  StoreDelete(kLegacyHoldbackKey);
+  meta_dirty_ = true;
+  PersistClocks(/*force=*/true);
+  for (const OutEntry& entry : queue_out_) PersistOutEntry(entry);
+  for (const InEntry& entry : queue_in_) PersistInEntry(entry);
+  for (const DomainItem& item : items_) {
+    for (const HeldFrame& held : item.holdback.pending()) {
+      PersistHeldFrame(item, held, next_hold_seq_++);
+    }
+  }
+  CommitLocked();
 }
 
 // ---------------------------------------------------------------------
@@ -725,8 +1156,8 @@ std::size_t AgentServer::queue_out_size() const {
 
 bool AgentServer::Idle() const {
   std::lock_guard lock(mutex_);
-  return work_queue_.empty() && !work_running_ && queue_in_.empty() &&
-         queue_out_.empty();
+  return work_queue_.empty() && !work_running_ && inbox_.empty() &&
+         queue_in_.empty() && queue_out_.empty();
 }
 
 const clocks::CausalDomainClock* AgentServer::FindDomainClock(
@@ -736,6 +1167,37 @@ const clocks::CausalDomainClock* AgentServer::FindDomainClock(
     if (item.deployment_index == deployment_domain_index) return &item.clock;
   }
   return nullptr;
+}
+
+Bytes AgentServer::DebugImage() const {
+  std::lock_guard lock(mutex_);
+  ByteWriter out;
+  out.WriteVarU64(next_msg_seq_);
+  out.WriteVarU64(items_.size());
+  for (const DomainItem& item : items_) {
+    out.WriteVarU64(item.deployment_index);
+    item.clock.EncodeState(out);
+  }
+  out.WriteVarU64(queue_out_.size());
+  for (const OutEntry& entry : queue_out_) {
+    entry.message.Encode(out);
+    out.WriteU16(entry.next_hop.value());
+    out.WriteU16(entry.domain.value());
+    entry.stamp.Encode(out);
+  }
+  out.WriteVarU64(queue_in_.size());
+  for (const InEntry& entry : queue_in_) entry.message.Encode(out);
+  std::size_t held = 0;
+  for (const DomainItem& item : items_) held += item.holdback.size();
+  out.WriteVarU64(held);
+  for (const DomainItem& item : items_) {
+    for (const HeldFrame& frame : item.holdback.pending()) {
+      out.WriteVarU64(item.deployment_index);
+      out.WriteU16(frame.src_local.value());
+      out.WriteBytes(frame.frame.Serialize());
+    }
+  }
+  return std::move(out).Take();
 }
 
 AgentServer::DomainItem* AgentServer::FindItemByDomainId(DomainId id) {

@@ -5,7 +5,7 @@
 // server belongs to -- a causal router-server has several -- each with
 // its own matrix clock and hold-back queue, plus the QueueOUT of
 // stamped messages awaiting acknowledgment.  The Engine owns QueueIN
-// and runs agent reactions one at a time.
+// and runs agent reactions.
 //
 // Every protocol step is a transaction against the server's Store:
 //
@@ -19,6 +19,24 @@
 //               dup     -> just ACK
 //   reaction  : pop QueueIN, run Agent::React, persist agent state and
 //               the stamped sends it produced, commit, emit frames
+//
+// Batching: incoming frames land in an inbox and are drained up to
+// `channel_batch` per work item, committing the whole batch in ONE
+// store transaction and coalescing the acks into one frame per peer.
+// Likewise the Engine drains up to `engine_batch` QueueIN messages per
+// work item and commits all their reactions together.  Batches are
+// still atomic, so exactly-once causal delivery is unaffected; under
+// load the commit (and ack) count per message drops toward 1/batch.
+//
+// Persistence is incremental (PersistMode::kIncremental, the default):
+// QueueOUT, QueueIN and the hold-back queues live under per-entry store
+// keys written and deleted individually, and each domain's clock image
+// is rewritten only when its version advanced -- so commit bytes per
+// message are O(1) in the backlog instead of O(backlog), the disk-layer
+// analogue of the Appendix A delta stamps.  PersistMode::kFullImage
+// keeps the historical whole-image rewrite for baseline measurements;
+// a store written by it is migrated to the incremental schema once, on
+// the first incremental Boot.
 //
 // Unacknowledged QueueOUT entries are retransmitted with their original
 // stamp; the receiver's clock check recognizes and drops duplicates, so
@@ -34,15 +52,18 @@
 // work runs inline at wall-clock speed.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "causality/trace.h"
@@ -60,6 +81,11 @@
 
 namespace cmom::mom {
 
+enum class PersistMode : std::uint8_t {
+  kIncremental = 0,  // per-entry keys + dirty-flagged clock images
+  kFullImage = 1,    // historical monolithic blobs, rewritten per commit
+};
+
 struct AgentServerOptions {
   // Non-null enables simulated processing costs (see header comment).
   const net::CostModel* cost_model = nullptr;
@@ -69,6 +95,41 @@ struct AgentServerOptions {
   std::uint64_t retransmit_timeout_ns = 500ull * 1000 * 1000;
   // Safety valve for runaway retransmission (0 = unlimited).
   std::uint32_t max_retransmit_attempts = 0;
+  // Durable-image layout (see header comment).
+  PersistMode persist_mode = PersistMode::kIncremental;
+  // Max QueueIN messages reacted to per Engine work item (one commit).
+  std::size_t engine_batch = 16;
+  // Max inbox frames processed per Channel work item (one commit, acks
+  // coalesced per peer).
+  std::size_t channel_batch = 16;
+};
+
+// Power-of-two-bucketed histogram: bucket b counts samples in
+// [2^(b-1), 2^b), with bucket 0 counting zeros.  Cheap enough to live
+// on the commit path; summarized by momtool / tcpsmoke.
+struct LogHistogram {
+  static constexpr std::size_t kBuckets = 32;
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  void Record(std::uint64_t value) {
+    std::size_t b = 0;
+    while ((1ull << b) <= value && b + 1 < kBuckets) ++b;
+    ++buckets[value == 0 ? 0 : b];
+    ++count;
+    sum += value;
+    if (value > max) max = value;
+  }
+
+  [[nodiscard]] double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  // Compact "mean/max + populated buckets" rendering for summaries.
+  [[nodiscard]] std::string ToString() const;
 };
 
 struct ServerStats {
@@ -81,9 +142,15 @@ struct ServerStats {
   std::uint64_t retransmissions = 0;
   std::uint64_t stamp_bytes_sent = 0;     // wire cost of causal stamps
   std::uint64_t commits = 0;
+  std::uint64_t commit_bytes = 0;         // store bytes over all commits
+  std::uint64_t ack_frames_sent = 0;      // after coalescing
+  std::uint64_t acks_sent = 0;            // message ids acknowledged
   // Frames the transport refused (e.g. supervised outbox overflow);
   // each is covered by a later QueueOUT retransmission.
   std::uint64_t transport_send_failures = 0;
+  LogHistogram commit_bytes_hist;   // bytes per store commit
+  LogHistogram engine_batch_hist;   // reactions per Engine work item
+  LogHistogram channel_batch_hist;  // frames per Channel work item
 };
 
 class AgentServer {
@@ -140,6 +207,13 @@ class AgentServer {
   [[nodiscard]] const clocks::CausalDomainClock* FindDomainClock(
       std::size_t deployment_domain_index) const;
 
+  // Canonical serialization of the volatile channel + engine image
+  // (meta, clocks, QueueOUT, QueueIN, hold-back queues, in order).
+  // Test hook: two servers that must be in equivalent states -- e.g.
+  // recovered from a full-image store vs an incremental one after
+  // identical deterministic traffic -- must produce identical bytes.
+  [[nodiscard]] Bytes DebugImage() const;
+
  private:
   struct HeldFrame {
     DomainServerId src_local;
@@ -152,6 +226,12 @@ class AgentServer {
     DomainServerId self_local;
     clocks::CausalDomainClock clock;
     clocks::HoldbackQueue<HeldFrame> holdback;
+    // MessageId index over `holdback` (O(1) duplicate-held check and
+    // per-entry key deletion); always in sync with the queue.
+    std::unordered_set<MessageId> held_ids;
+    // clock.version() at the last durable write; the clock image is
+    // re-persisted only when the live version differs.
+    std::uint64_t persisted_clock_version = 0;
   };
 
   struct OutEntry {
@@ -160,6 +240,14 @@ class AgentServer {
     DomainId domain;
     clocks::Stamp stamp;
     std::uint32_t attempts = 0;
+    // Monotonic enqueue ticket; persisted so recovery rebuilds QueueOUT
+    // in original order even though store keys sort by message id.
+    std::uint64_t enqueue_seq = 0;
+  };
+
+  struct InEntry {
+    std::uint64_t seq = 0;  // key suffix of the qin/ store entry
+    Message message;
   };
 
   // A unit of transactional work.  Returns the number of clock entries
@@ -173,6 +261,8 @@ class AgentServer {
 
   // --- channel -------------------------------------------------------
   void HandleFrame(ServerId from, Bytes frame);
+  // Processes up to channel_batch inbox frames in one transaction.
+  std::size_t DrainInbox();
   std::size_t ProcessDataFrame(ServerId from, DataFrame frame);
   std::size_t ProcessAck(const AckFrame& ack);
   // Delivers a checked frame: local QueueIN or forward.  Returns clock
@@ -186,6 +276,10 @@ class AgentServer {
   // returns entries touched.  Emits the data frame.
   std::size_t StampAndEnqueue(Message message);
   void EmitFrame(ServerId to, Bytes bytes);
+  // Records an accepted message for the end-of-batch coalesced ack.
+  void StageAck(ServerId peer, MessageId id);
+  // Turns staged acks into one AckFrame per peer (after the commit).
+  void FlushStagedAcks();
   void FlushFrames(std::vector<std::pair<ServerId, Bytes>> frames);
   // Schedules the next retransmission check for `id`.  The delay grows
   // exponentially with the attempts already made (capped at 64x the
@@ -197,13 +291,34 @@ class AgentServer {
   std::size_t ApplySends(std::vector<Message> sends);
 
   // --- persistence ----------------------------------------------------
+  [[nodiscard]] bool incremental() const {
+    return options_.persist_mode == PersistMode::kIncremental;
+  }
+  // Staging wrappers: route every store mutation through these so
+  // CommitLocked knows whether the transaction touched anything.
+  void StorePut(std::string_view key, Bytes value);
+  void StoreDelete(std::string_view key);
   void PersistMeta();
-  void PersistClocks();
-  void PersistQueueOut();
-  void PersistQueueIn();
-  void PersistHoldback();
+  void PersistClocks(bool force);
+  void PersistQueueOut();     // full-image mode only
+  void PersistQueueIn();      // full-image mode only
+  void PersistHoldback();     // full-image mode only
   void PersistAgent(std::uint32_t local_id);
+  // Incremental per-entry writes (no-ops in full-image mode, where the
+  // whole queue blob is rewritten by CommitLocked instead).
+  void PersistOutEntry(const OutEntry& entry);
+  void EraseOutEntry(const OutEntry& entry);
+  void PersistInEntry(const InEntry& entry);
+  void EraseInEntry(const InEntry& entry);
+  void PersistHeldFrame(const DomainItem& item, const HeldFrame& held,
+                        std::uint64_t arrival_seq);
+  void EraseHeldFrame(const DomainItem& item, MessageId id);
   [[nodiscard]] Status RecoverLocked();
+  [[nodiscard]] Status RecoverLegacyLocked();
+  [[nodiscard]] Status RecoverIncrementalLocked();
+  // One-shot schema migration: deletes the legacy monolithic blobs and
+  // writes the recovered state under per-entry keys.
+  void MigrateToIncrementalLocked();
   void CommitLocked();
 
   // --- helpers ---------------------------------------------------------
@@ -240,11 +355,35 @@ class AgentServer {
   bool engine_step_needed_ = false;
   bool engine_step_queued_ = false;
 
+  // Raw frames awaiting the batched Channel drain.
+  std::deque<std::pair<ServerId, Bytes>> inbox_;
+  bool inbox_drain_queued_ = false;
+  // (peer, accepted ids) staged during the current drain, coalesced
+  // into one ack frame per peer after the batch commit.
+  std::vector<std::pair<ServerId, std::vector<MessageId>>> staged_acks_;
+  // Set by frame processing that changed durable state; tells the
+  // batched drain whether the end-of-batch commit is needed at all
+  // (a batch of pure duplicates or bad frames commits nothing).
+  bool commit_needed_ = false;
+
   std::vector<DomainItem> items_;
-  std::deque<OutEntry> queue_out_;
-  std::deque<Message> queue_in_;
+  // QueueOUT: FIFO list plus MessageId index for O(1) ack/retransmit
+  // lookup (a deque would invalidate iterators on erase).
+  std::list<OutEntry> queue_out_;
+  std::unordered_map<MessageId, std::list<OutEntry>::iterator>
+      queue_out_index_;
+  std::deque<InEntry> queue_in_;
   std::unordered_map<std::uint32_t, std::unique_ptr<Agent>> agents_;
   std::uint64_t next_msg_seq_ = 1;
+  bool meta_dirty_ = false;
+  // Key-suffix / ordering counters for the per-entry schema (volatile;
+  // re-derived from the recovered entries on Boot).
+  std::uint64_t next_out_enqueue_seq_ = 1;
+  std::uint64_t next_in_seq_ = 1;
+  std::uint64_t next_hold_seq_ = 1;
+  // Store operations staged since the last commit; a transaction that
+  // staged nothing skips the (otherwise empty) store commit entirely.
+  std::uint64_t txn_ops_staged_ = 0;
   // Bytes committed by the currently running work item (feeds the
   // simulated disk-cost charge).
   std::uint64_t txn_bytes_marker_ = 0;

@@ -94,7 +94,8 @@ Result<DataFrame> DataFrame::Deserialize(std::span<const std::uint8_t> bytes) {
 Bytes AckFrame::Serialize() const {
   ByteWriter out;
   out.WriteU8(static_cast<std::uint8_t>(FrameType::kAck));
-  EncodeMessageId(out, message);
+  out.WriteVarU32(static_cast<std::uint32_t>(messages.size()));
+  for (const MessageId& id : messages) EncodeMessageId(out, id);
   return std::move(out).Take();
 }
 
@@ -115,9 +116,21 @@ Result<AckFrame> DeserializeAck(std::span<const std::uint8_t> bytes) {
   if (type.value() != static_cast<std::uint8_t>(FrameType::kAck)) {
     return Status::DataLoss("not an ack frame");
   }
-  auto id = DecodeMessageId(in);
-  if (!id.ok()) return id.status();
-  return AckFrame{id.value()};
+  auto count = in.ReadVarU32();
+  if (!count.ok()) return count.status();
+  // Each id costs at least 3 bytes; a count beyond the remaining bytes
+  // is corruption, not a huge allocation request.
+  if (count.value() > in.remaining()) {
+    return Status::DataLoss("ack count exceeds frame size");
+  }
+  AckFrame ack;
+  ack.messages.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto id = DecodeMessageId(in);
+    if (!id.ok()) return id.status();
+    ack.messages.push_back(id.value());
+  }
+  return ack;
 }
 
 }  // namespace cmom::mom

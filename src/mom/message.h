@@ -8,11 +8,13 @@
 // On the wire, each server-to-server hop wraps the message in a
 // DataFrame that adds the hop's domain and the causal stamp of that
 // domain's matrix clock (the piggybacking of Section 5).  The receiving
-// Channel answers every data frame with an AckFrame carrying the
-// message id, which releases the sender's QueueOUT entry.
+// Channel acknowledges data frames with AckFrames carrying the message
+// ids, which release the sender's QueueOUT entries; acks accepted in
+// one batch are coalesced into a single frame per peer.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "clocks/stamp.h"
 #include "common/bytes.h"
@@ -54,7 +56,15 @@ struct DataFrame {
 };
 
 struct AckFrame {
-  MessageId message;
+  // Every message accepted (delivered, held or recognized as duplicate)
+  // from one peer in one receive batch.  At least one entry.
+  std::vector<MessageId> messages;
+
+  AckFrame() = default;
+  explicit AckFrame(MessageId id) : messages{id} {}
+  explicit AckFrame(std::vector<MessageId> ids) : messages(std::move(ids)) {}
+
+  friend bool operator==(const AckFrame&, const AckFrame&) = default;
 
   [[nodiscard]] Bytes Serialize() const;
 };

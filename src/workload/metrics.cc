@@ -38,6 +38,13 @@ std::uint64_t MetricsSummary::TotalRetransmissions() const {
   return Sum(servers,
              [](const ServerMetrics& m) { return m.stats.retransmissions; });
 }
+std::uint64_t MetricsSummary::TotalCommits() const {
+  return Sum(servers, [](const ServerMetrics& m) { return m.stats.commits; });
+}
+std::uint64_t MetricsSummary::TotalCommitBytes() const {
+  return Sum(servers,
+             [](const ServerMetrics& m) { return m.stats.commit_bytes; });
+}
 
 void MetricsSummary::Add(ServerId id, const mom::AgentServer& server,
                          const mom::Store& store) {
@@ -51,30 +58,35 @@ void MetricsSummary::Add(ServerId id, const mom::AgentServer& server,
 std::string MetricsSummary::ToTable() const {
   std::ostringstream out;
   char line[256];
-  std::snprintf(line, sizeof(line), "%-6s %8s %8s %8s %10s %12s %8s\n",
-                "server", "sent", "delivrd", "fwd", "stamp B", "disk B",
-                "rexmit");
+  std::snprintf(line, sizeof(line),
+                "%-6s %8s %8s %8s %10s %12s %8s %8s %12s\n", "server", "sent",
+                "delivrd", "fwd", "stamp B", "disk B", "rexmit", "commits",
+                "commit B");
   out << line;
   for (const ServerMetrics& m : servers) {
     std::snprintf(line, sizeof(line),
-                  "%-6s %8llu %8llu %8llu %10llu %12llu %8llu\n",
+                  "%-6s %8llu %8llu %8llu %10llu %12llu %8llu %8llu %12llu\n",
                   to_string(m.server).c_str(),
                   static_cast<unsigned long long>(m.stats.messages_sent),
                   static_cast<unsigned long long>(m.stats.messages_delivered),
                   static_cast<unsigned long long>(m.stats.messages_forwarded),
                   static_cast<unsigned long long>(m.stats.stamp_bytes_sent),
                   static_cast<unsigned long long>(m.disk_bytes),
-                  static_cast<unsigned long long>(m.stats.retransmissions));
+                  static_cast<unsigned long long>(m.stats.retransmissions),
+                  static_cast<unsigned long long>(m.stats.commits),
+                  static_cast<unsigned long long>(m.stats.commit_bytes));
     out << line;
   }
   std::snprintf(line, sizeof(line),
-                "total  %8llu %8llu %8llu %10llu %12llu %8llu\n",
+                "total  %8llu %8llu %8llu %10llu %12llu %8llu %8llu %12llu\n",
                 static_cast<unsigned long long>(TotalSent()),
                 static_cast<unsigned long long>(TotalDelivered()),
                 static_cast<unsigned long long>(TotalForwarded()),
                 static_cast<unsigned long long>(TotalStampBytes()),
                 static_cast<unsigned long long>(TotalDiskBytes()),
-                static_cast<unsigned long long>(TotalRetransmissions()));
+                static_cast<unsigned long long>(TotalRetransmissions()),
+                static_cast<unsigned long long>(TotalCommits()),
+                static_cast<unsigned long long>(TotalCommitBytes()));
   out << line;
   return out.str();
 }

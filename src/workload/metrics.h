@@ -30,6 +30,8 @@ struct MetricsSummary {
   [[nodiscard]] std::uint64_t TotalStampBytes() const;
   [[nodiscard]] std::uint64_t TotalDiskBytes() const;
   [[nodiscard]] std::uint64_t TotalRetransmissions() const;
+  [[nodiscard]] std::uint64_t TotalCommits() const;
+  [[nodiscard]] std::uint64_t TotalCommitBytes() const;
 
   // Appends one server's numbers.
   void Add(ServerId id, const mom::AgentServer& server,

@@ -5,6 +5,19 @@ namespace cmom::workload {
 SimHarness::SimHarness(domains::MomConfig config, SimHarnessOptions options)
     : config_(std::move(config)), options_(options) {}
 
+mom::AgentServerOptions SimHarness::ServerOptions() {
+  mom::AgentServerOptions server_options;
+  server_options.cost_model =
+      options_.simulate_processing_costs ? &options_.cost_model : nullptr;
+  server_options.trace = &trace_;
+  server_options.retransmit_timeout_ns = options_.retransmit_timeout_ns;
+  server_options.max_retransmit_attempts = options_.max_retransmit_attempts;
+  server_options.persist_mode = options_.persist_mode;
+  server_options.engine_batch = options_.engine_batch;
+  server_options.channel_batch = options_.channel_batch;
+  return server_options;
+}
+
 Status SimHarness::Init(AgentInstaller installer) {
   installer_ = std::move(installer);
 
@@ -23,16 +36,9 @@ Status SimHarness::Init(AgentInstaller installer) {
     endpoints_.emplace(id, std::move(endpoint).value());
     stores_.emplace(id, std::make_unique<mom::InMemoryStore>());
 
-    mom::AgentServerOptions server_options;
-    server_options.cost_model =
-        options_.simulate_processing_costs ? &options_.cost_model : nullptr;
-    server_options.trace = &trace_;
-    server_options.retransmit_timeout_ns = options_.retransmit_timeout_ns;
-    server_options.max_retransmit_attempts = options_.max_retransmit_attempts;
-
     auto server = std::make_unique<mom::AgentServer>(
         *deployment_, id, endpoints_.at(id).get(), &runtime_,
-        stores_.at(id).get(), server_options);
+        stores_.at(id).get(), ServerOptions());
     if (installer_) installer_(id, *server);
     servers_.emplace(id, std::move(server));
   }
@@ -61,16 +67,9 @@ void SimHarness::Crash(ServerId id) {
 }
 
 Status SimHarness::Restart(ServerId id) {
-  mom::AgentServerOptions server_options;
-  server_options.cost_model =
-      options_.simulate_processing_costs ? &options_.cost_model : nullptr;
-  server_options.trace = &trace_;
-  server_options.retransmit_timeout_ns = options_.retransmit_timeout_ns;
-  server_options.max_retransmit_attempts = options_.max_retransmit_attempts;
-
   auto server = std::make_unique<mom::AgentServer>(
       *deployment_, id, endpoints_.at(id).get(), &runtime_,
-      stores_.at(id).get(), server_options);
+      stores_.at(id).get(), ServerOptions());
   if (installer_) installer_(id, *server);
   servers_.at(id) = std::move(server);
   return servers_.at(id)->Boot();

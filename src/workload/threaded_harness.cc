@@ -34,6 +34,9 @@ Status ThreadedHarness::Init(AgentInstaller installer) {
     mom::AgentServerOptions server_options;
     server_options.trace = &trace_;
     server_options.retransmit_timeout_ns = options_.retransmit_timeout_ns;
+    server_options.persist_mode = options_.persist_mode;
+    server_options.engine_batch = options_.engine_batch;
+    server_options.channel_batch = options_.channel_batch;
 
     auto server = std::make_unique<mom::AgentServer>(
         *deployment_, id, endpoints_.at(id).get(), &runtime_,

@@ -29,6 +29,11 @@ struct ThreadedHarnessOptions {
   // injecting drops/duplicates/delays/disconnects on real threads --
   // the wall-clock counterpart of the simulated fault sweeps.
   std::optional<net::FaultyNetworkOptions> fault;
+  // Durable-image layout and batching limits, forwarded to every
+  // server (see AgentServerOptions).
+  mom::PersistMode persist_mode = mom::PersistMode::kIncremental;
+  std::size_t engine_batch = 16;
+  std::size_t channel_batch = 16;
 };
 
 class ThreadedHarness {

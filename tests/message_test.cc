@@ -90,7 +90,25 @@ TEST(AckFrame, RoundTrip) {
   const AckFrame ack{MessageId{ServerId(9), 123456}};
   auto decoded = DeserializeAck(ack.Serialize());
   ASSERT_TRUE(decoded.ok());
-  EXPECT_EQ(decoded.value().message, ack.message);
+  EXPECT_EQ(decoded.value().messages, ack.messages);
+}
+
+TEST(AckFrame, CoalescedRoundTrip) {
+  const AckFrame ack{std::vector<MessageId>{MessageId{ServerId(9), 1},
+                                            MessageId{ServerId(9), 2},
+                                            MessageId{ServerId(3), 77}}};
+  auto decoded = DeserializeAck(ack.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().messages, ack.messages);
+}
+
+TEST(AckFrame, DeserializeRejectsOverlongCount) {
+  // A corrupt count larger than the remaining bytes must be rejected
+  // before any allocation proportional to it.
+  ByteWriter out;
+  out.WriteU8(static_cast<std::uint8_t>(FrameType::kAck));
+  out.WriteVarU32(1000000);
+  EXPECT_FALSE(DeserializeAck(std::move(out).Take()).ok());
 }
 
 TEST(AckFrame, DeserializeRejectsDataFrame) {

@@ -18,11 +18,17 @@
 //       [--dup p] [--disc p] [--seed s]   injection, run a ping storm,
 //                                         verify causal exactly-once
 //                                         delivery and print transport
-//                                         health counters
+//                                         health and commit counters
+//   momtool storestat <dir>               inspect a FileStore directory:
+//                                         keys and bytes per key-space
+//                                         prefix, plus WAL/snapshot
+//                                         file sizes
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -34,6 +40,7 @@
 #include "domains/splitter.h"
 #include "domains/topologies.h"
 #include "mom/agent_server.h"
+#include "mom/file_store.h"
 #include "net/faulty_network.h"
 #include "net/runtime.h"
 #include "net/tcp_network.h"
@@ -167,6 +174,29 @@ void PrintTransportStats(ServerId id, const net::TransportStats& stats) {
               static_cast<unsigned long long>(stats.outbox_frames),
               static_cast<unsigned long long>(stats.outbox_bytes),
               static_cast<double>(stats.current_backoff_ns) / 1e6);
+}
+
+// Prints commit-path health for one server: how many store commits it
+// made, their size distribution, and how well reaction/frame batching
+// engaged.
+void PrintServerCommitStats(ServerId id, const mom::ServerStats& stats) {
+  const double bytes_per_commit =
+      stats.commits > 0 ? static_cast<double>(stats.commit_bytes) /
+                              static_cast<double>(stats.commits)
+                        : 0.0;
+  const double acks_per_frame =
+      stats.ack_frames_sent > 0 ? static_cast<double>(stats.acks_sent) /
+                                      static_cast<double>(stats.ack_frames_sent)
+                                : 0.0;
+  std::printf("S%u: commits=%llu bytes/commit=%.1f ack-coalescing=%.2f\n",
+              id.value(), static_cast<unsigned long long>(stats.commits),
+              bytes_per_commit, acks_per_frame);
+  std::printf("S%u:   commit bytes  %s\n", id.value(),
+              stats.commit_bytes_hist.ToString().c_str());
+  std::printf("S%u:   engine batch  %s\n", id.value(),
+              stats.engine_batch_hist.ToString().c_str());
+  std::printf("S%u:   channel batch %s\n", id.value(),
+              stats.channel_batch_hist.ToString().c_str());
 }
 
 // Parses the value of `--flag` at argv[arg + 1], reporting a clear
@@ -310,6 +340,10 @@ int TcpSmoke(int argc, char** argv) {
     PrintTransportStats(ServerId(static_cast<std::uint16_t>(i)),
                         endpoints[i]->stats());
   }
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    PrintServerCommitStats(ServerId(static_cast<std::uint16_t>(i)),
+                           servers[i]->stats());
+  }
   if (faulty != nullptr) {
     const auto injected = faulty->stats();
     std::printf("injected: dropped=%llu duplicated=%llu delayed=%llu "
@@ -334,6 +368,51 @@ int TcpSmoke(int argc, char** argv) {
               once.ok() ? "yes" : once.to_string().c_str());
   for (auto& server : servers) server->Shutdown();
   return report.causal() && once.ok() ? 0 : 1;
+}
+
+// Key-space statistics for a FileStore directory: the incremental
+// schema's footprint (per-entry queue keys, per-domain clock images)
+// made visible, plus the on-disk WAL/snapshot sizes.
+int StoreStat(const std::string& dir) {
+  auto store = mom::FileStore::Open(dir);
+  if (!store.ok()) return Fail(store.status());
+
+  struct PrefixStats {
+    std::size_t keys = 0;
+    std::size_t key_bytes = 0;
+    std::size_t value_bytes = 0;
+  };
+  std::map<std::string, PrefixStats> by_prefix;
+  for (const std::string& key : store.value()->Keys("")) {
+    const std::size_t slash = key.find('/');
+    const std::string prefix =
+        slash == std::string::npos ? key : key.substr(0, slash + 1);
+    PrefixStats& entry = by_prefix[prefix];
+    ++entry.keys;
+    entry.key_bytes += key.size();
+    if (auto value = store.value()->Get(key)) {
+      entry.value_bytes += value->size();
+    }
+  }
+
+  std::printf("%-12s %8s %10s %12s\n", "prefix", "keys", "key B", "value B");
+  std::size_t total_keys = 0, total_bytes = 0;
+  for (const auto& [prefix, entry] : by_prefix) {
+    std::printf("%-12s %8zu %10zu %12zu\n", prefix.c_str(), entry.keys,
+                entry.key_bytes, entry.value_bytes);
+    total_keys += entry.keys;
+    total_bytes += entry.key_bytes + entry.value_bytes;
+  }
+  std::printf("total        %8zu %23zu\n", total_keys, total_bytes);
+
+  for (const char* name : {"snapshot.log", "wal.log"}) {
+    const std::filesystem::path file = std::filesystem::path(dir) / name;
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(file, ec);
+    std::printf("%-12s %s\n", name,
+                ec ? "absent" : (std::to_string(size) + " bytes").c_str());
+  }
+  return 0;
 }
 
 int Estimate(const std::string& config_path,
@@ -370,6 +449,9 @@ int main(int argc, char** argv) {
   if (argc >= 4 && std::strcmp(argv[1], "tcpsmoke") == 0) {
     return TcpSmoke(argc - 2, argv + 2);
   }
+  if (argc == 3 && std::strcmp(argv[1], "storestat") == 0) {
+    return StoreStat(argv[2]);
+  }
   std::fprintf(stderr,
                "usage:\n"
                "  momtool validate <config>\n"
@@ -378,6 +460,7 @@ int main(int argc, char** argv) {
                "  momtool split <traffic> <max-domain-size>\n"
                "  momtool estimate <config> <traffic>\n"
                "  momtool tcpsmoke <servers> <pings> [--base-port P] "
-               "[--drop p] [--dup p] [--disc p] [--seed s]\n");
+               "[--drop p] [--dup p] [--disc p] [--seed s]\n"
+               "  momtool storestat <store-dir>\n");
   return 2;
 }
