@@ -41,6 +41,14 @@ class ByteWriter {
   void WriteBytes(std::span<const std::uint8_t> data);
   void WriteString(std::string_view s);
 
+  // Pre-grows capacity for `additional` more bytes.  Encode paths that
+  // know their frame size (message serialization, per-peer wire
+  // buffers) call this once instead of letting push_back reallocate
+  // O(log n) times per frame.
+  void Reserve(std::size_t additional) {
+    buffer_.reserve(buffer_.size() + additional);
+  }
+
   [[nodiscard]] std::size_t size() const { return buffer_.size(); }
   [[nodiscard]] const Bytes& buffer() const { return buffer_; }
   [[nodiscard]] Bytes Take() && { return std::move(buffer_); }

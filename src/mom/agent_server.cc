@@ -154,6 +154,19 @@ AgentServer::~AgentServer() { Halt(); }
 
 void AgentServer::Halt() {
   Shutdown();
+  // Tear down the shard workers first: swap the executor out under
+  // mutex_ (any later dispatch falls back to the inline engine path),
+  // then destroy it unlocked -- the destructor joins each lane after
+  // its current task, and a worker blocked on mutex_ in
+  // ScheduleReactionCommit gets through (and no-ops via shutdown_)
+  // instead of deadlocking against us.  Results never committed stay
+  // covered by their durable qin/ entries.
+  std::unique_ptr<net::Executor> executor;
+  {
+    std::lock_guard lock(mutex_);
+    executor.swap(executor_);
+  }
+  executor.reset();
   // Bar pending runtime callbacks (and wait out any mid-flight one,
   // including a retransmission currently handing frames to the
   // endpoint) before the members they reference go away.
@@ -162,13 +175,19 @@ void AgentServer::Halt() {
 }
 
 void AgentServer::Shutdown() {
-  std::lock_guard lock(mutex_);
-  if (shutdown_) return;
-  shutdown_ = true;
+  {
+    std::lock_guard lock(mutex_);
+    if (shutdown_) return;  // a caller may destroy the endpoint after
+    shutdown_ = true;       // an explicit Halt; don't touch it again
+  }
   // Drop frames arriving after shutdown; the durable state in the
   // store is what the next Boot resumes from.  Timer callbacks keep
   // firing until destruction but become no-ops via the shutdown_ check
-  // in Post.
+  // in Post.  The swap must happen OUTSIDE mutex_: it blocks until any
+  // in-flight dispatch of the old handler has returned (that dispatch
+  // may itself be waiting on mutex_ to observe shutdown_), and once it
+  // comes back no transport thread can reach this object again --
+  // which is what lets ~AgentServer free it mid-run (server crash).
   endpoint_->SetReceiveHandler([](ServerId, Bytes) {});
 }
 
@@ -204,6 +223,29 @@ Status AgentServer::Boot() {
     }
 
     CMOM_RETURN_IF_ERROR(RecoverLocked());
+
+    // Parallel engine eligibility (see header comment): needs a
+    // threaded runtime (MakeExecutor on SimRuntime returns nullptr,
+    // keeping simulated traces bit-identical) and incremental
+    // persistence (a full image written mid-pipeline would record an
+    // empty QueueIN while reactions are in flight on the shards).
+    if (options_.engine_workers > 0) {
+      if (options_.cost_model != nullptr) {
+        CMOM_LOG(kWarning)
+            << to_string(self_)
+            << ": cost model configured; parallel engine disabled";
+      } else if (!incremental()) {
+        CMOM_LOG(kWarning)
+            << to_string(self_)
+            << ": full-image persistence; parallel engine disabled";
+      } else {
+        executor_ = runtime_->MakeExecutor(options_.engine_workers);
+        if (executor_ != nullptr) {
+          std::lock_guard results(results_mutex_);
+          worker_stats_.assign(executor_->worker_count(), WorkerStat{});
+        }
+      }
+    }
     booted_ = true;
   }
 
@@ -211,14 +253,21 @@ Status AgentServer::Boot() {
       [this](ServerId from, Bytes frame) { HandleFrame(from, frame); });
 
   // Resume pending work: retransmit every unacknowledged entry and
-  // continue draining QueueIN.
+  // continue draining QueueIN.  Under the parallel engine the recovered
+  // entries (reactions the crash interrupted before their group commit)
+  // are handed straight to their shards, in QueueIN order.
   Post([this]() -> std::size_t {
     for (const OutEntry& entry : queue_out_) {
       DataFrame frame{entry.message, entry.domain, entry.stamp};
       EmitFrame(entry.next_hop, frame.Serialize());
       ScheduleRetransmit(entry.message.id, 0);
     }
-    if (!queue_in_.empty()) engine_step_needed_ = true;
+    if (parallel_engine()) {
+      for (InEntry& entry : queue_in_) DispatchReaction(std::move(entry));
+      queue_in_.clear();
+    } else if (!queue_in_.empty()) {
+      engine_step_needed_ = true;
+    }
     return 0;
   });
   return Status::Ok();
@@ -420,7 +469,7 @@ std::size_t AgentServer::ProcessDataFrame(ServerId from, DataFrame frame) {
       item->held_ids.insert(message_id);
       item->holdback.Push(std::move(held));
       stats_.holdback_peak =
-          std::max<std::uint64_t>(stats_.holdback_peak, holdback_size());
+          std::max<std::uint64_t>(stats_.holdback_peak, HoldbackSizeLocked());
       commit_needed_ = true;
       break;
     }
@@ -461,15 +510,7 @@ std::size_t AgentServer::CommitDelivery(DomainItem& item,
   (void)item;
   (void)src_local;
   if (frame.message.dest_server() == self_) {
-    if (options_.trace != nullptr) {
-      options_.trace->RecordDeliver(frame.message.id, self_, self_,
-                                    frame.message.from, frame.message.to);
-    }
-    ++stats_.messages_delivered;
-    InEntry entry{next_in_seq_++, std::move(frame.message)};
-    PersistInEntry(entry);
-    queue_in_.push_back(std::move(entry));
-    engine_step_needed_ = true;
+    EnqueueLocalDelivery(std::move(frame.message));
     return 0;
   }
   ++stats_.messages_forwarded;
@@ -553,15 +594,7 @@ std::size_t AgentServer::ApplySends(std::vector<Message> sends) {
                                  message.from, message.to);
     }
     if (message.dest_server() == self_) {
-      if (options_.trace != nullptr) {
-        options_.trace->RecordDeliver(message.id, self_, self_, message.from,
-                                      message.to);
-      }
-      ++stats_.messages_delivered;
-      InEntry entry{next_in_seq_++, std::move(message)};
-      PersistInEntry(entry);
-      queue_in_.push_back(std::move(entry));
-      engine_step_needed_ = true;
+      EnqueueLocalDelivery(std::move(message));
     } else {
       entries += StampAndEnqueue(std::move(message));
     }
@@ -692,6 +725,150 @@ std::size_t AgentServer::EngineStep() {
   const std::size_t entries = ApplySends(std::move(sends));
   if (!queue_in_.empty()) engine_step_needed_ = true;
   return entries;
+}
+
+// ---------------------------------------------------------------------
+// Parallel engine (engine_workers > 0)
+// ---------------------------------------------------------------------
+
+// Routes a locally addressed message into the engine.  Caller holds
+// mutex_ inside a work item; the qin/ entry is staged here and made
+// durable by that work item's own commit, which the FIFO work queue
+// runs strictly before any commit-stage item a worker can enqueue --
+// so the qin/ put always commits before the group commit erases it.
+void AgentServer::EnqueueLocalDelivery(Message message) {
+  if (options_.trace != nullptr) {
+    options_.trace->RecordDeliver(message.id, self_, self_, message.from,
+                                  message.to);
+  }
+  ++stats_.messages_delivered;
+  InEntry entry{next_in_seq_++, std::move(message)};
+  PersistInEntry(entry);
+  if (parallel_engine()) {
+    DispatchReaction(std::move(entry));
+    return;
+  }
+  queue_in_.push_back(std::move(entry));
+  engine_step_needed_ = true;
+}
+
+std::size_t AgentServer::ShardOf(std::uint32_t agent_local) const {
+  return std::hash<std::uint32_t>{}(agent_local) % executor_->worker_count();
+}
+
+// Caller holds mutex_.  Messages for one agent are dispatched in
+// delivery order from under the server lock, and a lane runs its tasks
+// serially -- so per-agent reaction order equals causal delivery order
+// even though distinct agents react concurrently.
+void AgentServer::DispatchReaction(InEntry entry) {
+  const std::size_t shard = ShardOf(entry.message.to.local);
+  stats_.shard_depth_hist.Record(executor_->PendingCount(shard));
+  ++engine_inflight_;
+  executor_->Post(shard, [this, shard, entry = std::move(entry)] {
+    RunReaction(shard, entry);
+  });
+}
+
+// Shard worker body.  Touches no server state guarded by mutex_:
+// agents_ is structurally frozen after Boot and this shard is the only
+// thread running (or encoding) its agents, so React and EncodeState
+// need no lock.  MessageId assignment is deferred to the commit stage
+// to keep id order a single-writer sequence.
+void AgentServer::RunReaction(std::size_t shard, const InEntry& entry) {
+  struct Collector final : ReactionContext {
+    net::Runtime* runtime;
+    AgentId id;
+    std::vector<PendingSend>* out;
+    [[nodiscard]] AgentId self() const override { return id; }
+    void Send(AgentId to, std::string subject, Bytes payload) override {
+      out->push_back(
+          PendingSend{id, to, std::move(subject), std::move(payload)});
+    }
+    [[nodiscard]] std::uint64_t NowNs() const override {
+      return runtime->NowNs();
+    }
+  };
+
+  const std::uint64_t start = runtime_->NowNs();
+  ReactionResult result;
+  result.in_seq = entry.seq;
+  result.agent_local = entry.message.to.local;
+  auto agent_it = agents_.find(result.agent_local);
+  if (agent_it == agents_.end()) {
+    CMOM_LOG(kWarning) << to_string(self_) << ": no agent " << entry.message.to
+                       << " for message " << entry.message.id << "; dropped";
+  } else {
+    Collector ctx;
+    ctx.runtime = runtime_;
+    ctx.id = entry.message.to;
+    ctx.out = &result.sends;
+    agent_it->second->React(ctx, entry.message);
+    ByteWriter image;
+    agent_it->second->EncodeState(image);
+    result.agent_image = std::move(image).Take();
+    result.has_image = true;
+  }
+  const std::uint64_t busy = runtime_->NowNs() - start;
+  {
+    std::lock_guard results(results_mutex_);
+    completed_reactions_.push_back(std::move(result));
+    worker_stats_[shard].reactions += 1;
+    worker_stats_[shard].busy_ns += busy;
+  }
+  // results_mutex_ released before touching mutex_ (lock order).
+  ScheduleReactionCommit();
+}
+
+// Worker side: at most one commit-stage work item is outstanding, so
+// results pile up while a commit runs and the next drain takes them
+// all at once -- group commit sizing follows load, like the Channel
+// batch.
+void AgentServer::ScheduleReactionCommit() {
+  std::unique_lock lock(mutex_);
+  if (shutdown_ || commit_stage_queued_) return;
+  commit_stage_queued_ = true;
+  work_queue_.push_back([this] { return CommitReactions(); });
+  PumpLocked();
+}
+
+// Commit stage (a regular work item, so it serializes with the Channel
+// and owns mutex_).  Drains every completed reaction and commits the
+// group in one store transaction: qin/ erases, one image per touched
+// agent (last write wins), and the stamped sends -- which ApplySends
+// also routes, including re-dispatching local deliveries to shards.
+// The flag is cleared BEFORE the drain: a worker that queues a result
+// after our swap finds commit_stage_queued_ false once it gets mutex_
+// and schedules the next commit, so no result is ever stranded.
+std::size_t AgentServer::CommitReactions() {
+  commit_stage_queued_ = false;
+  std::vector<ReactionResult> batch;
+  {
+    std::lock_guard results(results_mutex_);
+    batch.swap(completed_reactions_);
+  }
+  if (batch.empty()) return 0;
+
+  std::vector<Message> sends;
+  std::unordered_map<std::uint32_t, std::size_t> last_image;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].has_image) last_image[batch[i].agent_local] = i;
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ReactionResult& result = batch[i];
+    StoreDelete(InKey(result.in_seq));
+    for (PendingSend& send : result.sends) {
+      sends.push_back(MakeMessage(send.from, send.to, std::move(send.subject),
+                                  std::move(send.payload)));
+    }
+    auto it = last_image.find(result.agent_local);
+    if (it != last_image.end() && it->second == i) {
+      StorePut(AgentKey(result.agent_local), std::move(result.agent_image));
+    }
+  }
+  stats_.group_commit_hist.Record(batch.size());
+  assert(engine_inflight_ >= batch.size());
+  engine_inflight_ -= batch.size();
+  return ApplySends(std::move(sends));
 }
 
 // ---------------------------------------------------------------------
@@ -1140,10 +1317,23 @@ void AgentServer::MigrateToIncrementalLocked() {
 
 ServerStats AgentServer::stats() const {
   std::lock_guard lock(mutex_);
-  return stats_;
+  ServerStats out = stats_;
+  std::lock_guard results(results_mutex_);
+  out.worker_reactions.clear();
+  out.worker_busy_ns.clear();
+  for (const WorkerStat& worker : worker_stats_) {
+    out.worker_reactions.push_back(worker.reactions);
+    out.worker_busy_ns.push_back(worker.busy_ns);
+  }
+  return out;
 }
 
 std::size_t AgentServer::holdback_size() const {
+  std::lock_guard lock(mutex_);
+  return HoldbackSizeLocked();
+}
+
+std::size_t AgentServer::HoldbackSizeLocked() const {
   std::size_t total = 0;
   for (const DomainItem& item : items_) total += item.holdback.size();
   return total;
@@ -1157,7 +1347,7 @@ std::size_t AgentServer::queue_out_size() const {
 bool AgentServer::Idle() const {
   std::lock_guard lock(mutex_);
   return work_queue_.empty() && !work_running_ && inbox_.empty() &&
-         queue_in_.empty() && queue_out_.empty();
+         queue_in_.empty() && queue_out_.empty() && engine_inflight_ == 0;
 }
 
 const clocks::CausalDomainClock* AgentServer::FindDomainClock(

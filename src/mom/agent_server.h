@@ -50,10 +50,42 @@
 // become visible, and transactions of one server serialize -- modelling
 // the single-threaded Java server of the paper.  Without a CostModel,
 // work runs inline at wall-clock speed.
+//
+// Parallel engine (engine_workers > 0, wall-clock runtimes only): the
+// single work loop becomes a three-stage pipeline.
+//
+//   Channel stage   unchanged lock + batching; after the clock check a
+//                   deliverable message is persisted under its qin/ key
+//                   and DISPATCHED to an engine shard instead of
+//                   queueing an inline EngineStep.
+//   Engine stage    a pool of shard workers (an Executor lane per
+//                   worker).  The destination agent id hashes to a
+//                   lane, so one agent's reactions run serially in
+//                   QueueIN (= causal delivery) order while different
+//                   agents react concurrently.  A worker runs React
+//                   without any server lock and emits a ReactionResult:
+//                   the agent image it encoded, the sends the reaction
+//                   buffered, and the consumed qin/ sequence.
+//   Commit stage    an ordinary work item that drains every completed
+//                   ReactionResult and commits the whole group in ONE
+//                   store transaction -- qin/ deletions, one image per
+//                   touched agent, stamped QueueOUT entries -- and only
+//                   then releases the produced frames.  Atomic-reaction
+//                   and exactly-once guarantees are untouched: a
+//                   reaction is speculative until its group commits,
+//                   and its input stays durable in qin/ until then.
+//
+// engine_workers = 0 (the default) keeps the historical inline engine;
+// simulated runs always use it (SimRuntime::MakeExecutor returns
+// nullptr), so CostModel traces stay bit-identical.  The parallel
+// engine requires PersistMode::kIncremental: full-image commits cannot
+// represent reactions that are in flight outside queue_in_.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -102,6 +134,11 @@ struct AgentServerOptions {
   // Max inbox frames processed per Channel work item (one commit, acks
   // coalesced per peer).
   std::size_t channel_batch = 16;
+  // Engine shard workers (see header comment).  0 = historical inline
+  // engine.  >0 requires a runtime whose MakeExecutor returns real
+  // threads (ThreadRuntime) and PersistMode::kIncremental; otherwise
+  // the server falls back to inline mode at Boot.
+  std::size_t engine_workers = 0;
 };
 
 // Power-of-two-bucketed histogram: bucket b counts samples in
@@ -115,9 +152,11 @@ struct LogHistogram {
   std::uint64_t max = 0;
 
   void Record(std::uint64_t value) {
-    std::size_t b = 0;
-    while ((1ull << b) <= value && b + 1 < kBuckets) ++b;
-    ++buckets[value == 0 ? 0 : b];
+    // bit_width(v) is 1 + floor(log2 v), i.e. exactly the first b with
+    // 2^b > v -- the historical linear bucket scan in O(1).
+    const std::size_t b =
+        std::min<std::size_t>(std::bit_width(value), kBuckets - 1);
+    ++buckets[b];
     ++count;
     sum += value;
     if (value > max) max = value;
@@ -151,6 +190,11 @@ struct ServerStats {
   LogHistogram commit_bytes_hist;   // bytes per store commit
   LogHistogram engine_batch_hist;   // reactions per Engine work item
   LogHistogram channel_batch_hist;  // frames per Channel work item
+  // Parallel engine only (engine_workers > 0):
+  LogHistogram group_commit_hist;  // reactions per commit-stage txn
+  LogHistogram shard_depth_hist;   // shard queue depth at dispatch
+  std::vector<std::uint64_t> worker_reactions;  // reactions run per shard
+  std::vector<std::uint64_t> worker_busy_ns;    // React wall time per shard
 };
 
 class AgentServer {
@@ -290,6 +334,46 @@ class AgentServer {
   std::size_t EngineStep();
   std::size_t ApplySends(std::vector<Message> sends);
 
+  // --- parallel engine -------------------------------------------------
+  // A send buffered by a shard worker; MessageId assignment (and hence
+  // stamping) is deferred to the commit stage so id order stays a
+  // single-writer sequence under mutex_.
+  struct PendingSend {
+    AgentId from;
+    AgentId to;
+    std::string subject;
+    Bytes payload;
+  };
+  // Everything a shard worker produced for one consumed QueueIN entry.
+  struct ReactionResult {
+    std::uint64_t in_seq = 0;       // qin/ key to erase at commit
+    std::uint32_t agent_local = 0;  // agent that reacted
+    bool has_image = false;         // false when the agent was missing
+    Bytes agent_image;              // EncodeState() after the reaction
+    std::vector<PendingSend> sends;
+  };
+
+  // holdback_size() without taking mutex_ (receive-path internal use).
+  [[nodiscard]] std::size_t HoldbackSizeLocked() const;
+
+  [[nodiscard]] bool parallel_engine() const { return executor_ != nullptr; }
+  [[nodiscard]] std::size_t ShardOf(std::uint32_t agent_local) const;
+  // Channel/commit side: hands one delivered message to its shard lane.
+  // Caller holds mutex_ and has already persisted the qin/ entry.
+  void DispatchReaction(InEntry entry);
+  // Worker side: runs React without server locks, queues the result.
+  void RunReaction(std::size_t shard, const InEntry& entry);
+  // Worker side: queues the commit-stage work item (at most one
+  // outstanding).
+  void ScheduleReactionCommit();
+  // Commit stage: drains completed_reactions_, assigns ids, persists
+  // agent images + qin/ erases + stamped sends in one transaction.
+  std::size_t CommitReactions();
+  // Routes a locally addressed message into the engine: persists the
+  // qin/ entry then either dispatches to a shard (parallel) or appends
+  // to queue_in_ (inline).  Shared by Channel delivery and local sends.
+  void EnqueueLocalDelivery(Message message);
+
   // --- persistence ----------------------------------------------------
   [[nodiscard]] bool incremental() const {
     return options_.persist_mode == PersistMode::kIncremental;
@@ -387,6 +471,26 @@ class AgentServer {
   // Bytes committed by the currently running work item (feeds the
   // simulated disk-cost charge).
   std::uint64_t txn_bytes_marker_ = 0;
+
+  // --- parallel engine state ------------------------------------------
+  // Non-null iff the parallel pipeline is active (decided at Boot).
+  std::unique_ptr<net::Executor> executor_;
+  // Reactions dispatched to shards and not yet group-committed; Idle()
+  // requires this to reach zero.  Guarded by mutex_.
+  std::size_t engine_inflight_ = 0;
+  // True while a CommitReactions work item is queued or running, so the
+  // commit stage coalesces naturally under load.  Guarded by mutex_.
+  bool commit_stage_queued_ = false;
+  // Worker -> commit-stage handoff.  Lock order: mutex_ before
+  // results_mutex_; workers take results_mutex_ alone and release it
+  // before touching mutex_ (via Post).
+  mutable std::mutex results_mutex_;
+  std::vector<ReactionResult> completed_reactions_;
+  struct WorkerStat {
+    std::uint64_t reactions = 0;
+    std::uint64_t busy_ns = 0;
+  };
+  std::vector<WorkerStat> worker_stats_;  // guarded by results_mutex_
 
   ServerStats stats_;
 };

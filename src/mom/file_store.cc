@@ -1,5 +1,7 @@
 #include "mom/file_store.h"
 
+#include <unistd.h>
+
 #include <cstring>
 
 #include "common/crc32.h"
@@ -16,21 +18,21 @@ constexpr const char* kSnapshotName = "snapshot.log";
 constexpr const char* kSnapshotTmpName = "snapshot.log.tmp";
 }  // namespace
 
-FileStore::FileStore(std::filesystem::path directory)
-    : directory_(std::move(directory)) {}
+FileStore::FileStore(std::filesystem::path directory, FileStoreOptions options)
+    : directory_(std::move(directory)), options_(options) {}
 
 FileStore::~FileStore() {
   if (wal_ != nullptr) std::fclose(wal_);
 }
 
 Result<std::unique_ptr<FileStore>> FileStore::Open(
-    const std::filesystem::path& directory) {
+    const std::filesystem::path& directory, FileStoreOptions options) {
   std::error_code ec;
   std::filesystem::create_directories(directory, ec);
   if (ec) {
     return Status::Unavailable("create_directories: " + ec.message());
   }
-  auto store = std::unique_ptr<FileStore>(new FileStore(directory));
+  auto store = std::unique_ptr<FileStore>(new FileStore(directory, options));
 
   // An orphaned snapshot.log.tmp means a crash during compaction before
   // the rename; the old snapshot + WAL are still authoritative.
@@ -178,6 +180,10 @@ Status FileStore::Compact() {
   ok = ok && (bytes.empty() ||
               std::fwrite(bytes.data(), 1, bytes.size(), out) == bytes.size());
   ok = ok && std::fflush(out) == 0;
+  // The snapshot must be durable before the rename makes it
+  // authoritative; otherwise a power cut could leave a renamed-but-empty
+  // snapshot shadowing a truncated WAL.
+  ok = ok && SyncFile(out).ok();
   std::fclose(out);
   if (!ok) return Status::Unavailable("snapshot write failed");
 
@@ -207,7 +213,17 @@ Status FileStore::AppendTransaction(const Bytes& body) {
     return Status::Unavailable("WAL write failed");
   }
   if (std::fflush(wal_) != 0) return Status::Unavailable("WAL flush failed");
+  CMOM_RETURN_IF_ERROR(SyncFile(wal_));
   wal_bytes_ += sizeof(header) + body.size();
+  return Status::Ok();
+}
+
+Status FileStore::SyncFile(std::FILE* file) {
+  if (options_.sync_mode == SyncMode::kNone) return Status::Ok();
+  if (::fdatasync(::fileno(file)) != 0) {
+    return Status::Unavailable("fdatasync failed");
+  }
+  ++sync_calls_;
   return Status::Ok();
 }
 

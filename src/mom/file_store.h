@@ -25,11 +25,31 @@
 
 namespace cmom::mom {
 
+// How far Commit pushes a transaction toward the disk before returning.
+//
+//   kNone      fflush only: bytes reach the kernel page cache.  Survives
+//              a process crash (the chaos-test fault model) but not a
+//              power failure.  Default -- tests and benchmarks measure
+//              protocol cost, not device sync latency.
+//   kDataSync  fdatasync after the flush: survives power loss.  One
+//              sync per Commit, which is why the Engine's group commit
+//              matters -- N reactions amortize a single sync.
+//
+// Tradeoff discussion in DESIGN.md.
+enum class SyncMode : std::uint8_t {
+  kNone = 0,
+  kDataSync = 1,
+};
+
+struct FileStoreOptions {
+  SyncMode sync_mode = SyncMode::kNone;
+};
+
 class FileStore final : public Store {
  public:
   // Opens (creating if needed) the store in `directory`.
   [[nodiscard]] static Result<std::unique_ptr<FileStore>> Open(
-      const std::filesystem::path& directory);
+      const std::filesystem::path& directory, FileStoreOptions options = {});
 
   ~FileStore() override;
 
@@ -57,11 +77,16 @@ class FileStore final : public Store {
     compaction_threshold_bytes_ = bytes;
   }
 
+  // fdatasync invocations so far (0 under SyncMode::kNone).
+  [[nodiscard]] std::uint64_t sync_calls() const { return sync_calls_; }
+
  private:
-  explicit FileStore(std::filesystem::path directory);
+  FileStore(std::filesystem::path directory, FileStoreOptions options);
 
   Status LoadFrom(const std::filesystem::path& file);
   Status AppendTransaction(const Bytes& body);
+  // Applies the configured sync mode to `file` (no-op under kNone).
+  Status SyncFile(std::FILE* file);
 
   // Mirror of the operations staged into cache_ since the last Commit,
   // in order; serialized into the WAL transaction body.
@@ -72,6 +97,8 @@ class FileStore final : public Store {
   std::vector<StagedOp> staged_;
 
   std::filesystem::path directory_;
+  FileStoreOptions options_;
+  std::uint64_t sync_calls_ = 0;
   std::FILE* wal_ = nullptr;
   std::uint64_t wal_bytes_ = 0;
   std::uint64_t compaction_threshold_bytes_ = 4 * 1024 * 1024;

@@ -62,6 +62,10 @@ Result<Message> Message::Decode(ByteReader& in) {
 
 Bytes DataFrame::Serialize() const {
   ByteWriter out;
+  // Size hint: frame type + domain + ids/subject/payload + stamp, with
+  // a small slop for the varint headers; one allocation per frame.
+  out.Reserve(16 + message.subject.size() + message.payload.size() +
+              stamp.EncodedSize());
   out.WriteU8(static_cast<std::uint8_t>(FrameType::kData));
   message.Encode(out);
   out.WriteU16(domain.value());
@@ -93,6 +97,7 @@ Result<DataFrame> DataFrame::Deserialize(std::span<const std::uint8_t> bytes) {
 
 Bytes AckFrame::Serialize() const {
   ByteWriter out;
+  out.Reserve(6 + 10 * messages.size());
   out.WriteU8(static_cast<std::uint8_t>(FrameType::kAck));
   out.WriteVarU32(static_cast<std::uint32_t>(messages.size()));
   for (const MessageId& id : messages) EncodeMessageId(out, id);

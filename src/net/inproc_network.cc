@@ -2,8 +2,15 @@
 
 #include <chrono>
 #include <utility>
+#include <vector>
 
 namespace cmom::net {
+
+namespace {
+// Frames drained per consumer lock round-trip.  Bounds handler latency
+// for late frames while amortizing the lock/notify cycle under load.
+constexpr std::size_t kInprocDrainBatch = 64;
+}  // namespace
 
 class InprocNetwork::InprocEndpoint final : public Endpoint {
  public:
@@ -17,8 +24,13 @@ class InprocNetwork::InprocEndpoint final : public Endpoint {
   }
 
   void SetReceiveHandler(ReceiveHandler handler) override {
-    std::lock_guard lock(inbox_->mutex);
+    std::unique_lock lock(inbox_->mutex);
     inbox_->handler = std::move(handler);
+    // Swap barrier (see Endpoint): the consumer dispatches its drained
+    // batch unlocked with a copy of the old handler; wait that batch
+    // out so the caller can safely destroy what the old handler
+    // captured.
+    inbox_->ready.wait(lock, [&] { return !inbox_->busy; });
   }
 
  private:
@@ -72,18 +84,25 @@ Status InprocNetwork::Push(ServerId from, ServerId to, Bytes frame) {
 }
 
 void InprocNetwork::ConsumeLoop(Inbox& inbox) {
+  // Reused drain buffer: frames move out in one lock round-trip and
+  // dispatch unlocked, instead of a lock+notify cycle per frame; the
+  // buffer's capacity survives across wakeups.
+  std::vector<std::pair<ServerId, Bytes>> batch;
   std::unique_lock lock(inbox.mutex);
   while (true) {
     inbox.ready.wait(lock, [&] {
       return inbox.stopping || (!inbox.frames.empty() && inbox.handler);
     });
     if (inbox.stopping) return;
-    auto [from, frame] = std::move(inbox.frames.front());
-    inbox.frames.pop_front();
+    batch.clear();
+    while (!inbox.frames.empty() && batch.size() < kInprocDrainBatch) {
+      batch.push_back(std::move(inbox.frames.front()));
+      inbox.frames.pop_front();
+    }
     inbox.busy = true;
     ReceiveHandler handler = inbox.handler;  // copy under lock
     lock.unlock();
-    handler(from, std::move(frame));
+    for (auto& [from, frame] : batch) handler(from, std::move(frame));
     lock.lock();
     inbox.busy = false;
     inbox.ready.notify_all();  // WaitQuiescent may be watching

@@ -15,7 +15,63 @@ std::uint64_t MonotonicNowNs() {
 }
 }  // namespace
 
+ThreadPoolExecutor::ThreadPoolExecutor(std::size_t lanes) {
+  lanes_.reserve(lanes == 0 ? 1 : lanes);
+  for (std::size_t i = 0; i < (lanes == 0 ? 1 : lanes); ++i) {
+    auto lane = std::make_unique<Lane>();
+    lane->thread = std::thread([this, raw = lane.get()] { LaneLoop(*raw); });
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+ThreadPoolExecutor::~ThreadPoolExecutor() {
+  for (auto& lane : lanes_) {
+    {
+      std::lock_guard lock(lane->mutex);
+      lane->stopping = true;
+    }
+    lane->ready.notify_all();
+  }
+  for (auto& lane : lanes_) {
+    if (lane->thread.joinable()) lane->thread.join();
+  }
+}
+
+void ThreadPoolExecutor::Post(std::size_t lane_index,
+                              std::function<void()> fn) {
+  Lane& lane = *lanes_[lane_index % lanes_.size()];
+  {
+    std::lock_guard lock(lane.mutex);
+    if (lane.stopping) return;
+    lane.tasks.push_back(std::move(fn));
+  }
+  lane.ready.notify_one();
+}
+
+std::size_t ThreadPoolExecutor::PendingCount(std::size_t lane_index) const {
+  const Lane& lane = *lanes_[lane_index % lanes_.size()];
+  std::lock_guard lock(lane.mutex);
+  return lane.tasks.size();
+}
+
+void ThreadPoolExecutor::LaneLoop(Lane& lane) {
+  std::unique_lock lock(lane.mutex);
+  while (true) {
+    lane.ready.wait(lock, [&] { return lane.stopping || !lane.tasks.empty(); });
+    if (lane.stopping) return;  // queued tasks are discarded by contract
+    std::function<void()> task = std::move(lane.tasks.front());
+    lane.tasks.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+  }
+}
+
 ThreadRuntime::ThreadRuntime() : timer_thread_([this] { TimerLoop(); }) {}
+
+std::unique_ptr<Executor> ThreadRuntime::MakeExecutor(std::size_t lanes) {
+  return std::make_unique<ThreadPoolExecutor>(lanes);
+}
 
 ThreadRuntime::~ThreadRuntime() {
   {

@@ -3,19 +3,49 @@
 // The MOM code (retransmission timers, modeled processing delays) is
 // written once against this interface and runs unchanged on simulated
 // time (SimRuntime) or wall-clock time (ThreadRuntime).
+//
+// Runtimes also answer for CPU parallelism: MakeExecutor() hands out a
+// lane executor (a fixed set of serial task queues running
+// concurrently) on runtimes that own real threads, and nullptr on
+// deterministic runtimes -- so a caller that wants a worker pool
+// degrades to inline single-threaded execution under the simulator
+// without special-casing, and simulated runs stay bit-reproducible.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "sim/simulator.h"
 
 namespace cmom::net {
+
+// A fixed set of serial execution lanes.  Tasks posted to one lane run
+// in FIFO order, one at a time; distinct lanes run concurrently.  This
+// is exactly the contract a sharded pipeline stage needs: hash a key
+// to a lane and per-key ordering is preserved while throughput scales
+// with the lane count.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  [[nodiscard]] virtual std::size_t worker_count() const = 0;
+
+  // Enqueues `fn` on lane `lane % worker_count()`.
+  virtual void Post(std::size_t lane, std::function<void()> fn) = 0;
+
+  // Tasks queued (not yet started) on a lane; an instantaneous reading
+  // for depth instrumentation, immediately stale.
+  [[nodiscard]] virtual std::size_t PendingCount(std::size_t lane) const = 0;
+};
 
 class Runtime {
  public:
@@ -29,6 +59,15 @@ class Runtime {
   // the simulated runtime; the threaded runtime gives no order guarantee
   // beyond the timer resolution.
   virtual void After(std::uint64_t delay_ns, std::function<void()> fn) = 0;
+
+  // A `lanes`-wide executor backed by real threads, or nullptr when
+  // this runtime is deterministic (SimRuntime): the caller must then
+  // run the work inline so simulated traces stay reproducible.
+  [[nodiscard]] virtual std::unique_ptr<Executor> MakeExecutor(
+      std::size_t lanes) {
+    (void)lanes;
+    return nullptr;
+  }
 };
 
 // Simulated time: defers onto the discrete-event loop.
@@ -45,6 +84,38 @@ class SimRuntime final : public Runtime {
   sim::Simulator* simulator_;
 };
 
+// One dedicated thread per lane.  Destruction joins every lane after
+// its currently running task completes; tasks still queued are
+// discarded (owners shutting down a pipeline rely on durable state,
+// not on queued work draining).
+class ThreadPoolExecutor final : public Executor {
+ public:
+  explicit ThreadPoolExecutor(std::size_t lanes);
+  ~ThreadPoolExecutor() override;
+
+  ThreadPoolExecutor(const ThreadPoolExecutor&) = delete;
+  ThreadPoolExecutor& operator=(const ThreadPoolExecutor&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const override {
+    return lanes_.size();
+  }
+  void Post(std::size_t lane, std::function<void()> fn) override;
+  [[nodiscard]] std::size_t PendingCount(std::size_t lane) const override;
+
+ private:
+  struct Lane {
+    mutable std::mutex mutex;
+    std::condition_variable ready;
+    std::deque<std::function<void()>> tasks;
+    bool stopping = false;
+    std::thread thread;
+  };
+
+  void LaneLoop(Lane& lane);
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
 // Wall-clock time: a dedicated timer thread fires deferred callbacks.
 class ThreadRuntime final : public Runtime {
  public:
@@ -56,6 +127,8 @@ class ThreadRuntime final : public Runtime {
 
   std::uint64_t NowNs() override;
   void After(std::uint64_t delay_ns, std::function<void()> fn) override;
+  [[nodiscard]] std::unique_ptr<Executor> MakeExecutor(
+      std::size_t lanes) override;
 
  private:
   void TimerLoop();

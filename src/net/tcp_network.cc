@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <utility>
@@ -23,6 +24,10 @@ namespace cmom::net {
 namespace {
 
 constexpr std::uint64_t kIdlePollNs = 100ull * 1000 * 1000;  // 100 ms
+
+// Retired wire buffers kept per peer for reuse by later Sends.  Bounds
+// the idle-memory cost of the pool while still covering a flush burst.
+constexpr std::size_t kSpareWireBuffers = 8;
 
 std::uint64_t NowNs() {
   return static_cast<std::uint64_t>(
@@ -126,26 +131,34 @@ class TcpEndpoint final : public Endpoint {
   // partial writes can never interleave.
   Status Send(ServerId to, Bytes frame) override {
     // [u32 length][u16 sender][payload]
-    Bytes wire(6 + frame.size());
-    const std::uint32_t length = static_cast<std::uint32_t>(frame.size()) + 2;
-    std::memcpy(wire.data(), &length, 4);
-    const std::uint16_t sender = self_.value();
-    std::memcpy(wire.data() + 4, &sender, 2);
-    if (!frame.empty()) {
-      std::memcpy(wire.data() + 6, frame.data(), frame.size());
-    }
-
+    const std::size_t wire_size = 6 + frame.size();
     {
       std::lock_guard lock(mutex_);
       if (stopping_) return Status::FailedPrecondition("endpoint stopped");
       Peer& peer = PeerFor(to);
       if (peer.outbox.size() >= options_.outbox_max_frames ||
-          peer.outbox_bytes + wire.size() > options_.outbox_max_bytes) {
+          peer.outbox_bytes + wire_size > options_.outbox_max_bytes) {
         ++stats_.frames_dropped;
         return Status::Unavailable("outbox full for " + to_string(to));
       }
+      // Frame into a retired wire buffer when one is pooled (its
+      // capacity survives the clear), instead of allocating per send.
+      Bytes wire;
+      if (!peer.spare.empty()) {
+        wire = std::move(peer.spare.back());
+        peer.spare.pop_back();
+      }
+      wire.resize(wire_size);
+      const std::uint32_t length =
+          static_cast<std::uint32_t>(frame.size()) + 2;
+      std::memcpy(wire.data(), &length, 4);
+      const std::uint16_t sender = self_.value();
+      std::memcpy(wire.data() + 4, &sender, 2);
+      if (!frame.empty()) {
+        std::memcpy(wire.data() + 6, frame.data(), frame.size());
+      }
       if (peer.state != PeerState::kConnected) ++stats_.frames_buffered;
-      peer.outbox_bytes += wire.size();
+      peer.outbox_bytes += wire_size;
       peer.outbox.push_back(std::move(wire));
     }
     Wake();
@@ -153,8 +166,12 @@ class TcpEndpoint final : public Endpoint {
   }
 
   void SetReceiveHandler(ReceiveHandler handler) override {
-    std::lock_guard lock(mutex_);
+    std::unique_lock lock(mutex_);
     handler_ = std::move(handler);
+    // Swap barrier (see Endpoint): reader threads invoke a copy of the
+    // old handler unlocked; wait those dispatches out so the caller
+    // can safely destroy what the old handler captured.
+    handler_idle_.wait(lock, [&] { return dispatching_ == 0; });
   }
 
   void Disconnect(ServerId to) override {
@@ -195,6 +212,7 @@ class TcpEndpoint final : public Endpoint {
     PeerState state = PeerState::kDisconnected;
     Fd fd;
     std::deque<Bytes> outbox;       // framed wire bytes, FIFO
+    std::vector<Bytes> spare;       // retired wire buffers for reuse
     std::size_t front_offset = 0;   // bytes of outbox.front() already sent
     std::size_t outbox_bytes = 0;
     std::uint64_t backoff_ns = 0;   // current delay; 0 = no failures yet
@@ -308,8 +326,13 @@ class TcpEndpoint final : public Endpoint {
       }
       ++stats_.frames_sent;
       peer.outbox_bytes -= wire.size();
+      Bytes retired = std::move(peer.outbox.front());
       peer.outbox.pop_front();
       peer.front_offset = 0;
+      if (peer.spare.size() < kSpareWireBuffers) {
+        retired.clear();
+        peer.spare.push_back(std::move(retired));
+      }
     }
   }
 
@@ -498,8 +521,13 @@ class TcpEndpoint final : public Endpoint {
       {
         std::lock_guard lock(mutex_);
         handler = handler_;
+        ++dispatching_;
       }
       if (handler) handler(ServerId(sender), std::move(payload));
+      {
+        std::lock_guard lock(mutex_);
+        if (--dispatching_ == 0) handler_idle_.notify_all();
+      }
     }
     buffer.erase(buffer.begin(),
                  buffer.begin() + static_cast<std::ptrdiff_t>(offset));
@@ -515,6 +543,10 @@ class TcpEndpoint final : public Endpoint {
   mutable std::mutex mutex_;
   bool stopping_ = false;
   ReceiveHandler handler_;
+  // Reader threads currently inside a handler invocation; the swap
+  // barrier in SetReceiveHandler waits for this to reach zero.
+  std::size_t dispatching_ = 0;
+  std::condition_variable handler_idle_;
   std::unordered_map<ServerId, std::unique_ptr<Peer>> peers_;
   Rng jitter_rng_;
   TransportStats stats_;

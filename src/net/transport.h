@@ -67,6 +67,13 @@ class Endpoint {
   // Installs the receive callback.  Must be set before any peer sends.
   // The handler runs on the transport's delivery context (the simulator
   // event loop, or the endpoint's receive thread).
+  //
+  // Swap barrier: threaded transports do not return while a dispatch
+  // of the PREVIOUS handler is still running, so once the swap comes
+  // back nothing the old handler referenced can be reached again --
+  // the caller may destroy it (the server-crash teardown path).  The
+  // caller must therefore not hold any lock the old handler might be
+  // waiting on.  Never call this from inside a receive handler.
   virtual void SetReceiveHandler(ReceiveHandler handler) = 0;
 
   // Forcibly severs any live outbound connection to `peer` (fault

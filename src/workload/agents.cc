@@ -8,19 +8,19 @@ namespace cmom::workload {
 
 void EchoAgent::React(mom::ReactionContext& ctx, const mom::Message& message) {
   if (message.subject == kPing) {
-    ++pings_seen_;
+    pings_seen_.fetch_add(1, std::memory_order_relaxed);
     ctx.Send(message.from, kPong, message.payload);
   }
 }
 
 void EchoAgent::EncodeState(ByteWriter& out) const {
-  out.WriteVarU64(pings_seen_);
+  out.WriteVarU64(pings_seen_.load(std::memory_order_relaxed));
 }
 
 Status EchoAgent::DecodeState(ByteReader& in) {
   auto pings = in.ReadVarU64();
   if (!pings.ok()) return pings.status();
-  pings_seen_ = pings.value();
+  pings_seen_.store(pings.value(), std::memory_order_relaxed);
   return Status::Ok();
 }
 

@@ -7,6 +7,7 @@
 // generates branching causal chains for the property tests.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -22,18 +23,22 @@ inline constexpr const char* kPong = "pong";
 inline constexpr const char* kChat = "chat";
 
 // Sends every "ping" back to its sender as a "pong" with the same
-// payload.  Counts pings for test introspection.
+// payload.  Counts pings for test introspection; the counter is
+// atomic because tests poll it from their own thread while a threaded
+// (or sharded) engine is still reacting.
 class EchoAgent final : public mom::Agent {
  public:
   void React(mom::ReactionContext& ctx, const mom::Message& message) override;
 
-  [[nodiscard]] std::uint64_t pings_seen() const { return pings_seen_; }
+  [[nodiscard]] std::uint64_t pings_seen() const {
+    return pings_seen_.load(std::memory_order_relaxed);
+  }
 
   void EncodeState(ByteWriter& out) const override;
   [[nodiscard]] Status DecodeState(ByteReader& in) override;
 
  private:
-  std::uint64_t pings_seen_ = 0;
+  std::atomic<std::uint64_t> pings_seen_{0};
 };
 
 // Swallows everything; keeps a count.  Used as a destination when the

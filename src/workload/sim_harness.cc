@@ -15,6 +15,7 @@ mom::AgentServerOptions SimHarness::ServerOptions() {
   server_options.persist_mode = options_.persist_mode;
   server_options.engine_batch = options_.engine_batch;
   server_options.channel_batch = options_.channel_batch;
+  server_options.engine_workers = options_.engine_workers;
   return server_options;
 }
 

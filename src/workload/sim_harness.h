@@ -46,6 +46,11 @@ struct SimHarnessOptions {
   mom::PersistMode persist_mode = mom::PersistMode::kIncremental;
   std::size_t engine_batch = 16;
   std::size_t channel_batch = 16;
+  // Forwarded to AgentServerOptions::engine_workers.  Under SimRuntime
+  // the executor request resolves to nullptr, so any value keeps the
+  // inline engine and bit-identical traces -- the knob exists here so
+  // one workload config struct can drive both harnesses.
+  std::size_t engine_workers = 0;
 };
 
 class SimHarness {

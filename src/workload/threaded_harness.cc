@@ -11,7 +11,20 @@ ThreadedHarness::ThreadedHarness(domains::MomConfig config,
 
 ThreadedHarness::~ThreadedHarness() { ShutdownAll(); }
 
+mom::AgentServerOptions ThreadedHarness::ServerOptions() {
+  mom::AgentServerOptions server_options;
+  server_options.trace = &trace_;
+  server_options.retransmit_timeout_ns = options_.retransmit_timeout_ns;
+  server_options.persist_mode = options_.persist_mode;
+  server_options.engine_batch = options_.engine_batch;
+  server_options.channel_batch = options_.channel_batch;
+  server_options.engine_workers = options_.engine_workers;
+  return server_options;
+}
+
 Status ThreadedHarness::Init(AgentInstaller installer) {
+  installer_ = std::move(installer);
+
   auto deployment = domains::Deployment::Create(config_);
   if (!deployment.ok()) return deployment.status();
   deployment_ =
@@ -31,17 +44,10 @@ Status ThreadedHarness::Init(AgentInstaller installer) {
     endpoints_.emplace(id, std::move(endpoint).value());
     stores_.emplace(id, std::make_unique<mom::InMemoryStore>());
 
-    mom::AgentServerOptions server_options;
-    server_options.trace = &trace_;
-    server_options.retransmit_timeout_ns = options_.retransmit_timeout_ns;
-    server_options.persist_mode = options_.persist_mode;
-    server_options.engine_batch = options_.engine_batch;
-    server_options.channel_batch = options_.channel_batch;
-
     auto server = std::make_unique<mom::AgentServer>(
         *deployment_, id, endpoints_.at(id).get(), &runtime_,
-        stores_.at(id).get(), server_options);
-    if (installer) installer(id, *server);
+        stores_.at(id).get(), ServerOptions());
+    if (installer_) installer_(id, *server);
     servers_.emplace(id, std::move(server));
   }
   return Status::Ok();
@@ -71,6 +77,7 @@ void ThreadedHarness::WaitQuiescent() {
     bool idle = faulty_ == nullptr || faulty_->pending_delayed() == 0;
     for (const auto& [id, server] : servers_) {
       (void)id;
+      if (server == nullptr) continue;  // crashed and not restarted
       // Idle() alone is not quiescence under fault injection: a server
       // is idle while a dropped frame waits on its retransmit timer, so
       // the outgoing queue must have drained (everything ACKed) too.
@@ -94,6 +101,29 @@ void ThreadedHarness::ShutdownAll() {
     (void)id;
     if (server) server->Shutdown();
   }
+}
+
+void ThreadedHarness::HaltAll() {
+  for (auto& [id, server] : servers_) {
+    (void)id;
+    if (server) server->Halt();
+  }
+}
+
+void ThreadedHarness::Crash(ServerId id) {
+  // ~AgentServer halts: shard workers join and their un-committed
+  // speculative reactions are discarded, leaving only what the store
+  // already committed -- the same cut a power failure would make.
+  servers_.at(id) = nullptr;
+}
+
+Status ThreadedHarness::Restart(ServerId id) {
+  auto server = std::make_unique<mom::AgentServer>(
+      *deployment_, id, endpoints_.at(id).get(), &runtime_,
+      stores_.at(id).get(), ServerOptions());
+  if (installer_) installer_(id, *server);
+  servers_.at(id) = std::move(server);
+  return servers_.at(id)->Boot();
 }
 
 causality::CausalityChecker ThreadedHarness::MakeChecker() const {

@@ -34,6 +34,10 @@ struct ThreadedHarnessOptions {
   mom::PersistMode persist_mode = mom::PersistMode::kIncremental;
   std::size_t engine_batch = 16;
   std::size_t channel_batch = 16;
+  // Engine shard workers per server (0 = inline engine).  The threaded
+  // runtime supports real parallelism, so this is where the knob does
+  // something; see AgentServerOptions::engine_workers.
+  std::size_t engine_workers = 0;
 };
 
 class ThreadedHarness {
@@ -52,11 +56,25 @@ class ThreadedHarness {
                          Bytes payload = {});
 
   // Blocks until every server is idle and the network has no frames in
-  // flight (two stable observations in a row).
+  // flight (two stable observations in a row).  Crashed servers are
+  // skipped, so this can be used to drain the survivors mid-outage.
   void WaitQuiescent();
+
+  // Crash: destroy a server's volatile half (joining its shard workers
+  // first; speculative un-committed reactions are discarded exactly as
+  // a power cut would).  Its store -- the "disk" -- survives.
+  void Crash(ServerId id);
+  // Rebuild a crashed server from its store and boot it; the installer
+  // passed to Init() re-attaches the same agents.
+  [[nodiscard]] Status Restart(ServerId id);
 
   // Shuts every server down (before network/runtime teardown).
   void ShutdownAll();
+
+  // ShutdownAll plus each server's teardown barrier: joins shard
+  // workers and bars timers, so the caller may inspect agent state
+  // without racing a worker thread (TSan-visible happens-before).
+  void HaltAll();
 
   [[nodiscard]] mom::AgentServer& server(ServerId id) {
     return *servers_.at(id);
@@ -70,8 +88,11 @@ class ThreadedHarness {
   [[nodiscard]] causality::CausalityChecker MakeChecker() const;
 
  private:
+  [[nodiscard]] mom::AgentServerOptions ServerOptions();
+
   domains::MomConfig config_;
   ThreadedHarnessOptions options_;
+  AgentInstaller installer_;
 
   // Destruction order matters: servers and endpoints go first (members
   // below), then the runtime (joins its timer thread, so no delay

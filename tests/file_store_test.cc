@@ -45,6 +45,34 @@ TEST_F(FileStoreTest, PersistsAcrossReopen) {
   EXPECT_EQ(*store->Get("beta"), B({4}));
 }
 
+TEST_F(FileStoreTest, DataSyncModeSyncsEveryCommitAndCompaction) {
+  FileStoreOptions options;
+  options.sync_mode = SyncMode::kDataSync;
+  {
+    auto store = FileStore::Open(dir_, options).value();
+    EXPECT_EQ(store->sync_calls(), 0u);
+    store->Put("alpha", B({1}));
+    ASSERT_TRUE(store->Commit().ok());
+    EXPECT_EQ(store->sync_calls(), 1u);
+    store->Put("beta", B({2}));
+    ASSERT_TRUE(store->Commit().ok());
+    EXPECT_EQ(store->sync_calls(), 2u);
+    ASSERT_TRUE(store->Compact().ok());
+    EXPECT_GT(store->sync_calls(), 2u);  // the snapshot is synced too
+  }
+  auto store = FileStore::Open(dir_, options).value();
+  EXPECT_EQ(*store->Get("alpha"), B({1}));
+  EXPECT_EQ(*store->Get("beta"), B({2}));
+}
+
+TEST_F(FileStoreTest, DefaultSyncModeNeverCallsFdatasync) {
+  auto store = FileStore::Open(dir_).value();
+  store->Put("alpha", B({1}));
+  ASSERT_TRUE(store->Commit().ok());
+  ASSERT_TRUE(store->Compact().ok());
+  EXPECT_EQ(store->sync_calls(), 0u);
+}
+
 TEST_F(FileStoreTest, UncommittedWritesDoNotSurvive) {
   {
     auto store = FileStore::Open(dir_).value();

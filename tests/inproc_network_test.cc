@@ -66,6 +66,9 @@ TEST(InprocNetwork, BidirectionalPingPong) {
     if (++bounces < 50) {
       (void)a->Send(ServerId(1), std::move(frame));
     } else {
+      // Notify under the lock: the waiter may only destroy the cv
+      // after notify_one has returned.
+      std::lock_guard lock(mutex);
       cv.notify_one();
     }
   });

@@ -77,7 +77,12 @@ TEST(ThreadRuntime, MultipleTimersAllFire) {
   std::condition_variable cv;
   for (int i = 0; i < 10; ++i) {
     runtime.After(static_cast<std::uint64_t>(i) * 1000 * 1000, [&] {
-      if (++fired == 10) cv.notify_one();
+      if (++fired == 10) {
+        // Notify under the lock: the waiter may only destroy the cv
+        // after notify_one has returned.
+        std::lock_guard lock(mutex);
+        cv.notify_one();
+      }
     });
   }
   std::unique_lock lock(mutex);
@@ -91,6 +96,98 @@ TEST(ThreadRuntime, DestructionWithPendingTimersIsSafe) {
   runtime->After(3600ull * 1000 * 1000 * 1000, [] { ADD_FAILURE(); });
   runtime.reset();  // must return promptly without firing
   SUCCEED();
+}
+
+TEST(Executor, SimRuntimeHasNone) {
+  // The deterministic runtime cannot host real parallelism: the engine
+  // falls back to inline execution (and bit-identical traces).
+  sim::Simulator simulator;
+  SimRuntime runtime(simulator);
+  EXPECT_EQ(runtime.MakeExecutor(4), nullptr);
+}
+
+TEST(Executor, ThreadRuntimeBuildsRequestedLanes) {
+  ThreadRuntime runtime;
+  auto executor = runtime.MakeExecutor(3);
+  ASSERT_NE(executor, nullptr);
+  EXPECT_EQ(executor->worker_count(), 3u);
+  // Degenerate request still yields a working single lane.
+  EXPECT_EQ(runtime.MakeExecutor(0)->worker_count(), 1u);
+}
+
+TEST(Executor, LanePreservesFifoOrder) {
+  // The per-agent ordering guarantee of the sharded engine reduces to
+  // this: one lane runs its tasks strictly in Post() order.
+  ThreadPoolExecutor executor(4);
+  std::vector<int> order;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  for (int i = 0; i < 200; ++i) {
+    executor.Post(2, [&, i] {
+      std::lock_guard lock(mutex);
+      order.push_back(i);
+      if (i == 199) {
+        done = true;
+        cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock lock(mutex);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5), [&] { return done; }));
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Executor, LanesRunConcurrently) {
+  // Lane 1 can only finish if lane 0 is genuinely a different thread:
+  // lane 0 blocks until lane 1's task has started.
+  ThreadPoolExecutor executor(2);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool lane1_started = false;
+  bool lane0_finished = false;
+  executor.Post(0, [&] {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return lane1_started; });
+    lane0_finished = true;
+    cv.notify_all();
+  });
+  executor.Post(1, [&] {
+    std::lock_guard lock(mutex);
+    lane1_started = true;
+    cv.notify_all();
+  });
+  std::unique_lock lock(mutex);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                          [&] { return lane0_finished; }));
+}
+
+TEST(Executor, PendingCountSeesQueuedTasks) {
+  ThreadPoolExecutor executor(1);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  bool blocked = false;
+  executor.Post(0, [&] {
+    std::unique_lock lock(mutex);
+    blocked = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  });
+  {
+    std::unique_lock lock(mutex);
+    ASSERT_TRUE(
+        cv.wait_for(lock, std::chrono::seconds(5), [&] { return blocked; }));
+  }
+  for (int i = 0; i < 5; ++i) executor.Post(0, [] {});
+  // Lanes wrap modulo worker_count, so lane 7 is lane 0 here.
+  EXPECT_EQ(executor.PendingCount(7), 5u);
+  {
+    std::lock_guard lock(mutex);
+    release = true;
+    cv.notify_all();
+  }
 }
 
 }  // namespace
