@@ -60,6 +60,18 @@ void CausalDomainClock::Commit(DomainServerId src, const Stamp& stamp) {
   if (changed) ++version_;
 }
 
+CausalDomainClock CausalDomainClock::Remap(
+    DomainServerId new_self, std::size_t new_size,
+    std::span<const std::optional<DomainServerId>> old_of_new) const {
+  assert(new_self.value() < new_size);
+  CausalDomainClock out;
+  out.self_ = new_self;
+  out.mode_ = mode_;
+  out.matrix_ = matrix_.Remap(new_size, old_of_new);
+  out.tracker_ = tracker_.Remap(new_size, old_of_new);
+  return out;
+}
+
 void CausalDomainClock::EncodeState(ByteWriter& out) const {
   out.WriteU16(self_.value());
   out.WriteU8(static_cast<std::uint8_t>(mode_));

@@ -20,6 +20,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <span>
 
 #include "clocks/matrix_clock.h"
 #include "clocks/stamp.h"
@@ -65,6 +67,14 @@ class CausalDomainClock {
   void Commit(DomainServerId src, const Stamp& stamp);
 
   [[nodiscard]] const MatrixClock& matrix() const { return matrix_; }
+
+  // Rebuilds the clock over a new domain membership (epoch cutover):
+  // matrix and tracker are remapped together (see MatrixClock::Remap),
+  // the stamp mode is preserved, and the mutation version restarts at 0
+  // like a freshly recovered clock.  Only correct on a quiesced domain.
+  [[nodiscard]] CausalDomainClock Remap(
+      DomainServerId new_self, std::size_t new_size,
+      std::span<const std::optional<DomainServerId>> old_of_new) const;
 
   // Durable image (matrix + updates tracker), written by the Channel
   // whenever the clock advanced since the last commit so that recovery

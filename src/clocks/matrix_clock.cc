@@ -25,6 +25,24 @@ std::uint64_t MatrixClock::Total() const {
   return std::accumulate(cells_.begin(), cells_.end(), std::uint64_t{0});
 }
 
+MatrixClock MatrixClock::Remap(
+    std::size_t new_size,
+    std::span<const std::optional<DomainServerId>> old_of_new) const {
+  assert(old_of_new.size() == new_size);
+  MatrixClock out(new_size);
+  for (std::size_t i = 0; i < new_size; ++i) {
+    if (!old_of_new[i]) continue;
+    assert(old_of_new[i]->value() < size_);
+    for (std::size_t j = 0; j < new_size; ++j) {
+      if (!old_of_new[j]) continue;
+      out.cells_[i * new_size + j] =
+          cells_[static_cast<std::size_t>(old_of_new[i]->value()) * size_ +
+                 old_of_new[j]->value()];
+    }
+  }
+  return out;
+}
+
 void MatrixClock::Encode(ByteWriter& out) const {
   out.WriteVarU64(size_);
   for (std::uint64_t cell : cells_) out.WriteVarU64(cell);

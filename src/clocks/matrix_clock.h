@@ -10,6 +10,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "common/bytes.h"
@@ -45,6 +47,16 @@ class MatrixClock {
 
   // Sum of all entries; a cheap progress measure used by tests.
   [[nodiscard]] std::uint64_t Total() const;
+
+  // Rebuilds the clock over a new domain membership (epoch cutover):
+  // `old_of_new[i]` is the old local id now sitting at new local id i,
+  // or nullopt for a member that just joined.  New entry (i, j) takes
+  // the old value when both coordinates map and 0 otherwise -- growing,
+  // shrinking and permuting are all the same operation.  Only correct
+  // on a quiesced domain (no frame in flight carries old coordinates).
+  [[nodiscard]] MatrixClock Remap(
+      std::size_t new_size,
+      std::span<const std::optional<DomainServerId>> old_of_new) const;
 
   [[nodiscard]] bool operator==(const MatrixClock&) const = default;
 

@@ -31,6 +31,48 @@ Stamp UpdatesTracker::CollectFor(DomainServerId dest,
   return stamp;
 }
 
+UpdatesTracker UpdatesTracker::Remap(
+    std::size_t new_size,
+    std::span<const std::optional<DomainServerId>> old_of_new) const {
+  // Inverse map: old local id -> new local id (or none when departed).
+  std::vector<std::optional<std::uint16_t>> new_of_old(size_);
+  for (std::size_t i = 0; i < new_size; ++i) {
+    if (old_of_new[i]) {
+      new_of_old[old_of_new[i]->value()] =
+          static_cast<std::uint16_t>(i);
+    }
+  }
+  UpdatesTracker out(new_size);
+  out.state_ = state_;
+  for (std::size_t i = 0; i < new_size; ++i) {
+    if (!old_of_new[i]) continue;
+    for (std::size_t j = 0; j < new_size; ++j) {
+      if (!old_of_new[j]) continue;
+      const CellMeta& old_cell =
+          cells_[static_cast<std::size_t>(old_of_new[i]->value()) * size_ +
+                 old_of_new[j]->value()];
+      CellMeta& cell = out.cells_[i * new_size + j];
+      cell.state = old_cell.state;
+      // The "never echo back to its writer" refinement only survives
+      // when the writer is still a member; a departed writer resets to
+      // self-written so the entry is (redundantly, safely) re-sent.
+      cell.writer = kSelfWriter;
+      if (old_cell.writer != kSelfWriter &&
+          old_cell.writer < new_of_old.size() &&
+          new_of_old[old_cell.writer]) {
+        cell.writer = *new_of_old[old_cell.writer];
+      }
+    }
+  }
+  for (std::size_t j = 0; j < new_size; ++j) {
+    // A joiner starts at 0: the first message to it carries every live
+    // entry, i.e. the full matrix it has no other way to learn.
+    out.node_state_[j] =
+        old_of_new[j] ? node_state_[old_of_new[j]->value()] : 0;
+  }
+  return out;
+}
+
 void UpdatesTracker::Encode(ByteWriter& out) const {
   out.WriteVarU64(size_);
   out.WriteVarU64(state_);

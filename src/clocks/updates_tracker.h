@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "clocks/matrix_clock.h"
@@ -44,6 +45,16 @@ class UpdatesTracker {
   // learned from `dest` itself.  Advances Node[dest].state.
   [[nodiscard]] Stamp CollectFor(DomainServerId dest,
                                  const MatrixClock& matrix);
+
+  // Rebuilds the tracker over a new domain membership (epoch cutover),
+  // mirroring MatrixClock::Remap.  Entries and per-destination send
+  // state follow their mapped coordinates; everything touching a
+  // departed member resets conservatively (state 0 / self-written), so
+  // the next delta stamp to any peer over-approximates rather than
+  // omits.  The global state counter is preserved.
+  [[nodiscard]] UpdatesTracker Remap(
+      std::size_t new_size,
+      std::span<const std::optional<DomainServerId>> old_of_new) const;
 
   // State persistence (the tracker is part of the channel's durable
   // image: losing it after a crash would only cost bandwidth, not

@@ -1,0 +1,49 @@
+#include "control/fence.h"
+
+#include <chrono>
+#include <thread>
+
+namespace cmom::control {
+
+void FenceController::RaiseAll() {
+  for (ServerId id : host_->KnownServers()) {
+    if (mom::AgentServer* server = host_->ServerOf(id)) server->BeginFence();
+  }
+}
+
+void FenceController::LowerAll() {
+  for (ServerId id : host_->KnownServers()) {
+    if (mom::AgentServer* server = host_->ServerOf(id)) server->LiftFence();
+  }
+}
+
+Status FenceController::AwaitDrained(std::uint64_t timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  int stable_sweeps = 0;
+  while (stable_sweeps < 2) {
+    bool drained = true;
+    for (ServerId id : host_->KnownServers()) {
+      mom::AgentServer* server = host_->ServerOf(id);
+      if (server == nullptr) continue;  // stopped servers hold no work
+      const mom::AgentServer::FenceStatus status = server->fence_status();
+      if (!status.active) {
+        return Status::FailedPrecondition(
+            to_string(id) + " is not fenced; RaiseAll first");
+      }
+      if (!status.drained) {
+        drained = false;
+        break;
+      }
+    }
+    stable_sweeps = drained ? stable_sweeps + 1 : 0;
+    if (stable_sweeps >= 2) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::Unavailable("cluster did not drain within timeout");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return Status::Ok();
+}
+
+}  // namespace cmom::control

@@ -1,0 +1,67 @@
+// Cluster abstraction and the quiesce fence.
+//
+// ClusterHost is the coordinator's view of a running cluster: who the
+// servers are, their live objects (when up) and their stores (always),
+// and how to stop/start them.  workload::ThreadedHarness implements it
+// for in-process clusters; a production deployment would implement it
+// over its process manager.
+//
+// FenceController drives the quiesce phase: raise every server's send
+// fence, then wait until the whole cluster is simultaneously drained
+// (no QueueOUT, QueueIN, hold-back or in-flight work anywhere).  Once
+// that state is observed under raised fences it is stable -- nothing
+// can mint new protocol work except an application send, and those are
+// fenced -- so the cutover may take the cluster apart server by server
+// without the invariant decaying.  The observation is repeated on two
+// consecutive sweeps to close the window where a frame sits in the
+// transport between two servers' individual checks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "domains/config.h"
+#include "mom/agent_server.h"
+#include "mom/store.h"
+
+namespace cmom::control {
+
+class ClusterHost {
+ public:
+  virtual ~ClusterHost() = default;
+
+  // Every server the host has ever managed (running or not).
+  [[nodiscard]] virtual std::vector<ServerId> KnownServers() = 0;
+  // The live server object, or nullptr when stopped/crashed.
+  [[nodiscard]] virtual mom::AgentServer* ServerOf(ServerId id) = 0;
+  // The server's durable store; outlives the server object.  For a
+  // server about to join the cluster this creates a fresh store.
+  [[nodiscard]] virtual mom::Store* StoreOf(ServerId id) = 0;
+  // Stops the server (graceful halt; the store keeps its state).
+  virtual Status StopServer(ServerId id) = 0;
+  // (Re)builds the server from its store under `config` at `epoch` and
+  // boots it.
+  virtual Status StartServer(ServerId id, std::uint64_t epoch,
+                             const domains::MomConfig& config) = 0;
+};
+
+class FenceController {
+ public:
+  explicit FenceController(ClusterHost* host) : host_(host) {}
+
+  // Raises the send fence on every running server.
+  void RaiseAll();
+  // Lowers the fences (quiesce abort, or resume without restart).
+  void LowerAll();
+  // Polls until two consecutive sweeps find every running server
+  // drained (timeout in wall-clock milliseconds).  Fences must already
+  // be raised.
+  [[nodiscard]] Status AwaitDrained(std::uint64_t timeout_ms);
+
+ private:
+  ClusterHost* host_;
+};
+
+}  // namespace cmom::control

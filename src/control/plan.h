@@ -1,0 +1,100 @@
+// Reconfiguration plans: a validated epoch transition E -> E+1.
+//
+// A plan pairs the old and new MomConfig with, per new-config domain,
+// the clock coordinate mapping the cutover applies.  The mapping rule
+// is by DomainId: a new-config domain that keeps an id from the old
+// config inherits that domain's matrix clock (members remapped through
+// clocks::*::Remap, newcomers at zero); a domain under a fresh id
+// starts with a fresh all-zero clock.  Both are correct on a quiesced
+// cluster -- after the drain every sender/receiver pair agrees on
+// every matrix entry, so any consistent per-domain rewrite preserves
+// the delivery condition -- but inheriting keeps counters monotonic
+// and exercises crash recovery over real clock state.
+//
+// Building a plan re-runs the full boot-time validation on the new
+// config (domains::Deployment::Create), in particular the Section 4.3
+// bipartite acyclicity check.  A proposed operation that would create
+// a cycle therefore dies HERE, before any store is touched -- the
+// "rejected atomically, cluster untouched" guarantee is simply that
+// rejection precedes the first write.
+//
+// The operation helpers (AddServerToDomain, RemoveServer, SplitDomain,
+// MergeDomains, PromoteRouter) are pure config -> config functions;
+// they check local well-formedness and leave graph-level validation to
+// ReconfigPlan::Build.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "domains/config.h"
+#include "domains/splitter.h"
+
+namespace cmom::control {
+
+// Clock coordinate mapping for one new-config domain.
+struct DomainRemap {
+  DomainId id;
+  // Index into old_config.domains of the domain whose clock this one
+  // inherits (same DomainId), nullopt for a brand-new domain.
+  std::optional<std::size_t> old_index;
+  // old_of_new[i] = old domain-local id of the server at new local id
+  // i, nullopt for a member that just joined.  Empty for new domains.
+  std::vector<std::optional<DomainServerId>> old_of_new;
+};
+
+struct ReconfigPlan {
+  std::uint64_t from_epoch = 0;
+  std::uint64_t to_epoch = 0;
+  domains::MomConfig old_config;
+  domains::MomConfig new_config;
+  std::vector<DomainRemap> remaps;  // one per new_config.domains entry
+
+  // Validates new_config (full Deployment::Create, including the
+  // acyclicity theorem precondition) and derives the remaps.  The
+  // stamp mode must not change across an epoch.
+  [[nodiscard]] static Result<ReconfigPlan> Build(
+      std::uint64_t from_epoch, domains::MomConfig old_config,
+      domains::MomConfig new_config);
+
+  // Servers present in either config (stores the cutover must touch).
+  [[nodiscard]] std::vector<ServerId> AllServers() const;
+};
+
+// --- operation helpers (pure config transforms) ----------------------
+
+// Adds `server` to `domain` (registering it in the server list when
+// new).  Adding a second membership to an existing server is how a
+// server is promoted to causal router.
+[[nodiscard]] Result<domains::MomConfig> AddServerToDomain(
+    const domains::MomConfig& config, ServerId server, DomainId domain);
+
+// Removes `server` from every domain and from the server list.  Fails
+// when a domain would become empty.
+[[nodiscard]] Result<domains::MomConfig> RemoveServer(
+    const domains::MomConfig& config, ServerId server);
+
+// Splits `domain` in two using the traffic-aware splitter (Section 7
+// future work): `traffic` indexes the domain's members in member
+// order.  The heaviest-communicating members stay together; the first
+// part keeps the old DomainId, further parts get new_id, new_id+1, ...
+// Splitter-designated routers keep the parts connected to each other.
+[[nodiscard]] Result<domains::MomConfig> SplitDomain(
+    const domains::MomConfig& config, DomainId domain,
+    const domains::TrafficProfile& traffic, DomainId new_id,
+    std::size_t max_domain_size);
+
+// Merges domain `b` into domain `a` (a's member order first, then b's
+// remaining members); b's id disappears.
+[[nodiscard]] Result<domains::MomConfig> MergeDomains(
+    const domains::MomConfig& config, DomainId a, DomainId b);
+
+// Promotes `server` (which must already be a member somewhere) into
+// `domain`, making it a causal router between its domains.
+[[nodiscard]] Result<domains::MomConfig> PromoteRouter(
+    const domains::MomConfig& config, ServerId server, DomainId domain);
+
+}  // namespace cmom::control

@@ -45,9 +45,6 @@ Result<RoutingTable> RoutingTable::Build(const MomConfig& config) {
       for (std::size_t neighbor : neighbors[node]) {
         if (table.hops_[neighbor][dest] != kUnreachable) continue;
         table.hops_[neighbor][dest] = table.hops_[node][dest] + 1;
-        // The neighbor reaches dest through `node` (or directly when
-        // node == dest).
-        table.next_hop_[neighbor][dest] = node;
         frontier.push(neighbor);
       }
     }
@@ -58,9 +55,39 @@ Result<RoutingTable> RoutingTable::Build(const MomConfig& config) {
             to_string(table.by_rank_[from]) + " -> " +
             to_string(table.by_rank_[dest]));
       }
+      if (from == dest) continue;
+      // Among all neighbors on *some* shortest path, pick the smallest
+      // ServerId (= smallest rank: by_rank_ is sorted).  BFS discovery
+      // order would also be deterministic, but this choice is a pure
+      // function of the graph, so two epochs that produce the same
+      // server graph produce byte-identical tables regardless of how
+      // the BFS happened to traverse them.
+      for (std::size_t nb : neighbors[from]) {
+        if (table.hops_[nb][dest] + 1 == table.hops_[from][dest]) {
+          table.next_hop_[from][dest] = nb;
+          break;
+        }
+      }
+      assert(table.next_hop_[from][dest] != kUnreachable);
     }
   }
   return table;
+}
+
+std::string RoutingTable::DebugString() const {
+  std::string out;
+  for (std::size_t from = 0; from < by_rank_.size(); ++from) {
+    out += to_string(by_rank_[from]);
+    out += ":";
+    for (std::size_t dest = 0; dest < by_rank_.size(); ++dest) {
+      out += " ";
+      out += to_string(by_rank_[next_hop_[from][dest]]);
+      out += "/";
+      out += std::to_string(hops_[from][dest]);
+    }
+    out += "\n";
+  }
+  return out;
 }
 
 ServerId RoutingTable::NextHop(ServerId from, ServerId dest) const {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -32,6 +33,13 @@ class RoutingTable {
   // Number of server-to-server hops from `from` to `dest` (0 when they
   // are equal).
   [[nodiscard]] std::size_t HopCount(ServerId from, ServerId dest) const;
+
+  // Canonical text rendering of the whole table ("from: nexthop/hops
+  // ...", one line per server in ServerId order).  Because tie-breaking
+  // is a pure function of the server graph, two configs describing the
+  // same graph -- e.g. epoch E and E+1 with permuted member listings --
+  // render byte-identically, making table diffs meaningful.
+  [[nodiscard]] std::string DebugString() const;
 
  private:
   // next_hop_[from][dest] and hops_[from][dest], by dense rank.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <future>
 #include <utility>
 
 #include "common/log.h"
@@ -21,6 +22,11 @@ constexpr std::string_view kLegacyHoldbackKey = "channel/holdback";
 // Incremental per-entry schema.  Fixed-width hex suffixes keep
 // Store::Keys(prefix) ordering aligned with numeric ordering.
 constexpr std::string_view kClockKeyPrefix = "clk/";
+// Written by the control plane (control/epoch.h owns the record format:
+// varint epoch, then the config text).  The server only reads the
+// leading varint, to refuse booting against a store whose epoch
+// disagrees with its options -- mom must not depend on control.
+constexpr std::string_view kEpochCurrentKey = "epoch/current";
 constexpr std::string_view kQueueOutKeyPrefix = "qout/";
 constexpr std::string_view kQueueInKeyPrefix = "qin/";
 constexpr std::string_view kHoldKeyPrefix = "hold/";
@@ -224,6 +230,21 @@ Status AgentServer::Boot() {
 
     CMOM_RETURN_IF_ERROR(RecoverLocked());
 
+    // A store the control plane has stamped must agree with the epoch
+    // we were constructed for: booting epoch-E clocks under an epoch-F
+    // deployment would reinterpret matrix coordinates.  Stores from
+    // before the control plane (no record) pass vacuously.
+    if (auto record = store_->Get(kEpochCurrentKey)) {
+      ByteReader in(*record);
+      auto stored = in.ReadVarU64();
+      if (!stored.ok()) return stored.status();
+      if (stored.value() != options_.epoch) {
+        return Status::FailedPrecondition(
+            "store is at epoch " + std::to_string(stored.value()) +
+            " but server boots at epoch " + std::to_string(options_.epoch));
+      }
+    }
+
     // Parallel engine eligibility (see header comment): needs a
     // threaded runtime (MakeExecutor on SimRuntime returns nullptr,
     // keeping simulated traces bit-identical) and incremental
@@ -258,7 +279,8 @@ Status AgentServer::Boot() {
   // are handed straight to their shards, in QueueIN order.
   Post([this]() -> std::size_t {
     for (const OutEntry& entry : queue_out_) {
-      DataFrame frame{entry.message, entry.domain, entry.stamp};
+      DataFrame frame{entry.message, entry.domain, entry.stamp,
+                      options_.epoch};
       EmitFrame(entry.next_hop, frame.Serialize());
       ScheduleRetransmit(entry.message.id, 0);
     }
@@ -428,6 +450,14 @@ std::size_t AgentServer::DrainInbox() {
 
 std::size_t AgentServer::ProcessDataFrame(ServerId from, DataFrame frame) {
   ++stats_.frames_received;
+  if (frame.epoch != options_.epoch) {
+    // A straggler from across a reconfiguration cutover: its stamp is
+    // in another epoch's coordinate system.  Dropped WITHOUT an ack, so
+    // the sender -- once itself moved to our epoch, or recovered back
+    // to its own -- retransmits under matching coordinates.
+    ++stats_.epoch_fenced_frames;
+    return 0;
+  }
   DomainItem* item = FindItemByDomainId(frame.domain);
   if (item == nullptr) {
     CMOM_LOG(kError) << to_string(self_) << ": frame in foreign domain "
@@ -574,6 +604,12 @@ Result<MessageId> AgentServer::SendMessage(AgentId from, AgentId to,
     if (from.server != self_) {
       return Status::InvalidArgument("sender agent not on this server");
     }
+    if (fence_active_) {
+      // Rejected before id assignment or trace recording: a fenced send
+      // never existed as far as exactly-once accounting is concerned.
+      ++stats_.fenced_sends_rejected;
+      return Status::Unavailable("sends fenced for reconfiguration");
+    }
     message = MakeMessage(from, to, std::move(subject), std::move(payload));
   }
   const MessageId id = message.id;
@@ -633,7 +669,7 @@ std::size_t AgentServer::StampAndEnqueue(Message message) {
   const std::size_t entries = entry.stamp.entries.size();
   stats_.stamp_bytes_sent += entry.stamp.EncodedSize();
 
-  DataFrame frame{entry.message, entry.domain, entry.stamp};
+  DataFrame frame{entry.message, entry.domain, entry.stamp, options_.epoch};
   const MessageId id = entry.message.id;
   PersistOutEntry(entry);
   queue_out_.push_back(std::move(entry));
@@ -666,7 +702,8 @@ void AgentServer::ScheduleRetransmit(MessageId id,
       }
       ++entry.attempts;
       ++stats_.retransmissions;
-      DataFrame frame{entry.message, entry.domain, entry.stamp};
+      DataFrame frame{entry.message, entry.domain, entry.stamp,
+                      options_.epoch};
       EmitFrame(entry.next_hop, frame.Serialize());
       ScheduleRetransmit(id, entry.attempts);
       return 0;
@@ -1348,6 +1385,58 @@ bool AgentServer::Idle() const {
   std::lock_guard lock(mutex_);
   return work_queue_.empty() && !work_running_ && inbox_.empty() &&
          queue_in_.empty() && queue_out_.empty() && engine_inflight_ == 0;
+}
+
+void AgentServer::BeginFence() {
+  std::lock_guard lock(mutex_);
+  fence_active_ = true;
+}
+
+void AgentServer::LiftFence() {
+  std::lock_guard lock(mutex_);
+  fence_active_ = false;
+}
+
+AgentServer::FenceStatus AgentServer::fence_status() const {
+  std::lock_guard lock(mutex_);
+  FenceStatus status;
+  status.active = fence_active_;
+  status.queue_out = queue_out_.size();
+  status.queue_in = queue_in_.size();
+  status.holdback = HoldbackSizeLocked();
+  status.inflight = engine_inflight_ + work_queue_.size() +
+                    inbox_.size() + (work_running_ ? 1 : 0);
+  status.drained = fence_active_ && status.queue_out == 0 &&
+                   status.queue_in == 0 && status.holdback == 0 &&
+                   status.inflight == 0;
+  return status;
+}
+
+Status AgentServer::ApplyControlRecord(std::string_view key,
+                                       std::optional<Bytes> value) {
+  auto done = std::make_shared<std::promise<void>>();
+  auto committed = done->get_future();
+  {
+    std::unique_lock lock(mutex_);
+    if (!booted_ || shutdown_) {
+      return Status::FailedPrecondition(to_string(self_) +
+                                        " is not running");
+    }
+    work_queue_.push_back([this, key = std::string(key),
+                           value = std::move(value), done]() mutable {
+      if (value.has_value()) {
+        StorePut(key, std::move(*value));
+      } else {
+        StoreDelete(key);
+      }
+      CommitLocked();
+      done->set_value();
+      return std::size_t{0};
+    });
+    PumpLocked();
+  }
+  committed.wait();
+  return Status::Ok();
 }
 
 const clocks::CausalDomainClock* AgentServer::FindDomainClock(

@@ -139,6 +139,11 @@ struct AgentServerOptions {
   // threads (ThreadRuntime) and PersistMode::kIncremental; otherwise
   // the server falls back to inline mode at Boot.
   std::size_t engine_workers = 0;
+  // Config epoch this server runs under (src/control reconfiguration).
+  // Stamped into every outgoing DataFrame; frames from a different
+  // epoch are dropped unacknowledged.  Boot cross-checks the value
+  // against the store's "epoch/current" record when one exists.
+  std::uint64_t epoch = 0;
 };
 
 // Power-of-two-bucketed histogram: bucket b counts samples in
@@ -187,6 +192,11 @@ struct ServerStats {
   // Frames the transport refused (e.g. supervised outbox overflow);
   // each is covered by a later QueueOUT retransmission.
   std::uint64_t transport_send_failures = 0;
+  // Data frames dropped (unacked) because their epoch differed from
+  // this server's -- stragglers around a reconfiguration cutover.
+  std::uint64_t epoch_fenced_frames = 0;
+  // SendMessage calls rejected while an epoch fence was up.
+  std::uint64_t fenced_sends_rejected = 0;
   LogHistogram commit_bytes_hist;   // bytes per store commit
   LogHistogram engine_batch_hist;   // reactions per Engine work item
   LogHistogram channel_batch_hist;  // frames per Channel work item
@@ -237,7 +247,38 @@ class AgentServer {
                                 Bytes payload = {});
 
   [[nodiscard]] ServerId self() const { return self_; }
+  [[nodiscard]] std::uint64_t epoch() const { return options_.epoch; }
   [[nodiscard]] ServerStats stats() const;
+
+  // --- epoch fence (quiesce phase of a reconfiguration) ---------------
+  // While the fence is up, SendMessage returns Unavailable; everything
+  // already accepted keeps flowing (routing, retransmission, reactions)
+  // so the server drains toward the quiesced state the cutover needs.
+  // Snapshot of the drain progress; `drained` means no local work is
+  // pending anywhere -- but only the coordinator, seeing every server
+  // drained *simultaneously*, may conclude the cluster is quiesced
+  // (a peer could still hold an unacked frame addressed to us).
+  struct FenceStatus {
+    bool active = false;
+    bool drained = false;
+    std::size_t queue_out = 0;
+    std::size_t queue_in = 0;
+    std::size_t holdback = 0;
+    std::size_t inflight = 0;  // dispatched reactions + queued work items
+  };
+  void BeginFence();
+  void LiftFence();
+  [[nodiscard]] FenceStatus fence_status() const;
+
+  // Durably applies one control-plane record write (delete when `value`
+  // is nullopt) through the server's own transaction pipeline, so it
+  // serializes with protocol commits -- an outside Commit on a live
+  // server's store would flush whatever transaction is half-staged.
+  // Blocks until the record committed; wall-clock runtimes only (under
+  // a simulated CostModel the charge continuation would deadlock the
+  // caller).
+  [[nodiscard]] Status ApplyControlRecord(std::string_view key,
+                                          std::optional<Bytes> value);
 
   // Number of held-back (causally premature) messages over all domains.
   [[nodiscard]] std::size_t holdback_size() const;
@@ -433,6 +474,7 @@ class AgentServer {
   mutable std::mutex mutex_;
   bool booted_ = false;
   bool shutdown_ = false;
+  bool fence_active_ = false;
   bool work_running_ = false;
   std::deque<Work> work_queue_;
   std::vector<std::pair<ServerId, Bytes>> pending_frames_;

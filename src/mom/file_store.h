@@ -62,6 +62,7 @@ class FileStore final : public Store {
   [[nodiscard]] std::vector<std::string> Keys(std::string_view prefix) override;
   Status Commit() override;
   void Rollback() override;
+  Status Checkpoint() override { return Compact(); }
   [[nodiscard]] std::uint64_t last_commit_bytes() const override {
     return cache_.last_commit_bytes();
   }

@@ -69,6 +69,7 @@ Bytes DataFrame::Serialize() const {
   out.WriteU8(static_cast<std::uint8_t>(FrameType::kData));
   message.Encode(out);
   out.WriteU16(domain.value());
+  out.WriteVarU64(epoch);
   stamp.Encode(out);
   return std::move(out).Take();
 }
@@ -86,12 +87,15 @@ Result<DataFrame> DataFrame::Deserialize(std::span<const std::uint8_t> bytes) {
   if (!message.ok()) return message.status();
   auto domain = in.ReadU16();
   if (!domain.ok()) return domain.status();
+  auto epoch = in.ReadVarU64();
+  if (!epoch.ok()) return epoch.status();
   auto stamp = clocks::Stamp::Decode(in);
   if (!stamp.ok()) return stamp.status();
   DataFrame frame;
   frame.message = std::move(message).value();
   frame.domain = DomainId(domain.value());
   frame.stamp = std::move(stamp).value();
+  frame.epoch = epoch.value();
   return frame;
 }
 

@@ -44,6 +44,12 @@ struct DataFrame {
   Message message;
   DomainId domain;      // domain whose matrix clock stamped this hop
   clocks::Stamp stamp;  // matrix entries (full or Appendix-A delta)
+  // Config epoch the sender stamped under.  A receiver at a different
+  // epoch drops the frame without acking: its clocks no longer share
+  // the frame's coordinate system, so the stamp is meaningless to it.
+  // The sender (re-fenced to the same epoch, or crashed back to it)
+  // retransmits under matching coordinates.
+  std::uint64_t epoch = 0;
 
   friend bool operator==(const DataFrame&, const DataFrame&) = default;
 

@@ -48,6 +48,12 @@ class Store {
   // Drops staged, uncommitted operations (transaction abort).
   virtual void Rollback() = 0;
 
+  // Maintenance hook: folds accumulated history into a compact image
+  // (FileStore truncates its write-ahead log).  Called by the control
+  // plane after an epoch cutover rewrote a large slice of the keyspace.
+  // Default: nothing to fold.
+  virtual Status Checkpoint() { return Status::Ok(); }
+
   // Bytes written by the most recent Commit (keys + values); feeds the
   // simulated disk-cost model and the I/O-volume measurements.
   [[nodiscard]] virtual std::uint64_t last_commit_bytes() const = 0;

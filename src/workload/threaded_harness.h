@@ -5,15 +5,25 @@
 // timer thread drives retransmissions, and WaitQuiescent() polls until
 // the whole bus drains.  Used by the examples and by the wall-clock
 // cross-check benches (the paper's single-host configuration).
+//
+// The harness doubles as the control plane's ClusterHost: it can stop
+// and (re)start servers under different configurations at different
+// epochs, creating endpoints and stores on demand for servers that
+// join mid-life.  Each epoch's configuration gets its own Deployment
+// (servers hold a pointer into it, so deployments are retained for as
+// long as the harness lives); reconfig tests drive a
+// control::Coordinator directly against the harness.
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
 
 #include "causality/checker.h"
 #include "causality/trace.h"
+#include "control/fence.h"
 #include "domains/deployment.h"
 #include "mom/agent_server.h"
 #include "mom/store.h"
@@ -40,13 +50,13 @@ struct ThreadedHarnessOptions {
   std::size_t engine_workers = 0;
 };
 
-class ThreadedHarness {
+class ThreadedHarness final : public control::ClusterHost {
  public:
   using AgentInstaller = std::function<void(ServerId, mom::AgentServer&)>;
 
   explicit ThreadedHarness(domains::MomConfig config,
                            ThreadedHarnessOptions options = {});
-  ~ThreadedHarness();
+  ~ThreadedHarness() override;
 
   [[nodiscard]] Status Init(AgentInstaller installer = {});
   [[nodiscard]] Status BootAll();
@@ -65,7 +75,8 @@ class ThreadedHarness {
   // a power cut would).  Its store -- the "disk" -- survives.
   void Crash(ServerId id);
   // Rebuild a crashed server from its store and boot it; the installer
-  // passed to Init() re-attaches the same agents.
+  // passed to Init() re-attaches the same agents.  The server comes
+  // back at the epoch it last ran under.
   [[nodiscard]] Status Restart(ServerId id);
 
   // Shuts every server down (before network/runtime teardown).
@@ -76,19 +87,34 @@ class ThreadedHarness {
   // without racing a worker thread (TSan-visible happens-before).
   void HaltAll();
 
+  // --- control::ClusterHost ------------------------------------------
+  [[nodiscard]] std::vector<ServerId> KnownServers() override;
+  [[nodiscard]] mom::AgentServer* ServerOf(ServerId id) override;
+  [[nodiscard]] mom::Store* StoreOf(ServerId id) override;
+  Status StopServer(ServerId id) override;
+  Status StartServer(ServerId id, std::uint64_t epoch,
+                     const domains::MomConfig& config) override;
+
   [[nodiscard]] mom::AgentServer& server(ServerId id) {
     return *servers_.at(id);
   }
   // Null unless fault injection was configured.
   [[nodiscard]] net::FaultyNetwork* faulty_network() { return faulty_.get(); }
   [[nodiscard]] causality::TraceRecorder& trace() { return trace_; }
+  // The highest epoch any server was started under.
+  [[nodiscard]] std::uint64_t cluster_epoch() const { return cluster_epoch_; }
+  // The current cluster epoch's deployment.
   [[nodiscard]] const domains::Deployment& deployment() const {
-    return *deployment_;
+    return *deployments_.at(cluster_epoch_);
   }
+  // Covers every server the harness ever hosted, across all epochs.
   [[nodiscard]] causality::CausalityChecker MakeChecker() const;
 
  private:
-  [[nodiscard]] mom::AgentServerOptions ServerOptions();
+  [[nodiscard]] mom::AgentServerOptions ServerOptions(std::uint64_t epoch);
+  // The deployment for `epoch`, built from `config` on first use.
+  [[nodiscard]] Result<const domains::Deployment*> DeploymentFor(
+      std::uint64_t epoch, const domains::MomConfig& config);
 
   domains::MomConfig config_;
   ThreadedHarnessOptions options_;
@@ -97,16 +123,20 @@ class ThreadedHarness {
   // Destruction order matters: servers and endpoints go first (members
   // below), then the runtime (joins its timer thread, so no delay
   // callback can outlive it), then the fault decorator, then the inner
-  // network.
+  // network.  Deployments outlive the servers pointing into them.
   std::unique_ptr<net::InprocNetwork> network_;
   std::unique_ptr<net::FaultyNetwork> faulty_;
+  net::Network* frontend_ = nullptr;  // network_ or faulty_
   net::ThreadRuntime runtime_;
-  std::unique_ptr<domains::Deployment> deployment_;
+  std::map<std::uint64_t, std::unique_ptr<domains::Deployment>> deployments_;
+  std::uint64_t cluster_epoch_ = 0;
   causality::TraceRecorder trace_;
 
   std::unordered_map<ServerId, std::unique_ptr<mom::InMemoryStore>> stores_;
   std::unordered_map<ServerId, std::unique_ptr<net::Endpoint>> endpoints_;
   std::unordered_map<ServerId, std::unique_ptr<mom::AgentServer>> servers_;
+  // Epoch each server last ran under (what Restart reboots it at).
+  std::unordered_map<ServerId, std::uint64_t> server_epochs_;
 };
 
 }  // namespace cmom::workload

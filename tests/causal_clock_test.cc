@@ -105,6 +105,81 @@ TEST_P(CausalClockModes, StatePersistenceRoundTrip) {
   EXPECT_EQ(recovered.Check(D(1), next), receiver.Check(D(1), next));
 }
 
+TEST_P(CausalClockModes, RemapPreservesQuiescedProtocolState) {
+  // A quiesced 2-member domain grows to 3 with the survivors permuted
+  // (old 0 -> new 2, old 1 -> new 0, newcomer at 1).  The protocol must
+  // continue seamlessly: survivor-to-survivor FIFO counters carry over,
+  // the newcomer starts from zero, and mode is preserved.
+  CausalDomainClock a(D(0), 2, GetParam());
+  CausalDomainClock b(D(1), 2, GetParam());
+  for (int i = 0; i < 3; ++i) {
+    const Stamp stamp = a.PrepareSend(D(1));
+    ASSERT_EQ(b.Check(D(0), stamp), CheckResult::kDeliver);
+    b.Commit(D(0), stamp);
+  }
+
+  const std::optional<DomainServerId> map[] = {D(1), std::nullopt, D(0)};
+  CausalDomainClock a2 = a.Remap(D(2), 3, map);
+  CausalDomainClock b2 = b.Remap(D(0), 3, map);
+  CausalDomainClock c2(D(1), 3, GetParam());
+  EXPECT_EQ(a2.mode(), GetParam());
+  EXPECT_EQ(a2.domain_size(), 3u);
+  EXPECT_EQ(b2.matrix().at(D(2), D(0)), 3u);  // old (0,1) counter
+
+  // Survivor-to-survivor traffic continues where it left off.
+  const Stamp next = a2.PrepareSend(D(0));
+  ASSERT_EQ(b2.Check(D(2), next), CheckResult::kDeliver);
+  b2.Commit(D(2), next);
+  EXPECT_EQ(b2.matrix().at(D(2), D(0)), 4u);
+
+  // Traffic to and from the newcomer works from a clean slate.
+  const Stamp to_new = b2.PrepareSend(D(1));
+  ASSERT_EQ(c2.Check(D(0), to_new), CheckResult::kDeliver);
+  c2.Commit(D(0), to_new);
+  const Stamp from_new = c2.PrepareSend(D(2));
+  ASSERT_EQ(a2.Check(D(1), from_new), CheckResult::kDeliver);
+  a2.Commit(D(1), from_new);
+}
+
+TEST_P(CausalClockModes, RemapShrinkForgetsDepartedMember) {
+  // Three members with cross traffic; member 1 departs.  The survivors'
+  // clocks drop row/col 1 and keep exchanging messages causally.
+  CausalDomainClock a(D(0), 3, GetParam());
+  CausalDomainClock b(D(1), 3, GetParam());
+  CausalDomainClock c(D(2), 3, GetParam());
+  const Stamp ab = a.PrepareSend(D(1));
+  b.Commit(D(0), ab);
+  const Stamp bc = b.PrepareSend(D(2));
+  c.Commit(D(1), bc);
+  const Stamp ac = a.PrepareSend(D(2));
+  c.Commit(D(0), ac);
+
+  const std::optional<DomainServerId> map[] = {D(0), D(2)};
+  CausalDomainClock a2 = a.Remap(D(0), 2, map);
+  CausalDomainClock c2 = c.Remap(D(1), 2, map);
+  EXPECT_EQ(a2.domain_size(), 2u);
+  EXPECT_EQ(c2.matrix().at(D(0), D(1)), 1u);  // old (0,2) counter
+
+  const Stamp next = a2.PrepareSend(D(1));
+  ASSERT_EQ(c2.Check(D(0), next), CheckResult::kDeliver);
+  c2.Commit(D(0), next);
+  const Stamp reply = c2.PrepareSend(D(0));
+  ASSERT_EQ(a2.Check(D(1), reply), CheckResult::kDeliver);
+  a2.Commit(D(1), reply);
+}
+
+TEST_P(CausalClockModes, RemapIdentityRoundTripsState) {
+  CausalDomainClock a(D(0), 3, GetParam());
+  CausalDomainClock b(D(1), 3, GetParam());
+  for (int i = 0; i < 4; ++i) {
+    const Stamp stamp = a.PrepareSend(D(1));
+    b.Commit(D(0), stamp);
+  }
+  const std::optional<DomainServerId> identity[] = {D(0), D(1), D(2)};
+  EXPECT_EQ(a.Remap(D(0), 3, identity), a);
+  EXPECT_EQ(b.Remap(D(1), 3, identity), b);
+}
+
 INSTANTIATE_TEST_SUITE_P(Modes, CausalClockModes,
                          ::testing::Values(StampMode::kFullMatrix,
                                            StampMode::kUpdates));

@@ -83,6 +83,59 @@ TEST(MatrixClock, DecodeTruncatedFails) {
   EXPECT_FALSE(MatrixClock::Decode(reader).ok());
 }
 
+TEST(MatrixClock, RemapGrowByOne) {
+  MatrixClock clock(2);
+  clock.set(D(0), D(1), 3);
+  clock.set(D(1), D(0), 7);
+  clock.set(D(1), D(1), 2);
+  // Old members keep their positions; new member appended at id 2.
+  const std::optional<DomainServerId> map[] = {D(0), D(1), std::nullopt};
+  MatrixClock grown = clock.Remap(3, map);
+  EXPECT_EQ(grown.size(), 3u);
+  EXPECT_EQ(grown.at(D(0), D(1)), 3u);
+  EXPECT_EQ(grown.at(D(1), D(0)), 7u);
+  EXPECT_EQ(grown.at(D(1), D(1)), 2u);
+  for (std::uint16_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(grown.at(D(2), D(k)), 0u);
+    EXPECT_EQ(grown.at(D(k), D(2)), 0u);
+  }
+  EXPECT_EQ(grown.Total(), clock.Total());
+}
+
+TEST(MatrixClock, RemapShrinkDropsStaleRow) {
+  MatrixClock clock(3);
+  for (std::uint16_t i = 0; i < 3; ++i) {
+    for (std::uint16_t j = 0; j < 3; ++j) {
+      clock.set(D(i), D(j), 10u * i + j + 1);
+    }
+  }
+  // Member 1 departs; 0 and 2 survive, 2 renumbered to local id 1.
+  const std::optional<DomainServerId> map[] = {D(0), D(2)};
+  MatrixClock shrunk = clock.Remap(2, map);
+  EXPECT_EQ(shrunk.size(), 2u);
+  EXPECT_EQ(shrunk.at(D(0), D(0)), clock.at(D(0), D(0)));
+  EXPECT_EQ(shrunk.at(D(0), D(1)), clock.at(D(0), D(2)));
+  EXPECT_EQ(shrunk.at(D(1), D(0)), clock.at(D(2), D(0)));
+  EXPECT_EQ(shrunk.at(D(1), D(1)), clock.at(D(2), D(2)));
+}
+
+TEST(MatrixClock, RemapIdentityPermutationRoundTrip) {
+  MatrixClock clock(4);
+  Rng rng(11);
+  for (std::uint16_t i = 0; i < 4; ++i) {
+    for (std::uint16_t j = 0; j < 4; ++j) {
+      clock.set(D(i), D(j), rng.NextBelow(1000));
+    }
+  }
+  const std::optional<DomainServerId> identity[] = {D(0), D(1), D(2), D(3)};
+  EXPECT_EQ(clock.Remap(4, identity), clock);
+
+  // A permutation composed with its inverse is also the identity.
+  const std::optional<DomainServerId> perm[] = {D(2), D(0), D(3), D(1)};
+  const std::optional<DomainServerId> inv[] = {D(1), D(3), D(0), D(2)};
+  EXPECT_EQ(clock.Remap(4, perm).Remap(4, inv), clock);
+}
+
 // Lattice property sweep over random matrices and sizes.
 class MatrixLattice
     : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {

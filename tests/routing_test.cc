@@ -85,6 +85,45 @@ TEST(Routing, DeterministicTieBreakPrefersSmallerNextHop) {
   EXPECT_EQ(table.NextHop(S(0), S(3)), S(1));
 }
 
+TEST(Routing, TieBreakIndependentOfMemberListingOrder) {
+  // The same server graph described with permuted member listings and
+  // permuted server/domain order must yield a byte-identical table --
+  // this is what lets epoch E and E+1 rebuilds be diffed directly.
+  MomConfig a;
+  a.servers = {S(0), S(1), S(2), S(3), S(4)};
+  a.domains = {{DomainId(0), {S(0), S(1), S(2)}},
+               {DomainId(1), {S(1), S(2), S(3)}},
+               {DomainId(2), {S(3), S(4)}}};
+  MomConfig b;
+  b.servers = {S(4), S(2), S(0), S(3), S(1)};
+  b.domains = {{DomainId(2), {S(4), S(3)}},
+               {DomainId(1), {S(3), S(2), S(1)}},
+               {DomainId(0), {S(2), S(1), S(0)}}};
+  auto table_a = RoutingTable::Build(a).value();
+  auto table_b = RoutingTable::Build(b).value();
+  EXPECT_EQ(table_a.DebugString(), table_b.DebugString());
+  for (ServerId from : a.servers) {
+    for (ServerId dest : a.servers) {
+      EXPECT_EQ(table_a.NextHop(from, dest), table_b.NextHop(from, dest));
+    }
+  }
+}
+
+TEST(Routing, TieBreakPinnedOnEqualShortestPaths) {
+  // Every next hop must be the *smallest* ServerId among neighbors on a
+  // shortest path, pinned here as an exact table rendering.
+  MomConfig config;
+  config.servers = {S(0), S(1), S(2), S(3)};
+  config.domains = {{DomainId(0), {S(0), S(1), S(2)}},
+                    {DomainId(1), {S(1), S(2), S(3)}}};
+  auto table = RoutingTable::Build(config).value();
+  EXPECT_EQ(table.DebugString(),
+            "S0: S0/0 S1/1 S2/1 S1/2\n"
+            "S1: S0/1 S1/0 S2/1 S3/1\n"
+            "S2: S0/1 S1/1 S2/0 S3/1\n"
+            "S3: S1/2 S1/1 S2/1 S3/0\n");
+}
+
 TEST(Routing, NonContiguousServerIds) {
   MomConfig config;
   config.servers = {S(10), S(20), S(30)};

@@ -2,7 +2,7 @@
 // unit (they ran one JVM per agent server across ten hosts).
 //
 //   momd <config-file> <server-id> [--base-port P] [--store DIR]
-//        [--echo LOCAL_ID] [--ping SERVER:AGENT COUNT]
+//        [--echo LOCAL_ID] [--ping SERVER:AGENT COUNT] [--epoch N]
 //
 // Loads the shared configuration, boots the agent server for
 // <server-id> on TCP 127.0.0.1:(base-port + id), optionally hosts an
@@ -18,6 +18,7 @@
 #include <cstring>
 #include <string>
 
+#include "control/epoch.h"
 #include "domains/config_io.h"
 #include "domains/deployment.h"
 #include "mom/agent_server.h"
@@ -42,7 +43,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: momd <config-file> <server-id> [--base-port P] "
                  "[--store DIR] [--echo LOCAL_ID] "
-                 "[--ping SERVER:AGENT COUNT]\n");
+                 "[--ping SERVER:AGENT COUNT] [--epoch N]\n");
     return 2;
   }
   const std::string config_path = argv[1];
@@ -55,6 +56,8 @@ int main(int argc, char** argv) {
   ServerId ping_server(0);
   std::uint32_t ping_agent = 0;
   std::size_t ping_count = 0;
+  std::uint64_t epoch = 0;
+  bool epoch_forced = false;
 
   for (int arg = 3; arg < argc; ++arg) {
     if (std::strcmp(argv[arg], "--base-port") == 0 && arg + 1 < argc) {
@@ -76,6 +79,9 @@ int main(int argc, char** argv) {
       ping_agent = static_cast<std::uint32_t>(
           std::stoul(target.substr(colon + 1)));
       ping_count = std::stoul(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "--epoch") == 0 && arg + 1 < argc) {
+      epoch = std::stoull(argv[++arg]);
+      epoch_forced = true;
     } else {
       std::fprintf(stderr, "momd: unknown argument '%s'\n", argv[arg]);
       return 2;
@@ -97,8 +103,19 @@ int main(int argc, char** argv) {
   auto store = mom::FileStore::Open(store_dir);
   if (!store.ok()) return Fail(store.status());
 
+  // Adopt the epoch the store was last cut over to (--epoch overrides
+  // for repair scenarios); Boot cross-checks it against the record, so
+  // a stale momd cannot rejoin a reconfigured cluster by accident.
+  if (!epoch_forced) {
+    auto recorded = control::CurrentEpochOf(*store.value());
+    if (!recorded.ok()) return Fail(recorded.status());
+    epoch = recorded.value();
+  }
+
+  mom::AgentServerOptions server_options;
+  server_options.epoch = epoch;
   mom::AgentServer server(deployment.value(), self, endpoint.value().get(),
-                          &runtime, store.value().get());
+                          &runtime, store.value().get(), server_options);
   workload::EchoAgent* echo = nullptr;
   workload::PingPongDriver* driver = nullptr;
   constexpr std::uint32_t kDriverLocal = 1000;
@@ -114,9 +131,9 @@ int main(int argc, char** argv) {
     server.AttachAgent(kDriverLocal, std::move(agent));
   }
   if (Status status = server.Boot(); !status.ok()) return Fail(status);
-  std::printf("momd: %s up on 127.0.0.1:%u, store '%s'\n",
+  std::printf("momd: %s up on 127.0.0.1:%u, store '%s', epoch %llu\n",
               to_string(self).c_str(), network.PortFor(self),
-              store_dir.c_str());
+              store_dir.c_str(), static_cast<unsigned long long>(epoch));
 
   if (driver != nullptr) {
     auto start = server.SendMessage(AgentId{self, kDriverLocal},

@@ -7,6 +7,11 @@
 //   momtool topo <kind> <args...>         emit a canonical topology:
 //       flat <n> | bus <k> <s> | daisy <k> <s> | tree <k> <s> <d> |
 //       ring <k> <s>
+//   momtool topo <config-file>            pre-deploy lint: print the
+//                                         domain graph, router-servers
+//                                         and per-server clock cost
+//                                         (sum of s^2); exits non-zero
+//                                         when the graph is cyclic
 //   momtool split <traffic> <max-size>    traffic-aware domain split
 //                                         (Section 7 future work);
 //                                         emits the config, plus cost
@@ -25,6 +30,14 @@
 //                                         keys and bytes per key-space
 //                                         prefix, plus WAL/snapshot
 //                                         file sizes
+//   momtool epoch <dir>                   print a store's config epoch
+//                                         records (current + pending)
+//   momtool epoch <dir> --cutover <id>    offline repair: apply the
+//                                         store's pending epoch record
+//                                         for server <id> (what the
+//                                         coordinator's crash recovery
+//                                         does, one store at a time)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -37,7 +50,11 @@
 #include <vector>
 
 #include "causality/checker.h"
+#include "control/coordinator.h"
+#include "control/epoch.h"
+#include "control/plan.h"
 #include "domains/config_io.h"
+#include "domains/domain_graph.h"
 #include "domains/deployment.h"
 #include "domains/splitter.h"
 #include "domains/topologies.h"
@@ -110,8 +127,74 @@ int Routes(const std::string& path, const std::string& from_str,
   return 0;
 }
 
+// Pre-deploy lint: everything an operator wants to see before pushing
+// a configuration (or proposing it as the next epoch), with the
+// acyclicity verdict as the exit code so CI can gate on it.
+int TopoLint(const std::string& path) {
+  auto config = domains::LoadMomConfig(path);
+  if (!config.ok()) return Fail(config.status());
+  // The lint must render cyclic graphs, not refuse to look at them, so
+  // build the deployment with the acyclicity check relaxed and report
+  // the cycle ourselves.
+  domains::MomConfig relaxed = config.value();
+  relaxed.allow_cyclic_domain_graph = true;
+  auto deployment = domains::Deployment::Create(relaxed);
+  if (!deployment.ok()) return Fail(deployment.status());
+  const auto& d = deployment.value();
+  const domains::DomainGraph& graph = d.domain_graph();
+
+  std::printf("%zu servers, %zu domains, stamp mode %s\n",
+              d.servers().size(), relaxed.domains.size(),
+              relaxed.stamp_mode == clocks::StampMode::kUpdates ? "updates"
+                                                                : "full");
+  for (const domains::DomainSpec& spec : relaxed.domains) {
+    std::printf("  %s (%zu):", to_string(spec.id).c_str(),
+                spec.members.size());
+    for (ServerId member : spec.members) {
+      std::printf(" %s", to_string(member).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("router-servers:");
+  for (ServerId router : graph.routers()) {
+    std::printf(" %s", to_string(router).c_str());
+  }
+  std::printf("%s\n", graph.routers().empty() ? " none" : "");
+  for (const domains::DomainEdge& edge : graph.edges()) {
+    std::printf("  edge %s -- %s via %s\n", to_string(edge.a).c_str(),
+                to_string(edge.b).c_str(), to_string(edge.via).c_str());
+  }
+
+  // Per-server clock cost: a server in domains of sizes s1, s2, ...
+  // holds one s x s matrix per domain, so its clock state is sum s^2
+  // entries -- the quantity the splitter minimizes.
+  std::size_t total = 0;
+  std::printf("clock cost (sum of s^2 per server):\n");
+  for (ServerId id : d.servers()) {
+    std::size_t cost = 0;
+    for (const domains::DomainSpec& spec : relaxed.domains) {
+      if (std::find(spec.members.begin(), spec.members.end(), id) !=
+          spec.members.end()) {
+        cost += spec.members.size() * spec.members.size();
+      }
+    }
+    total += cost;
+    std::printf("  %s: %zu\n", to_string(id).c_str(), cost);
+  }
+  std::printf("  total: %zu entries\n", total);
+
+  std::printf("connected: %s\n", graph.IsConnected() ? "yes" : "NO");
+  if (auto cycle = graph.FindCycle()) {
+    std::printf("CYCLIC: %s\n", cycle->c_str());
+    return 1;
+  }
+  std::printf("acyclic: yes\n");
+  return 0;
+}
+
 int Topo(int argc, char** argv) {
   const std::string kind = argv[0];
+  if (argc == 1 && std::filesystem::exists(kind)) return TopoLint(kind);
   auto arg = [&](int i) {
     return static_cast<std::size_t>(std::stoul(argv[i]));
   };
@@ -438,6 +521,71 @@ int StoreStat(const std::string& dir) {
   return 0;
 }
 
+void PrintEpochRecord(const char* label,
+                      const std::optional<control::EpochRecord>& record) {
+  if (!record.has_value()) {
+    std::printf("%s: none\n", label);
+    return;
+  }
+  std::printf("%s: epoch %llu\n", label,
+              static_cast<unsigned long long>(record->epoch));
+  std::string text = record->config_text;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::printf("  | %.*s\n", static_cast<int>(end - start),
+                text.c_str() + start);
+    start = end + 1;
+  }
+}
+
+// Inspects a store's epoch records; with --cutover, applies the pending
+// record for one server offline -- the per-store half of what the
+// coordinator's crash recovery does, exposed for manual repair.
+int EpochCmd(int argc, char** argv) {
+  const std::string dir = argv[0];
+  auto store = mom::FileStore::Open(dir);
+  if (!store.ok()) return Fail(store.status());
+  auto current =
+      control::ReadEpochRecord(*store.value(), control::kEpochCurrentKey);
+  if (!current.ok()) return Fail(current.status());
+  auto pending =
+      control::ReadEpochRecord(*store.value(), control::kEpochPendingKey);
+  if (!pending.ok()) return Fail(pending.status());
+
+  PrintEpochRecord("current", current.value());
+  PrintEpochRecord("pending", pending.value());
+
+  if (argc == 1) return 0;
+  if (argc != 3 || std::strcmp(argv[1], "--cutover") != 0) {
+    std::fprintf(stderr, "usage: momtool epoch <dir> [--cutover <id>]\n");
+    return 2;
+  }
+  if (!pending.value().has_value()) {
+    std::fprintf(stderr, "epoch: no pending record to cut over to\n");
+    return 1;
+  }
+  const ServerId self(static_cast<std::uint16_t>(std::stoul(argv[2])));
+  auto new_config = domains::ParseMomConfig(pending.value()->config_text);
+  if (!new_config.ok()) return Fail(new_config.status());
+  auto old_config = domains::ParseMomConfig(pending.value()->prev_config_text);
+  if (!old_config.ok()) return Fail(old_config.status());
+  auto plan = control::ReconfigPlan::Build(pending.value()->epoch - 1,
+                                           std::move(old_config).value(),
+                                           std::move(new_config).value());
+  if (!plan.ok()) return Fail(plan.status());
+  if (Status status =
+          control::Coordinator::CutoverStore(*store.value(), self,
+                                             plan.value());
+      !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("cut over to epoch %llu\n",
+              static_cast<unsigned long long>(plan.value().to_epoch));
+  return 0;
+}
+
 int Estimate(const std::string& config_path,
              const std::string& traffic_path) {
   auto config = domains::LoadMomConfig(config_path);
@@ -475,15 +623,19 @@ int main(int argc, char** argv) {
   if (argc == 3 && std::strcmp(argv[1], "storestat") == 0) {
     return StoreStat(argv[2]);
   }
+  if (argc >= 3 && std::strcmp(argv[1], "epoch") == 0) {
+    return EpochCmd(argc - 2, argv + 2);
+  }
   std::fprintf(stderr,
                "usage:\n"
                "  momtool validate <config>\n"
                "  momtool routes <config> <from> <to>\n"
-               "  momtool topo <kind> <args...>\n"
+               "  momtool topo <kind> <args...> | topo <config-file>\n"
                "  momtool split <traffic> <max-domain-size>\n"
                "  momtool estimate <config> <traffic>\n"
                "  momtool tcpsmoke <servers> <pings> [--base-port P] "
                "[--workers N] [--drop p] [--dup p] [--disc p] [--seed s]\n"
-               "  momtool storestat <store-dir>\n");
+               "  momtool storestat <store-dir>\n"
+               "  momtool epoch <store-dir> [--cutover <server-id>]\n");
   return 2;
 }
