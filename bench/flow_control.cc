@@ -1,0 +1,386 @@
+// Flow-control benchmark: bounded memory and stable throughput under a
+// 10x overdriven slow consumer -- the acceptance scenario of the
+// src/flow subsystem.
+//
+// Topology (examples/configs/overload.conf): two producer domains, D0 =
+// {S0 S1 S2 S3} and D1 = {S3 S4 S5 S6}, funnel through the single
+// router-server S3 into D2 = {S3 S7}, whose only other member S7 hosts
+// the consumer.  The consumer burns a fixed service time per message,
+// so its drain capacity is known exactly; six producer threads retry as
+// fast as the bus accepts, offering an order of magnitude more.
+//
+// With flow control ON, S3's credit window toward S7 (and the
+// producers' windows toward S3, whose backlog includes its own blocked
+// QueueOUT) bounds every durable queue: the sampled peak backlog stays
+// near the high-watermark no matter how long the run.  The
+// deficit-round-robin stage on S3 keeps either producer domain from
+// starving the other, and the admission wait queue sheds producer
+// overdrive with kOverloaded instead of letting local queues grow.
+//
+// With flow control OFF (the historical behavior) the same scenario is
+// UNBOUNDED: every accepted message piles up in the router and consumer
+// queues, so the sampled peak scales linearly with the total message
+// count -- the JSON records both peaks side by side.
+//
+// Either way delivery stays exactly-once and causal (verified on the
+// trace); credits only gate admission, never ordering.
+//
+// Output: a table on stdout plus BENCH_flow_control.json (use --out to
+// redirect).  --smoke shrinks the counts for the CI bench label.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/credits.h"
+#include "mom/agent.h"
+#include "mom/agent_server.h"
+#include "workload/threaded_harness.h"
+
+using namespace cmom;
+
+namespace {
+
+constexpr std::uint32_t kConsumerLocal = 1;
+constexpr std::uint32_t kProducerLocal = 99;
+
+// The six producer servers (three per edge domain) and the consumer.
+const std::uint16_t kProducers[] = {0, 1, 2, 4, 5, 6};
+constexpr std::uint16_t kRouter = 3;
+constexpr std::uint16_t kConsumer = 7;
+
+// Mirrors examples/configs/overload.conf.
+domains::MomConfig OverloadConfig() {
+  domains::MomConfig config;
+  for (std::uint16_t s = 0; s < 8; ++s) config.servers.push_back(ServerId(s));
+  config.domains.push_back({DomainId(0), {ServerId(0), ServerId(1),
+                                          ServerId(2), ServerId(3)}});
+  config.domains.push_back({DomainId(1), {ServerId(3), ServerId(4),
+                                          ServerId(5), ServerId(6)}});
+  config.domains.push_back({DomainId(2), {ServerId(3), ServerId(7)}});
+  return config;
+}
+
+// Burns a fixed wall-clock service time per message, making the
+// consumer's drain capacity exactly 1e6/service_us messages/sec.
+class SlowConsumer final : public mom::Agent {
+ public:
+  explicit SlowConsumer(std::uint64_t service_us) : service_us_(service_us) {}
+
+  void React(mom::ReactionContext& ctx, const mom::Message& message) override {
+    (void)ctx;
+    (void)message;
+    std::this_thread::sleep_for(std::chrono::microseconds(service_us_));
+    ++seen_;
+  }
+
+  void EncodeState(ByteWriter& out) const override { out.WriteVarU64(seen_); }
+  [[nodiscard]] Status DecodeState(ByteReader& in) override {
+    auto seen = in.ReadVarU64();
+    if (!seen.ok()) return seen.status();
+    seen_ = seen.value();
+    return Status::Ok();
+  }
+
+  [[nodiscard]] std::uint64_t seen() const { return seen_; }
+
+ private:
+  std::uint64_t service_us_;
+  std::uint64_t seen_ = 0;
+};
+
+struct Peaks {
+  std::size_t consumer_backlog = 0;  // qin + held + dispatched at S7
+  std::size_t router_backlog = 0;    // qin + held + qout + staged at S3
+  std::size_t staged_forwards = 0;   // DRR stage depth at S3
+  std::size_t wait_queue = 0;        // max admission wait over producers
+};
+
+struct RunResult {
+  bool flow_on = false;
+  std::size_t total = 0;
+  double send_seconds = 0;
+  double total_seconds = 0;
+  double msgs_per_sec = 0;
+  double capacity_per_sec = 0;
+  double overdrive = 0;  // offered attempt rate / drain capacity
+  std::uint64_t attempts = 0;
+  std::uint64_t shed = 0;
+  Peaks peaks;
+  std::uint64_t credit_blocked = 0;
+  std::uint64_t credit_probes = 0;
+  std::uint64_t credit_only_acks = 0;
+  std::uint64_t sends_deferred = 0;
+  std::uint64_t drr_rounds = 0;
+  std::uint64_t drr_forwarded = 0;
+  bool causal = false;
+  bool exactly_once = false;
+};
+
+RunResult Measure(bool flow_on, std::size_t per_producer,
+                  std::uint64_t service_us, const flow::FlowOptions& flow) {
+  workload::ThreadedHarnessOptions options;
+  options.flow = flow;
+  options.flow.enabled = flow_on;
+  options.retransmit_timeout_ns = 200ull * 1000 * 1000;
+  workload::ThreadedHarness harness(OverloadConfig(), options);
+  SlowConsumer* consumer = nullptr;
+  Status init = harness.Init([&](ServerId id, mom::AgentServer& server) {
+    if (id != ServerId(kConsumer)) return;
+    auto agent = std::make_unique<SlowConsumer>(service_us);
+    consumer = agent.get();
+    server.AttachAgent(kConsumerLocal, std::move(agent));
+  });
+  if (!init.ok() || !harness.BootAll().ok()) {
+    std::fprintf(stderr, "harness setup failed\n");
+    return {};
+  }
+
+  // Background sampler: the peak gauges are the bench's entire point --
+  // a bound that only holds at quiescence would prove nothing.
+  std::atomic<bool> sampling{true};
+  Peaks peaks;
+  std::thread sampler([&] {
+    while (sampling.load(std::memory_order_relaxed)) {
+      const auto consumer_fence =
+          harness.server(ServerId(kConsumer)).fence_status();
+      const auto router_fence = harness.server(ServerId(kRouter)).fence_status();
+      const auto router_flow = harness.server(ServerId(kRouter)).flow_status();
+      peaks.consumer_backlog =
+          std::max(peaks.consumer_backlog, consumer_fence.queue_in +
+                                               consumer_fence.holdback +
+                                               consumer_fence.inflight);
+      peaks.router_backlog = std::max(
+          peaks.router_backlog, router_fence.queue_in + router_fence.holdback +
+                                    router_fence.queue_out +
+                                    router_flow.staged_forwards);
+      peaks.staged_forwards =
+          std::max(peaks.staged_forwards, router_flow.staged_forwards);
+      for (std::uint16_t p : kProducers) {
+        peaks.wait_queue = std::max(
+            peaks.wait_queue, harness.server(ServerId(p)).flow_status().wait_queue);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  // Producers: accept-or-retry as fast as the bus allows.  kOverloaded
+  // is the admission valve saying "back off"; everything else is a bug.
+  std::atomic<std::uint64_t> attempts{0};
+  std::atomic<std::uint64_t> shed{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> producers;
+  for (std::uint16_t p : kProducers) {
+    producers.emplace_back([&, p] {
+      const AgentId target{ServerId(kConsumer), kConsumerLocal};
+      for (std::size_t i = 0; i < per_producer; ++i) {
+        for (;;) {
+          attempts.fetch_add(1, std::memory_order_relaxed);
+          auto sent = harness.Send(ServerId(p), kProducerLocal,
+                                   ServerId(kConsumer), kConsumerLocal, "task");
+          (void)target;
+          if (sent.ok()) break;
+          if (sent.status().code() == StatusCode::kOverloaded) {
+            shed.fetch_add(1, std::memory_order_relaxed);
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  harness.WaitQuiescent();
+  const auto t2 = std::chrono::steady_clock::now();
+  sampling.store(false);
+  sampler.join();
+
+  RunResult result;
+  result.flow_on = flow_on;
+  result.total = per_producer * std::size(kProducers);
+  result.send_seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.total_seconds = std::chrono::duration<double>(t2 - t0).count();
+  result.msgs_per_sec = result.total_seconds > 0
+                            ? static_cast<double>(result.total) /
+                                  result.total_seconds
+                            : 0;
+  result.capacity_per_sec = 1e6 / static_cast<double>(service_us);
+  result.attempts = attempts.load();
+  result.overdrive =
+      result.send_seconds > 0
+          ? (static_cast<double>(result.attempts) / result.send_seconds) /
+                result.capacity_per_sec
+          : 0;
+  result.shed = shed.load();
+  result.peaks = peaks;
+
+  const mom::ServerStats router_stats = harness.server(ServerId(kRouter)).stats();
+  result.drr_rounds = router_stats.drr_rounds;
+  result.drr_forwarded = router_stats.drr_forwarded;
+  for (std::uint16_t p : kProducers) {
+    const mom::ServerStats stats = harness.server(ServerId(p)).stats();
+    result.credit_blocked += stats.credit_blocked;
+    result.credit_probes += stats.credit_probes;
+    result.sends_deferred += stats.sends_deferred;
+  }
+  result.credit_only_acks = harness.server(ServerId(kRouter)).stats().credit_only_acks +
+                            harness.server(ServerId(kConsumer)).stats().credit_only_acks;
+
+  const std::uint64_t delivered = consumer != nullptr ? consumer->seen() : 0;
+  harness.HaltAll();
+
+  const auto checker = harness.MakeChecker();
+  const auto trace = harness.trace().Snapshot();
+  result.causal = checker.CheckCausalDelivery(trace).causal();
+  result.exactly_once =
+      checker.CheckExactlyOnce(trace).ok() && delivered == result.total;
+  return result;
+}
+
+void PrintRow(const RunResult& r) {
+  std::printf("%-5s %7zu %9.0f %9.0f %7.1fx %10zu %10zu %8zu %8llu %6s %6s\n",
+              r.flow_on ? "on" : "off", r.total, r.msgs_per_sec,
+              r.capacity_per_sec, r.overdrive, r.peaks.consumer_backlog,
+              r.peaks.router_backlog, r.peaks.wait_queue,
+              static_cast<unsigned long long>(r.shed),
+              r.causal ? "yes" : "NO", r.exactly_once ? "yes" : "NO");
+}
+
+void WriteJson(const std::string& path, const std::vector<RunResult>& results,
+               const flow::FlowOptions& flow, std::uint64_t service_us,
+               bool smoke) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"flow_control\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out,
+               "  \"config\": {\"producers\": %zu, \"service_us\": %llu, "
+               "\"high_watermark\": %zu, \"low_watermark\": %zu, "
+               "\"initial_credit\": %llu, \"drr_quantum\": %zu, "
+               "\"out_admit_high\": %zu, \"wait_queue_max\": %zu},\n",
+               std::size(kProducers),
+               static_cast<unsigned long long>(service_us),
+               flow.high_watermark, flow.low_watermark,
+               static_cast<unsigned long long>(flow.initial_credit),
+               flow.drr_quantum, flow.out_admit_high, flow.wait_queue_max);
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(
+        out,
+        "    {\"flow\": \"%s\", \"messages\": %zu, \"seconds\": %.3f, "
+        "\"msgs_per_sec\": %.0f, \"capacity_per_sec\": %.0f, "
+        "\"overdrive\": %.1f, \"attempts\": %llu, \"shed\": %llu, "
+        "\"deferred\": %llu, \"peak_consumer_backlog\": %zu, "
+        "\"peak_router_backlog\": %zu, \"peak_staged_forwards\": %zu, "
+        "\"peak_wait_queue\": %zu, \"credit_blocked\": %llu, "
+        "\"credit_probes\": %llu, \"credit_only_acks\": %llu, "
+        "\"drr_rounds\": %llu, \"drr_forwarded\": %llu, "
+        "\"causal\": %s, \"exactly_once\": %s}%s\n",
+        r.flow_on ? "on" : "off", r.total, r.total_seconds, r.msgs_per_sec,
+        r.capacity_per_sec, r.overdrive,
+        static_cast<unsigned long long>(r.attempts),
+        static_cast<unsigned long long>(r.shed),
+        static_cast<unsigned long long>(r.sends_deferred),
+        r.peaks.consumer_backlog, r.peaks.router_backlog,
+        r.peaks.staged_forwards, r.peaks.wait_queue,
+        static_cast<unsigned long long>(r.credit_blocked),
+        static_cast<unsigned long long>(r.credit_probes),
+        static_cast<unsigned long long>(r.credit_only_acks),
+        static_cast<unsigned long long>(r.drr_rounds),
+        static_cast<unsigned long long>(r.drr_forwarded),
+        r.causal ? "true" : "false", r.exactly_once ? "true" : "false",
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+
+  const RunResult* on = nullptr;
+  const RunResult* off = nullptr;
+  for (const RunResult& r : results) (r.flow_on ? on : off) = &r;
+  // The watermark bounds the window S3 may fill toward the consumer;
+  // reactions already dispatched ride on top.  The router can hold one
+  // window per upstream link plus its own outgoing window.
+  const std::size_t consumer_bound = flow.high_watermark + 64;
+  const std::size_t router_bound =
+      (std::size(kProducers) + 1) * flow.high_watermark + 64;
+  const bool bounded = on != nullptr &&
+                       on->peaks.consumer_backlog <= consumer_bound &&
+                       on->peaks.router_backlog <= router_bound;
+  const double throughput_ratio =
+      (on != nullptr && off != nullptr && off->msgs_per_sec > 0)
+          ? on->msgs_per_sec / off->msgs_per_sec
+          : 0;
+  // The router is where the overload lands: without flow control its
+  // backlog scales with the run length; with it, the windows cap it.
+  const double peak_ratio =
+      (on != nullptr && off != nullptr && on->peaks.router_backlog > 0)
+          ? static_cast<double>(off->peaks.router_backlog) /
+                static_cast<double>(on->peaks.router_backlog)
+          : 0;
+  std::fprintf(out,
+               "  \"summary\": {\"consumer_bound\": %zu, "
+               "\"router_bound\": %zu, \"bounded_with_flow\": %s, "
+               "\"throughput_ratio_on_over_off\": %.2f, "
+               "\"peak_backlog_ratio_off_over_on\": %.1f}\n}\n",
+               consumer_bound, router_bound, bounded ? "true" : "false",
+               throughput_ratio, peak_ratio);
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path.c_str());
+  std::printf("flow on: peak consumer backlog %zu (bound %zu), peak router "
+              "backlog %zu (bound %zu)\n",
+              on != nullptr ? on->peaks.consumer_backlog : 0, consumer_bound,
+              on != nullptr ? on->peaks.router_backlog : 0, router_bound);
+  std::printf("flow off: peak router backlog %zu -- scales with the "
+              "message count (unbounded)\n",
+              off != nullptr ? off->peaks.router_backlog : 0);
+  std::printf("throughput on/off: %.2fx, peak-backlog off/on: %.1fx\n",
+              throughput_ratio, peak_ratio);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_flow_control.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  const std::size_t per_producer = smoke ? 50 : 1000;
+  const std::uint64_t service_us = smoke ? 300 : 500;
+  flow::FlowOptions flow;
+  flow.high_watermark = smoke ? 64 : 128;
+  flow.low_watermark = smoke ? 16 : 32;
+  flow.initial_credit = smoke ? 16 : 32;
+  flow.drr_quantum = 4;
+  flow.engine_admit_high = flow.high_watermark;
+  flow.engine_admit_low = flow.low_watermark;
+  flow.out_admit_high = smoke ? 16 : 32;
+  flow.wait_queue_max = smoke ? 32 : 64;
+
+  std::printf("Flow control: 6 producers overdriving one slow consumer "
+              "(service %lluus) through router S3\n",
+              static_cast<unsigned long long>(service_us));
+  std::printf("%-5s %7s %9s %9s %8s %10s %10s %8s %8s %6s %6s\n", "flow",
+              "msgs", "msgs/s", "capacity", "drive", "peak-cons", "peak-rtr",
+              "peak-wq", "shed", "causal", "1x");
+
+  std::vector<RunResult> results;
+  for (const bool flow_on : {false, true}) {
+    results.push_back(Measure(flow_on, per_producer, service_us, flow));
+    PrintRow(results.back());
+  }
+  WriteJson(out_path, results, flow, service_us, smoke);
+
+  const RunResult& on = results.back();
+  return on.causal && on.exactly_once ? 0 : 1;
+}

@@ -23,6 +23,10 @@ enum class StatusCode {
   kDataLoss,
   kUnavailable,
   kInternal,
+  // Backpressure: the target is alive but shedding load (outbox or wait
+  // queue full).  Distinct from kUnavailable (peer gone) so senders can
+  // throttle-and-retry instead of failing over.
+  kOverloaded,
 };
 
 [[nodiscard]] constexpr const char* to_string(StatusCode code) {
@@ -34,6 +38,7 @@ enum class StatusCode {
     case StatusCode::kDataLoss: return "DATA_LOSS";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kOverloaded: return "OVERLOADED";
   }
   return "UNKNOWN";
 }
@@ -62,6 +67,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Internal(std::string m) {
     return {StatusCode::kInternal, std::move(m)};
+  }
+  [[nodiscard]] static Status Overloaded(std::string m) {
+    return {StatusCode::kOverloaded, std::move(m)};
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

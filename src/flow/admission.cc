@@ -1,0 +1,39 @@
+#include "flow/admission.h"
+
+namespace cmom::flow {
+
+Priority ClassifyPriority(std::string_view subject) {
+  // Pubsub management verbs (subscription churn must survive overload;
+  // shedding them wedges consumers forever) and anything under an
+  // explicit "control." namespace.  Payload-bearing verbs -- put,
+  // publish, task, event -- are data.
+  if (subject == "queue.listen" || subject == "queue.ignore" ||
+      subject == "topic.subscribe" || subject == "topic.unsubscribe") {
+    return Priority::kControl;
+  }
+  if (subject.size() >= 8 && subject.substr(0, 8) == "control.") {
+    return Priority::kControl;
+  }
+  return Priority::kData;
+}
+
+Admission AdmitSend(Priority priority, std::size_t engine_backlog,
+                    std::size_t out_backlog, std::size_t wait_queue_depth,
+                    bool deferring, const FlowOptions& options) {
+  if (!options.enabled || priority == Priority::kControl) {
+    return Admission::kAdmit;
+  }
+  const bool over = engine_backlog >= options.engine_admit_high ||
+                    out_backlog >= options.out_admit_high;
+  if (!over && !deferring) return Admission::kAdmit;
+  if (wait_queue_depth >= options.wait_queue_max) return Admission::kReject;
+  return Admission::kDefer;
+}
+
+bool ShouldDrainWaitQueue(std::size_t engine_backlog, std::size_t out_backlog,
+                          const FlowOptions& options) {
+  return engine_backlog <= options.engine_admit_low &&
+         out_backlog < options.out_admit_high;
+}
+
+}  // namespace cmom::flow

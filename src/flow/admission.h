@@ -1,0 +1,57 @@
+// Engine admission control with two priority classes.
+//
+// Credits bound what a *link* accepts; admission control bounds what
+// the *local engine* accepts from its own agents.  Without it, a
+// producer agent colocated with a congested server keeps stuffing
+// QueueOUT (local sends never cross a credit-gated link before they are
+// durable), so the server's own clients can OOM it from the inside.
+//
+// Two classes:
+//   kControl  -- fence/epoch traffic and pubsub control subjects
+//                (subscribe, listen, ignore).  Always admitted: quiesce
+//                must be able to drain a saturated server, and dropping
+//                a subscription request wedges the application forever.
+//   kData     -- everything else.  Deferred to a bounded wait queue
+//                when the engine or QueueOUT backlog crosses the high
+//                threshold, re-admitted in FIFO order once it falls
+//                back to the low threshold, rejected with kOverloaded
+//                once the wait queue itself is full.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "flow/credits.h"
+
+namespace cmom::flow {
+
+enum class Priority { kControl, kData };
+
+enum class Admission {
+  kAdmit,   // process now
+  kDefer,   // park on the bounded wait queue
+  kReject,  // wait queue full: fail the send with kOverloaded
+};
+
+// Subject-based priority classification.  Control-class subjects are
+// the pubsub/queue management verbs; fences and epoch records never
+// reach this path (they ride ApplyControlRecord / BeginFence), but
+// their application-visible companions do.
+[[nodiscard]] Priority ClassifyPriority(std::string_view subject);
+
+// Pure decision function over the server's current backlog gauges.
+// `deferring` latches hysteresis: once sends are being deferred, new
+// data sends keep deferring (preserving FIFO among data sends) until
+// the wait queue has fully drained.
+[[nodiscard]] Admission AdmitSend(Priority priority, std::size_t engine_backlog,
+                                  std::size_t out_backlog,
+                                  std::size_t wait_queue_depth, bool deferring,
+                                  const FlowOptions& options);
+
+// True once backlog has drained enough to start releasing the wait
+// queue (low-threshold hysteresis so release doesn't flap).
+[[nodiscard]] bool ShouldDrainWaitQueue(std::size_t engine_backlog,
+                                        std::size_t out_backlog,
+                                        const FlowOptions& options);
+
+}  // namespace cmom::flow

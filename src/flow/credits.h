@@ -1,0 +1,181 @@
+// End-to-end credit-based flow control for server-to-server links.
+//
+// The bus-of-domains topology makes causal router-servers the choke
+// points of the whole MOM: every inter-domain message funnels through
+// them, and without admission control a slow domain inflates hold-back
+// queues, outboxes and QueueIN without bound.  This module provides the
+// per-link bookkeeping the Channel uses to bound that growth:
+//
+//   Receiver side (CreditReceiverLink): counts the frames it has
+//   accepted from a peer (delivered or held -- duplicates are free) and
+//   advertises a CUMULATIVE grant `granted = accepted + window`, where
+//   the window shrinks as the receiver's durable backlog (QueueIN +
+//   held frames + in-flight reactions) approaches the high watermark.
+//   Grants piggyback on the coalesced AckFrames the Channel already
+//   sends; when the backlog drains below the low watermark the Channel
+//   pushes a credit-only ack so a paused sender resumes promptly.
+//
+//   Sender side (CreditSenderLink): counts the frames it has admitted
+//   (first emission, not retransmissions) and stops emitting once
+//   `admitted == limit`, where `limit` is the max cumulative grant seen
+//   from the peer.  Blocked messages stay in QueueOUT, stamped and
+//   durable, in FIFO order -- credits only delay the first emission of
+//   a frame, they never reorder or drop, so causal order and
+//   exactly-once delivery are untouched (a paused link is
+//   indistinguishable from a slow network).
+//
+// Cumulative grants are idempotent and monotone, so a lost or reordered
+// ack can never deadlock the window: the next ack carries a larger
+// value.  The remaining liveness hole -- a sender whose frames toward a
+// peer were ALL blocked before first emission, so no retransmission
+// exists to solicit a fresh ack -- is closed by the Channel's credit
+// probe timer (see agent_server.h), which force-emits the head blocked
+// frame after a timeout.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/ids.h"
+
+namespace cmom::flow {
+
+struct FlowOptions {
+  // Master switch.  Disabled reproduces the historical unbounded
+  // behavior (used as the bench baseline).
+  bool enabled = true;
+  // Receiver backlog (QueueIN + held frames + in-flight reactions) at
+  // which the advertised window reaches zero.
+  std::size_t high_watermark = 4096;
+  // Backlog below which a receiver proactively re-advertises credit to
+  // paused senders (credit-only ack).
+  std::size_t low_watermark = 1024;
+  // Credit a sender assumes before the first grant from a peer arrives
+  // (cold start; also the cap a crashed receiver's sender falls back
+  // to).
+  std::uint64_t initial_credit = 256;
+  // Deficit-round-robin quantum: messages one upstream domain may
+  // forward per round while others wait (router fair scheduling).
+  std::size_t drr_quantum = 8;
+  // Engine admission: local sends are deferred to the wait queue once
+  // the engine backlog (QueueIN + in-flight reactions) reaches this.
+  std::size_t engine_admit_high = 4096;
+  // ... and the wait queue drains once it falls back to this.
+  std::size_t engine_admit_low = 2048;
+  // QueueOUT size at which local data sends are deferred as well --
+  // end-to-end backpressure from a credit-paused link to the producer.
+  std::size_t out_admit_high = 8192;
+  // Deferred sends beyond this are rejected with kOverloaded.
+  std::size_t wait_queue_max = 4096;
+};
+
+// Sender half of one (self -> peer) link.
+class CreditSenderLink {
+ public:
+  explicit CreditSenderLink(std::uint64_t initial_credit)
+      : limit_(initial_credit) {}
+
+  // True when a new frame may be admitted (first emission) now.
+  [[nodiscard]] bool CanAdmit() const {
+    return blocked_.empty() && admitted_ < limit_;
+  }
+
+  // Records the first emission of a frame.
+  void Admit() { ++admitted_; }
+
+  // Queues a message whose first emission must wait for credit.
+  void Block(MessageId id) { blocked_.push_back(id); }
+
+  // Applies a cumulative grant from the peer.  Grants are taken
+  // monotonically (max), so reordered or duplicated acks are harmless.
+  // Returns true when the update opened headroom for blocked frames.
+  bool Grant(std::uint64_t granted) {
+    if (granted <= limit_) return false;
+    limit_ = granted;
+    return !blocked_.empty() && admitted_ < limit_;
+  }
+
+  // Pops the next blocked message if headroom exists (the caller emits
+  // it and calls Admit()).  Returns false when blocked is empty or the
+  // window is exhausted.
+  [[nodiscard]] bool NextReleasable(MessageId& out) {
+    if (blocked_.empty() || admitted_ >= limit_) return false;
+    out = blocked_.front();
+    blocked_.pop_front();
+    return true;
+  }
+
+  // Unconditionally pops the head blocked message (fence bypass and the
+  // liveness probe).  Returns false when nothing is blocked.
+  [[nodiscard]] bool ForceRelease(MessageId& out) {
+    if (blocked_.empty()) return false;
+    out = blocked_.front();
+    blocked_.pop_front();
+    return true;
+  }
+
+  // Drops a message from the blocked queue (it was acknowledged or
+  // otherwise retired before its first emission -- e.g. an epoch
+  // straggler acked by a recovered peer).
+  void Forget(MessageId id) {
+    for (auto it = blocked_.begin(); it != blocked_.end(); ++it) {
+      if (*it == id) {
+        blocked_.erase(it);
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] bool paused() const {
+    return !blocked_.empty() && admitted_ >= limit_;
+  }
+  [[nodiscard]] std::size_t blocked_count() const { return blocked_.size(); }
+  [[nodiscard]] std::uint64_t admitted() const { return admitted_; }
+  [[nodiscard]] std::uint64_t limit() const { return limit_; }
+  // Headroom still usable (credits outstanding toward this peer).
+  [[nodiscard]] std::uint64_t outstanding() const {
+    return limit_ > admitted_ ? limit_ - admitted_ : 0;
+  }
+
+ private:
+  std::uint64_t limit_;          // max cumulative grant seen
+  std::uint64_t admitted_ = 0;   // frames first-emitted on this link
+  std::deque<MessageId> blocked_;  // QueueOUT entries awaiting credit
+};
+
+// Receiver half of one (peer -> self) link.
+class CreditReceiverLink {
+ public:
+  explicit CreditReceiverLink(std::uint64_t initial_credit)
+      : advertised_(initial_credit) {}
+
+  // Records one accepted frame (delivered or held; not a duplicate).
+  void Accept() { ++accepted_; }
+
+  // Computes the next cumulative grant for the current backlog.  The
+  // result is monotone (never below a previous advertisement).
+  [[nodiscard]] std::uint64_t ComputeGrant(std::size_t backlog,
+                                           std::size_t high_watermark) {
+    const std::uint64_t window =
+        backlog >= high_watermark
+            ? 0
+            : static_cast<std::uint64_t>(high_watermark - backlog);
+    const std::uint64_t grant = accepted_ + window;
+    if (grant > advertised_) advertised_ = grant;
+    return advertised_;
+  }
+
+  // True when the last advertisement left the sender no headroom --
+  // the link may be paused and deserves a credit-only refresh once the
+  // backlog drains.
+  [[nodiscard]] bool MaybePaused() const { return advertised_ <= accepted_; }
+
+  [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
+  [[nodiscard]] std::uint64_t advertised() const { return advertised_; }
+
+ private:
+  std::uint64_t accepted_ = 0;    // frames accepted from this peer
+  std::uint64_t advertised_ = 0;  // last cumulative grant sent
+};
+
+}  // namespace cmom::flow

@@ -1,0 +1,93 @@
+#include "flow/dead_letter.h"
+
+namespace cmom::flow {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+void AppendHex(std::string& out, std::uint64_t value, int nibbles) {
+  for (int i = nibbles - 1; i >= 0; --i) {
+    out.push_back(kHexDigits[(value >> (4 * i)) & 0xF]);
+  }
+}
+
+}  // namespace
+
+std::string DeadLetterKey(std::uint64_t seq) {
+  std::string key = kDeadLetterKeyPrefix;
+  AppendHex(key, seq, 16);
+  return key;
+}
+
+bool ParseDeadLetterKey(const std::string& key, std::uint64_t& seq_out) {
+  const std::size_t prefix_size = sizeof(kDeadLetterKeyPrefix) - 1;
+  if (key.size() != prefix_size + 16 ||
+      key.compare(0, prefix_size, kDeadLetterKeyPrefix) != 0) {
+    return false;
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = prefix_size; i < key.size(); ++i) {
+    const char c = key[i];
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  seq_out = value;
+  return true;
+}
+
+Bytes DeadLetterRecord::Serialize() const {
+  ByteWriter out;
+  out.Reserve(reason.size() + subject.size() + payload.size() + 32);
+  out.WriteString(reason);
+  out.WriteU16(id.origin.value());
+  out.WriteVarU64(id.seq);
+  out.WriteU16(from.server.value());
+  out.WriteVarU32(from.local);
+  out.WriteU16(to.server.value());
+  out.WriteVarU32(to.local);
+  out.WriteString(subject);
+  out.WriteBytes(payload);
+  return std::move(out).Take();
+}
+
+Result<DeadLetterRecord> DeadLetterRecord::Deserialize(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader in(bytes);
+  DeadLetterRecord record;
+  auto reason = in.ReadString();
+  if (!reason.ok()) return reason.status();
+  record.reason = std::move(reason).value();
+  auto origin = in.ReadU16();
+  if (!origin.ok()) return origin.status();
+  record.id.origin = ServerId(origin.value());
+  auto seq = in.ReadVarU64();
+  if (!seq.ok()) return seq.status();
+  record.id.seq = seq.value();
+  auto from_server = in.ReadU16();
+  if (!from_server.ok()) return from_server.status();
+  record.from.server = ServerId(from_server.value());
+  auto from_local = in.ReadVarU32();
+  if (!from_local.ok()) return from_local.status();
+  record.from.local = from_local.value();
+  auto to_server = in.ReadU16();
+  if (!to_server.ok()) return to_server.status();
+  record.to.server = ServerId(to_server.value());
+  auto to_local = in.ReadVarU32();
+  if (!to_local.ok()) return to_local.status();
+  record.to.local = to_local.value();
+  auto subject = in.ReadString();
+  if (!subject.ok()) return subject.status();
+  record.subject = std::move(subject).value();
+  auto payload = in.ReadBytes();
+  if (!payload.ok()) return payload.status();
+  record.payload = std::move(payload).value();
+  return record;
+}
+
+}  // namespace cmom::flow

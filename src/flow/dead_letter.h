@@ -1,0 +1,57 @@
+// Persistent dead-letter records for slow-consumer overflow.
+//
+// A bounded pubsub queue (or any agent that decides a message cannot be
+// buffered) retires the message into a dead-letter record instead of
+// silently dropping it.  The record is written by the Engine in the
+// SAME store transaction as the reaction that shed the message, so
+// "dead-lettered" is as durable and exactly-once as "delivered": a
+// crash either replays the reaction (which sheds again, overwriting the
+// same decision) or finds the record already on disk.
+//
+// Records live under `dlq/<seq hex16>` next to the server's other
+// incremental keys and are inspected offline with `momtool dlq <dir>`.
+// This module only knows the codec and the key scheme; it has no
+// dependency on the mom layer so the flow library stays at the bottom
+// of the dependency stack.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace cmom::flow {
+
+// Store key prefix for dead-letter records.
+inline constexpr char kDeadLetterKeyPrefix[] = "dlq/";
+
+// Key for the `seq`-th dead-letter record of a server (fixed-width hex
+// so lexicographic key order is record order).
+[[nodiscard]] std::string DeadLetterKey(std::uint64_t seq);
+
+// Parses the sequence number out of a `dlq/<hex>` key.  Returns false
+// on malformed keys.
+[[nodiscard]] bool ParseDeadLetterKey(const std::string& key,
+                                      std::uint64_t& seq_out);
+
+// One shed message: why it was shed plus enough of the original to
+// re-drive or debug it.
+struct DeadLetterRecord {
+  std::string reason;  // e.g. "queue depth limit" with the agent id
+  MessageId id;        // original message identity
+  AgentId from;
+  AgentId to;
+  std::string subject;
+  Bytes payload;
+
+  friend bool operator==(const DeadLetterRecord&,
+                         const DeadLetterRecord&) = default;
+
+  [[nodiscard]] Bytes Serialize() const;
+  [[nodiscard]] static Result<DeadLetterRecord> Deserialize(
+      std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace cmom::flow

@@ -41,6 +41,16 @@ class ReactionContext {
 
   // Current time (simulated or wall-clock, depending on the runtime).
   [[nodiscard]] virtual std::uint64_t NowNs() const = 0;
+
+  // Retires a message this agent cannot buffer (e.g. a bounded pubsub
+  // queue past its depth limit) into a persistent dead-letter record
+  // (src/flow/dead_letter.h), committed atomically with the reaction.
+  // The default ignores the request, so agents under harnesses that do
+  // not persist dead letters simply drop.
+  virtual void DeadLetter(std::string reason, const Message& original) {
+    (void)reason;
+    (void)original;
+  }
 };
 
 class Agent {

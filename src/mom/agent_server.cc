@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/log.h"
+#include "flow/admission.h"
 
 namespace cmom::mom {
 
@@ -31,6 +32,10 @@ constexpr std::string_view kQueueOutKeyPrefix = "qout/";
 constexpr std::string_view kQueueInKeyPrefix = "qin/";
 constexpr std::string_view kHoldKeyPrefix = "hold/";
 constexpr std::string_view kAgentKeyPrefix = "agent/";
+// Forwarded messages parked in the router's DRR staging queue
+// (src/flow): written in the same transaction as the delivery that
+// produced them, deleted when ForwardStep stamps them onward.
+constexpr std::string_view kFwdKeyPrefix = "fwd/";
 
 std::string AgentKey(std::uint32_t local_id) {
   return std::string(kAgentKeyPrefix) + std::to_string(local_id);
@@ -58,6 +63,12 @@ std::string OutKey(MessageId id) {
 
 std::string InKey(std::uint64_t seq) {
   std::string key(kQueueInKeyPrefix);
+  AppendHex(key, seq, 16);
+  return key;
+}
+
+std::string FwdKey(std::uint64_t seq) {
+  std::string key(kFwdKeyPrefix);
   AppendHex(key, seq, 16);
   return key;
 }
@@ -116,12 +127,15 @@ class ReactionContextImpl final : public ReactionContext {
                       std::vector<Message>* sends,
                       std::function<Message(AgentId, AgentId, std::string,
                                             Bytes)>
-                          make_message)
+                          make_message,
+                      std::function<void(std::string, const Message&)>
+                          dead_letter)
       : server_(server),
         runtime_(runtime),
         self_(self),
         sends_(sends),
-        make_message_(std::move(make_message)) {
+        make_message_(std::move(make_message)),
+        dead_letter_(std::move(dead_letter)) {
     (void)server_;
   }
 
@@ -136,12 +150,17 @@ class ReactionContextImpl final : public ReactionContext {
     return runtime_->NowNs();
   }
 
+  void DeadLetter(std::string reason, const Message& original) override {
+    dead_letter_(std::move(reason), original);
+  }
+
  private:
   AgentServer* server_;
   net::Runtime* runtime_;
   AgentId self_;
   std::vector<Message>* sends_;
   std::function<Message(AgentId, AgentId, std::string, Bytes)> make_message_;
+  std::function<void(std::string, const Message&)> dead_letter_;
 };
 
 AgentServer::AgentServer(const domains::Deployment& deployment, ServerId self,
@@ -152,7 +171,8 @@ AgentServer::AgentServer(const domains::Deployment& deployment, ServerId self,
       endpoint_(endpoint),
       runtime_(runtime),
       store_(store),
-      options_(options) {
+      options_(options),
+      forward_stage_(options.flow.drr_quantum) {
   assert(endpoint_->self() == self_);
 }
 
@@ -230,6 +250,15 @@ Status AgentServer::Boot() {
 
     CMOM_RETURN_IF_ERROR(RecoverLocked());
 
+    // Seed the dead-letter sequence past every record already on disk
+    // (dlq/ records are append-only and survive across boots).
+    for (const std::string& key : store_->Keys(flow::kDeadLetterKeyPrefix)) {
+      std::uint64_t seq = 0;
+      if (flow::ParseDeadLetterKey(key, seq)) {
+        next_dlq_seq_ = std::max(next_dlq_seq_, seq + 1);
+      }
+    }
+
     // A store the control plane has stamped must agree with the epoch
     // we were constructed for: booting epoch-E clocks under an epoch-F
     // deployment would reinterpret matrix coordinates.  Stores from
@@ -289,6 +318,12 @@ Status AgentServer::Boot() {
       queue_in_.clear();
     } else if (!queue_in_.empty()) {
       engine_step_needed_ = true;
+    }
+    // Forwards staged by the DRR scheduler before the crash resume
+    // draining (their fwd/ records were recovered above).
+    if (!forward_stage_.empty() && !forward_step_queued_) {
+      forward_step_queued_ = true;
+      work_queue_.push_back([this] { return ForwardStep(); });
     }
     return 0;
   });
@@ -373,6 +408,9 @@ void AgentServer::FlushFrames(std::vector<std::pair<ServerId, Bytes>> frames) {
       {
         std::lock_guard lock(mutex_);
         ++stats_.transport_send_failures;
+        if (status.code() == StatusCode::kOverloaded) {
+          ++stats_.transport_overloads;
+        }
       }
       CMOM_LOG(kWarning) << to_string(self_) << ": transport refused frame to "
                          << to_string(to) << " (" << status
@@ -424,7 +462,7 @@ std::size_t AgentServer::DrainInbox() {
         CMOM_LOG(kWarning) << "bad ack: " << ack.status();
         continue;
       }
-      entries += ProcessAck(ack.value());
+      entries += ProcessAck(from, ack.value());
       continue;
     }
     auto data = DataFrame::Deserialize(bytes);
@@ -445,6 +483,12 @@ std::size_t AgentServer::DrainInbox() {
     inbox_drain_queued_ = true;
     work_queue_.push_back([this] { return DrainInbox(); });
   }
+  // Acks may have drained QueueOUT below the watermarks: re-open both
+  // the admission valve and the credit windows we advertise upstream
+  // (QueueOUT counts toward the receiver backlog, so on a router this
+  // is the moment end-to-end backpressure releases).
+  MaybeReplenishCredits();
+  MaybeScheduleWaitDrainLocked();
   return entries;
 }
 
@@ -477,6 +521,7 @@ std::size_t AgentServer::ProcessDataFrame(ServerId from, DataFrame frame) {
   std::size_t entries = 0;
   switch (item->clock.Check(*src_local, frame.stamp)) {
     case clocks::CheckResult::kDeliver: {
+      if (options_.flow.enabled) ReceiverLink(from).Accept();
       entries += frame.stamp.entries.size();
       item->clock.Commit(*src_local, frame.stamp);
       entries += CommitDelivery(*item, *src_local, std::move(frame));
@@ -494,6 +539,7 @@ std::size_t AgentServer::ProcessDataFrame(ServerId from, DataFrame frame) {
         ++stats_.duplicates_dropped;
         break;  // just re-acknowledge below
       }
+      if (options_.flow.enabled) ReceiverLink(from).Accept();
       HeldFrame held{*src_local, std::move(frame)};
       PersistHeldFrame(*item, held, next_hold_seq_++);
       item->held_ids.insert(message_id);
@@ -537,17 +583,30 @@ std::size_t AgentServer::DrainHoldback(DomainItem& item) {
 std::size_t AgentServer::CommitDelivery(DomainItem& item,
                                         DomainServerId src_local,
                                         DataFrame&& frame) {
-  (void)item;
   (void)src_local;
   if (frame.message.dest_server() == self_) {
     EnqueueLocalDelivery(std::move(frame.message));
     return 0;
   }
   ++stats_.messages_forwarded;
+  // Router fair scheduling: park the forward in the per-source-domain
+  // DRR staging queue instead of stamping it inline, so one hot
+  // upstream domain cannot monopolize the outgoing links.  Reordering
+  // ACROSS source domains is causally safe -- two messages staged at
+  // this router concurrently are causally concurrent (a successor
+  // cannot arrive before its predecessor left) -- and FIFO per source
+  // queue preserves order within each domain.  Needs incremental
+  // persistence: the fwd/ record rides the delivery's own transaction,
+  // so a crash between delivery and forward recovers the staged
+  // message instead of losing an acked frame.
+  if (options_.flow.enabled && incremental()) {
+    StageForward(item.id, std::move(frame.message));
+    return 0;
+  }
   return StampAndEnqueue(std::move(frame.message));
 }
 
-std::size_t AgentServer::ProcessAck(const AckFrame& ack) {
+std::size_t AgentServer::ProcessAck(ServerId from, const AckFrame& ack) {
   for (const MessageId& id : ack.messages) {
     auto it = queue_out_index_.find(id);
     if (it == queue_out_index_.end()) continue;  // duplicate ack
@@ -555,6 +614,13 @@ std::size_t AgentServer::ProcessAck(const AckFrame& ack) {
     queue_out_.erase(it->second);
     queue_out_index_.erase(it);
     commit_needed_ = true;
+  }
+  if (options_.flow.enabled && ack.has_credit) {
+    // Cumulative grant: taken monotonically, so lost or reordered acks
+    // only delay the window, never shrink or wedge it.
+    if (SenderLink(from).Grant(ack.credit)) {
+      ReleaseBlocked(from, /*force=*/false);
+    }
   }
   return 0;
 }
@@ -573,7 +639,15 @@ void AgentServer::FlushStagedAcks() {
   for (auto& [peer, ids] : staged_acks_) {
     ++stats_.ack_frames_sent;
     stats_.acks_sent += ids.size();
-    EmitFrame(peer, AckFrame(std::move(ids)).Serialize());
+    AckFrame ack(std::move(ids));
+    if (options_.flow.enabled) {
+      // Piggyback the current cumulative grant on every ack; the
+      // receiver-side counters make this idempotent.
+      ack.has_credit = true;
+      ack.credit = ReceiverLink(peer).ComputeGrant(
+          ReceiverBacklogLocked(), options_.flow.high_watermark);
+    }
+    EmitFrame(peer, ack.Serialize());
   }
   staged_acks_.clear();
 }
@@ -610,7 +684,31 @@ Result<MessageId> AgentServer::SendMessage(AgentId from, AgentId to,
       ++stats_.fenced_sends_rejected;
       return Status::Unavailable("sends fenced for reconfiguration");
     }
+    // Engine admission (src/flow): control-class subjects always pass;
+    // data sends are parked on the bounded wait queue while the engine
+    // or QueueOUT backlog is over the high threshold, and rejected with
+    // kOverloaded once the wait queue is full.  Deferral happens AFTER
+    // id assignment -- the send is accepted, only its processing is
+    // delayed, so ids stay in call order and exactly-once accounting
+    // sees one send.  Agent reaction sends never pass through here:
+    // they are part of an atomic reaction and must not be shed.
+    const flow::Admission decision = flow::AdmitSend(
+        flow::ClassifyPriority(subject), queue_in_.size() + engine_inflight_,
+        queue_out_.size(), wait_queue_.size(), !wait_queue_.empty(),
+        options_.flow);
+    if (decision == flow::Admission::kReject) {
+      ++stats_.sends_shed;
+      return Status::Overloaded("send wait queue full");
+    }
     message = MakeMessage(from, to, std::move(subject), std::move(payload));
+    if (decision == flow::Admission::kDefer) {
+      ++stats_.sends_deferred;
+      const MessageId id = message.id;
+      wait_queue_.push_back(std::move(message));
+      stats_.wait_queue_peak =
+          std::max<std::uint64_t>(stats_.wait_queue_peak, wait_queue_.size());
+      return id;
+    }
   }
   const MessageId id = message.id;
   Post([this, message = std::move(message)]() mutable -> std::size_t {
@@ -623,6 +721,13 @@ Result<MessageId> AgentServer::SendMessage(AgentId from, AgentId to,
 // public API or an agent reaction), then commits.
 std::size_t AgentServer::ApplySends(std::vector<Message> sends) {
   std::size_t entries = 0;
+  // Local-origin sends may causally depend on ANY delivery this server
+  // has seen -- including forwards still parked in the DRR stage (the
+  // producer could have sent the staged message first, then the message
+  // whose reaction triggered this send).  Stamp every staged forward
+  // first so the outgoing stamp order stays causal; only pure
+  // router-to-router traffic keeps the deferred fair schedule.
+  if (!sends.empty()) entries += FlushForwardStageLocked();
   for (Message& message : sends) {
     ++stats_.messages_sent;
     if (options_.trace != nullptr) {
@@ -669,11 +774,30 @@ std::size_t AgentServer::StampAndEnqueue(Message message) {
   const std::size_t entries = entry.stamp.entries.size();
   stats_.stamp_bytes_sent += entry.stamp.EncodedSize();
 
-  DataFrame frame{entry.message, entry.domain, entry.stamp, options_.epoch};
   const MessageId id = entry.message.id;
   PersistOutEntry(entry);
   queue_out_.push_back(std::move(entry));
   queue_out_index_.emplace(id, std::prev(queue_out_.end()));
+
+  // Credit gate (src/flow): only the FIRST emission consumes a credit.
+  // A blocked message is already stamped and durable in QueueOUT -- the
+  // pause is indistinguishable from a slow network, so causal order and
+  // exactly-once are untouched.  Blocked frames stay FIFO per link
+  // (CanAdmit refuses while older frames are blocked), and an epoch
+  // fence bypasses the gate entirely so quiesce cannot deadlock behind
+  // a window the draining peer will never replenish.
+  if (options_.flow.enabled && !fence_active_) {
+    flow::CreditSenderLink& link = SenderLink(hop);
+    if (!link.CanAdmit()) {
+      link.Block(id);
+      ++stats_.credit_blocked;
+      ScheduleCreditProbe(hop);
+      return entries;
+    }
+    link.Admit();
+  }
+  const OutEntry& stored = queue_out_.back();
+  DataFrame frame{stored.message, stored.domain, stored.stamp, options_.epoch};
   EmitFrame(hop, frame.Serialize());
   ScheduleRetransmit(id, 0);
   return entries;
@@ -712,6 +836,218 @@ void AgentServer::ScheduleRetransmit(MessageId id,
 }
 
 // ---------------------------------------------------------------------
+// Flow control (src/flow)
+// ---------------------------------------------------------------------
+
+flow::CreditSenderLink& AgentServer::SenderLink(ServerId peer) {
+  auto it = sender_links_.find(peer);
+  if (it == sender_links_.end()) {
+    it = sender_links_
+             .emplace(peer,
+                      flow::CreditSenderLink(options_.flow.initial_credit))
+             .first;
+  }
+  return it->second;
+}
+
+flow::CreditReceiverLink& AgentServer::ReceiverLink(ServerId peer) {
+  auto it = receiver_links_.find(peer);
+  if (it == receiver_links_.end()) {
+    it = receiver_links_
+             .emplace(peer,
+                      flow::CreditReceiverLink(options_.flow.initial_credit))
+             .first;
+  }
+  return it->second;
+}
+
+std::size_t AgentServer::ReleaseBlocked(ServerId peer, bool force) {
+  auto it = sender_links_.find(peer);
+  if (it == sender_links_.end()) return 0;
+  flow::CreditSenderLink& link = it->second;
+  std::size_t released = 0;
+  MessageId id;
+  while (force ? link.ForceRelease(id) : link.NextReleasable(id)) {
+    auto qit = queue_out_index_.find(id);
+    if (qit == queue_out_index_.end()) continue;  // retired before emission
+    link.Admit();
+    OutEntry& entry = *qit->second;
+    DataFrame frame{entry.message, entry.domain, entry.stamp, options_.epoch};
+    EmitFrame(entry.next_hop, frame.Serialize());
+    ScheduleRetransmit(id, entry.attempts);
+    ++released;
+  }
+  return released;
+}
+
+// Liveness under ack loss: a link whose frames were ALL blocked before
+// first emission has no retransmission in flight toward the peer, so a
+// lost replenish ack could pause it forever.  The probe force-emits the
+// head blocked frame after a retransmit timeout; the peer's ack for it
+// (even a duplicate-drop ack) carries a fresh cumulative grant.
+void AgentServer::ScheduleCreditProbe(ServerId peer) {
+  if (!credit_probe_armed_.insert(peer).second) return;
+  runtime_->After(options_.retransmit_timeout_ns, [this, peer, life = life_] {
+    std::lock_guard hold(life->mutex);
+    if (!life->alive) return;
+    Post([this, peer]() -> std::size_t {
+      credit_probe_armed_.erase(peer);
+      auto it = sender_links_.find(peer);
+      if (it == sender_links_.end() || !it->second.paused()) return 0;
+      ++stats_.credit_probes;
+      MessageId id;
+      while (it->second.ForceRelease(id)) {
+        auto qit = queue_out_index_.find(id);
+        if (qit == queue_out_index_.end()) continue;
+        it->second.Admit();
+        OutEntry& entry = *qit->second;
+        DataFrame frame{entry.message, entry.domain, entry.stamp,
+                        options_.epoch};
+        EmitFrame(entry.next_hop, frame.Serialize());
+        ScheduleRetransmit(id, entry.attempts);
+        break;  // one frame per probe: solicit, don't flood
+      }
+      if (it->second.paused()) ScheduleCreditProbe(peer);
+      return 0;
+    });
+  });
+}
+
+std::size_t AgentServer::ReceiverBacklogLocked() const {
+  // Everything this server still owes work for: undelivered input,
+  // dispatched reactions, causally held frames, staged forwards -- and
+  // QueueOUT, so a router whose DOWNSTREAM link is credit-blocked stops
+  // granting credit upstream instead of absorbing the overload into its
+  // own outgoing queue (end-to-end backpressure, not hop-local).
+  return queue_in_.size() + engine_inflight_ + HoldbackSizeLocked() +
+         forward_stage_.size() + queue_out_.size();
+}
+
+void AgentServer::MaybeReplenishCredits() {
+  if (!options_.flow.enabled) return;
+  const std::size_t backlog = ReceiverBacklogLocked();
+  if (backlog >= options_.flow.low_watermark) return;
+  for (auto& [peer, link] : receiver_links_) {
+    if (!link.MaybePaused()) continue;
+    const std::uint64_t before = link.advertised();
+    const std::uint64_t grant =
+        link.ComputeGrant(backlog, options_.flow.high_watermark);
+    if (grant == before) continue;  // nothing new to advertise
+    ++stats_.credit_only_acks;
+    AckFrame ack;
+    ack.has_credit = true;
+    ack.credit = grant;
+    ++stats_.ack_frames_sent;
+    EmitFrame(peer, ack.Serialize());
+  }
+}
+
+void AgentServer::StageForward(DomainId source, Message message) {
+  ForwardEntry entry{next_fwd_seq_++, std::move(message)};
+  ByteWriter out;
+  out.WriteU16(source.value());
+  entry.message.Encode(out);
+  StorePut(FwdKey(entry.seq), std::move(out).Take());
+  forward_stage_.Push(source, std::move(entry));
+  stats_.staged_forward_peak = std::max<std::uint64_t>(
+      stats_.staged_forward_peak, forward_stage_.size());
+  if (!forward_step_queued_) {
+    forward_step_queued_ = true;
+    work_queue_.push_back([this] { return ForwardStep(); });
+  }
+}
+
+// One forwarding transaction: pops up to channel_batch staged messages
+// via deficit round robin, stamps each toward its next hop, deletes its
+// fwd/ record, and commits the batch.
+std::size_t AgentServer::ForwardStep() {
+  forward_step_queued_ = false;
+  if (forward_stage_.empty()) return 0;
+  std::size_t entries = 0;
+  const std::size_t budget = std::max<std::size_t>(1, options_.channel_batch);
+  forward_stage_.Drain(
+      budget,
+      [&](DomainId source, ForwardEntry&& staged) {
+        (void)source;
+        StoreDelete(FwdKey(staged.seq));
+        entries += StampAndEnqueue(std::move(staged.message));
+        ++stats_.drr_forwarded;
+      },
+      &stats_.drr_rounds);
+  CommitLocked();
+  if (!forward_stage_.empty() && !forward_step_queued_) {
+    forward_step_queued_ = true;
+    work_queue_.push_back([this] { return ForwardStep(); });
+  }
+  MaybeReplenishCredits();
+  MaybeScheduleWaitDrainLocked();
+  return entries;
+}
+
+std::size_t AgentServer::FlushForwardStageLocked() {
+  if (forward_stage_.empty()) return 0;
+  std::size_t entries = 0;
+  forward_stage_.Drain(
+      forward_stage_.size(),
+      [&](DomainId source, ForwardEntry&& staged) {
+        (void)source;
+        StoreDelete(FwdKey(staged.seq));
+        entries += StampAndEnqueue(std::move(staged.message));
+        ++stats_.drr_forwarded;
+      },
+      &stats_.drr_rounds);
+  return entries;
+}
+
+void AgentServer::MaybeScheduleWaitDrainLocked() {
+  if (wait_queue_.empty() || wait_drain_queued_) return;
+  // A fence flushes the wait queue unconditionally: the deferred sends
+  // were accepted before the fence and must drain for quiesce.
+  if (!fence_active_ &&
+      !flow::ShouldDrainWaitQueue(queue_in_.size() + engine_inflight_,
+                                  queue_out_.size(), options_.flow)) {
+    return;
+  }
+  wait_drain_queued_ = true;
+  work_queue_.push_back([this] { return DrainWaitQueue(); });
+}
+
+// Releases deferred sends in FIFO order, one engine_batch per work item
+// (re-checking the threshold between batches so a refilling backlog
+// pauses the drain again).
+std::size_t AgentServer::DrainWaitQueue() {
+  wait_drain_queued_ = false;
+  if (wait_queue_.empty()) return 0;
+  if (!fence_active_ &&
+      !flow::ShouldDrainWaitQueue(queue_in_.size() + engine_inflight_,
+                                  queue_out_.size(), options_.flow)) {
+    return 0;
+  }
+  std::vector<Message> sends;
+  const std::size_t batch = std::max<std::size_t>(1, options_.engine_batch);
+  while (!wait_queue_.empty() && sends.size() < batch) {
+    sends.push_back(std::move(wait_queue_.front()));
+    wait_queue_.pop_front();
+  }
+  const std::size_t entries = ApplySends(std::move(sends));
+  MaybeScheduleWaitDrainLocked();
+  return entries;
+}
+
+void AgentServer::RecordDeadLetter(std::string reason,
+                                   const Message& original) {
+  flow::DeadLetterRecord record;
+  record.reason = std::move(reason);
+  record.id = original.id;
+  record.from = original.from;
+  record.to = original.to;
+  record.subject = original.subject;
+  record.payload = original.payload;
+  StorePut(flow::DeadLetterKey(next_dlq_seq_++), record.Serialize());
+  ++stats_.dead_letters;
+}
+
+// ---------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------
 
@@ -745,6 +1081,9 @@ std::size_t AgentServer::EngineStep() {
         [this](AgentId from, AgentId to, std::string subject, Bytes payload) {
           return MakeMessage(from, to, std::move(subject),
                              std::move(payload));
+        },
+        [this](std::string reason, const Message& original) {
+          RecordDeadLetter(std::move(reason), original);
         });
     agent_it->second->React(ctx, entry.message);
     if (std::find(reacted.begin(), reacted.end(), entry.message.to.local) ==
@@ -761,6 +1100,9 @@ std::size_t AgentServer::EngineStep() {
   // QueueOUT state, clocks and the agent images staged above.
   const std::size_t entries = ApplySends(std::move(sends));
   if (!queue_in_.empty()) engine_step_needed_ = true;
+  // Reactions drained backlog: maybe re-open the intake valves.
+  MaybeReplenishCredits();
+  MaybeScheduleWaitDrainLocked();
   return entries;
 }
 
@@ -816,6 +1158,7 @@ void AgentServer::RunReaction(std::size_t shard, const InEntry& entry) {
     net::Runtime* runtime;
     AgentId id;
     std::vector<PendingSend>* out;
+    std::vector<flow::DeadLetterRecord>* dead;
     [[nodiscard]] AgentId self() const override { return id; }
     void Send(AgentId to, std::string subject, Bytes payload) override {
       out->push_back(
@@ -823,6 +1166,19 @@ void AgentServer::RunReaction(std::size_t shard, const InEntry& entry) {
     }
     [[nodiscard]] std::uint64_t NowNs() const override {
       return runtime->NowNs();
+    }
+    // Buffered like the sends: the record is speculative until the
+    // group commit persists it (dlq/ sequence assignment happens there,
+    // under mutex_).
+    void DeadLetter(std::string reason, const Message& original) override {
+      flow::DeadLetterRecord record;
+      record.reason = std::move(reason);
+      record.id = original.id;
+      record.from = original.from;
+      record.to = original.to;
+      record.subject = original.subject;
+      record.payload = original.payload;
+      dead->push_back(std::move(record));
     }
   };
 
@@ -839,6 +1195,7 @@ void AgentServer::RunReaction(std::size_t shard, const InEntry& entry) {
     ctx.runtime = runtime_;
     ctx.id = entry.message.to;
     ctx.out = &result.sends;
+    ctx.dead = &result.dead_letters;
     agent_it->second->React(ctx, entry.message);
     ByteWriter image;
     agent_it->second->EncodeState(image);
@@ -897,6 +1254,10 @@ std::size_t AgentServer::CommitReactions() {
       sends.push_back(MakeMessage(send.from, send.to, std::move(send.subject),
                                   std::move(send.payload)));
     }
+    for (flow::DeadLetterRecord& record : result.dead_letters) {
+      StorePut(flow::DeadLetterKey(next_dlq_seq_++), record.Serialize());
+      ++stats_.dead_letters;
+    }
     auto it = last_image.find(result.agent_local);
     if (it != last_image.end() && it->second == i) {
       StorePut(AgentKey(result.agent_local), std::move(result.agent_image));
@@ -905,7 +1266,10 @@ std::size_t AgentServer::CommitReactions() {
   stats_.group_commit_hist.Record(batch.size());
   assert(engine_inflight_ >= batch.size());
   engine_inflight_ -= batch.size();
-  return ApplySends(std::move(sends));
+  const std::size_t entries = ApplySends(std::move(sends));
+  MaybeReplenishCredits();
+  MaybeScheduleWaitDrainLocked();
+  return entries;
 }
 
 // ---------------------------------------------------------------------
@@ -1096,10 +1460,18 @@ Status AgentServer::RecoverLocked() {
     CMOM_RETURN_IF_ERROR(RecoverIncrementalLocked());
     if (!incremental()) {
       // Downgrade (tests / baseline measurements): fold the per-entry
-      // keys back into the monolithic blobs.
+      // keys back into the monolithic blobs.  Staged forwards cannot be
+      // represented in the full image, so they are stamped into
+      // QueueOUT right here (the emission below is covered by the Boot
+      // resume pass over queue_out_).
+      forward_stage_.Drain(
+          forward_stage_.size(),
+          [&](DomainId, ForwardEntry&& staged) {
+            StampAndEnqueue(std::move(staged.message));
+          });
       for (std::string_view prefix :
            {kClockKeyPrefix, kQueueOutKeyPrefix, kQueueInKeyPrefix,
-            kHoldKeyPrefix}) {
+            kHoldKeyPrefix, kFwdKeyPrefix}) {
         for (const std::string& key : store_->Keys(prefix)) StoreDelete(key);
       }
       CommitLocked();
@@ -1276,6 +1648,23 @@ Status AgentServer::RecoverIncrementalLocked() {
     next_in_seq_ = std::max(next_in_seq_, seq.value() + 1);
   }
 
+  // DRR staging keys are zero-padded sequence numbers like qin/: sorted
+  // key order restores staging order, FIFO per source domain.
+  for (const std::string& key : store_->Keys(kFwdKeyPrefix)) {
+    auto seq = ParseHexSuffix(key, kFwdKeyPrefix);
+    if (!seq.ok()) return seq.status();
+    auto blob = store_->Get(key);
+    if (!blob) continue;
+    ByteReader in(*blob);
+    auto source = in.ReadU16();
+    if (!source.ok()) return source.status();
+    auto message = Message::Decode(in);
+    if (!message.ok()) return message.status();
+    forward_stage_.Push(DomainId(source.value()),
+                        ForwardEntry{seq.value(), std::move(message).value()});
+    next_fwd_seq_ = std::max(next_fwd_seq_, seq.value() + 1);
+  }
+
   // Held frames carry their arrival ticket; re-push per domain in
   // arrival order so repeated drains stay deterministic.
   struct RecoveredHold {
@@ -1384,12 +1773,27 @@ std::size_t AgentServer::queue_out_size() const {
 bool AgentServer::Idle() const {
   std::lock_guard lock(mutex_);
   return work_queue_.empty() && !work_running_ && inbox_.empty() &&
-         queue_in_.empty() && queue_out_.empty() && engine_inflight_ == 0;
+         queue_in_.empty() && queue_out_.empty() && engine_inflight_ == 0 &&
+         forward_stage_.empty() && wait_queue_.empty();
 }
 
 void AgentServer::BeginFence() {
-  std::lock_guard lock(mutex_);
-  fence_active_ = true;
+  {
+    std::lock_guard lock(mutex_);
+    fence_active_ = true;
+  }
+  // Credits must never deadlock a quiesce: force-emit every blocked
+  // frame (their retransmission loops take over) and flush the
+  // admission wait queue, so the drain the coordinator waits for can
+  // complete even against a peer that stopped granting.
+  Post([this]() -> std::size_t {
+    for (auto& [peer, link] : sender_links_) {
+      (void)link;
+      ReleaseBlocked(peer, /*force=*/true);
+    }
+    MaybeScheduleWaitDrainLocked();
+    return 0;
+  });
 }
 
 void AgentServer::LiftFence() {
@@ -1405,10 +1809,26 @@ AgentServer::FenceStatus AgentServer::fence_status() const {
   status.queue_in = queue_in_.size();
   status.holdback = HoldbackSizeLocked();
   status.inflight = engine_inflight_ + work_queue_.size() +
-                    inbox_.size() + (work_running_ ? 1 : 0);
+                    inbox_.size() + (work_running_ ? 1 : 0) +
+                    forward_stage_.size() + wait_queue_.size();
   status.drained = fence_active_ && status.queue_out == 0 &&
                    status.queue_in == 0 && status.holdback == 0 &&
                    status.inflight == 0;
+  return status;
+}
+
+AgentServer::FlowStatus AgentServer::flow_status() const {
+  std::lock_guard lock(mutex_);
+  FlowStatus status;
+  for (const auto& [peer, link] : sender_links_) {
+    (void)peer;
+    if (link.paused()) ++status.paused_links;
+    status.blocked_messages += link.blocked_count();
+    status.credits_outstanding += link.outstanding();
+  }
+  status.staged_forwards = forward_stage_.size();
+  status.wait_queue = wait_queue_.size();
+  status.dead_letters = stats_.dead_letters;
   return status;
 }
 

@@ -104,6 +104,9 @@
 #include "common/ids.h"
 #include "common/status.h"
 #include "domains/deployment.h"
+#include "flow/credits.h"
+#include "flow/dead_letter.h"
+#include "flow/drr.h"
 #include "mom/agent.h"
 #include "mom/message.h"
 #include "mom/store.h"
@@ -144,6 +147,13 @@ struct AgentServerOptions {
   // epoch are dropped unacknowledged.  Boot cross-checks the value
   // against the store's "epoch/current" record when one exists.
   std::uint64_t epoch = 0;
+  // End-to-end flow control and overload protection (src/flow): credit
+  // windows on server-to-server links, deficit-round-robin forwarding
+  // on routers (requires PersistMode::kIncremental), and engine
+  // admission control for local sends.  Enabled by default with
+  // watermarks generous enough to be invisible under nominal load;
+  // flow.enabled = false reproduces the historical unbounded behavior.
+  flow::FlowOptions flow;
 };
 
 // Power-of-two-bucketed histogram: bucket b counts samples in
@@ -197,6 +207,30 @@ struct ServerStats {
   std::uint64_t epoch_fenced_frames = 0;
   // SendMessage calls rejected while an epoch fence was up.
   std::uint64_t fenced_sends_rejected = 0;
+  // --- flow control (src/flow) ---------------------------------------
+  // First emissions delayed because the link's credit window was
+  // exhausted (each later released; never dropped).
+  std::uint64_t credit_blocked = 0;
+  // Replenish AckFrames carrying a grant but no message ids.
+  std::uint64_t credit_only_acks = 0;
+  // Liveness probes that force-emitted a blocked frame to solicit a
+  // fresh grant from a silent peer.
+  std::uint64_t credit_probes = 0;
+  // Deficit-round-robin forwarding: rounds walked and messages moved
+  // through the per-domain staging queues (router role only).
+  std::uint64_t drr_rounds = 0;
+  std::uint64_t drr_forwarded = 0;
+  std::uint64_t staged_forward_peak = 0;
+  // Engine admission: local sends parked on the bounded wait queue,
+  // and sends rejected with kOverloaded once it was full.
+  std::uint64_t sends_deferred = 0;
+  std::uint64_t sends_shed = 0;
+  std::uint64_t wait_queue_peak = 0;
+  // Messages retired to persistent dlq/ records (slow consumers).
+  std::uint64_t dead_letters = 0;
+  // Subset of transport_send_failures with a kOverloaded status (peer
+  // alive but shedding; distinct from disconnects).
+  std::uint64_t transport_overloads = 0;
   LogHistogram commit_bytes_hist;   // bytes per store commit
   LogHistogram engine_batch_hist;   // reactions per Engine work item
   LogHistogram channel_batch_hist;  // frames per Channel work item
@@ -269,6 +303,19 @@ class AgentServer {
   void BeginFence();
   void LiftFence();
   [[nodiscard]] FenceStatus fence_status() const;
+
+  // Snapshot of the flow-control state (src/flow): per-link credit
+  // gauges plus the staging/wait queue depths.  Tests, momtool and the
+  // flow bench read this to assert backlogs stay under the watermarks.
+  struct FlowStatus {
+    std::size_t paused_links = 0;        // links with blocked frames
+    std::size_t blocked_messages = 0;    // frames awaiting first emission
+    std::uint64_t credits_outstanding = 0;  // unused window over all links
+    std::size_t staged_forwards = 0;     // DRR staging queue depth
+    std::size_t wait_queue = 0;          // admission wait queue depth
+    std::uint64_t dead_letters = 0;
+  };
+  [[nodiscard]] FlowStatus flow_status() const;
 
   // Durably applies one control-plane record write (delete when `value`
   // is nullopt) through the server's own transaction pipeline, so it
@@ -349,7 +396,7 @@ class AgentServer {
   // Processes up to channel_batch inbox frames in one transaction.
   std::size_t DrainInbox();
   std::size_t ProcessDataFrame(ServerId from, DataFrame frame);
-  std::size_t ProcessAck(const AckFrame& ack);
+  std::size_t ProcessAck(ServerId from, const AckFrame& ack);
   // Delivers a checked frame: local QueueIN or forward.  Returns clock
   // entries touched.
   std::size_t CommitDelivery(DomainItem& item, DomainServerId src_local,
@@ -370,6 +417,47 @@ class AgentServer {
   // exponentially with the attempts already made (capped at 64x the
   // base timeout) so a backlogged peer is probed, not bombarded.
   void ScheduleRetransmit(MessageId id, std::uint32_t attempts_so_far);
+
+  // --- flow control (src/flow) ----------------------------------------
+  // Per-peer credit bookkeeping, created on first use.
+  [[nodiscard]] flow::CreditSenderLink& SenderLink(ServerId peer);
+  [[nodiscard]] flow::CreditReceiverLink& ReceiverLink(ServerId peer);
+  // Emits blocked frames toward `peer` while the window has headroom
+  // (or unconditionally when `force`: fence bypass).  Caller holds
+  // mutex_ inside a work item.  Returns frames released.
+  std::size_t ReleaseBlocked(ServerId peer, bool force);
+  // Arms the per-peer liveness probe: if the link toward `peer` is
+  // still paused when it fires, one blocked frame is force-emitted so
+  // the peer's ack (with a fresh cumulative grant) can reopen a window
+  // whose replenish ack was lost.  At most one armed per peer.
+  void ScheduleCreditProbe(ServerId peer);
+  // Backlog the receiver advertises against: everything accepted but
+  // not yet reacted to or forwarded on (QueueIN + in-flight reactions +
+  // held frames + DRR staging).
+  [[nodiscard]] std::size_t ReceiverBacklogLocked() const;
+  // Pushes credit-only acks to paused peers once the backlog has
+  // drained below the low watermark.  Caller holds mutex_ inside a
+  // work item.
+  void MaybeReplenishCredits();
+  // Router fair scheduling: parks a forwarded message in the per-source
+  // DRR staging queue, persisted under its fwd/ key in the SAME
+  // transaction as the delivery that produced it.  Incremental mode
+  // only.
+  void StageForward(DomainId source, Message message);
+  // Work item draining the DRR staging queue: stamps each released
+  // message toward its next hop and deletes its fwd/ key, one commit
+  // per batch.
+  std::size_t ForwardStep();
+  // Stamps EVERY staged forward immediately (no batching): the causal
+  // barrier local-origin sends need before they may be stamped.
+  std::size_t FlushForwardStageLocked();
+  // Engine admission: queues a wait-queue drain work item when backlog
+  // has fallen below the low threshold.  Caller holds mutex_.
+  void MaybeScheduleWaitDrainLocked();
+  std::size_t DrainWaitQueue();
+  // Persists one dead-letter record (staged into the current
+  // transaction).  Caller holds mutex_ inside a work item.
+  void RecordDeadLetter(std::string reason, const Message& original);
 
   // --- engine ----------------------------------------------------------
   std::size_t EngineStep();
@@ -392,6 +480,9 @@ class AgentServer {
     bool has_image = false;         // false when the agent was missing
     Bytes agent_image;              // EncodeState() after the reaction
     std::vector<PendingSend> sends;
+    // Messages the reaction shed (ReactionContext::DeadLetter);
+    // persisted as dlq/ records in the same group commit.
+    std::vector<flow::DeadLetterRecord> dead_letters;
   };
 
   // holdback_size() without taking mutex_ (receive-path internal use).
@@ -533,6 +624,26 @@ class AgentServer {
     std::uint64_t busy_ns = 0;
   };
   std::vector<WorkerStat> worker_stats_;  // guarded by results_mutex_
+
+  // --- flow control state (guarded by mutex_) -------------------------
+  std::unordered_map<ServerId, flow::CreditSenderLink> sender_links_;
+  std::unordered_map<ServerId, flow::CreditReceiverLink> receiver_links_;
+  // Peers with a liveness probe timer in flight.
+  std::unordered_set<ServerId> credit_probe_armed_;
+  // One forward staged by the DRR scheduler; `seq` is its fwd/ key
+  // suffix (and recovery order).
+  struct ForwardEntry {
+    std::uint64_t seq = 0;
+    Message message;
+  };
+  flow::DrrScheduler<ForwardEntry> forward_stage_;
+  bool forward_step_queued_ = false;
+  std::uint64_t next_fwd_seq_ = 1;
+  // Deferred local sends (ids already assigned; released in order).
+  std::deque<Message> wait_queue_;
+  bool wait_drain_queued_ = false;
+  // Next dlq/ key suffix; seeded from the store at Boot.
+  std::uint64_t next_dlq_seq_ = 1;
 
   ServerStats stats_;
 };

@@ -101,10 +101,13 @@ Result<DataFrame> DataFrame::Deserialize(std::span<const std::uint8_t> bytes) {
 
 Bytes AckFrame::Serialize() const {
   ByteWriter out;
-  out.Reserve(6 + 10 * messages.size());
+  out.Reserve(16 + 10 * messages.size());
   out.WriteU8(static_cast<std::uint8_t>(FrameType::kAck));
   out.WriteVarU32(static_cast<std::uint32_t>(messages.size()));
   for (const MessageId& id : messages) EncodeMessageId(out, id);
+  // Trailing flow-control section, gated on a flags byte.
+  out.WriteU8(has_credit ? 1 : 0);
+  if (has_credit) out.WriteVarU64(credit);
   return std::move(out).Take();
 }
 
@@ -138,6 +141,18 @@ Result<AckFrame> DeserializeAck(std::span<const std::uint8_t> bytes) {
     auto id = DecodeMessageId(in);
     if (!id.ok()) return id.status();
     ack.messages.push_back(id.value());
+  }
+  // Optional trailing flow-control section: frames from pre-flow
+  // encoders end here, so a missing flags byte just means "no credit".
+  if (!in.exhausted()) {
+    auto flags = in.ReadU8();
+    if (!flags.ok()) return flags.status();
+    if ((flags.value() & 1) != 0) {
+      auto credit = in.ReadVarU64();
+      if (!credit.ok()) return credit.status();
+      ack.has_credit = true;
+      ack.credit = credit.value();
+    }
   }
   return ack;
 }

@@ -63,8 +63,18 @@ struct DataFrame {
 
 struct AckFrame {
   // Every message accepted (delivered, held or recognized as duplicate)
-  // from one peer in one receive batch.  At least one entry.
+  // from one peer in one receive batch.  May be empty for a credit-only
+  // ack (a flow-control replenish carrying no acknowledgements).
   std::vector<MessageId> messages;
+
+  // Piggybacked flow-control grant: the CUMULATIVE number of frames the
+  // acking server is willing to have admitted on the (peer -> self)
+  // link (src/flow/credits.h).  Cumulative and monotone, so a lost or
+  // reordered ack never shrinks the sender's window.  Optional on the
+  // wire: a trailing flags byte distinguishes frames with and without
+  // it, so pre-flow frames decode unchanged.
+  bool has_credit = false;
+  std::uint64_t credit = 0;
 
   AckFrame() = default;
   explicit AckFrame(MessageId id) : messages{id} {}

@@ -138,8 +138,12 @@ class TcpEndpoint final : public Endpoint {
       Peer& peer = PeerFor(to);
       if (peer.outbox.size() >= options_.outbox_max_frames ||
           peer.outbox_bytes + wire_size > options_.outbox_max_bytes) {
+        // Backpressure, not failure: the peer link is alive but the
+        // caller is producing faster than the wire drains.  Distinct
+        // from kUnavailable (peer gone) so flow control can react by
+        // pausing instead of treating the link as down.
         ++stats_.frames_dropped;
-        return Status::Unavailable("outbox full for " + to_string(to));
+        return Status::Overloaded("outbox full for " + to_string(to));
       }
       // Frame into a retired wire buffer when one is pooled (its
       // capacity survives the clear), instead of allocating per send.

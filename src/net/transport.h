@@ -59,9 +59,10 @@ class Endpoint {
   // Queues `frame` for delivery to `to`.  Send is asynchronous and may
   // outlive the call; delivery is FIFO per (from, to) pair unless fault
   // injection is configured.  A supervised transport accepts frames
-  // while the link is down (bounded buffering) and returns Unavailable
-  // on overflow; unsupervised transports fail fast when `to` is
-  // unreachable.
+  // while the link is down (bounded buffering) and returns Overloaded
+  // on overflow -- the link is alive but saturated, so callers should
+  // back off and retry rather than declare the peer dead; unsupervised
+  // transports fail fast with Unavailable when `to` is unreachable.
   virtual Status Send(ServerId to, Bytes frame) = 0;
 
   // Installs the receive callback.  Must be set before any peer sends.

@@ -70,6 +70,11 @@ void QueueAgent::React(mom::ReactionContext& ctx,
     const Bytes task =
         EncodeTaskPayload(name.value(), body.value(), message.from);
     if (consumers_.empty()) {
+      if (max_depth_ != 0 && buffered_.size() >= max_depth_) {
+        ++dead_lettered_;
+        ctx.DeadLetter("queue depth limit", message);
+        return;
+      }
       buffered_.push_back(task);
     } else {
       Dispatch(ctx, task);
@@ -90,6 +95,7 @@ void QueueAgent::EncodeState(ByteWriter& out) const {
   for (const Bytes& task : buffered_) out.WriteBytes(task);
   out.WriteVarU64(next_consumer_);
   out.WriteVarU64(dispatched_);
+  out.WriteVarU64(dead_lettered_);
 }
 
 Status QueueAgent::DecodeState(ByteReader& in) {
@@ -117,6 +123,14 @@ Status QueueAgent::DecodeState(ByteReader& in) {
   auto dispatched = in.ReadVarU64();
   if (!dispatched.ok()) return dispatched.status();
   dispatched_ = dispatched.value();
+  // Absent in pre-flow state images; treat as zero.
+  if (in.exhausted()) {
+    dead_lettered_ = 0;
+    return Status::Ok();
+  }
+  auto dead = in.ReadVarU64();
+  if (!dead.ok()) return dead.status();
+  dead_lettered_ = dead.value();
   return Status::Ok();
 }
 

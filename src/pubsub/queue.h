@@ -32,6 +32,14 @@ inline constexpr const char* kQueueTask = "queue.task";
 
 class QueueAgent final : public mom::Agent {
  public:
+  // `max_depth` bounds the no-consumer buffer (slow-consumer policy):
+  // a put arriving with the buffer full is retired through
+  // ReactionContext::DeadLetter -- a persistent dlq/ record on servers
+  // that support it -- instead of growing memory without bound.  The
+  // default 0 keeps the historical unbounded behavior.
+  QueueAgent() = default;
+  explicit QueueAgent(std::size_t max_depth) : max_depth_(max_depth) {}
+
   void React(mom::ReactionContext& ctx, const mom::Message& message) override;
 
   [[nodiscard]] const std::vector<AgentId>& consumers() const {
@@ -39,6 +47,7 @@ class QueueAgent final : public mom::Agent {
   }
   [[nodiscard]] std::size_t buffered() const { return buffered_.size(); }
   [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
+  [[nodiscard]] std::uint64_t dead_lettered() const { return dead_lettered_; }
 
   void EncodeState(ByteWriter& out) const override;
   [[nodiscard]] Status DecodeState(ByteReader& in) override;
@@ -50,6 +59,8 @@ class QueueAgent final : public mom::Agent {
   std::deque<Bytes> buffered_;  // task payloads awaiting a consumer
   std::size_t next_consumer_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t dead_lettered_ = 0;
+  std::size_t max_depth_ = 0;  // configuration, not state; 0 = unbounded
 };
 
 // Client-side helpers (mirroring topic.h).

@@ -16,6 +16,7 @@ mom::AgentServerOptions SimHarness::ServerOptions() {
   server_options.engine_batch = options_.engine_batch;
   server_options.channel_batch = options_.channel_batch;
   server_options.engine_workers = options_.engine_workers;
+  server_options.flow = options_.flow;
   return server_options;
 }
 

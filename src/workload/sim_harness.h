@@ -51,6 +51,9 @@ struct SimHarnessOptions {
   // inline engine and bit-identical traces -- the knob exists here so
   // one workload config struct can drive both harnesses.
   std::size_t engine_workers = 0;
+  // Credit windows, fair forwarding and admission control, forwarded
+  // to every server (see flow::FlowOptions).
+  flow::FlowOptions flow;
 };
 
 class SimHarness {

@@ -20,6 +20,7 @@ mom::AgentServerOptions ThreadedHarness::ServerOptions(std::uint64_t epoch) {
   server_options.engine_batch = options_.engine_batch;
   server_options.channel_batch = options_.channel_batch;
   server_options.engine_workers = options_.engine_workers;
+  server_options.flow = options_.flow;
   server_options.epoch = epoch;
   return server_options;
 }

@@ -48,6 +48,10 @@ struct ThreadedHarnessOptions {
   // runtime supports real parallelism, so this is where the knob does
   // something; see AgentServerOptions::engine_workers.
   std::size_t engine_workers = 0;
+  // Credit windows, fair forwarding and admission control, forwarded
+  // to every server (see flow::FlowOptions).  Tests shrink the
+  // watermarks to force backpressure on small traffic volumes.
+  flow::FlowOptions flow;
 };
 
 class ThreadedHarness final : public control::ClusterHost {

@@ -156,6 +156,14 @@ TEST(Reconfig, SplitAndAddSurviveCrashDuringCutover) {
       harness.Send(ServerId(6), kSinkLocal, ServerId(1), kSinkLocal, kChat)
           .ok());
 
+  // Let the background thread observe the reopened bus at least once
+  // before stopping it: on a loaded machine the thread's few scheduler
+  // slices can all land inside the fence window, and the accepted>0
+  // assertion below would then race the OS rather than test recovery.
+  for (int i = 0; i < 5000 && accepted.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
   stop.store(true);
   traffic.join();
   harness.WaitQuiescent();

@@ -147,7 +147,11 @@ TEST(TcpNetwork, BuffersUntilPeerAppears) {
 // The outbox is bounded: overflow rejects the frame with Unavailable
 // (the Channel's retransmission owns recovery from there) and keeps
 // what was already buffered.
-TEST(TcpNetwork, OutboxOverflowReturnsUnavailable) {
+// Overflow is backpressure, not link death: the caller must be able to
+// tell "slow down" (kOverloaded, retry later) apart from "peer gone"
+// (kUnavailable) and "endpoint stopped" (kFailedPrecondition), because
+// flow control pauses on the former and supervision handles the rest.
+TEST(TcpNetwork, OutboxOverflowReturnsOverloaded) {
   TcpNetworkOptions options;
   options.outbox_max_frames = 4;
   TcpNetwork network(21300, options);
@@ -158,9 +162,16 @@ TEST(TcpNetwork, OutboxOverflowReturnsUnavailable) {
   }
   const Status status = a->Send(ServerId(1), Bytes{1});
   EXPECT_FALSE(status.ok());
-  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(status.code(), StatusCode::kOverloaded);
+  EXPECT_NE(status.code(), StatusCode::kUnavailable);
   EXPECT_GE(a->stats().frames_dropped, 1u);
   EXPECT_EQ(a->stats().outbox_frames, 4u);
+
+  // A disconnect does NOT surface as overload: the supervised link
+  // keeps buffering (below the cap) and reports success.
+  a->Disconnect(ServerId(1));
+  const Status after_disconnect = a->Send(ServerId(1), Bytes{1});
+  EXPECT_EQ(after_disconnect.code(), StatusCode::kOverloaded);  // still full
 }
 
 // Satellite: an endpoint restarted on the same port receives the

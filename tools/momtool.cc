@@ -30,6 +30,10 @@
 //                                         keys and bytes per key-space
 //                                         prefix, plus WAL/snapshot
 //                                         file sizes
+//   momtool dlq <dir>                     list a store's dead-letter
+//                                         records (messages shed by the
+//                                         slow-consumer policy): seq,
+//                                         reason, route and payload size
 //   momtool epoch <dir>                   print a store's config epoch
 //                                         records (current + pending)
 //   momtool epoch <dir> --cutover <id>    offline repair: apply the
@@ -45,6 +49,7 @@
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -58,6 +63,7 @@
 #include "domains/deployment.h"
 #include "domains/splitter.h"
 #include "domains/topologies.h"
+#include "flow/dead_letter.h"
 #include "mom/agent_server.h"
 #include "mom/file_store.h"
 #include "net/faulty_network.h"
@@ -298,6 +304,42 @@ void PrintServerCommitStats(ServerId id, const mom::ServerStats& stats) {
     }
     std::printf("\n");
   }
+  // Flow-control health: only printed when backpressure actually
+  // engaged, so un-throttled runs keep their historical output.
+  if (stats.credit_blocked > 0 || stats.sends_deferred > 0 ||
+      stats.sends_shed > 0 || stats.dead_letters > 0 ||
+      stats.drr_forwarded > 0 || stats.transport_overloads > 0) {
+    std::printf("S%u:   flow          blocked=%llu probes=%llu "
+                "credit-acks=%llu drr=%llu/%llur staged-peak=%llu "
+                "deferred=%llu shed=%llu wait-peak=%llu dlq=%llu "
+                "transport-overloads=%llu\n",
+                id.value(),
+                static_cast<unsigned long long>(stats.credit_blocked),
+                static_cast<unsigned long long>(stats.credit_probes),
+                static_cast<unsigned long long>(stats.credit_only_acks),
+                static_cast<unsigned long long>(stats.drr_forwarded),
+                static_cast<unsigned long long>(stats.drr_rounds),
+                static_cast<unsigned long long>(stats.staged_forward_peak),
+                static_cast<unsigned long long>(stats.sends_deferred),
+                static_cast<unsigned long long>(stats.sends_shed),
+                static_cast<unsigned long long>(stats.wait_queue_peak),
+                static_cast<unsigned long long>(stats.dead_letters),
+                static_cast<unsigned long long>(stats.transport_overloads));
+  }
+}
+
+// Prints the live credit/backpressure gauges of one server.
+void PrintFlowStatus(ServerId id, const mom::AgentServer::FlowStatus& flow) {
+  if (flow.paused_links == 0 && flow.blocked_messages == 0 &&
+      flow.wait_queue == 0 && flow.dead_letters == 0) {
+    return;
+  }
+  std::printf("S%u:   flow gauges   paused-links=%zu blocked=%zu "
+              "credits-out=%llu staged=%zu waiting=%zu dlq=%llu\n",
+              id.value(), flow.paused_links, flow.blocked_messages,
+              static_cast<unsigned long long>(flow.credits_outstanding),
+              flow.staged_forwards, flow.wait_queue,
+              static_cast<unsigned long long>(flow.dead_letters));
 }
 
 // Parses the value of `--flag` at argv[arg + 1], reporting a clear
@@ -449,6 +491,8 @@ int TcpSmoke(int argc, char** argv) {
   for (std::size_t i = 0; i < servers.size(); ++i) {
     PrintServerCommitStats(ServerId(static_cast<std::uint16_t>(i)),
                            servers[i]->stats());
+    PrintFlowStatus(ServerId(static_cast<std::uint16_t>(i)),
+                    servers[i]->flow_status());
   }
   if (faulty != nullptr) {
     const auto injected = faulty->stats();
@@ -518,6 +562,44 @@ int StoreStat(const std::string& dir) {
     std::printf("%-12s %s\n", name,
                 ec ? "absent" : (std::to_string(size) + " bytes").c_str());
   }
+  return 0;
+}
+
+// Lists the dead-letter records of one server's store: what the
+// slow-consumer policy shed, why, and where it was headed.  Records are
+// printed in retirement order (the key's fixed-width hex seq).
+int Dlq(const std::string& dir) {
+  auto store = mom::FileStore::Open(dir);
+  if (!store.ok()) return Fail(store.status());
+  std::size_t count = 0;
+  std::size_t payload_bytes = 0;
+  for (const std::string& key :
+       store.value()->Keys(flow::kDeadLetterKeyPrefix)) {
+    std::uint64_t seq = 0;
+    if (!flow::ParseDeadLetterKey(key, seq)) {
+      std::printf("%-20s  (malformed key)\n", key.c_str());
+      continue;
+    }
+    auto value = store.value()->Get(key);
+    if (!value.has_value()) continue;
+    auto record = flow::DeadLetterRecord::Deserialize(*value);
+    if (!record.ok()) {
+      std::printf("#%llu  (corrupt: %s)\n",
+                  static_cast<unsigned long long>(seq),
+                  record.status().to_string().c_str());
+      continue;
+    }
+    const flow::DeadLetterRecord& r = record.value();
+    std::ostringstream route;
+    route << r.id << ": " << r.from << " -> " << r.to;
+    std::printf("#%llu  %s  subject='%s' payload=%zuB  (%s)\n",
+                static_cast<unsigned long long>(seq), route.str().c_str(),
+                r.subject.c_str(), r.payload.size(), r.reason.c_str());
+    ++count;
+    payload_bytes += r.payload.size();
+  }
+  std::printf("%zu dead-lettered message%s, %zu payload bytes\n", count,
+              count == 1 ? "" : "s", payload_bytes);
   return 0;
 }
 
@@ -623,6 +705,9 @@ int main(int argc, char** argv) {
   if (argc == 3 && std::strcmp(argv[1], "storestat") == 0) {
     return StoreStat(argv[2]);
   }
+  if (argc == 3 && std::strcmp(argv[1], "dlq") == 0) {
+    return Dlq(argv[2]);
+  }
   if (argc >= 3 && std::strcmp(argv[1], "epoch") == 0) {
     return EpochCmd(argc - 2, argv + 2);
   }
@@ -636,6 +721,7 @@ int main(int argc, char** argv) {
                "  momtool tcpsmoke <servers> <pings> [--base-port P] "
                "[--workers N] [--drop p] [--dup p] [--disc p] [--seed s]\n"
                "  momtool storestat <store-dir>\n"
+               "  momtool dlq <store-dir>\n"
                "  momtool epoch <store-dir> [--cutover <server-id>]\n");
   return 2;
 }
