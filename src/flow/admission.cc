@@ -19,9 +19,16 @@ Priority ClassifyPriority(std::string_view subject) {
 
 Admission AdmitSend(Priority priority, std::size_t engine_backlog,
                     std::size_t out_backlog, std::size_t wait_queue_depth,
-                    bool deferring, const FlowOptions& options) {
-  if (!options.enabled || priority == Priority::kControl) {
-    return Admission::kAdmit;
+                    bool deferring, bool sender_has_deferred,
+                    const FlowOptions& options) {
+  if (!options.enabled) return Admission::kAdmit;
+  if (priority == Priority::kControl) {
+    // Control goes through overload, but not AROUND the same agent's
+    // parked sends: ids are assigned in call order, yet stamping order
+    // is what carries causal order, so jumping the queue would apply
+    // one producer's sends out of order.  It defers behind them --
+    // exempt from the wait-queue cap, delayed but never shed.
+    return sender_has_deferred ? Admission::kDefer : Admission::kAdmit;
   }
   const bool over = engine_backlog >= options.engine_admit_high ||
                     out_backlog >= options.out_admit_high;

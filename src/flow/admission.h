@@ -8,9 +8,15 @@
 //
 // Two classes:
 //   kControl  -- fence/epoch traffic and pubsub control subjects
-//                (subscribe, listen, ignore).  Always admitted: quiesce
-//                must be able to drain a saturated server, and dropping
-//                a subscription request wedges the application forever.
+//                (subscribe, listen, ignore).  Never shed: quiesce must
+//                be able to drain a saturated server, and dropping a
+//                subscription request wedges the application forever.
+//                Admitted immediately UNLESS the same agent already has
+//                data sends parked on the wait queue -- then the
+//                control send queues behind them (exempt from the depth
+//                cap), because admitting it would process one
+//                producer's sends out of call order (e.g. an
+//                unsubscribe overtaking the publish that preceded it).
 //   kData     -- everything else.  Deferred to a bounded wait queue
 //                when the engine or QueueOUT backlog crosses the high
 //                threshold, re-admitted in FIFO order once it falls
@@ -42,10 +48,14 @@ enum class Admission {
 // Pure decision function over the server's current backlog gauges.
 // `deferring` latches hysteresis: once sends are being deferred, new
 // data sends keep deferring (preserving FIFO among data sends) until
-// the wait queue has fully drained.
+// the wait queue has fully drained.  `sender_has_deferred` reports
+// whether the sending agent already has sends parked on the wait
+// queue; a control send then defers behind them (never rejects) so
+// per-sender processing order survives overload.
 [[nodiscard]] Admission AdmitSend(Priority priority, std::size_t engine_backlog,
                                   std::size_t out_backlog,
                                   std::size_t wait_queue_depth, bool deferring,
+                                  bool sender_has_deferred,
                                   const FlowOptions& options);
 
 // True once backlog has drained enough to start releasing the wait

@@ -31,10 +31,29 @@
 // exists to solicit a fresh ack -- is closed by the Channel's credit
 // probe timer (see agent_server.h), which force-emits the head blocked
 // frame after a timeout.
+//
+// Restart renegotiation: the counters are in-memory but coupled across
+// processes, so a peer restart would desynchronize them -- a restarted
+// receiver counts accepted frames from zero and its grants would sit
+// far below the surviving sender's limit (wedging the link at one
+// probe-emitted frame per timeout), while a restarted sender counting
+// admissions from zero against a receiver's large cumulative grant
+// would see an effectively unbounded window.  Each server therefore
+// carries a durable, monotone per-boot incarnation (a boot counter in
+// its meta record): data frames are tagged with the sender's
+// incarnation and ack trailers carry the receiver's incarnation plus an
+// echo of the sender incarnation the grant was computed against.  A
+// grant whose session is NEW (SessionGrant) replaces the limit instead
+// of being max'd and restarts admission counting; a receiver observing
+// a new sender incarnation (ObserveSession) restarts its accepted
+// counting; grants echoing a stale sender incarnation are ignored by
+// the Channel.  Incarnations are monotone, so reordered frames from an
+// older incarnation can never roll a link back.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <unordered_set>
 
 #include "common/ids.h"
 
@@ -84,13 +103,36 @@ class CreditSenderLink {
   void Admit() { ++admitted_; }
 
   // Queues a message whose first emission must wait for credit.
-  void Block(MessageId id) { blocked_.push_back(id); }
+  void Block(MessageId id) {
+    blocked_.push_back(id);
+    blocked_ids_.insert(id);
+  }
 
   // Applies a cumulative grant from the peer.  Grants are taken
   // monotonically (max), so reordered or duplicated acks are harmless.
   // Returns true when the update opened headroom for blocked frames.
   bool Grant(std::uint64_t granted) {
     if (granted <= limit_) return false;
+    limit_ = granted;
+    return !blocked_.empty() && admitted_ < limit_;
+  }
+
+  // Applies a grant tagged with the peer's incarnation.  Within one
+  // incarnation this is the plain monotone Grant; a HIGHER incarnation
+  // means the receiver restarted and its cumulative numbering started
+  // over, so the grant replaces the limit outright and admission
+  // counting restarts (the blocked queue is untouched: those frames
+  // still await their first emission).  A LOWER incarnation is a
+  // reordered straggler from a dead peer and is ignored.  Returns true
+  // when the update opened headroom for blocked frames.
+  bool SessionGrant(std::uint64_t session, std::uint64_t granted) {
+    if (session < peer_session_) return false;  // stale incarnation
+    if (session == peer_session_) return Grant(granted);
+    // First contact keeps admitted_: frames emitted under the assumed
+    // initial credit are part of this incarnation pair's numbering.  A
+    // true restart (session change) starts the count over.
+    if (peer_session_ != 0) admitted_ = 0;
+    peer_session_ = session;
     limit_ = granted;
     return !blocked_.empty() && admitted_ < limit_;
   }
@@ -102,6 +144,7 @@ class CreditSenderLink {
     if (blocked_.empty() || admitted_ >= limit_) return false;
     out = blocked_.front();
     blocked_.pop_front();
+    blocked_ids_.erase(out);
     return true;
   }
 
@@ -111,13 +154,16 @@ class CreditSenderLink {
     if (blocked_.empty()) return false;
     out = blocked_.front();
     blocked_.pop_front();
+    blocked_ids_.erase(out);
     return true;
   }
 
   // Drops a message from the blocked queue (it was acknowledged or
   // otherwise retired before its first emission -- e.g. an epoch
-  // straggler acked by a recovered peer).
+  // straggler acked by a recovered peer).  O(1) for the common case of
+  // an id that was never blocked (every ack retirement calls this).
   void Forget(MessageId id) {
+    if (blocked_ids_.erase(id) == 0) return;
     for (auto it = blocked_.begin(); it != blocked_.end(); ++it) {
       if (*it == id) {
         blocked_.erase(it);
@@ -132,15 +178,20 @@ class CreditSenderLink {
   [[nodiscard]] std::size_t blocked_count() const { return blocked_.size(); }
   [[nodiscard]] std::uint64_t admitted() const { return admitted_; }
   [[nodiscard]] std::uint64_t limit() const { return limit_; }
+  [[nodiscard]] std::uint64_t peer_session() const { return peer_session_; }
   // Headroom still usable (credits outstanding toward this peer).
   [[nodiscard]] std::uint64_t outstanding() const {
     return limit_ > admitted_ ? limit_ - admitted_ : 0;
   }
 
  private:
-  std::uint64_t limit_;          // max cumulative grant seen
-  std::uint64_t admitted_ = 0;   // frames first-emitted on this link
+  std::uint64_t limit_;          // max cumulative grant seen this session
+  std::uint64_t admitted_ = 0;   // frames first-emitted this session
+  std::uint64_t peer_session_ = 0;  // receiver incarnation (0 = unknown)
   std::deque<MessageId> blocked_;  // QueueOUT entries awaiting credit
+  // Membership index over blocked_ so retirement (Forget) is O(1) for
+  // ids that were never blocked -- the overwhelmingly common case.
+  std::unordered_set<MessageId> blocked_ids_;
 };
 
 // Receiver half of one (peer -> self) link.
@@ -151,6 +202,21 @@ class CreditReceiverLink {
 
   // Records one accepted frame (delivered or held; not a duplicate).
   void Accept() { ++accepted_; }
+
+  // Notes the sender incarnation stamped on an incoming data frame.  A
+  // HIGHER incarnation means the sender restarted and counts its
+  // admissions from zero again, so the accepted count (and the
+  // advertisement monotonicity that rides on it) starts over to keep
+  // both ends in one numbering.  Lower (reordered stragglers from the
+  // dead incarnation) and equal values are no-ops.
+  void ObserveSession(std::uint64_t session) {
+    if (session <= sender_session_) return;
+    if (sender_session_ != 0) {
+      accepted_ = 0;
+      advertised_ = 0;
+    }
+    sender_session_ = session;
+  }
 
   // Computes the next cumulative grant for the current backlog.  The
   // result is monotone (never below a previous advertisement).
@@ -172,10 +238,14 @@ class CreditReceiverLink {
 
   [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
   [[nodiscard]] std::uint64_t advertised() const { return advertised_; }
+  [[nodiscard]] std::uint64_t sender_session() const {
+    return sender_session_;
+  }
 
  private:
-  std::uint64_t accepted_ = 0;    // frames accepted from this peer
+  std::uint64_t accepted_ = 0;    // frames accepted this sender session
   std::uint64_t advertised_ = 0;  // last cumulative grant sent
+  std::uint64_t sender_session_ = 0;  // sender incarnation (0 = unknown)
 };
 
 }  // namespace cmom::flow

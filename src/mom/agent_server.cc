@@ -309,7 +309,7 @@ Status AgentServer::Boot() {
   Post([this]() -> std::size_t {
     for (const OutEntry& entry : queue_out_) {
       DataFrame frame{entry.message, entry.domain, entry.stamp,
-                      options_.epoch};
+                      options_.epoch, incarnation_};
       EmitFrame(entry.next_hop, frame.Serialize());
       ScheduleRetransmit(entry.message.id, 0);
     }
@@ -517,6 +517,15 @@ std::size_t AgentServer::ProcessDataFrame(ServerId from, DataFrame frame) {
     return 0;
   }
 
+  // Restart detection (src/flow): a higher sender incarnation means the
+  // peer rebooted and counts its credit admissions from zero, so our
+  // accepted/advertised numbering restarts with it.  Observed for every
+  // frame -- duplicates included -- so the ack echo below always names
+  // the incarnation the grant was computed against.
+  if (options_.flow.enabled && frame.incarnation != 0) {
+    ReceiverLink(from).ObserveSession(frame.incarnation);
+  }
+
   const MessageId message_id = frame.message.id;
   std::size_t entries = 0;
   switch (item->clock.Check(*src_local, frame.stamp)) {
@@ -553,6 +562,10 @@ std::size_t AgentServer::ProcessDataFrame(ServerId from, DataFrame frame) {
       ++stats_.duplicates_dropped;
       break;  // already durable; just re-acknowledge
     }
+  }
+  if (options_.flow.enabled) {
+    stats_.backlog_peak =
+        std::max<std::uint64_t>(stats_.backlog_peak, ReceiverBacklogLocked());
   }
   StageAck(from, message_id);
   return entries;
@@ -610,17 +623,36 @@ std::size_t AgentServer::ProcessAck(ServerId from, const AckFrame& ack) {
   for (const MessageId& id : ack.messages) {
     auto it = queue_out_index_.find(id);
     if (it == queue_out_index_.end()) continue;  // duplicate ack
+    if (options_.flow.enabled) {
+      // A frame retired before its first emission (e.g. an epoch
+      // straggler acked by a recovered peer) must leave the blocked
+      // queue too, or it would wedge CanAdmit at the queue head.
+      auto link = sender_links_.find(it->second->next_hop);
+      if (link != sender_links_.end()) link->second.Forget(id);
+    }
     EraseOutEntry(*it->second);
     queue_out_.erase(it->second);
     queue_out_index_.erase(it);
     commit_needed_ = true;
   }
   if (options_.flow.enabled && ack.has_credit) {
-    // Cumulative grant: taken monotonically, so lost or reordered acks
-    // only delay the window, never shrink or wedge it.
-    if (SenderLink(from).Grant(ack.credit)) {
-      ReleaseBlocked(from, /*force=*/false);
+    bool opened = false;
+    if (ack.has_session) {
+      // A grant computed against a previous incarnation of THIS server
+      // is numbered for a dead admission count -- adopting it after a
+      // reboot would hand this link an effectively unbounded window.
+      // Dropped; retransmissions (or the credit probe) solicit a fresh
+      // grant once the peer has seen a frame from this incarnation.
+      if (ack.echo == incarnation_ &&
+          SenderLink(from).SessionGrant(ack.session, ack.credit)) {
+        opened = true;
+      }
+    } else if (SenderLink(from).Grant(ack.credit)) {
+      // Sessionless grant (pre-session peer): taken monotonically, so
+      // lost or reordered acks only delay the window, never shrink it.
+      opened = true;
     }
+    if (opened) ReleaseBlocked(from, /*force=*/false);
   }
   return 0;
 }
@@ -643,9 +675,13 @@ void AgentServer::FlushStagedAcks() {
     if (options_.flow.enabled) {
       // Piggyback the current cumulative grant on every ack; the
       // receiver-side counters make this idempotent.
+      flow::CreditReceiverLink& link = ReceiverLink(peer);
       ack.has_credit = true;
-      ack.credit = ReceiverLink(peer).ComputeGrant(
-          ReceiverBacklogLocked(), options_.flow.high_watermark);
+      ack.credit = link.ComputeGrant(ReceiverBacklogLocked(),
+                                     options_.flow.high_watermark);
+      ack.has_session = true;
+      ack.session = incarnation_;
+      ack.echo = link.sender_session();
     }
     EmitFrame(peer, ack.Serialize());
   }
@@ -684,17 +720,32 @@ Result<MessageId> AgentServer::SendMessage(AgentId from, AgentId to,
       ++stats_.fenced_sends_rejected;
       return Status::Unavailable("sends fenced for reconfiguration");
     }
-    // Engine admission (src/flow): control-class subjects always pass;
-    // data sends are parked on the bounded wait queue while the engine
-    // or QueueOUT backlog is over the high threshold, and rejected with
-    // kOverloaded once the wait queue is full.  Deferral happens AFTER
-    // id assignment -- the send is accepted, only its processing is
-    // delayed, so ids stay in call order and exactly-once accounting
-    // sees one send.  Agent reaction sends never pass through here:
-    // they are part of an atomic reaction and must not be shed.
+    // Engine admission (src/flow): control-class subjects are never
+    // shed; data sends are parked on the bounded wait queue while the
+    // engine or QueueOUT backlog is over the high threshold, and
+    // rejected with kOverloaded once the wait queue is full.  Deferral
+    // happens AFTER id assignment -- the send is accepted, only its
+    // processing is delayed, so ids stay in call order and exactly-once
+    // accounting sees one send.  A control send from an agent whose
+    // earlier data sends sit on the wait queue defers BEHIND them
+    // (exempt from the depth cap): stamping order carries causal order,
+    // so admitting it would apply one producer's sends out of call
+    // order (e.g. an unsubscribe overtaking its preceding publish).
+    // Agent reaction sends never pass through here: they are part of an
+    // atomic reaction and must not be shed.
+    const flow::Priority priority = flow::ClassifyPriority(subject);
+    bool sender_has_deferred = false;
+    if (priority == flow::Priority::kControl && !wait_queue_.empty()) {
+      for (const Message& waiting : wait_queue_) {
+        if (waiting.from == from) {
+          sender_has_deferred = true;
+          break;
+        }
+      }
+    }
     const flow::Admission decision = flow::AdmitSend(
-        flow::ClassifyPriority(subject), queue_in_.size() + engine_inflight_,
-        queue_out_.size(), wait_queue_.size(), !wait_queue_.empty(),
+        priority, queue_in_.size() + engine_inflight_, queue_out_.size(),
+        wait_queue_.size(), !wait_queue_.empty(), sender_has_deferred,
         options_.flow);
     if (decision == flow::Admission::kReject) {
       ++stats_.sends_shed;
@@ -779,6 +830,13 @@ std::size_t AgentServer::StampAndEnqueue(Message message) {
   queue_out_.push_back(std::move(entry));
   queue_out_index_.emplace(id, std::prev(queue_out_.end()));
 
+  // During recovery (the full-image downgrade fold runs before Boot
+  // finishes) the Boot resume pass owns emission and retransmission for
+  // every QueueOUT entry: emitting or credit-gating here would
+  // double-emit whatever a later grant releases and skew the admitted
+  // accounting, so the entry just lands in the queue.
+  if (!booted_) return entries;
+
   // Credit gate (src/flow): only the FIRST emission consumes a credit.
   // A blocked message is already stamped and durable in QueueOUT -- the
   // pause is indistinguishable from a slow network, so causal order and
@@ -797,7 +855,8 @@ std::size_t AgentServer::StampAndEnqueue(Message message) {
     link.Admit();
   }
   const OutEntry& stored = queue_out_.back();
-  DataFrame frame{stored.message, stored.domain, stored.stamp, options_.epoch};
+  DataFrame frame{stored.message, stored.domain, stored.stamp,
+                  options_.epoch, incarnation_};
   EmitFrame(hop, frame.Serialize());
   ScheduleRetransmit(id, 0);
   return entries;
@@ -827,7 +886,7 @@ void AgentServer::ScheduleRetransmit(MessageId id,
       ++entry.attempts;
       ++stats_.retransmissions;
       DataFrame frame{entry.message, entry.domain, entry.stamp,
-                      options_.epoch};
+                      options_.epoch, incarnation_};
       EmitFrame(entry.next_hop, frame.Serialize());
       ScheduleRetransmit(id, entry.attempts);
       return 0;
@@ -872,7 +931,8 @@ std::size_t AgentServer::ReleaseBlocked(ServerId peer, bool force) {
     if (qit == queue_out_index_.end()) continue;  // retired before emission
     link.Admit();
     OutEntry& entry = *qit->second;
-    DataFrame frame{entry.message, entry.domain, entry.stamp, options_.epoch};
+    DataFrame frame{entry.message, entry.domain, entry.stamp, options_.epoch,
+                    incarnation_};
     EmitFrame(entry.next_hop, frame.Serialize());
     ScheduleRetransmit(id, entry.attempts);
     ++released;
@@ -902,7 +962,7 @@ void AgentServer::ScheduleCreditProbe(ServerId peer) {
         it->second.Admit();
         OutEntry& entry = *qit->second;
         DataFrame frame{entry.message, entry.domain, entry.stamp,
-                        options_.epoch};
+                        options_.epoch, incarnation_};
         EmitFrame(entry.next_hop, frame.Serialize());
         ScheduleRetransmit(id, entry.attempts);
         break;  // one frame per probe: solicit, don't flood
@@ -937,6 +997,9 @@ void AgentServer::MaybeReplenishCredits() {
     AckFrame ack;
     ack.has_credit = true;
     ack.credit = grant;
+    ack.has_session = true;
+    ack.session = incarnation_;
+    ack.echo = link.sender_session();
     ++stats_.ack_frames_sent;
     EmitFrame(peer, ack.Serialize());
   }
@@ -1290,6 +1353,7 @@ void AgentServer::PersistMeta() {
   if (!meta_dirty_) return;
   ByteWriter out;
   out.WriteVarU64(next_msg_seq_);
+  out.WriteVarU64(incarnation_);  // boot counter (flow restart detection)
   StorePut(kMetaKey, std::move(out).Take());
   meta_dirty_ = false;
 }
@@ -1437,6 +1501,7 @@ Status AgentServer::RecoverLocked() {
   auto meta = store_->Get(kMetaKey);
   if (!meta.has_value()) {
     // Fresh server: write the initial durable image.
+    incarnation_ = 1;
     meta_dirty_ = true;
     if (incremental()) PersistClocks(/*force=*/true);
     CommitLocked();
@@ -1447,6 +1512,18 @@ Status AgentServer::RecoverLocked() {
     auto seq = in.ReadVarU64();
     if (!seq.ok()) return seq.status();
     next_msg_seq_ = seq.value();
+    // Boot counter; absent in pre-flow meta records.  Bumping it -- and
+    // committing the bump below, before any frame leaves -- is what
+    // lets peers distinguish this incarnation's credit numbering from
+    // the previous life's (src/flow/credits.h).
+    std::uint64_t boots = 0;
+    if (!in.exhausted()) {
+      auto stored = in.ReadVarU64();
+      if (!stored.ok()) return stored.status();
+      boots = stored.value();
+    }
+    incarnation_ = boots + 1;
+    meta_dirty_ = true;
   }
 
   const bool legacy_present = store_->Get(kLegacyClocksKey).has_value() ||
@@ -1484,6 +1561,9 @@ Status AgentServer::RecoverLocked() {
       CMOM_RETURN_IF_ERROR(agent->DecodeState(in));
     }
   }
+  // Make the incarnation bump durable before Boot emits any frame (the
+  // downgrade path above may have committed it already).
+  if (meta_dirty_) CommitLocked();
   return Status::Ok();
 }
 

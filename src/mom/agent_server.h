@@ -216,6 +216,11 @@ struct ServerStats {
   // Liveness probes that force-emitted a blocked frame to solicit a
   // fresh grant from a silent peer.
   std::uint64_t credit_probes = 0;
+  // High-water of the receiver backlog (see ReceiverBacklogLocked)
+  // observed while accepting remote frames.  Effective credit pacing
+  // bounds it near high_watermark + in-flight slack; a runaway value
+  // means a peer's window escaped the grant discipline.
+  std::uint64_t backlog_peak = 0;
   // Deficit-round-robin forwarding: rounds walked and messages moved
   // through the per-domain staging queues (router role only).
   std::uint64_t drr_rounds = 0;
@@ -592,6 +597,12 @@ class AgentServer {
   std::deque<InEntry> queue_in_;
   std::unordered_map<std::uint32_t, std::unique_ptr<Agent>> agents_;
   std::uint64_t next_msg_seq_ = 1;
+  // Durable boot counter (part of the meta record), bumped and
+  // committed by every Boot.  Tags outgoing data frames and ack credit
+  // trailers so peers can tell a restarted incarnation of this server
+  // from its previous life and renegotiate per-link credit state
+  // (src/flow/credits.h).  Monotone >= 1 on a booted server.
+  std::uint64_t incarnation_ = 0;
   bool meta_dirty_ = false;
   // Key-suffix / ordering counters for the per-entry schema (volatile;
   // re-derived from the recovered entries on Boot).

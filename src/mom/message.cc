@@ -71,6 +71,9 @@ Bytes DataFrame::Serialize() const {
   out.WriteU16(domain.value());
   out.WriteVarU64(epoch);
   stamp.Encode(out);
+  // Optional trailer (flow restart detection): 0 = absent, keeping the
+  // pre-flow layout byte-identical for incarnation-less frames.
+  if (incarnation != 0) out.WriteVarU64(incarnation);
   return std::move(out).Take();
 }
 
@@ -96,6 +99,13 @@ Result<DataFrame> DataFrame::Deserialize(std::span<const std::uint8_t> bytes) {
   frame.domain = DomainId(domain.value());
   frame.stamp = std::move(stamp).value();
   frame.epoch = epoch.value();
+  // Pre-flow frames end at the stamp; a present trailer is the sender's
+  // boot incarnation.
+  if (!in.exhausted()) {
+    auto incarnation = in.ReadVarU64();
+    if (!incarnation.ok()) return incarnation.status();
+    frame.incarnation = incarnation.value();
+  }
   return frame;
 }
 
@@ -105,9 +115,15 @@ Bytes AckFrame::Serialize() const {
   out.WriteU8(static_cast<std::uint8_t>(FrameType::kAck));
   out.WriteVarU32(static_cast<std::uint32_t>(messages.size()));
   for (const MessageId& id : messages) EncodeMessageId(out, id);
-  // Trailing flow-control section, gated on a flags byte.
-  out.WriteU8(has_credit ? 1 : 0);
+  // Trailing flow-control section, gated on a flags byte: bit 0 the
+  // cumulative grant, bit 1 the restart-renegotiation session/echo pair.
+  out.WriteU8(static_cast<std::uint8_t>((has_credit ? 1 : 0) |
+                                        (has_session ? 2 : 0)));
   if (has_credit) out.WriteVarU64(credit);
+  if (has_session) {
+    out.WriteVarU64(session);
+    out.WriteVarU64(echo);
+  }
   return std::move(out).Take();
 }
 
@@ -152,6 +168,15 @@ Result<AckFrame> DeserializeAck(std::span<const std::uint8_t> bytes) {
       if (!credit.ok()) return credit.status();
       ack.has_credit = true;
       ack.credit = credit.value();
+    }
+    if ((flags.value() & 2) != 0) {
+      auto session = in.ReadVarU64();
+      if (!session.ok()) return session.status();
+      auto echo = in.ReadVarU64();
+      if (!echo.ok()) return echo.status();
+      ack.has_session = true;
+      ack.session = session.value();
+      ack.echo = echo.value();
     }
   }
   return ack;

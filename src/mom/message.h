@@ -50,6 +50,13 @@ struct DataFrame {
   // The sender (re-fenced to the same epoch, or crashed back to it)
   // retransmits under matching coordinates.
   std::uint64_t epoch = 0;
+  // Sender boot incarnation (durable, monotone boot counter; >= 1 on
+  // every live server).  Flow control uses it to detect a restarted
+  // sender whose credit admission count started over
+  // (CreditReceiverLink::ObserveSession).  Encoded as an optional
+  // trailing varint: 0 means "absent" and is never written, so pre-flow
+  // frames (and stores holding them) decode unchanged.
+  std::uint64_t incarnation = 0;
 
   friend bool operator==(const DataFrame&, const DataFrame&) = default;
 
@@ -75,6 +82,17 @@ struct AckFrame {
   // it, so pre-flow frames decode unchanged.
   bool has_credit = false;
   std::uint64_t credit = 0;
+
+  // Restart-renegotiation pair riding with the grant (flags bit 1):
+  // `session` is the acking server's own boot incarnation -- a change
+  // tells the sender to adopt the grant absolutely and restart its
+  // admission count (CreditSenderLink::SessionGrant) -- and `echo` is
+  // the sender incarnation the receiver computed the grant against, so
+  // a freshly rebooted sender can discard grants still numbered for its
+  // previous life.
+  bool has_session = false;
+  std::uint64_t session = 0;
+  std::uint64_t echo = 0;
 
   AckFrame() = default;
   explicit AckFrame(MessageId id) : messages{id} {}

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -122,6 +123,93 @@ TEST(Credits, ForgetDropsARetiredBlockedFrame) {
   EXPECT_EQ(out.seq, 2u);
 }
 
+TEST(Credits, SessionGrantFirstContactAdoptsAbsolutelyKeepingAdmitted) {
+  // First grant from a peer this boot (peer_session 0 -> S): the grant
+  // replaces the assumed initial credit outright -- the receiver's
+  // numbering is authoritative -- but admitted_ is kept, because the
+  // frames emitted under the initial credit belong to this incarnation
+  // pair's count.
+  CreditSenderLink link(/*initial_credit=*/4);
+  for (int i = 0; i < 3; ++i) link.Admit();
+  EXPECT_FALSE(link.SessionGrant(/*session=*/7, /*granted=*/2));
+  EXPECT_EQ(link.peer_session(), 7u);
+  EXPECT_EQ(link.limit(), 2u);  // absolute adopt, below initial credit
+  EXPECT_EQ(link.admitted(), 3u);
+  EXPECT_FALSE(link.CanAdmit());  // 3 admitted >= limit 2: backpressure
+  // Same session afterwards: plain monotone grants.
+  EXPECT_FALSE(link.SessionGrant(7, 1));  // stale value, no-op
+  EXPECT_EQ(link.limit(), 2u);
+  link.Block(MessageId{ServerId(1), 9});
+  EXPECT_TRUE(link.SessionGrant(7, 5));
+  EXPECT_EQ(link.limit(), 5u);
+}
+
+TEST(Credits, SessionGrantRebasesOnReceiverRestart) {
+  // The receiver restarted: its accepted count (and so its cumulative
+  // grants) starts over far below the old numbering.  A max-taken grant
+  // would wedge the link; the new session's grant must replace the
+  // limit and restart admission counting.
+  CreditSenderLink link(/*initial_credit=*/4);
+  ASSERT_FALSE(link.SessionGrant(/*session=*/3, /*granted=*/1000));
+  for (int i = 0; i < 900; ++i) link.Admit();
+  link.Block(MessageId{ServerId(2), 1});
+
+  // New incarnation grants a small cumulative value.
+  EXPECT_TRUE(link.SessionGrant(/*session=*/4, /*granted=*/8));
+  EXPECT_EQ(link.peer_session(), 4u);
+  EXPECT_EQ(link.limit(), 8u);
+  EXPECT_EQ(link.admitted(), 0u);  // counting restarted
+  MessageId out;
+  EXPECT_TRUE(link.NextReleasable(out));  // link is live again
+
+  // A reordered straggler grant from the dead incarnation is ignored:
+  // incarnations are monotone, so it can never roll the link back.
+  EXPECT_FALSE(link.SessionGrant(/*session=*/3, /*granted=*/2000));
+  EXPECT_EQ(link.peer_session(), 4u);
+  EXPECT_EQ(link.limit(), 8u);
+}
+
+TEST(Credits, ForgetIsO1ForNeverBlockedIds) {
+  // Every ack retirement calls Forget; ids that were never blocked (the
+  // overwhelmingly common case) must not scan the blocked queue.  The
+  // membership index keeps the queue and set in sync across every
+  // release path.
+  CreditSenderLink link(0);
+  link.Block(MessageId{ServerId(4), 1});
+  link.Block(MessageId{ServerId(4), 2});
+  link.Forget(MessageId{ServerId(4), 99});  // never blocked: no-op
+  EXPECT_EQ(link.blocked_count(), 2u);
+  MessageId out;
+  ASSERT_TRUE(link.ForceRelease(out));
+  link.Forget(out);  // already released: no-op
+  EXPECT_EQ(link.blocked_count(), 1u);
+  link.Forget(MessageId{ServerId(4), 2});
+  EXPECT_EQ(link.blocked_count(), 0u);
+}
+
+TEST(Credits, ReceiverObserveSessionRestartsCountingOnSenderReboot) {
+  CreditReceiverLink link(/*initial_credit=*/4);
+  link.ObserveSession(5);
+  EXPECT_EQ(link.sender_session(), 5u);
+  // First observation keeps the initial advertisement assumption.
+  EXPECT_EQ(link.advertised(), 4u);
+  for (int i = 0; i < 10; ++i) link.Accept();
+  EXPECT_EQ(link.ComputeGrant(/*backlog=*/0, /*high_watermark=*/8), 18u);
+
+  // Stragglers from the dead incarnation are no-ops.
+  link.ObserveSession(4);
+  EXPECT_EQ(link.sender_session(), 5u);
+  EXPECT_EQ(link.accepted(), 10u);
+
+  // The sender rebooted: it admits from zero, so accepted and the
+  // advertisement monotonicity start over -- the next grant is window-
+  // sized instead of being pinned at the old cumulative high-water.
+  link.ObserveSession(6);
+  EXPECT_EQ(link.sender_session(), 6u);
+  EXPECT_EQ(link.accepted(), 0u);
+  EXPECT_EQ(link.ComputeGrant(/*backlog=*/0, /*high_watermark=*/8), 8u);
+}
+
 TEST(Credits, ReceiverGrantTracksBacklogAndStaysMonotone) {
   CreditReceiverLink link(4);
   EXPECT_EQ(link.advertised(), 4u);
@@ -230,8 +318,27 @@ TEST(Admission, ControlSubjectsAlwaysAdmit) {
   options.wait_queue_max = 2;
   // Control is admitted even over every threshold with a full wait
   // queue: quiesce must be able to drain a saturated server.
-  EXPECT_EQ(flow::AdmitSend(Priority::kControl, 100, 100, 2, true, options),
+  EXPECT_EQ(flow::AdmitSend(Priority::kControl, 100, 100, 2, true,
+                            /*sender_has_deferred=*/false, options),
             Admission::kAdmit);
+}
+
+TEST(Admission, ControlDefersBehindTheSameAgentsParkedSends) {
+  FlowOptions options;
+  options.engine_admit_high = 4;
+  options.out_admit_high = 4;
+  options.wait_queue_max = 2;
+  // Per-sender FIFO: a control send from an agent whose earlier data
+  // sends are already parked must queue behind them -- admitting it
+  // would process one producer's sends out of call order.  It defers
+  // even with the wait queue at (or over) its cap: control is delayed,
+  // never shed.
+  EXPECT_EQ(flow::AdmitSend(Priority::kControl, 0, 0, 1, true,
+                            /*sender_has_deferred=*/true, options),
+            Admission::kDefer);
+  EXPECT_EQ(flow::AdmitSend(Priority::kControl, 100, 100, 2, true,
+                            /*sender_has_deferred=*/true, options),
+            Admission::kDefer);
 }
 
 TEST(Admission, DataDefersOverHighAndLatchesUntilWaitQueueDrains) {
@@ -242,22 +349,22 @@ TEST(Admission, DataDefersOverHighAndLatchesUntilWaitQueueDrains) {
   options.wait_queue_max = 3;
 
   // Under both thresholds, not deferring: admit.
-  EXPECT_EQ(flow::AdmitSend(Priority::kData, 3, 0, 0, false, options),
+  EXPECT_EQ(flow::AdmitSend(Priority::kData, 3, 0, 0, false, false, options),
             Admission::kAdmit);
   // Engine backlog at high: defer.
-  EXPECT_EQ(flow::AdmitSend(Priority::kData, 4, 0, 0, false, options),
+  EXPECT_EQ(flow::AdmitSend(Priority::kData, 4, 0, 0, false, false, options),
             Admission::kDefer);
   // QueueOUT backlog alone is enough (end-to-end backpressure from a
   // credit-paused link).
-  EXPECT_EQ(flow::AdmitSend(Priority::kData, 0, 8, 0, false, options),
+  EXPECT_EQ(flow::AdmitSend(Priority::kData, 0, 8, 0, false, false, options),
             Admission::kDefer);
   // Hysteresis: while earlier sends still wait, new data sends keep
   // deferring even with the backlog back under the threshold --
   // admitting them would jump the FIFO.
-  EXPECT_EQ(flow::AdmitSend(Priority::kData, 0, 0, 1, true, options),
+  EXPECT_EQ(flow::AdmitSend(Priority::kData, 0, 0, 1, true, false, options),
             Admission::kDefer);
   // Wait queue full: reject (kOverloaded to the caller).
-  EXPECT_EQ(flow::AdmitSend(Priority::kData, 4, 0, 3, true, options),
+  EXPECT_EQ(flow::AdmitSend(Priority::kData, 4, 0, 3, true, false, options),
             Admission::kReject);
 
   // Wait-queue release needs the engine under the LOW threshold.
@@ -272,7 +379,7 @@ TEST(Admission, DisabledFlowAdmitsEverything) {
   options.engine_admit_high = 1;
   options.out_admit_high = 1;
   options.wait_queue_max = 0;
-  EXPECT_EQ(flow::AdmitSend(Priority::kData, 1000, 1000, 1000, true, options),
+  EXPECT_EQ(flow::AdmitSend(Priority::kData, 1000, 1000, 1000, true, false, options),
             Admission::kAdmit);
 }
 
@@ -364,6 +471,55 @@ TEST(AckFrameCredit, TruncatedCreditVarintIsDataLoss) {
   Bytes bytes = ack.Serialize();
   bytes.pop_back();
   EXPECT_FALSE(mom::DeserializeAck(bytes).ok());
+}
+
+TEST(AckFrameCredit, SessionAndEchoRoundTripOnTheWire) {
+  mom::AckFrame ack(MessageId{ServerId(3), 8});
+  ack.has_credit = true;
+  ack.credit = 17;
+  ack.has_session = true;
+  ack.session = 5;
+  ack.echo = 300;  // multi-byte varint
+  auto decoded = mom::DeserializeAck(ack.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().has_session);
+  EXPECT_EQ(decoded.value().session, 5u);
+  EXPECT_EQ(decoded.value().echo, 300u);
+  EXPECT_TRUE(decoded.value().has_credit);
+  EXPECT_EQ(decoded.value().credit, 17u);
+}
+
+TEST(AckFrameCredit, SessionWithoutCreditRoundTrips) {
+  // The flag bits are independent: a session-stamped ack need not carry
+  // a grant (pure retirement ack from a flow-enabled server).
+  mom::AckFrame ack(MessageId{ServerId(3), 8});
+  ack.has_session = true;
+  ack.session = 2;
+  ack.echo = 0;  // sender incarnation not yet observed
+  auto decoded = mom::DeserializeAck(ack.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded.value().has_credit);
+  EXPECT_TRUE(decoded.value().has_session);
+  EXPECT_EQ(decoded.value().session, 2u);
+  EXPECT_EQ(decoded.value().echo, 0u);
+}
+
+TEST(AckFrameCredit, TruncatedSessionTrailerIsDataLoss) {
+  mom::AckFrame ack;
+  ack.has_credit = true;
+  ack.credit = 9;
+  ack.has_session = true;
+  ack.session = 1u << 20;  // 3-byte varint
+  ack.echo = 1u << 20;
+  const Bytes bytes = ack.Serialize();
+  // Every cut that removes part of the credit/session trailer must
+  // fail loudly rather than decode a garbage window.
+  const Bytes base = mom::AckFrame{}.Serialize();
+  for (std::size_t cut = base.size(); cut < bytes.size(); ++cut) {
+    auto truncated = mom::DeserializeAck(
+        std::span<const std::uint8_t>(bytes.data(), cut));
+    EXPECT_FALSE(truncated.ok()) << "decoded from " << cut << " bytes";
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -659,6 +815,194 @@ TEST(FlowEndToEnd, FenceDrainsThroughAPausedCreditWindow) {
   const auto trace = harness.trace().Snapshot();
   EXPECT_TRUE(checker.CheckExactlyOnce(trace).ok());
   EXPECT_TRUE(checker.CheckCausalDelivery(trace).causal());
+}
+
+// ---------------------------------------------------------------------
+// Restart renegotiation (incarnation/session protocol)
+// ---------------------------------------------------------------------
+
+TEST(FlowEndToEnd, ReceiverRestartRenegotiatesTheCreditWindow) {
+  // A restarted receiver counts accepted frames from zero, so its
+  // cumulative grants drop far below the surviving sender's limit.
+  // Without session renegotiation the link wedges: every grant is below
+  // the old high-water, and only the liveness probe moves one frame per
+  // retransmit timeout.  With it, the first ack from the new
+  // incarnation rebases the window and traffic flows normally -- which
+  // the probe counter makes observable (a wedge needs roughly one
+  // probe per message; a renegotiated link needs almost none).
+  workload::ThreadedHarnessOptions options;
+  options.flow = TinyWatermarks();
+  options.retransmit_timeout_ns = 100ull * 1000 * 1000;
+  workload::ThreadedHarness harness(domains::topologies::Flat(2), options);
+  SlowSink* sink = nullptr;
+  ASSERT_TRUE(harness
+                  .Init([&](ServerId id, mom::AgentServer& server) {
+                    if (id == ServerId(1)) {
+                      auto agent = std::make_unique<SlowSink>(300);
+                      sink = agent.get();
+                      server.AttachAgent(1, std::move(agent));
+                    }
+                  })
+                  .ok());
+  ASSERT_TRUE(harness.BootAll().ok());
+
+  // Drive the receiver's cumulative numbering well past the initial
+  // credit, then take it down.
+  constexpr int kPreCrash = 40;
+  for (int i = 0; i < kPreCrash; ++i) {
+    ASSERT_TRUE(harness.Send(ServerId(0), 2, ServerId(1), 1, "pre").ok());
+  }
+  harness.WaitQuiescent();
+  harness.Crash(ServerId(1));
+  ASSERT_TRUE(harness.Restart(ServerId(1)).ok());  // re-attaches a fresh sink
+
+  constexpr int kPostCrash = 40;
+  for (int i = 0; i < kPostCrash; ++i) {
+    ASSERT_TRUE(harness.Send(ServerId(0), 2, ServerId(1), 1, "post").ok());
+  }
+  harness.WaitQuiescent();
+  harness.HaltAll();
+
+  // The post-restart burst arrived in full at the new agent instance...
+  ASSERT_NE(sink, nullptr);
+  EXPECT_EQ(sink->seen(), static_cast<std::uint64_t>(kPostCrash));
+  // ...exactly once and causally across the whole trace...
+  auto checker = harness.MakeChecker();
+  const auto trace = harness.trace().Snapshot();
+  EXPECT_TRUE(checker.CheckExactlyOnce(trace).ok());
+  EXPECT_TRUE(checker.CheckCausalDelivery(trace).causal());
+  // ...and it flowed through a renegotiated window, not a probe crawl.
+  EXPECT_LT(harness.server(ServerId(0)).stats().credit_probes, 10u);
+  for (ServerId id : {ServerId(0), ServerId(1)}) {
+    const auto flow = harness.server(id).flow_status();
+    EXPECT_EQ(flow.paused_links, 0u) << "server " << id;
+    EXPECT_EQ(flow.blocked_messages, 0u) << "server " << id;
+  }
+}
+
+TEST(FlowEndToEnd, SenderRestartDoesNotInheritTheDeadWindow) {
+  // The inverse failure: a restarted sender counts admissions from zero
+  // while the receiver's cumulative grant already stands at the
+  // pre-crash total -- taken at face value that grant is an effectively
+  // unbounded window, defeating flow control entirely.  The receiver
+  // must instead restart its accepted count when it observes the new
+  // sender incarnation, so the rebooted sender is paced by a fresh
+  // window-sized grant (observable as credit blocking on a burst that
+  // fits comfortably inside the stale grant).
+  workload::ThreadedHarnessOptions options;
+  options.flow = TinyWatermarks();
+  options.retransmit_timeout_ns = 100ull * 1000 * 1000;
+  workload::ThreadedHarness harness(domains::topologies::Flat(2), options);
+  SlowSink* sink = nullptr;
+  ASSERT_TRUE(harness
+                  .Init([&](ServerId id, mom::AgentServer& server) {
+                    if (id == ServerId(1)) {
+                      auto agent = std::make_unique<SlowSink>(300);
+                      sink = agent.get();
+                      server.AttachAgent(1, std::move(agent));
+                    }
+                  })
+                  .ok());
+  ASSERT_TRUE(harness.BootAll().ok());
+
+  // Push the receiver's cumulative grant to ~60 + window.
+  constexpr int kPreCrash = 60;
+  for (int i = 0; i < kPreCrash; ++i) {
+    ASSERT_TRUE(harness.Send(ServerId(0), 2, ServerId(1), 1, "pre").ok());
+  }
+  harness.WaitQuiescent();
+  harness.Crash(ServerId(0));
+  ASSERT_TRUE(harness.Restart(ServerId(0)).ok());
+
+  // 40 messages sit far inside the stale cumulative grant (~68) but far
+  // outside a fresh window (high_watermark 8): a correctly re-paced
+  // sender must block at least once against the slow sink.
+  constexpr int kPostCrash = 40;
+  for (int i = 0; i < kPostCrash; ++i) {
+    ASSERT_TRUE(harness.Send(ServerId(0), 2, ServerId(1), 1, "post").ok());
+  }
+  harness.WaitQuiescent();
+  harness.HaltAll();
+
+  // Stats reset with the restart, so this counts post-restart blocking
+  // only: zero here would mean the dead incarnation's grant was honored.
+  EXPECT_GT(harness.server(ServerId(0)).stats().credit_blocked, 0u);
+  // The sharper signal is on the receiver: honoring the stale ~68-frame
+  // grant would let the whole post-restart burst land at once, spiking
+  // the backlog high-water far past the 8-frame watermark.  A re-paced
+  // sender keeps it near the watermark (plus coalescing slack).
+  EXPECT_LT(harness.server(ServerId(1)).stats().backlog_peak, 24u);
+  ASSERT_NE(sink, nullptr);
+  EXPECT_EQ(sink->seen(),
+            static_cast<std::uint64_t>(kPreCrash + kPostCrash));
+  auto checker = harness.MakeChecker();
+  const auto trace = harness.trace().Snapshot();
+  EXPECT_TRUE(checker.CheckExactlyOnce(trace).ok());
+  EXPECT_TRUE(checker.CheckCausalDelivery(trace).causal());
+}
+
+// Records the arrival order of subjects at one agent.
+class OrderRecorder final : public mom::Agent {
+ public:
+  void React(mom::ReactionContext& ctx, const mom::Message& message) override {
+    (void)ctx;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    subjects_.push_back(message.subject);
+  }
+
+  [[nodiscard]] std::vector<std::string> subjects() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return subjects_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> subjects_;
+};
+
+TEST(FlowEndToEnd, ControlSendQueuesBehindTheSameAgentsParkedDataSends) {
+  // Control-class subjects skip overload shedding, but they must not
+  // skip the same agent's parked data sends: a producer that publishes
+  // then unsubscribes expects those to apply in call order even when
+  // the publishes are sitting on the wait queue.  The control send
+  // queues behind them, so the recorder sees it last.
+  workload::ThreadedHarnessOptions options;
+  options.flow = TinyWatermarks();
+  // Any QueueOUT backlog parks further data sends on the wait queue,
+  // so the burst below reliably has parked sends when the control
+  // subject arrives.
+  options.flow.out_admit_high = 1;
+  options.retransmit_timeout_ns = 100ull * 1000 * 1000;
+  workload::ThreadedHarness harness(domains::topologies::Flat(2), options);
+  OrderRecorder* recorder = nullptr;
+  ASSERT_TRUE(harness
+                  .Init([&](ServerId id, mom::AgentServer& server) {
+                    if (id == ServerId(1)) {
+                      auto agent = std::make_unique<OrderRecorder>();
+                      recorder = agent.get();
+                      server.AttachAgent(1, std::move(agent));
+                    }
+                  })
+                  .ok());
+  ASSERT_TRUE(harness.BootAll().ok());
+
+  constexpr int kData = 20;
+  for (int i = 0; i < kData; ++i) {
+    ASSERT_TRUE(harness.Send(ServerId(0), 2, ServerId(1), 1, "queue.put").ok());
+  }
+  // Control-class subject from the SAME producer agent, issued while
+  // its data sends are still parked.
+  ASSERT_TRUE(
+      harness.Send(ServerId(0), 2, ServerId(1), 1, "topic.unsubscribe").ok());
+  harness.WaitQuiescent();
+  harness.HaltAll();
+
+  ASSERT_NE(recorder, nullptr);
+  const auto subjects = recorder->subjects();
+  ASSERT_EQ(subjects.size(), static_cast<std::size_t>(kData) + 1);
+  // Call order survived overload: every data send first, control last.
+  EXPECT_EQ(subjects.back(), "topic.unsubscribe");
+  for (int i = 0; i < kData; ++i) EXPECT_EQ(subjects[i], "queue.put");
 }
 
 }  // namespace

@@ -86,6 +86,37 @@ TEST(DataFrame, DeserializeRejectsTruncation) {
   }
 }
 
+TEST(DataFrame, IncarnationRoundTripsOnTheWire) {
+  DataFrame frame;
+  frame.message = SampleMessage();
+  frame.domain = DomainId(2);
+  frame.stamp.entries = {{DomainServerId(0), DomainServerId(1), 4}};
+  frame.incarnation = 300;  // multi-byte varint
+  const Bytes bytes = frame.Serialize();
+  EXPECT_EQ(bytes.size(), frame.SerializedSize());
+  auto decoded = DataFrame::Deserialize(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().incarnation, 300u);
+  EXPECT_EQ(decoded.value(), frame);
+}
+
+TEST(DataFrame, ZeroIncarnationKeepsThePreFlowWireImage) {
+  // Incarnation 0 means "absent" and is never encoded, so a frame
+  // without one is byte-identical to the pre-flow layout -- old stores
+  // and old peers decode it unchanged, and the truncation test above
+  // stays exhaustive (no optional tail to mistake for a clean end).
+  DataFrame with;
+  with.message = SampleMessage();
+  with.domain = DomainId(2);
+  with.incarnation = 7;
+  DataFrame without = with;
+  without.incarnation = 0;
+  EXPECT_EQ(without.Serialize().size() + 1, with.Serialize().size());
+  auto decoded = DataFrame::Deserialize(without.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().incarnation, 0u);
+}
+
 TEST(AckFrame, RoundTrip) {
   const AckFrame ack{MessageId{ServerId(9), 123456}};
   auto decoded = DeserializeAck(ack.Serialize());
