@@ -1,0 +1,56 @@
+#include "chaos/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace cmom::chaos {
+
+Status WriteSoakReport(const std::string& path, const SoakReport& r) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    return Status::Unavailable("cannot write " + path);
+  }
+  std::fprintf(out, "{\n  \"bench\": \"chaos_soak\",\n");
+  std::fprintf(out, "  \"seed\": %" PRIu64 ",\n", r.seed);
+  std::fprintf(out, "  \"duration_ms\": %" PRIu64 ",\n", r.duration_ms);
+  std::fprintf(out, "  \"wall_seconds\": %.3f,\n", r.wall_seconds);
+  std::fprintf(out,
+               "  \"traffic\": {\"accepted\": %" PRIu64 ", \"sent\": %" PRIu64
+               ", \"delivered\": %" PRIu64 ", \"overload_sheds\": %" PRIu64
+               "},\n",
+               r.messages_accepted, r.messages_sent, r.messages_delivered,
+               r.overload_sheds);
+  std::fprintf(out,
+               "  \"latency_ms\": {\"samples\": %" PRIu64
+               ", \"p50\": %.3f, \"p99\": %.3f, \"max\": %.3f},\n",
+               r.latency_samples, r.latency_p50_ms, r.latency_p99_ms,
+               r.latency_max_ms);
+  std::fprintf(out,
+               "  \"backlog\": {\"peak_consumer\": %" PRIu64
+               ", \"consumer_bound\": %" PRIu64 ", \"peak_router\": %" PRIu64
+               ", \"router_bound\": %" PRIu64 "},\n",
+               r.peak_consumer_backlog, r.consumer_backlog_bound,
+               r.peak_router_backlog, r.router_backlog_bound);
+  std::fprintf(out,
+               "  \"faults\": {\"crashes\": %" PRIu64 ", \"restarts\": %" PRIu64
+               ", \"partitions\": %" PRIu64 ", \"heals\": %" PRIu64
+               ", \"store_faults_armed\": %" PRIu64
+               ", \"store_faults_injected\": %" PRIu64
+               ", \"fail_stops\": %" PRIu64 ", \"frames_partitioned\": %" PRIu64
+               ", \"slow_consumer_phases\": %" PRIu64 "},\n",
+               r.crashes, r.restarts, r.partitions, r.heals,
+               r.store_faults_armed, r.store_faults_injected, r.fail_stops,
+               r.frames_partitioned, r.slow_consumer_phases);
+  std::fprintf(out,
+               "  \"invariants\": {\"causal\": %s, \"exactly_once\": %s, "
+               "\"zero_loss\": %s, \"bounded_backlog\": %s, \"all_ok\": %s},\n",
+               r.causal ? "true" : "false", r.exactly_once ? "true" : "false",
+               r.zero_loss ? "true" : "false",
+               r.bounded_backlog ? "true" : "false", r.ok() ? "true" : "false");
+  std::fprintf(out, "  \"first_violation\": \"%s\"\n}\n",
+               r.first_violation.c_str());
+  std::fclose(out);
+  return Status::Ok();
+}
+
+}  // namespace cmom::chaos

@@ -1,0 +1,70 @@
+// Chaos soak report: what was injected, what the bus did, and whether
+// every invariant held.  Written as CHAOS_soak.json in the same style
+// as the BENCH_*.json artifacts so CI uploads and `momtool chaos`
+// pretty-prints it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace cmom::chaos {
+
+struct SoakReport {
+  std::uint64_t seed = 0;
+  std::uint64_t duration_ms = 0;
+  double wall_seconds = 0;
+
+  // Traffic.  `accepted` counts producer sends the admission layer took
+  // (informational: work queued on a server that then crashed is
+  // legitimately lost before its send committed).  The authoritative
+  // zero-loss ledger is the trace: every committed send must be
+  // delivered exactly once.
+  std::uint64_t messages_accepted = 0;
+  std::uint64_t messages_sent = 0;       // committed sends in the trace
+  std::uint64_t messages_delivered = 0;  // deliveries in the trace
+  std::uint64_t overload_sheds = 0;      // kOverloaded rejections
+
+  // End-to-end delivery latency at the consumer (send-stamp embedded in
+  // the payload), in milliseconds.
+  std::uint64_t latency_samples = 0;
+  double latency_p50_ms = 0;
+  double latency_p99_ms = 0;
+  double latency_max_ms = 0;
+
+  // Peak durable backlogs sampled while the storm ran, against the
+  // credit-window bounds.
+  std::uint64_t peak_consumer_backlog = 0;
+  std::uint64_t peak_router_backlog = 0;
+  std::uint64_t consumer_backlog_bound = 0;
+  std::uint64_t router_backlog_bound = 0;
+
+  // Faults injected.
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t heals = 0;
+  std::uint64_t store_faults_armed = 0;
+  std::uint64_t store_faults_injected = 0;  // commits actually failed
+  std::uint64_t fail_stops = 0;             // servers that halted on them
+  std::uint64_t frames_partitioned = 0;
+  std::uint64_t slow_consumer_phases = 0;
+
+  // Invariant verdicts.
+  bool causal = false;
+  bool exactly_once = false;
+  bool zero_loss = false;
+  bool bounded_backlog = false;
+  std::string first_violation;  // empty when causal
+
+  [[nodiscard]] bool ok() const {
+    return causal && exactly_once && zero_loss && bounded_backlog;
+  }
+};
+
+// Writes the report to `path` (JSON).
+[[nodiscard]] Status WriteSoakReport(const std::string& path,
+                                     const SoakReport& report);
+
+}  // namespace cmom::chaos

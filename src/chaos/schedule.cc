@@ -1,0 +1,147 @@
+#include "chaos/schedule.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace cmom::chaos {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRestart: return "restart";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kHeal: return "heal";
+    case FaultKind::kStoreFaultArm: return "store-fault-arm";
+    case FaultKind::kStoreFaultDisarm: return "store-fault-disarm";
+    case FaultKind::kSlowConsumer: return "slow-consumer";
+  }
+  return "?";
+}
+
+namespace {
+
+// Picks a window [start, start+outage] inside the run's middle 80%
+// that does not overlap `next_free` for the chosen key.  Returns false
+// when the window no longer fits before the quiet tail.
+bool PickWindow(Rng& rng, const ScheduleOptions& options,
+                std::uint64_t next_free, std::uint64_t* start,
+                std::uint64_t* outage) {
+  const std::uint64_t margin = options.duration_ms / 10;
+  *outage = static_cast<std::uint64_t>(rng.NextInRange(
+      static_cast<std::int64_t>(options.min_outage_ms),
+      static_cast<std::int64_t>(options.max_outage_ms)));
+  const std::uint64_t latest_start =
+      options.duration_ms > margin + *outage
+          ? options.duration_ms - margin - *outage
+          : 0;
+  if (latest_start <= margin) return false;
+  *start = margin + rng.NextBelow(latest_start - margin);
+  if (*start < next_free) *start = next_free;
+  return *start + *outage + margin <= options.duration_ms;
+}
+
+}  // namespace
+
+Schedule Schedule::Random(std::uint64_t seed,
+                          const ScheduleOptions& options) {
+  Schedule schedule;
+  Rng rng(seed);
+  // Per-target end of the last scheduled window (+ a settling gap), so
+  // windows on the same server / cut never overlap.
+  std::unordered_map<std::uint64_t, std::uint64_t> next_free;
+  constexpr std::uint64_t kSettleMs = 50;
+
+  auto reserve = [&](std::uint64_t key, std::uint64_t* start,
+                     std::uint64_t* outage) {
+    if (!PickWindow(rng, options, next_free[key], start, outage)) {
+      return false;
+    }
+    next_free[key] = *start + *outage + kSettleMs;
+    return true;
+  };
+
+  for (std::size_t i = 0;
+       i < options.crash_count && !options.crashable.empty(); ++i) {
+    const ServerId target =
+        options.crashable[rng.NextBelow(options.crashable.size())];
+    std::uint64_t start = 0;
+    std::uint64_t outage = 0;
+    if (!reserve(target.value(), &start, &outage)) continue;
+    FaultEvent down;
+    down.at_ms = start;
+    down.kind = FaultKind::kCrash;
+    down.target = target;
+    FaultEvent up = down;
+    up.at_ms = start + outage;
+    up.kind = FaultKind::kRestart;
+    schedule.events_.push_back(std::move(down));
+    schedule.events_.push_back(std::move(up));
+  }
+
+  for (std::size_t i = 0; i < options.partition_count && !options.cuts.empty();
+       ++i) {
+    const std::size_t cut = rng.NextBelow(options.cuts.size());
+    std::uint64_t start = 0;
+    std::uint64_t outage = 0;
+    // Key cuts into a space servers never use (IDs are 16-bit).
+    if (!reserve((1ull << 32) + cut, &start, &outage)) continue;
+    FaultEvent split;
+    split.at_ms = start;
+    split.kind = FaultKind::kPartition;
+    split.partition_name = "cut" + std::to_string(cut);
+    split.side_a = options.cuts[cut].first;
+    split.side_b = options.cuts[cut].second;
+    FaultEvent heal;
+    heal.at_ms = start + outage;
+    heal.kind = FaultKind::kHeal;
+    heal.partition_name = split.partition_name;
+    schedule.events_.push_back(std::move(split));
+    schedule.events_.push_back(std::move(heal));
+  }
+
+  for (std::size_t i = 0;
+       i < options.store_fault_count && !options.store_fault_targets.empty();
+       ++i) {
+    const ServerId target = options.store_fault_targets[rng.NextBelow(
+        options.store_fault_targets.size())];
+    std::uint64_t start = 0;
+    std::uint64_t outage = 0;
+    if (!reserve(target.value(), &start, &outage)) continue;
+    FaultEvent arm;
+    arm.at_ms = start;
+    arm.kind = FaultKind::kStoreFaultArm;
+    arm.target = target;
+    arm.fail_after_commits = 1 + rng.NextBelow(16);
+    FaultEvent disarm;
+    disarm.at_ms = start + outage;
+    disarm.kind = FaultKind::kStoreFaultDisarm;
+    disarm.target = target;
+    schedule.events_.push_back(std::move(arm));
+    schedule.events_.push_back(std::move(disarm));
+  }
+
+  for (std::size_t i = 0; i < options.slow_consumer_count; ++i) {
+    std::uint64_t start = 0;
+    std::uint64_t outage = 0;
+    if (!reserve(1ull << 33, &start, &outage)) continue;
+    FaultEvent slow;
+    slow.at_ms = start;
+    slow.kind = FaultKind::kSlowConsumer;
+    slow.service_us = options.slow_service_us;
+    FaultEvent fast = slow;
+    fast.at_ms = start + outage;
+    fast.service_us = options.base_service_us;
+    schedule.events_.push_back(std::move(slow));
+    schedule.events_.push_back(std::move(fast));
+  }
+
+  std::stable_sort(schedule.events_.begin(), schedule.events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+  return schedule;
+}
+
+}  // namespace cmom::chaos

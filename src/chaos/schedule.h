@@ -1,0 +1,92 @@
+// Deterministic fault schedules.
+//
+// A Schedule is a sorted list of fault events (crash/restart,
+// partition/heal, store-fault arm/disarm, slow-consumer phases) at
+// millisecond offsets from soak start, generated entirely from a seed:
+// the same seed always yields the same schedule, so any failing soak
+// replays with CMOM_SEED=<seed>.  (The *interleaving* of faults with
+// traffic still depends on thread timing; the schedule pins what is
+// injected and when, which in practice reproduces most failures.)
+//
+// Generation maintains the invariants the orchestrator's final drain
+// depends on: every crash is paired with a restart, every partition
+// with a heal, every arm with a disarm, and all pairs close before the
+// end of the run.  Per-target windows never overlap (a server is not
+// crashed while already down), and crash targets are disjoint from
+// store-fault targets so a restart never boots into an armed fault.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace cmom::chaos {
+
+enum class FaultKind : std::uint8_t {
+  kCrash,              // destroy the server's volatile half
+  kRestart,            // rebuild it from its store
+  kPartition,          // install a named bidirectional cut
+  kHeal,               // remove it
+  kStoreFaultArm,      // the target's Nth commit from now fails
+  kStoreFaultDisarm,   // clear store faults; restart if fail-stopped
+  kSlowConsumer,       // set the consumer's service time
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  std::uint64_t at_ms = 0;
+  FaultKind kind = FaultKind::kCrash;
+  // kCrash / kRestart / kStoreFaultArm / kStoreFaultDisarm target.
+  ServerId target{0};
+  // kPartition / kHeal.
+  std::string partition_name;
+  std::vector<ServerId> side_a;
+  std::vector<ServerId> side_b;
+  // kStoreFaultArm: fail the Nth commit from arming (1 = next).
+  std::uint64_t fail_after_commits = 0;
+  // kSlowConsumer: new service time.
+  std::uint64_t service_us = 0;
+};
+
+struct ScheduleOptions {
+  std::uint64_t duration_ms = 2000;
+  // Fault windows last between these bounds.
+  std::uint64_t min_outage_ms = 100;
+  std::uint64_t max_outage_ms = 400;
+  // How many of each fault pair to inject (best effort: a pair that
+  // cannot fit its window before the end of the run is dropped).
+  std::size_t crash_count = 2;
+  std::size_t partition_count = 2;
+  std::size_t store_fault_count = 1;
+  std::size_t slow_consumer_count = 1;
+  // Servers eligible for crash/restart.  Must be disjoint from
+  // store_fault_targets (see header comment).
+  std::vector<ServerId> crashable;
+  // Servers whose FaultyStore gets armed commit failures.
+  std::vector<ServerId> store_fault_targets;
+  // Candidate partition cuts (side_a, side_b).
+  std::vector<std::pair<std::vector<ServerId>, std::vector<ServerId>>> cuts;
+  // Slow-consumer service times (phase sets slow, pair-close restores
+  // base).
+  std::uint64_t base_service_us = 100;
+  std::uint64_t slow_service_us = 2000;
+};
+
+class Schedule {
+ public:
+  // Deterministic: events depend only on (seed, options).
+  [[nodiscard]] static Schedule Random(std::uint64_t seed,
+                                       const ScheduleOptions& options);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace cmom::chaos

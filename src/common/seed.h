@@ -1,0 +1,38 @@
+// Seed plumbing for randomized soak / chaos runs.
+//
+// Every chaos schedule and fault stream derives from one seed; a CI
+// failure is replayed locally by exporting the seed the job logged:
+//
+//   CMOM_SEED=123456 ctest -L chaos
+//
+// SeedFromEnv returns the CMOM_SEED override when set (any non-numeric
+// value is ignored with a warning) and the test's baked-in fallback
+// otherwise, printing whichever it chose so the seed is always in the
+// failure log.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cmom {
+
+inline std::uint64_t SeedFromEnv(std::uint64_t fallback, const char* who) {
+  std::uint64_t seed = fallback;
+  const char* override_text = std::getenv("CMOM_SEED");
+  if (override_text != nullptr && *override_text != '\0') {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(override_text, &end, 10);
+    if (end != nullptr && *end == '\0') {
+      seed = static_cast<std::uint64_t>(parsed);
+    } else {
+      std::fprintf(stderr, "[%s] ignoring malformed CMOM_SEED=\"%s\"\n", who,
+                   override_text);
+    }
+  }
+  std::fprintf(stderr, "[%s] seed=%llu (replay: CMOM_SEED=%llu)\n", who,
+               static_cast<unsigned long long>(seed),
+               static_cast<unsigned long long>(seed));
+  return seed;
+}
+
+}  // namespace cmom

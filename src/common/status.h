@@ -27,6 +27,11 @@ enum class StatusCode {
   // queue full).  Distinct from kUnavailable (peer gone) so senders can
   // throttle-and-retry instead of failing over.
   kOverloaded,
+  // The server halted itself after a durable-write failure (fail-stop):
+  // in-memory state may be ahead of the store, so it refuses all new
+  // work until restarted from the last committed image.  Distinct from
+  // kUnavailable so supervisors know a restart (not a retry) is needed.
+  kFailStop,
 };
 
 [[nodiscard]] constexpr const char* to_string(StatusCode code) {
@@ -39,6 +44,7 @@ enum class StatusCode {
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kOverloaded: return "OVERLOADED";
+    case StatusCode::kFailStop: return "FAIL_STOP";
   }
   return "UNKNOWN";
 }
@@ -70,6 +76,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Overloaded(std::string m) {
     return {StatusCode::kOverloaded, std::move(m)};
+  }
+  [[nodiscard]] static Status FailStop(std::string m) {
+    return {StatusCode::kFailStop, std::move(m)};
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

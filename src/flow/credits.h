@@ -34,18 +34,22 @@
 //
 // Restart renegotiation: the counters are in-memory but coupled across
 // processes, so a peer restart would desynchronize them -- a restarted
-// receiver counts accepted frames from zero and its grants would sit
-// far below the surviving sender's limit (wedging the link at one
-// probe-emitted frame per timeout), while a restarted sender counting
-// admissions from zero against a receiver's large cumulative grant
-// would see an effectively unbounded window.  Each server therefore
-// carries a durable, monotone per-boot incarnation (a boot counter in
-// its meta record): data frames are tagged with the sender's
-// incarnation and ack trailers carry the receiver's incarnation plus an
-// echo of the sender incarnation the grant was computed against.  A
-// grant whose session is NEW (SessionGrant) replaces the limit instead
-// of being max'd and restarts admission counting; a receiver observing
-// a new sender incarnation (ObserveSession) restarts its accepted
+// receiver counts accepted frames from zero and re-counts surviving
+// retransmissions its new numbering never saw (the sender's window
+// never closes: unbounded backlog), while a restarted sender's
+// recovery emissions are mostly duplicates a surviving receiver never
+// re-counts (the window never reopens: a link wedged at one
+// probe-emitted frame per timeout).  Each server therefore carries a
+// durable, monotone per-boot incarnation (a boot counter in its meta
+// record): data frames are tagged with the sender's incarnation, and
+// ack trailers carry the receiver's incarnation, an echo of the sender
+// incarnation the grant was computed against, and the receiver's
+// authoritative ACCEPTED COUNT.  The sender does not dead-reckon its
+// admission count across restarts; it reconciles it on every ack as
+// `accepted + inflight` (Reconcile), which equals the dead-reckoned
+// value exactly on an undisturbed FIFO link and converges the restart
+// gaps to zero as in-flight entries resolve.  A receiver observing a
+// new sender incarnation (ObserveSession) restarts its accepted
 // counting; grants echoing a stale sender incarnation are ignored by
 // the Channel.  Incarnations are monotone, so reordered frames from an
 // older incarnation can never roll a link back.
@@ -99,8 +103,13 @@ class CreditSenderLink {
     return blocked_.empty() && admitted_ < limit_;
   }
 
-  // Records the first emission of a frame.
-  void Admit() { ++admitted_; }
+  // Records the first emission of a frame.  The frame is in flight
+  // until Retire resolves it; the in-flight count is what Reconcile
+  // adds on top of the peer's accepted count.
+  void Admit() {
+    ++admitted_;
+    ++inflight_;
+  }
 
   // Queues a message whose first emission must wait for credit.
   void Block(MessageId id) {
@@ -117,23 +126,45 @@ class CreditSenderLink {
     return !blocked_.empty() && admitted_ < limit_;
   }
 
-  // Applies a grant tagged with the peer's incarnation.  Within one
-  // incarnation this is the plain monotone Grant; a HIGHER incarnation
-  // means the receiver restarted and its cumulative numbering started
-  // over, so the grant replaces the limit outright and admission
-  // counting restarts (the blocked queue is untouched: those frames
-  // still await their first emission).  A LOWER incarnation is a
-  // reordered straggler from a dead peer and is ignored.  Returns true
-  // when the update opened headroom for blocked frames.
-  bool SessionGrant(std::uint64_t session, std::uint64_t granted) {
+  // Reconciles this link against a session-tagged ack: `accepted` is
+  // the receiver's authoritative count of frames it has accepted from
+  // us under `session`, and `granted` the cumulative grant computed
+  // from it.  The sender's admission count is REBUILT as
+  //
+  //     admitted = accepted + inflight
+  //
+  // (inflight = our emitted-but-unretired entries) instead of dead-
+  // reckoned: on an undisturbed FIFO link the two formulations agree
+  // exactly (every admission is either already counted by the peer or
+  // still in flight), but across a restart only reconciliation stays
+  // correct.  A restarted RECEIVER re-counts retransmissions its new
+  // numbering never saw (dead reckoning leaves accepted permanently
+  // ahead of admitted: a window that never closes, unbounded backlog);
+  // a restarted SENDER's recovery emissions are mostly duplicates the
+  // surviving receiver never re-counts (dead reckoning leaves admitted
+  // permanently ahead: a wedged link draining one probe frame per
+  // timeout).  Reconciling on every ack converges both gaps to zero as
+  // the in-flight entries resolve.
+  //
+  // A LOWER session is a reordered straggler from a dead peer and is
+  // ignored; within the current session a smaller-than-seen `accepted`
+  // marks a reordered ack whose counts are stale, so only the (monotone)
+  // grant is taken.  Returns true when the update opened headroom for
+  // blocked frames.
+  bool Reconcile(std::uint64_t session, std::uint64_t accepted,
+                 std::uint64_t granted) {
     if (session < peer_session_) return false;  // stale incarnation
-    if (session == peer_session_) return Grant(granted);
-    // First contact keeps admitted_: frames emitted under the assumed
-    // initial credit are part of this incarnation pair's numbering.  A
-    // true restart (session change) starts the count over.
-    if (peer_session_ != 0) admitted_ = 0;
-    peer_session_ = session;
-    limit_ = granted;
+    if (session == peer_session_ && accepted < last_accepted_) {
+      return Grant(granted);  // reordered ack: counts stale, grant monotone
+    }
+    if (session != peer_session_) {
+      peer_session_ = session;
+      limit_ = granted;  // new numbering: adopt absolutely, not max'd
+    } else if (granted > limit_) {
+      limit_ = granted;
+    }
+    last_accepted_ = accepted;
+    admitted_ = accepted + inflight_;
     return !blocked_.empty() && admitted_ < limit_;
   }
 
@@ -158,18 +189,22 @@ class CreditSenderLink {
     return true;
   }
 
-  // Drops a message from the blocked queue (it was acknowledged or
-  // otherwise retired before its first emission -- e.g. an epoch
-  // straggler acked by a recovered peer).  O(1) for the common case of
-  // an id that was never blocked (every ack retirement calls this).
-  void Forget(MessageId id) {
-    if (blocked_ids_.erase(id) == 0) return;
-    for (auto it = blocked_.begin(); it != blocked_.end(); ++it) {
-      if (*it == id) {
-        blocked_.erase(it);
-        return;
+  // Retires an acknowledged QueueOUT entry.  An entry still blocked was
+  // retired before its first emission (e.g. an epoch straggler acked by
+  // a recovered peer) and leaves the blocked queue, or it would wedge
+  // CanAdmit at the queue head; an emitted entry resolves one in-flight
+  // emission.  O(1) for the common emitted case.
+  void Retire(MessageId id) {
+    if (blocked_ids_.erase(id) != 0) {
+      for (auto it = blocked_.begin(); it != blocked_.end(); ++it) {
+        if (*it == id) {
+          blocked_.erase(it);
+          return;
+        }
       }
+      return;
     }
+    if (inflight_ > 0) --inflight_;
   }
 
   [[nodiscard]] bool paused() const {
@@ -179,6 +214,7 @@ class CreditSenderLink {
   [[nodiscard]] std::uint64_t admitted() const { return admitted_; }
   [[nodiscard]] std::uint64_t limit() const { return limit_; }
   [[nodiscard]] std::uint64_t peer_session() const { return peer_session_; }
+  [[nodiscard]] std::uint64_t inflight() const { return inflight_; }
   // Headroom still usable (credits outstanding toward this peer).
   [[nodiscard]] std::uint64_t outstanding() const {
     return limit_ > admitted_ ? limit_ - admitted_ : 0;
@@ -187,6 +223,8 @@ class CreditSenderLink {
  private:
   std::uint64_t limit_;          // max cumulative grant seen this session
   std::uint64_t admitted_ = 0;   // frames first-emitted this session
+  std::uint64_t inflight_ = 0;   // emitted entries not yet retired
+  std::uint64_t last_accepted_ = 0;  // newest accepted count reconciled
   std::uint64_t peer_session_ = 0;  // receiver incarnation (0 = unknown)
   std::deque<MessageId> blocked_;  // QueueOUT entries awaiting credit
   // Membership index over blocked_ so retirement (Forget) is O(1) for

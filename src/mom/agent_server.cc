@@ -312,6 +312,14 @@ Status AgentServer::Boot() {
                       options_.epoch, incarnation_};
       EmitFrame(entry.next_hop, frame.Serialize());
       ScheduleRetransmit(entry.message.id, 0);
+      // Each resume emission is a first emission under THIS
+      // incarnation's numbering: the peer observed the new incarnation
+      // and restarted its accepted count, so every frame it accepts
+      // here must be matched by an admission on our side.  Skipping
+      // this would leave `accepted` permanently ahead of `admitted` --
+      // a window that never closes, which under sustained load turns
+      // a restart into an unbounded flood past the peer's watermarks.
+      if (options_.flow.enabled) SenderLink(entry.next_hop).Admit();
     }
     if (parallel_engine()) {
       for (InEntry& entry : queue_in_) DispatchReaction(std::move(entry));
@@ -425,7 +433,7 @@ void AgentServer::FlushFrames(std::vector<std::pair<ServerId, Bytes>> frames) {
 
 void AgentServer::HandleFrame(ServerId from, Bytes frame) {
   std::unique_lock lock(mutex_);
-  if (shutdown_) return;
+  if (shutdown_ || !halt_status_.ok()) return;
   inbox_.emplace_back(from, std::move(frame));
   if (!inbox_drain_queued_) {
     inbox_drain_queued_ = true;
@@ -474,7 +482,9 @@ std::size_t AgentServer::DrainInbox() {
   }
   stats_.channel_batch_hist.Record(processed);
   if (commit_needed_) {
-    CommitLocked();
+    // A failure here fail-stops the server; the guards below make the
+    // ack flush and the requeue inert, so nothing un-durable leaves.
+    (void)CommitLocked();
     commit_needed_ = false;
   }
   // Acks only leave after the batch is durable (commit-then-ack).
@@ -525,12 +535,20 @@ std::size_t AgentServer::ProcessDataFrame(ServerId from, DataFrame frame) {
   if (options_.flow.enabled && frame.incarnation != 0) {
     ReceiverLink(from).ObserveSession(frame.incarnation);
   }
+  // A frame from a dead incarnation (reordered past the sender's
+  // restart) must not count toward the CURRENT session's accepted
+  // numbering: the restarted sender never admitted it, and counting it
+  // would widen its window permanently.
+  const bool counts_for_credit =
+      options_.flow.enabled &&
+      (frame.incarnation == 0 ||
+       frame.incarnation == ReceiverLink(from).sender_session());
 
   const MessageId message_id = frame.message.id;
   std::size_t entries = 0;
   switch (item->clock.Check(*src_local, frame.stamp)) {
     case clocks::CheckResult::kDeliver: {
-      if (options_.flow.enabled) ReceiverLink(from).Accept();
+      if (counts_for_credit) ReceiverLink(from).Accept();
       entries += frame.stamp.entries.size();
       item->clock.Commit(*src_local, frame.stamp);
       entries += CommitDelivery(*item, *src_local, std::move(frame));
@@ -548,7 +566,7 @@ std::size_t AgentServer::ProcessDataFrame(ServerId from, DataFrame frame) {
         ++stats_.duplicates_dropped;
         break;  // just re-acknowledge below
       }
-      if (options_.flow.enabled) ReceiverLink(from).Accept();
+      if (counts_for_credit) ReceiverLink(from).Accept();
       HeldFrame held{*src_local, std::move(frame)};
       PersistHeldFrame(*item, held, next_hold_seq_++);
       item->held_ids.insert(message_id);
@@ -624,11 +642,12 @@ std::size_t AgentServer::ProcessAck(ServerId from, const AckFrame& ack) {
     auto it = queue_out_index_.find(id);
     if (it == queue_out_index_.end()) continue;  // duplicate ack
     if (options_.flow.enabled) {
-      // A frame retired before its first emission (e.g. an epoch
-      // straggler acked by a recovered peer) must leave the blocked
-      // queue too, or it would wedge CanAdmit at the queue head.
+      // Resolves the entry's in-flight emission, or -- for a frame
+      // retired before its first emission (e.g. an epoch straggler
+      // acked by a recovered peer) -- removes it from the blocked
+      // queue, where it would wedge CanAdmit at the queue head.
       auto link = sender_links_.find(it->second->next_hop);
-      if (link != sender_links_.end()) link->second.Forget(id);
+      if (link != sender_links_.end()) link->second.Retire(id);
     }
     EraseOutEntry(*it->second);
     queue_out_.erase(it->second);
@@ -643,8 +662,11 @@ std::size_t AgentServer::ProcessAck(ServerId from, const AckFrame& ack) {
       // reboot would hand this link an effectively unbounded window.
       // Dropped; retransmissions (or the credit probe) solicit a fresh
       // grant once the peer has seen a frame from this incarnation.
+      // The retirement loop above already resolved this ack's own ids,
+      // so the link's in-flight count and the peer's accepted count are
+      // aligned for the reconciliation.
       if (ack.echo == incarnation_ &&
-          SenderLink(from).SessionGrant(ack.session, ack.credit)) {
+          SenderLink(from).Reconcile(ack.session, ack.accepted, ack.credit)) {
         opened = true;
       }
     } else if (SenderLink(from).Grant(ack.credit)) {
@@ -682,6 +704,7 @@ void AgentServer::FlushStagedAcks() {
       ack.has_session = true;
       ack.session = incarnation_;
       ack.echo = link.sender_session();
+      ack.accepted = link.accepted();
     }
     EmitFrame(peer, ack.Serialize());
   }
@@ -711,6 +734,7 @@ Result<MessageId> AgentServer::SendMessage(AgentId from, AgentId to,
   {
     std::lock_guard lock(mutex_);
     if (!booted_) return Status::FailedPrecondition("server not booted");
+    if (!halt_status_.ok()) return halt_status_;
     if (from.server != self_) {
       return Status::InvalidArgument("sender agent not on this server");
     }
@@ -781,17 +805,14 @@ std::size_t AgentServer::ApplySends(std::vector<Message> sends) {
   if (!sends.empty()) entries += FlushForwardStageLocked();
   for (Message& message : sends) {
     ++stats_.messages_sent;
-    if (options_.trace != nullptr) {
-      options_.trace->RecordSend(message.id, self_, message.dest_server(),
-                                 message.from, message.to);
-    }
+    BufferTraceSend(message);
     if (message.dest_server() == self_) {
       EnqueueLocalDelivery(std::move(message));
     } else {
       entries += StampAndEnqueue(std::move(message));
     }
   }
-  CommitLocked();
+  (void)CommitLocked();
   return entries;
 }
 
@@ -844,14 +865,20 @@ std::size_t AgentServer::StampAndEnqueue(Message message) {
   // (CanAdmit refuses while older frames are blocked), and an epoch
   // fence bypasses the gate entirely so quiesce cannot deadlock behind
   // a window the draining peer will never replenish.
-  if (options_.flow.enabled && !fence_active_) {
+  if (options_.flow.enabled) {
     flow::CreditSenderLink& link = SenderLink(hop);
-    if (!link.CanAdmit()) {
-      link.Block(id);
-      ++stats_.credit_blocked;
-      ScheduleCreditProbe(hop);
-      return entries;
+    if (!fence_active_) {
+      if (!link.CanAdmit()) {
+        link.Block(id);
+        ++stats_.credit_blocked;
+        ScheduleCreditProbe(hop);
+        return entries;
+      }
     }
+    // Counted even on the fence bypass: the peer's accepted count does
+    // not know WHY a frame was emitted, and every uncounted emission
+    // widens the credit window permanently (accepted runs ahead of
+    // admitted by one, forever).
     link.Admit();
   }
   const OutEntry& stored = queue_out_.back();
@@ -863,6 +890,7 @@ std::size_t AgentServer::StampAndEnqueue(Message message) {
 }
 
 void AgentServer::EmitFrame(ServerId to, Bytes bytes) {
+  if (!halt_status_.ok()) return;  // fail-stop: nothing leaves
   pending_frames_.emplace_back(to, std::move(bytes));
 }
 
@@ -1037,7 +1065,7 @@ std::size_t AgentServer::ForwardStep() {
         ++stats_.drr_forwarded;
       },
       &stats_.drr_rounds);
-  CommitLocked();
+  (void)CommitLocked();
   if (!forward_stage_.empty() && !forward_step_queued_) {
     forward_step_queued_ = true;
     work_queue_.push_back([this] { return ForwardStep(); });
@@ -1179,10 +1207,7 @@ std::size_t AgentServer::EngineStep() {
 // runs strictly before any commit-stage item a worker can enqueue --
 // so the qin/ put always commits before the group commit erases it.
 void AgentServer::EnqueueLocalDelivery(Message message) {
-  if (options_.trace != nullptr) {
-    options_.trace->RecordDeliver(message.id, self_, self_, message.from,
-                                  message.to);
-  }
+  BufferTraceDeliver(message);
   ++stats_.messages_delivered;
   InEntry entry{next_in_seq_++, std::move(message)};
   PersistInEntry(entry);
@@ -1340,11 +1365,13 @@ std::size_t AgentServer::CommitReactions() {
 // ---------------------------------------------------------------------
 
 void AgentServer::StorePut(std::string_view key, Bytes value) {
+  if (!halt_status_.ok()) return;  // fail-stop: the store is frozen
   store_->Put(key, std::move(value));
   ++txn_ops_staged_;
 }
 
 void AgentServer::StoreDelete(std::string_view key) {
+  if (!halt_status_.ok()) return;  // fail-stop: the store is frozen
   store_->Delete(key);
   ++txn_ops_staged_;
 }
@@ -1472,7 +1499,8 @@ void AgentServer::EraseHeldFrame(const DomainItem& item, MessageId id) {
 // as in the paper); in incremental mode, only the delta -- dirty domain
 // clocks, the bumped meta counter, and whatever per-entry queue keys
 // the transaction staged on its way here.
-void AgentServer::CommitLocked() {
+Status AgentServer::CommitLocked() {
+  if (!halt_status_.ok()) return halt_status_;
   if (incremental()) {
     PersistMeta();
     PersistClocks(/*force=*/false);
@@ -1484,17 +1512,84 @@ void AgentServer::CommitLocked() {
     PersistQueueIn();
     PersistHoldback();
   }
-  if (txn_ops_staged_ == 0) return;  // nothing changed durable state
+  if (txn_ops_staged_ == 0) {  // nothing changed durable state
+    FlushTraceLocked();
+    return Status::Ok();
+  }
   Status status = store_->Commit();
   if (!status.ok()) {
-    CMOM_LOG(kError) << to_string(self_) << ": commit failed: " << status;
-    return;
+    // The historical path logged and continued, leaving in-memory state
+    // the store never saw -- a restart would then silently rewind the
+    // clocks and queues, voiding exactly-once.  Fail-stop instead.
+    FailStopLocked(status);
+    return halt_status_;
   }
   txn_ops_staged_ = 0;
   txn_bytes_marker_ += store_->last_commit_bytes();
   ++stats_.commits;
   stats_.commit_bytes += store_->last_commit_bytes();
   stats_.commit_bytes_hist.Record(store_->last_commit_bytes());
+  FlushTraceLocked();
+  return Status::Ok();
+}
+
+void AgentServer::FailStopLocked(const Status& cause) {
+  if (!halt_status_.ok()) return;  // already halted
+  halt_status_ = Status::FailStop(to_string(self_) + " halted on store error: " +
+                                  cause.to_string());
+  CMOM_LOG(kError) << to_string(self_) << ": FAIL-STOP: " << cause
+                   << "; durable state frozen at last successful commit";
+  // The failed transaction never became durable.  Roll its staged ops
+  // out of the store (so a restart over the same store object sees
+  // exactly the committed image) and discard every output that would
+  // advertise the un-durable state: a data frame would let the peer
+  // deliver a message a restart un-sends, and an ack would let the
+  // sender retire a message this server will no longer remember.
+  store_->Rollback();
+  txn_ops_staged_ = 0;
+  pending_trace_.clear();
+  pending_frames_.clear();
+  staged_acks_.clear();
+  inbox_.clear();
+  engine_step_needed_ = false;
+  // work_queue_ is intentionally NOT cleared: queued items run inertly
+  // through the halt guards, so an ApplyControlRecord waiting on its
+  // promise resolves (with the halt status) instead of deadlocking.
+}
+
+Status AgentServer::health() const {
+  std::lock_guard lock(mutex_);
+  return halt_status_;
+}
+
+void AgentServer::BufferTraceSend(const Message& message) {
+  if (options_.trace == nullptr || !halt_status_.ok()) return;
+  pending_trace_.push_back(causality::TraceEvent{
+      causality::EventKind::kSend, message.id, self_, message.dest_server(),
+      message.from, message.to});
+}
+
+void AgentServer::BufferTraceDeliver(const Message& message) {
+  if (options_.trace == nullptr || !halt_status_.ok()) return;
+  pending_trace_.push_back(causality::TraceEvent{
+      causality::EventKind::kDeliver, message.id, self_, self_, message.from,
+      message.to});
+}
+
+void AgentServer::FlushTraceLocked() {
+  if (pending_trace_.empty()) return;
+  for (const causality::TraceEvent& event : pending_trace_) {
+    if (event.kind == causality::EventKind::kSend) {
+      options_.trace->RecordSend(event.message, event.process,
+                                 event.destination, event.src_agent,
+                                 event.dst_agent);
+    } else {
+      options_.trace->RecordDeliver(event.message, event.process,
+                                    event.destination, event.src_agent,
+                                    event.dst_agent);
+    }
+  }
+  pending_trace_.clear();
 }
 
 Status AgentServer::RecoverLocked() {
@@ -1504,8 +1599,7 @@ Status AgentServer::RecoverLocked() {
     incarnation_ = 1;
     meta_dirty_ = true;
     if (incremental()) PersistClocks(/*force=*/true);
-    CommitLocked();
-    return Status::Ok();
+    return CommitLocked();
   }
   {
     ByteReader in(*meta);
@@ -1532,7 +1626,7 @@ Status AgentServer::RecoverLocked() {
                               store_->Get(kLegacyHoldbackKey).has_value();
   if (legacy_present) {
     CMOM_RETURN_IF_ERROR(RecoverLegacyLocked());
-    if (incremental()) MigrateToIncrementalLocked();
+    if (incremental()) CMOM_RETURN_IF_ERROR(MigrateToIncrementalLocked());
   } else {
     CMOM_RETURN_IF_ERROR(RecoverIncrementalLocked());
     if (!incremental()) {
@@ -1551,7 +1645,7 @@ Status AgentServer::RecoverLocked() {
             kHoldKeyPrefix, kFwdKeyPrefix}) {
         for (const std::string& key : store_->Keys(prefix)) StoreDelete(key);
       }
-      CommitLocked();
+      CMOM_RETURN_IF_ERROR(CommitLocked());
     }
   }
 
@@ -1563,7 +1657,7 @@ Status AgentServer::RecoverLocked() {
   }
   // Make the incarnation bump durable before Boot emits any frame (the
   // downgrade path above may have committed it already).
-  if (meta_dirty_) CommitLocked();
+  if (meta_dirty_) return CommitLocked();
   return Status::Ok();
 }
 
@@ -1798,7 +1892,7 @@ Status AgentServer::RecoverIncrementalLocked() {
   return Status::Ok();
 }
 
-void AgentServer::MigrateToIncrementalLocked() {
+Status AgentServer::MigrateToIncrementalLocked() {
   CMOM_LOG(kInfo) << to_string(self_)
                   << ": migrating full-image store to incremental schema";
   StoreDelete(kLegacyClocksKey);
@@ -1814,7 +1908,7 @@ void AgentServer::MigrateToIncrementalLocked() {
       PersistHeldFrame(item, held, next_hold_seq_++);
     }
   }
-  CommitLocked();
+  return CommitLocked();
 }
 
 // ---------------------------------------------------------------------
@@ -1914,7 +2008,7 @@ AgentServer::FlowStatus AgentServer::flow_status() const {
 
 Status AgentServer::ApplyControlRecord(std::string_view key,
                                        std::optional<Bytes> value) {
-  auto done = std::make_shared<std::promise<void>>();
+  auto done = std::make_shared<std::promise<Status>>();
   auto committed = done->get_future();
   {
     std::unique_lock lock(mutex_);
@@ -1922,6 +2016,7 @@ Status AgentServer::ApplyControlRecord(std::string_view key,
       return Status::FailedPrecondition(to_string(self_) +
                                         " is not running");
     }
+    if (!halt_status_.ok()) return halt_status_;
     work_queue_.push_back([this, key = std::string(key),
                            value = std::move(value), done]() mutable {
       if (value.has_value()) {
@@ -1929,14 +2024,15 @@ Status AgentServer::ApplyControlRecord(std::string_view key,
       } else {
         StoreDelete(key);
       }
-      CommitLocked();
-      done->set_value();
+      // The commit status travels back to the blocked caller: a
+      // fail-stop here surfaces as kFailStop at the control plane
+      // instead of a record that silently never became durable.
+      done->set_value(CommitLocked());
       return std::size_t{0};
     });
     PumpLocked();
   }
-  committed.wait();
-  return Status::Ok();
+  return committed.get();
 }
 
 const clocks::CausalDomainClock* AgentServer::FindDomainClock(

@@ -289,6 +289,14 @@ class AgentServer {
   [[nodiscard]] std::uint64_t epoch() const { return options_.epoch; }
   [[nodiscard]] ServerStats stats() const;
 
+  // OK while the server is live; the kFailStop status after a durable
+  // write or commit failure halted it.  A halted server rejects
+  // SendMessage and control records with that same status, commits
+  // nothing, emits no frames and drops incoming ones -- the store holds
+  // exactly the last successful commit, which is what a restart (a new
+  // AgentServer over the same store) recovers.
+  [[nodiscard]] Status health() const;
+
   // --- epoch fence (quiesce phase of a reconfiguration) ---------------
   // While the fence is up, SendMessage returns Unavailable; everything
   // already accepted keeps flowing (routing, retransmission, reactions)
@@ -539,8 +547,30 @@ class AgentServer {
   [[nodiscard]] Status RecoverIncrementalLocked();
   // One-shot schema migration: deletes the legacy monolithic blobs and
   // writes the recovered state under per-entry keys.
-  void MigrateToIncrementalLocked();
-  void CommitLocked();
+  [[nodiscard]] Status MigrateToIncrementalLocked();
+  // Commits the staged transaction.  On a store failure the server
+  // FAIL-STOPS (FailStopLocked) and the halt status is returned; the
+  // in-memory state that was never persisted must not keep running, or
+  // exactly-once and causal recovery silently break.  Work items may
+  // ignore the result -- the halt guards make every later step inert --
+  // but Boot/recovery paths must propagate it.
+  [[nodiscard]] Status CommitLocked();
+  // Halts the server after a durable-write failure: records the typed
+  // halt status, rolls the store back to its last committed image and
+  // discards every staged output (frames, acks, trace events) so
+  // nothing advertising un-durable state can leave.  Queued work items
+  // still run -- inert through the guards -- so a blocked
+  // ApplyControlRecord caller always resolves.  Caller holds mutex_.
+  void FailStopLocked(const Status& cause);
+
+  // --- trace buffering (commit-then-record) ---------------------------
+  // Send/deliver events are buffered per transaction and recorded only
+  // after the commit that makes them durable succeeded; a failed commit
+  // discards them.  Otherwise the oracle would count a send the crash
+  // (or fail-stop) un-happened, reporting phantom losses.
+  void BufferTraceSend(const Message& message);
+  void BufferTraceDeliver(const Message& message);
+  void FlushTraceLocked();
 
   // --- helpers ---------------------------------------------------------
   [[nodiscard]] DomainItem* FindItemByDomainId(DomainId id);
@@ -570,6 +600,11 @@ class AgentServer {
   mutable std::mutex mutex_;
   bool booted_ = false;
   bool shutdown_ = false;
+  // Non-OK once FailStopLocked ran (kFailStop wrapping the store
+  // failure).  Deliberately distinct from shutdown_: Shutdown() must
+  // still run its receive-handler swap on a halted server, and a halted
+  // server still drains its work queue (inertly) for blocked callers.
+  Status halt_status_;
   bool fence_active_ = false;
   bool work_running_ = false;
   std::deque<Work> work_queue_;
@@ -587,6 +622,9 @@ class AgentServer {
   // batched drain whether the end-of-batch commit is needed at all
   // (a batch of pure duplicates or bad frames commits nothing).
   bool commit_needed_ = false;
+  // Trace events of the transaction in flight, recorded on commit
+  // success and discarded on fail-stop (see BufferTraceSend).
+  std::vector<causality::TraceEvent> pending_trace_;
 
   std::vector<DomainItem> items_;
   // QueueOUT: FIFO list plus MessageId index for O(1) ack/retransmit

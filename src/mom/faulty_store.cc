@@ -1,0 +1,101 @@
+#include "mom/faulty_store.h"
+
+#include <utility>
+
+namespace cmom::mom {
+
+FaultyStore::FaultyStore(Store& inner, FaultyStoreOptions options)
+    : inner_(&inner), options_(options), rng_(options.seed) {}
+
+void FaultyStore::Put(std::string_view key, Bytes value) {
+  {
+    std::lock_guard lock(mutex_);
+    if (options_.write_failure_probability > 0 &&
+        rng_.NextBool(options_.write_failure_probability)) {
+      txn_poisoned_ = true;
+    }
+  }
+  inner_->Put(key, std::move(value));
+}
+
+void FaultyStore::Delete(std::string_view key) {
+  {
+    std::lock_guard lock(mutex_);
+    if (options_.write_failure_probability > 0 &&
+        rng_.NextBool(options_.write_failure_probability)) {
+      txn_poisoned_ = true;
+    }
+  }
+  inner_->Delete(key);
+}
+
+std::optional<Bytes> FaultyStore::Get(std::string_view key) {
+  return inner_->Get(key);
+}
+
+std::vector<std::string> FaultyStore::Keys(std::string_view prefix) {
+  return inner_->Keys(prefix);
+}
+
+Status FaultyStore::Commit() {
+  {
+    std::lock_guard lock(mutex_);
+    bool fail = false;
+    if (txn_poisoned_) {
+      txn_poisoned_ = false;
+      fail = true;
+    }
+    if (fail_countdown_ > 0 && --fail_countdown_ == 0) fail = true;
+    if (!fail && options_.commit_failure_probability > 0 &&
+        rng_.NextBool(options_.commit_failure_probability)) {
+      fail = true;
+    }
+    if (fail) {
+      ++stats_.faults_injected;
+      // The inner store never sees this Commit: its committed image is
+      // still the previous transaction's, and the staged ops stay
+      // staged for the caller's Rollback.
+      return Status::Unavailable("injected commit failure (ENOSPC)");
+    }
+    ++stats_.commits;
+  }
+  return inner_->Commit();
+}
+
+void FaultyStore::Rollback() {
+  {
+    std::lock_guard lock(mutex_);
+    txn_poisoned_ = false;
+  }
+  inner_->Rollback();
+}
+
+Status FaultyStore::Checkpoint() { return inner_->Checkpoint(); }
+
+std::uint64_t FaultyStore::last_commit_bytes() const {
+  return inner_->last_commit_bytes();
+}
+
+std::uint64_t FaultyStore::total_bytes_written() const {
+  return inner_->total_bytes_written();
+}
+
+void FaultyStore::FailAfterCommits(std::uint64_t n) {
+  std::lock_guard lock(mutex_);
+  fail_countdown_ = n;
+}
+
+void FaultyStore::Disarm() {
+  std::lock_guard lock(mutex_);
+  fail_countdown_ = 0;
+  txn_poisoned_ = false;
+  options_.commit_failure_probability = 0;
+  options_.write_failure_probability = 0;
+}
+
+FaultyStoreStats FaultyStore::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace cmom::mom

@@ -1,0 +1,82 @@
+// Storage fault injection (the disk-side counterpart of FaultyNetwork).
+//
+// FaultyStore wraps any Store and injects failures on the durability
+// path: probabilistic Commit() failures from a seeded RNG (an
+// ENOSPC-style refusal before anything reaches the inner store),
+// fail-at-Nth-commit crash points armed by a chaos schedule, and write
+// poisoning (a Put/Delete is accepted -- realistic buffered-I/O
+// semantics -- but the transaction it belongs to fails at Commit).
+//
+// An injected failure leaves the inner store exactly at its previous
+// committed state: the inner Commit is never called, and the staged
+// operations stay staged until the server's fail-stop path rolls them
+// back.  That makes the decorator the test bed for the AgentServer
+// fail-stop contract -- after a commit failure the server must halt and
+// a restart over the same (inner) store must recover the last durable
+// image, bit for bit.
+//
+// Thread safety: the chaos orchestrator arms and disarms faults from
+// its own thread while the server commits under its lock, so every
+// member is guarded by an internal mutex.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/rng.h"
+#include "mom/store.h"
+
+namespace cmom::mom {
+
+struct FaultyStoreOptions {
+  // Probability that a Commit fails before touching the inner store.
+  double commit_failure_probability = 0.0;
+  // Probability that a Put/Delete poisons the current transaction: the
+  // write is staged normally but the enclosing Commit fails.  Models a
+  // buffered write that only surfaces its error at flush time.
+  double write_failure_probability = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct FaultyStoreStats {
+  std::uint64_t commits = 0;          // successful inner commits
+  std::uint64_t faults_injected = 0;  // commits failed by injection
+};
+
+class FaultyStore final : public Store {
+ public:
+  // `inner` must outlive this decorator.
+  explicit FaultyStore(Store& inner, FaultyStoreOptions options = {});
+
+  void Put(std::string_view key, Bytes value) override;
+  void Delete(std::string_view key) override;
+  [[nodiscard]] std::optional<Bytes> Get(std::string_view key) override;
+  [[nodiscard]] std::vector<std::string> Keys(std::string_view prefix) override;
+  Status Commit() override;
+  void Rollback() override;
+  Status Checkpoint() override;
+  [[nodiscard]] std::uint64_t last_commit_bytes() const override;
+  [[nodiscard]] std::uint64_t total_bytes_written() const override;
+
+  // Crash point: the Nth Commit from now fails (n = 1 means the very
+  // next one).  One-shot; overwrites any previously armed countdown.
+  void FailAfterCommits(std::uint64_t n);
+  // Clears every armed and probabilistic fault (schedule "heal").
+  void Disarm();
+
+  [[nodiscard]] FaultyStoreStats stats() const;
+
+ private:
+  Store* inner_;
+  mutable std::mutex mutex_;
+  FaultyStoreOptions options_;
+  Rng rng_;
+  // Commits until the armed crash point fires (0 = not armed).
+  std::uint64_t fail_countdown_ = 0;
+  // Set by a poisoned write; fails the next Commit, cleared by
+  // Commit/Rollback with the transaction it poisoned.
+  bool txn_poisoned_ = false;
+  FaultyStoreStats stats_;
+};
+
+}  // namespace cmom::mom

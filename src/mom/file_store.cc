@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/crc32.h"
@@ -39,21 +40,39 @@ Result<std::unique_ptr<FileStore>> FileStore::Open(
   std::filesystem::remove(directory / kSnapshotTmpName, ec);
 
   CMOM_RETURN_IF_ERROR(store->LoadFrom(directory / kSnapshotName));
-  CMOM_RETURN_IF_ERROR(store->LoadFrom(directory / kWalName));
+  std::uintmax_t wal_valid_bytes = 0;
+  CMOM_RETURN_IF_ERROR(
+      store->LoadFrom(directory / kWalName, &wal_valid_bytes));
   // Every replayed transaction staged ops into the cache; make them the
   // committed image without counting them as new writes.
-  (void)store->cache_.Commit();
+  CMOM_RETURN_IF_ERROR(store->cache_.Commit());
+
+  // A torn tail (crash or ENOSPC mid-append) was discarded by the
+  // replay; cut it off the file too, or the next append would land at
+  // a misaligned offset and shadow itself on the following reload.
+  const std::uintmax_t wal_file_bytes =
+      std::filesystem::exists(directory / kWalName, ec)
+          ? std::filesystem::file_size(directory / kWalName, ec)
+          : 0;
+  if (!ec && wal_file_bytes > wal_valid_bytes) {
+    std::filesystem::resize_file(directory / kWalName, wal_valid_bytes, ec);
+    if (ec) {
+      return Status::Unavailable("cannot truncate torn WAL tail: " +
+                                 ec.message());
+    }
+  }
 
   store->wal_ = std::fopen((directory / kWalName).c_str(), "ab");
   if (store->wal_ == nullptr) {
     return Status::Unavailable("cannot open WAL for append");
   }
-  store->wal_bytes_ = std::filesystem::file_size(directory / kWalName, ec);
-  if (ec) store->wal_bytes_ = 0;
+  store->wal_bytes_ = wal_valid_bytes;
   return {std::move(store)};
 }
 
-Status FileStore::LoadFrom(const std::filesystem::path& file) {
+Status FileStore::LoadFrom(const std::filesystem::path& file,
+                           std::uintmax_t* valid_bytes) {
+  if (valid_bytes != nullptr) *valid_bytes = 0;
   std::FILE* in = std::fopen(file.c_str(), "rb");
   if (in == nullptr) return Status::Ok();  // absent file = empty
   std::error_code size_ec;
@@ -109,6 +128,7 @@ Status FileStore::LoadFrom(const std::filesystem::path& file) {
       }
     }
     if (!status.ok()) break;
+    if (valid_bytes != nullptr) *valid_bytes = consumed;
   }
   std::fclose(in);
   return status;
@@ -133,6 +153,14 @@ std::vector<std::string> FileStore::Keys(std::string_view prefix) {
 }
 
 Status FileStore::Commit() {
+  if (wal_poisoned_) {
+    // A previous append failed partway: the WAL tail is torn, and any
+    // further record would land at a misaligned offset and be eaten by
+    // the CRC scan together with the torn prefix.  The store is
+    // read-only until reopened (the server fail-stops on the first
+    // failure, so this is a backstop, not a recovery path).
+    return Status::Unavailable("WAL tail torn by earlier write failure");
+  }
   ByteWriter body;
   for (const StagedOp& op : staged_) {
     if (op.value.has_value()) {
@@ -205,14 +233,38 @@ Status FileStore::AppendTransaction(const Bytes& body) {
   const std::uint32_t crc = Crc32(body);
   std::memcpy(header, &length, 4);
   std::memcpy(header + 4, &crc, 4);
+  if (wal_write_limit_armed_) {
+    // Injected ENOSPC: put the first `wal_write_limit_` bytes of the
+    // record on disk -- a torn prefix the CRC check throws away on the
+    // next load -- and report the device full.
+    wal_write_limit_armed_ = false;
+    const std::size_t header_part = static_cast<std::size_t>(
+        std::min<std::uint64_t>(wal_write_limit_, sizeof(header)));
+    std::size_t wrote = std::fwrite(header, 1, header_part, wal_);
+    if (wrote == header_part && wal_write_limit_ > sizeof(header)) {
+      const std::size_t body_part = static_cast<std::size_t>(
+          std::min<std::uint64_t>(wal_write_limit_ - sizeof(header),
+                                  body.size()));
+      wrote += std::fwrite(body.data(), 1, body_part, wal_);
+    }
+    (void)std::fflush(wal_);
+    wal_bytes_ += wrote;
+    wal_poisoned_ = true;
+    return Status::Unavailable("injected WAL write failure (ENOSPC)");
+  }
   if (std::fwrite(header, 1, sizeof(header), wal_) != sizeof(header)) {
+    wal_poisoned_ = true;
     return Status::Unavailable("WAL write failed");
   }
   if (!body.empty() &&
       std::fwrite(body.data(), 1, body.size(), wal_) != body.size()) {
+    wal_poisoned_ = true;
     return Status::Unavailable("WAL write failed");
   }
-  if (std::fflush(wal_) != 0) return Status::Unavailable("WAL flush failed");
+  if (std::fflush(wal_) != 0) {
+    wal_poisoned_ = true;
+    return Status::Unavailable("WAL flush failed");
+  }
   CMOM_RETURN_IF_ERROR(SyncFile(wal_));
   wal_bytes_ += sizeof(header) + body.size();
   return Status::Ok();

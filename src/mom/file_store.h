@@ -81,10 +81,25 @@ class FileStore final : public Store {
   // fdatasync invocations so far (0 under SyncMode::kNone).
   [[nodiscard]] std::uint64_t sync_calls() const { return sync_calls_; }
 
+  // Fault hook: the next WAL append writes at most `bytes` of the
+  // record to disk, then fails Unavailable -- an ENOSPC-style short
+  // write.  The torn record is discarded by the CRC check on the next
+  // load, so the on-disk store stays at its previous committed state.
+  // One-shot; cleared once it fires.
+  void set_wal_write_limit(std::uint64_t bytes) {
+    wal_write_limit_ = bytes;
+    wal_write_limit_armed_ = true;
+  }
+
  private:
   FileStore(std::filesystem::path directory, FileStoreOptions options);
 
-  Status LoadFrom(const std::filesystem::path& file);
+  // Replays records from `file` into the cache, stopping at the first
+  // torn or corrupt record.  If `valid_bytes` is non-null it receives
+  // the byte length of the valid prefix (the offset appends must
+  // resume from).
+  Status LoadFrom(const std::filesystem::path& file,
+                  std::uintmax_t* valid_bytes = nullptr);
   Status AppendTransaction(const Bytes& body);
   // Applies the configured sync mode to `file` (no-op under kNone).
   Status SyncFile(std::FILE* file);
@@ -102,6 +117,11 @@ class FileStore final : public Store {
   std::uint64_t sync_calls_ = 0;
   std::FILE* wal_ = nullptr;
   std::uint64_t wal_bytes_ = 0;
+  std::uint64_t wal_write_limit_ = 0;
+  bool wal_write_limit_armed_ = false;
+  // Set when an append failed partway; commits are refused until the
+  // store is reopened (the CRC scan then discards the torn tail).
+  bool wal_poisoned_ = false;
   std::uint64_t compaction_threshold_bytes_ = 4 * 1024 * 1024;
   // In-memory image of committed state; the files are the durable copy.
   InMemoryStore cache_;

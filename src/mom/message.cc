@@ -123,6 +123,7 @@ Bytes AckFrame::Serialize() const {
   if (has_session) {
     out.WriteVarU64(session);
     out.WriteVarU64(echo);
+    out.WriteVarU64(accepted);
   }
   return std::move(out).Take();
 }
@@ -174,9 +175,12 @@ Result<AckFrame> DeserializeAck(std::span<const std::uint8_t> bytes) {
       if (!session.ok()) return session.status();
       auto echo = in.ReadVarU64();
       if (!echo.ok()) return echo.status();
+      auto accepted = in.ReadVarU64();
+      if (!accepted.ok()) return accepted.status();
       ack.has_session = true;
       ack.session = session.value();
       ack.echo = echo.value();
+      ack.accepted = accepted.value();
     }
   }
   return ack;

@@ -83,16 +83,24 @@ struct AckFrame {
   bool has_credit = false;
   std::uint64_t credit = 0;
 
-  // Restart-renegotiation pair riding with the grant (flags bit 1):
+  // Restart-renegotiation trio riding with the grant (flags bit 1):
   // `session` is the acking server's own boot incarnation -- a change
-  // tells the sender to adopt the grant absolutely and restart its
-  // admission count (CreditSenderLink::SessionGrant) -- and `echo` is
-  // the sender incarnation the receiver computed the grant against, so
-  // a freshly rebooted sender can discard grants still numbered for its
-  // previous life.
+  // tells the sender the grant numbering restarted -- `echo` is the
+  // sender incarnation the receiver computed the grant against, so a
+  // freshly rebooted sender can discard grants still numbered for its
+  // previous life, and `accepted` is the receiver's authoritative
+  // accepted count for this session, against which the sender
+  // reconciles its admission count
+  // (CreditSenderLink::Reconcile).  Reconciliation -- rather than dead
+  // reckoning -- is what keeps the two counters paired across crash/
+  // restart on EITHER end: a restarted sender's recovery emissions and
+  // a restarted receiver's re-counted retransmissions both desync a
+  // local count, permanently widening (runaway backlog) or narrowing
+  // (wedged link) the window.
   bool has_session = false;
   std::uint64_t session = 0;
   std::uint64_t echo = 0;
+  std::uint64_t accepted = 0;
 
   AckFrame() = default;
   explicit AckFrame(MessageId id) : messages{id} {}

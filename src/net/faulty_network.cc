@@ -72,6 +72,14 @@ Status FaultyNetwork::InjectedSend(ServerId from, ServerId to, Bytes frame) {
     auto sender = live_.find(from);
     if (sender == live_.end()) return Status::NotFound("sender gone");
 
+    if (PartitionedLocked(from, to)) {
+      // The cut swallows the frame silently, exactly like a lossy wire:
+      // the sender's retransmit timer keeps probing and delivery
+      // resumes once the partition heals.
+      ++stats_.frames_partitioned;
+      return Status::Ok();
+    }
+
     if (options_.disconnect_probability > 0 &&
         rng_.NextBool(options_.disconnect_probability)) {
       ++stats_.disconnects_forced;
@@ -204,6 +212,49 @@ void FaultyNetwork::ScheduleFifoLocked(std::uint64_t key, ServerId from,
       link_pending_.erase(it);
     }
   });
+}
+
+bool FaultyNetwork::PartitionedLocked(ServerId from, ServerId to) const {
+  for (const auto& [name, group] : partitions_) {
+    (void)name;
+    const bool a_to_b =
+        group.side_a.contains(from) && group.side_b.contains(to);
+    const bool b_to_a =
+        group.side_b.contains(from) && group.side_a.contains(to);
+    if (a_to_b || b_to_a) return true;
+  }
+  return false;
+}
+
+void FaultyNetwork::Partition(const std::string& name,
+                              std::vector<ServerId> side_a,
+                              std::vector<ServerId> side_b) {
+  std::lock_guard lock(mutex_);
+  PartitionGroup group;
+  group.side_a.insert(side_a.begin(), side_a.end());
+  group.side_b.insert(side_b.begin(), side_b.end());
+  partitions_[name] = std::move(group);
+}
+
+void FaultyNetwork::Heal(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  partitions_.erase(name);
+}
+
+void FaultyNetwork::HealAll() {
+  std::lock_guard lock(mutex_);
+  partitions_.clear();
+}
+
+std::vector<std::string> FaultyNetwork::ActivePartitions() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(partitions_.size());
+  for (const auto& [name, group] : partitions_) {
+    (void)group;
+    names.push_back(name);
+  }
+  return names;
 }
 
 FaultyNetworkStats FaultyNetwork::stats() const {

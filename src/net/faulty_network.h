@@ -25,7 +25,10 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "common/rng.h"
 #include "net/cost_model.h"
@@ -52,6 +55,9 @@ struct FaultyNetworkStats {
   std::uint64_t frames_duplicated = 0;
   std::uint64_t frames_delayed = 0;
   std::uint64_t disconnects_forced = 0;
+  // Frames dropped because an active partition separated the endpoints
+  // (both data and ack paths; counted separately from random drops).
+  std::uint64_t frames_partitioned = 0;
 };
 
 class FaultyNetwork final : public Network {
@@ -70,6 +76,23 @@ class FaultyNetwork final : public Network {
   // Frames currently parked on delay timers (quiescence checks).
   [[nodiscard]] std::size_t pending_delayed() const;
 
+  // --- named bidirectional partitions --------------------------------
+  // Installs (or replaces) partition `name`: every frame between a
+  // server in `side_a` and one in `side_b` -- either direction, data
+  // and acks alike -- is dropped until Heal(name).  Frames already
+  // parked on delay timers when the cut lands were in flight before it
+  // and still deliver, like packets on the wire when a cable is pulled.
+  // Servers in neither set are unaffected; overlapping partitions
+  // compose (a frame crossing ANY active cut is dropped).
+  void Partition(const std::string& name, std::vector<ServerId> side_a,
+                 std::vector<ServerId> side_b);
+  // Removes partition `name` (unknown names are a no-op).  Retransmit
+  // timers take over: nothing lost to the cut stays lost.
+  void Heal(const std::string& name);
+  void HealAll();
+  // Active partition names, for schedules that heal-by-enumeration.
+  [[nodiscard]] std::vector<std::string> ActivePartitions() const;
+
  private:
   class FaultyEndpoint;
   friend class FaultyEndpoint;
@@ -87,6 +110,10 @@ class FaultyNetwork final : public Network {
   void ScheduleFifoLocked(std::uint64_t key, ServerId from, ServerId to,
                           Bytes frame, std::uint64_t delay_ns);
 
+  // True when an active partition separates `from` and `to`.  Caller
+  // holds mutex_.
+  [[nodiscard]] bool PartitionedLocked(ServerId from, ServerId to) const;
+
   Network* inner_;
   FaultyNetworkOptions options_;
   Runtime* runtime_;
@@ -94,6 +121,11 @@ class FaultyNetwork final : public Network {
   mutable std::mutex mutex_;
   Rng rng_;
   FaultyNetworkStats stats_;
+  struct PartitionGroup {
+    std::unordered_set<ServerId> side_a;
+    std::unordered_set<ServerId> side_b;
+  };
+  std::unordered_map<std::string, PartitionGroup> partitions_;
   std::size_t pending_delayed_ = 0;
   // Live wrapped endpoints by id; delayed sends re-resolve through this
   // map so a frame whose sender died mid-delay is dropped, not a UAF.

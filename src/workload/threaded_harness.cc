@@ -60,7 +60,7 @@ Status ThreadedHarness::Init(AgentInstaller installer) {
 
     auto server = std::make_unique<mom::AgentServer>(
         *deployment.value(), id, endpoints_.at(id).get(), &runtime_,
-        stores_.at(id).get(), ServerOptions(cluster_epoch_));
+        ServerStore(id), ServerOptions(cluster_epoch_));
     if (installer_) installer_(id, *server);
     servers_.emplace(id, std::move(server));
     server_epochs_[id] = cluster_epoch_;
@@ -138,8 +138,8 @@ Status ThreadedHarness::Restart(ServerId id) {
   const std::uint64_t epoch = server_epochs_.at(id);
   const domains::Deployment& deployment = *deployments_.at(epoch);
   auto server = std::make_unique<mom::AgentServer>(
-      deployment, id, endpoints_.at(id).get(), &runtime_,
-      stores_.at(id).get(), ServerOptions(epoch));
+      deployment, id, endpoints_.at(id).get(), &runtime_, ServerStore(id),
+      ServerOptions(epoch));
   if (installer_) installer_(id, *server);
   servers_.at(id) = std::move(server);
   return servers_.at(id)->Boot();
@@ -161,6 +161,28 @@ std::vector<ServerId> ThreadedHarness::KnownServers() {
 mom::AgentServer* ThreadedHarness::ServerOf(ServerId id) {
   auto it = servers_.find(id);
   return it == servers_.end() ? nullptr : it->second.get();
+}
+
+mom::Store* ThreadedHarness::ServerStore(ServerId id) {
+  mom::Store* inner = StoreOf(id);
+  if (!options_.store_fault.has_value()) return inner;
+  auto it = faulty_stores_.find(id);
+  if (it == faulty_stores_.end()) {
+    mom::FaultyStoreOptions store_options = *options_.store_fault;
+    // Per-server fault streams: a shared seed would make every server
+    // fail in lockstep.
+    store_options.seed += id.value();
+    it = faulty_stores_
+             .emplace(id, std::make_unique<mom::FaultyStore>(*inner,
+                                                             store_options))
+             .first;
+  }
+  return it->second.get();
+}
+
+mom::FaultyStore* ThreadedHarness::faulty_store(ServerId id) {
+  auto it = faulty_stores_.find(id);
+  return it == faulty_stores_.end() ? nullptr : it->second.get();
 }
 
 mom::Store* ThreadedHarness::StoreOf(ServerId id) {
@@ -197,7 +219,7 @@ Status ThreadedHarness::StartServer(ServerId id, std::uint64_t epoch,
   }
   auto server = std::make_unique<mom::AgentServer>(
       *deployment.value(), id, endpoints_.at(id).get(), &runtime_,
-      StoreOf(id), ServerOptions(epoch));
+      ServerStore(id), ServerOptions(epoch));
   if (installer_) installer_(id, *server);
   servers_[id] = std::move(server);
   server_epochs_[id] = epoch;

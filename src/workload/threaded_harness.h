@@ -26,6 +26,7 @@
 #include "control/fence.h"
 #include "domains/deployment.h"
 #include "mom/agent_server.h"
+#include "mom/faulty_store.h"
 #include "mom/store.h"
 #include "net/faulty_network.h"
 #include "net/inproc_network.h"
@@ -39,6 +40,13 @@ struct ThreadedHarnessOptions {
   // injecting drops/duplicates/delays/disconnects on real threads --
   // the wall-clock counterpart of the simulated fault sweeps.
   std::optional<net::FaultyNetworkOptions> fault;
+  // When set, every server's store is wrapped in a FaultyStore
+  // decorator (seeded per server as seed + id), so chaos schedules can
+  // arm commit failures and exercise the fail-stop path.  The wrapper
+  // sits between server and store only -- StoreOf() still hands the
+  // control plane the raw store, so reconfig rewrites (operator
+  // actions, not data-path writes) are never fault-injected.
+  std::optional<mom::FaultyStoreOptions> store_fault;
   // Durable-image layout and batching limits, forwarded to every
   // server (see AgentServerOptions).
   mom::PersistMode persist_mode = mom::PersistMode::kIncremental;
@@ -104,6 +112,10 @@ class ThreadedHarness final : public control::ClusterHost {
   }
   // Null unless fault injection was configured.
   [[nodiscard]] net::FaultyNetwork* faulty_network() { return faulty_.get(); }
+  // Null unless store fault injection was configured (or the server was
+  // never created).  Survives Crash/Restart: the wrapper, like the
+  // store, is the durable half.
+  [[nodiscard]] mom::FaultyStore* faulty_store(ServerId id);
   [[nodiscard]] causality::TraceRecorder& trace() { return trace_; }
   // The highest epoch any server was started under.
   [[nodiscard]] std::uint64_t cluster_epoch() const { return cluster_epoch_; }
@@ -116,6 +128,9 @@ class ThreadedHarness final : public control::ClusterHost {
 
  private:
   [[nodiscard]] mom::AgentServerOptions ServerOptions(std::uint64_t epoch);
+  // The store a server instance reads and writes: the FaultyStore
+  // wrapper when store faults are configured, else the raw store.
+  [[nodiscard]] mom::Store* ServerStore(ServerId id);
   // The deployment for `epoch`, built from `config` on first use.
   [[nodiscard]] Result<const domains::Deployment*> DeploymentFor(
       std::uint64_t epoch, const domains::MomConfig& config);
@@ -137,6 +152,8 @@ class ThreadedHarness final : public control::ClusterHost {
   causality::TraceRecorder trace_;
 
   std::unordered_map<ServerId, std::unique_ptr<mom::InMemoryStore>> stores_;
+  std::unordered_map<ServerId, std::unique_ptr<mom::FaultyStore>>
+      faulty_stores_;
   std::unordered_map<ServerId, std::unique_ptr<net::Endpoint>> endpoints_;
   std::unordered_map<ServerId, std::unique_ptr<mom::AgentServer>> servers_;
   // Epoch each server last ran under (what Restart reboots it at).

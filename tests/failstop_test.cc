@@ -1,0 +1,183 @@
+// Fail-stop durability: a server whose store refuses a commit must
+// halt -- reject new work with a typed kFailStop status, emit nothing,
+// accept nothing -- instead of logging and carrying on with state the
+// disk never saw.  A restart over the same durable directory must then
+// recover the exact pre-failure image, and retransmission must deliver
+// what the failed transaction swallowed.
+//
+// The kFailStop assertions are the regression guard for the old
+// log-and-continue behavior: under it the send after the injected
+// failure succeeded and the durable image silently diverged.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "causality/checker.h"
+#include "domains/topologies.h"
+#include "mom/agent_server.h"
+#include "mom/faulty_store.h"
+#include "mom/file_store.h"
+#include "net/sim_network.h"
+#include "workload/agents.h"
+
+namespace cmom {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FailStopTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("cmom_failstop_" + std::string(::testing::UnitTest::GetInstance()
+                                               ->current_test_info()
+                                               ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(FailStopTest, CommitFailureHaltsServerAndRestartRecoversExactImage) {
+  auto config = domains::topologies::Flat(2);
+  auto deployment = domains::Deployment::Create(config).value();
+
+  sim::Simulator simulator;
+  net::SimRuntime runtime(simulator);
+  net::SimNetwork network(simulator, net::CostModel{});
+  causality::TraceRecorder trace;
+
+  auto endpoint0 = network.CreateEndpoint(ServerId(0)).value();
+  auto endpoint1 = network.CreateEndpoint(ServerId(1)).value();
+  auto store0 = mom::FileStore::Open(dir_ / "s0").value();
+  auto store1 = mom::FileStore::Open(dir_ / "s1").value();
+  // The victim's disk, behind the fault decorator.
+  auto faulty1 = std::make_unique<mom::FaultyStore>(*store1);
+
+  mom::AgentServerOptions options;
+  options.trace = &trace;
+  options.retransmit_timeout_ns = 100ull * 1000 * 1000;
+
+  workload::EchoAgent* echo = nullptr;
+  auto server0 = std::make_unique<mom::AgentServer>(
+      deployment, ServerId(0), endpoint0.get(), &runtime, store0.get(),
+      options);
+  auto server1 = std::make_unique<mom::AgentServer>(
+      deployment, ServerId(1), endpoint1.get(), &runtime, faulty1.get(),
+      options);
+  {
+    auto agent = std::make_unique<workload::EchoAgent>();
+    echo = agent.get();
+    server1->AttachAgent(1, std::move(agent));
+  }
+  ASSERT_TRUE(server0->Boot().ok());
+  ASSERT_TRUE(server1->Boot().ok());
+
+  // Healthy traffic first, so the pre-failure image is non-trivial.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server0
+                    ->SendMessage(AgentId{ServerId(0), 7},
+                                  AgentId{ServerId(1), 1}, workload::kPing)
+                    .ok());
+  }
+  simulator.RunToCompletion();
+  EXPECT_EQ(echo->pings_seen(), 5u);
+  ASSERT_TRUE(server1->health().ok());
+  const Bytes image_before = server1->DebugImage();
+
+  // Arm: the victim's very next commit reports ENOSPC.
+  faulty1->FailAfterCommits(1);
+  ASSERT_TRUE(server0
+                  ->SendMessage(AgentId{ServerId(0), 7},
+                                AgentId{ServerId(1), 1}, workload::kPing)
+                  .ok());
+  simulator.RunUntil(simulator.now() + 50ull * 1000 * 1000);
+
+  // The victim halted on the failed commit...
+  EXPECT_EQ(server1->health().code(), StatusCode::kFailStop);
+  EXPECT_EQ(faulty1->stats().faults_injected, 1u);
+  // ...and rejects new work with the typed status (this line fails
+  // against log-and-continue, which would accept the send).
+  const auto rejected = server1->SendMessage(
+      AgentId{ServerId(1), 1}, AgentId{ServerId(0), 7}, workload::kPing);
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailStop);
+  // The swallowed message is still unacknowledged at the sender.
+  EXPECT_EQ(server0->queue_out_size(), 1u);
+  // The oracle saw no phantom events from the failed transaction: the
+  // victim's trace stops at the five committed deliveries.
+  EXPECT_EQ(echo->pings_seen(), 5u);
+
+  // Crash the halted incarnation (Halt per harness convention: joins
+  // workers, bars timers) and reboot from the same durable directory.
+  server1->Halt();
+  server1.reset();
+  faulty1.reset();
+  store1.reset();
+
+  store1 = mom::FileStore::Open(dir_ / "s1").value();
+  server1 = std::make_unique<mom::AgentServer>(
+      deployment, ServerId(1), endpoint1.get(), &runtime, store1.get(),
+      options);
+  {
+    auto agent = std::make_unique<workload::EchoAgent>();
+    echo = agent.get();
+    server1->AttachAgent(1, std::move(agent));
+  }
+  ASSERT_TRUE(server1->Boot().ok());
+
+  // Recovery lands exactly on the pre-failure image, byte for byte:
+  // the failed transaction left no trace on disk.
+  EXPECT_EQ(server1->DebugImage(), image_before);
+  EXPECT_EQ(echo->pings_seen(), 5u);
+
+  // Retransmission re-delivers the swallowed message; nothing is lost
+  // or doubled across the fail-stop.
+  simulator.RunToCompletion();
+  EXPECT_EQ(echo->pings_seen(), 6u);
+  EXPECT_EQ(server0->queue_out_size(), 0u);
+
+  causality::CausalityChecker checker({ServerId(0), ServerId(1)});
+  const auto snapshot = trace.Snapshot();
+  EXPECT_TRUE(checker.CheckCausalDelivery(snapshot).causal());
+  EXPECT_TRUE(checker.CheckExactlyOnce(snapshot).ok());
+  server0->Shutdown();
+  server1->Shutdown();
+}
+
+TEST_F(FailStopTest, ControlRecordWriteSurfacesFailStopToCaller) {
+  // ApplyControlRecord blocks on its commit; with the store armed the
+  // caller gets the halt status back instead of a silent no-op.  Uses
+  // the in-memory store (ApplyControlRecord requires a wall-clock
+  // runtime in general, but here the work item runs inline on Post).
+  auto config = domains::topologies::Flat(1);
+  auto deployment = domains::Deployment::Create(config).value();
+
+  sim::Simulator simulator;
+  net::SimRuntime runtime(simulator);
+  net::SimNetwork network(simulator, net::CostModel{});
+
+  auto endpoint = network.CreateEndpoint(ServerId(0)).value();
+  mom::InMemoryStore inner;
+  mom::FaultyStore store(inner);
+
+  auto server = std::make_unique<mom::AgentServer>(
+      deployment, ServerId(0), endpoint.get(), &runtime, &store,
+      mom::AgentServerOptions{});
+  ASSERT_TRUE(server->Boot().ok());
+
+  ASSERT_TRUE(server->ApplyControlRecord("ctrl/ok", Bytes{1}).ok());
+
+  store.FailAfterCommits(1);
+  const Status failed = server->ApplyControlRecord("ctrl/doomed", Bytes{2});
+  EXPECT_EQ(failed.code(), StatusCode::kFailStop);
+  EXPECT_EQ(server->health().code(), StatusCode::kFailStop);
+  // Once halted, further control writes are rejected up front.
+  EXPECT_EQ(server->ApplyControlRecord("ctrl/late", Bytes{3}).code(),
+            StatusCode::kFailStop);
+  server->Shutdown();
+}
+
+}  // namespace
+}  // namespace cmom

@@ -1,0 +1,102 @@
+// Unit tests for the FaultyStore decorator: armed and probabilistic
+// commit failures, write poisoning, and the guarantee that an injected
+// failure leaves the inner store exactly at its previous committed
+// state.
+#include "mom/faulty_store.h"
+
+#include <gtest/gtest.h>
+
+#include "mom/store.h"
+
+namespace cmom::mom {
+namespace {
+
+Bytes B(std::initializer_list<std::uint8_t> bytes) { return Bytes(bytes); }
+
+TEST(FaultyStore, TransparentWhenDisarmed) {
+  InMemoryStore inner;
+  FaultyStore store(inner);
+  store.Put("k", B({1}));
+  ASSERT_TRUE(store.Commit().ok());
+  EXPECT_EQ(*store.Get("k"), B({1}));
+  EXPECT_EQ(*inner.Get("k"), B({1}));
+  EXPECT_EQ(store.stats().commits, 1u);
+  EXPECT_EQ(store.stats().faults_injected, 0u);
+}
+
+TEST(FaultyStore, FailAfterCommitsFiresOnTheNthCommitOnly) {
+  InMemoryStore inner;
+  FaultyStore store(inner);
+  store.FailAfterCommits(2);
+
+  store.Put("a", B({1}));
+  ASSERT_TRUE(store.Commit().ok());  // 1st: still fine
+
+  store.Put("b", B({2}));
+  const Status failed = store.Commit();  // 2nd: injected failure
+  EXPECT_EQ(failed.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(store.stats().faults_injected, 1u);
+
+  // The inner store is exactly at the previous committed state: "a"
+  // committed, "b" still staged (visible through the cache until the
+  // fail-stop path rolls it back).
+  store.Rollback();
+  EXPECT_EQ(*store.Get("a"), B({1}));
+  EXPECT_FALSE(store.Get("b").has_value());
+
+  // One-shot: the countdown is spent.
+  store.Put("c", B({3}));
+  ASSERT_TRUE(store.Commit().ok());
+  EXPECT_EQ(*store.Get("c"), B({3}));
+}
+
+TEST(FaultyStore, PoisonedWriteFailsItsCommitAndRollbackClears) {
+  InMemoryStore inner;
+  FaultyStoreOptions options;
+  options.write_failure_probability = 1.0;  // every write poisons
+  FaultyStore store(inner, options);
+
+  store.Put("k", B({1}));
+  EXPECT_EQ(store.Commit().code(), StatusCode::kUnavailable);
+  store.Rollback();
+  EXPECT_FALSE(store.Get("k").has_value());
+
+  // Rollback cleared the poison; a clean transaction commits once the
+  // probabilities are disarmed.
+  store.Disarm();
+  store.Put("k", B({2}));
+  ASSERT_TRUE(store.Commit().ok());
+  EXPECT_EQ(*store.Get("k"), B({2}));
+}
+
+TEST(FaultyStore, ProbabilisticCommitFailureIsSeededAndDeterministic) {
+  auto count_faults = [](std::uint64_t seed) {
+    InMemoryStore inner;
+    FaultyStoreOptions options;
+    options.commit_failure_probability = 0.5;
+    options.seed = seed;
+    FaultyStore store(inner, options);
+    for (int i = 0; i < 64; ++i) {
+      store.Put("k", B({static_cast<std::uint8_t>(i)}));
+      if (!store.Commit().ok()) store.Rollback();
+    }
+    return store.stats().faults_injected;
+  };
+  const std::uint64_t faults = count_faults(7);
+  EXPECT_GT(faults, 0u);
+  EXPECT_LT(faults, 64u);
+  EXPECT_EQ(faults, count_faults(7));  // same seed, same stream
+}
+
+TEST(FaultyStore, DisarmClearsArmedCountdown) {
+  InMemoryStore inner;
+  FaultyStore store(inner);
+  store.FailAfterCommits(1);
+  store.Disarm();
+  store.Put("k", B({1}));
+  ASSERT_TRUE(store.Commit().ok());
+  EXPECT_EQ(store.stats().faults_injected, 0u);
+}
+
+}  // namespace
+}  // namespace cmom::mom

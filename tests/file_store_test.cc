@@ -184,6 +184,62 @@ TEST_F(FileStoreTest, OrphanSnapshotTmpIsIgnored) {
   EXPECT_FALSE(fs::exists(dir_ / "snapshot.log.tmp"));
 }
 
+TEST_F(FileStoreTest, ShortWalWriteLeavesPreviousStateRecoverable) {
+  {
+    auto store = FileStore::Open(dir_).value();
+    store->Put("good", B({1}));
+    ASSERT_TRUE(store->Commit().ok());
+
+    // ENOSPC mid-append: only the first 6 bytes of the next record
+    // reach the disk -- not even a whole header.
+    store->set_wal_write_limit(6);
+    store->Put("doomed", B({2}));
+    EXPECT_EQ(store->Commit().code(), StatusCode::kUnavailable);
+    store->Rollback();
+
+    // The cache is back at the committed image...
+    EXPECT_EQ(*store->Get("good"), B({1}));
+    EXPECT_FALSE(store->Get("doomed").has_value());
+
+    // ...and the store refuses further commits: appending after the
+    // torn tail would corrupt the log by offset.  This is the store
+    // half of fail-stop.
+    store->Put("late", B({3}));
+    EXPECT_EQ(store->Commit().code(), StatusCode::kUnavailable);
+    store->Rollback();
+  }
+  // Boot recovery: the CRC scan discards the torn prefix and the store
+  // is exactly at its previous consistent state, writable again.
+  auto store = FileStore::Open(dir_).value();
+  EXPECT_EQ(*store->Get("good"), B({1}));
+  EXPECT_FALSE(store->Get("doomed").has_value());
+  EXPECT_FALSE(store->Get("late").has_value());
+  store->Put("fresh", B({4}));
+  ASSERT_TRUE(store->Commit().ok());
+  auto reopened = FileStore::Open(dir_).value();
+  EXPECT_EQ(*reopened->Get("good"), B({1}));
+  EXPECT_EQ(*reopened->Get("fresh"), B({4}));
+}
+
+TEST_F(FileStoreTest, ShortWriteTornTailDoesNotShadowEarlierRecords) {
+  {
+    auto store = FileStore::Open(dir_).value();
+    store->Put("a", B({1}));
+    ASSERT_TRUE(store->Commit().ok());
+    store->Put("b", B({2}));
+    ASSERT_TRUE(store->Commit().ok());
+    // Torn write that includes a full valid header but only part of the
+    // body: the CRC check must reject it.
+    store->set_wal_write_limit(12);
+    store->Put("c", B({3, 3, 3, 3}));
+    EXPECT_EQ(store->Commit().code(), StatusCode::kUnavailable);
+  }
+  auto store = FileStore::Open(dir_).value();
+  EXPECT_EQ(*store->Get("a"), B({1}));
+  EXPECT_EQ(*store->Get("b"), B({2}));
+  EXPECT_FALSE(store->Get("c").has_value());
+}
+
 TEST_F(FileStoreTest, RollbackDiscardsStaged) {
   auto store = FileStore::Open(dir_).value();
   store->Put("a", B({1}));

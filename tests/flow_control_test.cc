@@ -112,78 +112,132 @@ TEST(Credits, ForceReleaseBypassesTheWindow) {
   EXPECT_FALSE(link.ForceRelease(out));
 }
 
-TEST(Credits, ForgetDropsARetiredBlockedFrame) {
+TEST(Credits, RetireDropsARetiredBlockedFrame) {
   CreditSenderLink link(0);
   link.Block(MessageId{ServerId(4), 1});
   link.Block(MessageId{ServerId(4), 2});
-  link.Forget(MessageId{ServerId(4), 1});
+  link.Retire(MessageId{ServerId(4), 1});
   EXPECT_EQ(link.blocked_count(), 1u);
   MessageId out;
   ASSERT_TRUE(link.ForceRelease(out));
   EXPECT_EQ(out.seq, 2u);
 }
 
-TEST(Credits, SessionGrantFirstContactAdoptsAbsolutelyKeepingAdmitted) {
-  // First grant from a peer this boot (peer_session 0 -> S): the grant
-  // replaces the assumed initial credit outright -- the receiver's
-  // numbering is authoritative -- but admitted_ is kept, because the
-  // frames emitted under the initial credit belong to this incarnation
-  // pair's count.
+TEST(Credits, RetireResolvesAnInFlightEmission) {
+  CreditSenderLink link(/*initial_credit=*/8);
+  link.Admit();
+  link.Admit();
+  EXPECT_EQ(link.inflight(), 2u);
+  link.Retire(MessageId{ServerId(4), 1});
+  EXPECT_EQ(link.inflight(), 1u);
+  // A blocked (never emitted) entry retires from the queue instead.
+  link.Block(MessageId{ServerId(4), 7});
+  link.Retire(MessageId{ServerId(4), 7});
+  EXPECT_EQ(link.inflight(), 1u);
+  EXPECT_EQ(link.blocked_count(), 0u);
+}
+
+TEST(Credits, ReconcileFirstContactAdoptsAbsolutely) {
+  // First ack from a peer this boot (peer_session 0 -> S): the grant
+  // replaces the assumed initial credit outright, and the admission
+  // count is rebuilt from the receiver's authoritative accepted count
+  // plus our in-flight emissions.
   CreditSenderLink link(/*initial_credit=*/4);
-  for (int i = 0; i < 3; ++i) link.Admit();
-  EXPECT_FALSE(link.SessionGrant(/*session=*/7, /*granted=*/2));
+  for (int i = 0; i < 3; ++i) link.Admit();  // emitted on initial credit
+  // Peer has accepted 1 of the 3; the ack retiring it ran first.
+  link.Retire(MessageId{ServerId(1), 1});
+  EXPECT_FALSE(link.Reconcile(/*session=*/7, /*accepted=*/1, /*granted=*/2));
   EXPECT_EQ(link.peer_session(), 7u);
   EXPECT_EQ(link.limit(), 2u);  // absolute adopt, below initial credit
-  EXPECT_EQ(link.admitted(), 3u);
-  EXPECT_FALSE(link.CanAdmit());  // 3 admitted >= limit 2: backpressure
-  // Same session afterwards: plain monotone grants.
-  EXPECT_FALSE(link.SessionGrant(7, 1));  // stale value, no-op
+  EXPECT_EQ(link.admitted(), 3u);  // 1 accepted + 2 in flight
+  EXPECT_FALSE(link.CanAdmit());   // 3 admitted >= limit 2: backpressure
+  // Same session afterwards: a stale (reordered) accepted count only
+  // takes the monotone grant.
+  EXPECT_FALSE(link.Reconcile(7, 0, 1));
   EXPECT_EQ(link.limit(), 2u);
+  EXPECT_EQ(link.admitted(), 3u);
   link.Block(MessageId{ServerId(1), 9});
-  EXPECT_TRUE(link.SessionGrant(7, 5));
+  EXPECT_TRUE(link.Reconcile(7, 1, 5));
   EXPECT_EQ(link.limit(), 5u);
 }
 
-TEST(Credits, SessionGrantRebasesOnReceiverRestart) {
-  // The receiver restarted: its accepted count (and so its cumulative
-  // grants) starts over far below the old numbering.  A max-taken grant
-  // would wedge the link; the new session's grant must replace the
-  // limit and restart admission counting.
+TEST(Credits, ReconcileRepairsRunawayAfterReceiverRestart) {
+  // The receiver restarted: its accepted numbering starts over, and it
+  // re-counts retransmitted in-flight entries its new numbering never
+  // saw.  Dead-reckoning admitted through the restart (keeping it, or
+  // zeroing it) leaves the two counters permanently offset; rebuilding
+  // it as accepted + inflight re-pairs them exactly.
   CreditSenderLink link(/*initial_credit=*/4);
-  ASSERT_FALSE(link.SessionGrant(/*session=*/3, /*granted=*/1000));
+  ASSERT_FALSE(link.Reconcile(/*session=*/3, /*accepted=*/0,
+                              /*granted=*/1000));
   for (int i = 0; i < 900; ++i) link.Admit();
-  link.Block(MessageId{ServerId(2), 1});
+  for (std::uint64_t s = 1; s <= 890; ++s) {
+    link.Retire(MessageId{ServerId(2), s});  // 890 acked, 10 in flight
+  }
+  link.Block(MessageId{ServerId(2), 1000});
 
-  // New incarnation grants a small cumulative value.
-  EXPECT_TRUE(link.SessionGrant(/*session=*/4, /*granted=*/8));
+  // New incarnation: it has re-accepted 4 of our 10 retransmitted
+  // in-flight entries so far and grants a small cumulative window.
+  EXPECT_TRUE(link.Reconcile(/*session=*/4, /*accepted=*/4, /*granted=*/20));
   EXPECT_EQ(link.peer_session(), 4u);
-  EXPECT_EQ(link.limit(), 8u);
-  EXPECT_EQ(link.admitted(), 0u);  // counting restarted
+  EXPECT_EQ(link.limit(), 20u);
+  EXPECT_EQ(link.admitted(), 14u);  // 4 accepted + 10 in flight
   MessageId out;
   EXPECT_TRUE(link.NextReleasable(out));  // link is live again
 
   // A reordered straggler grant from the dead incarnation is ignored:
   // incarnations are monotone, so it can never roll the link back.
-  EXPECT_FALSE(link.SessionGrant(/*session=*/3, /*granted=*/2000));
+  EXPECT_FALSE(link.Reconcile(/*session=*/3, /*accepted=*/900,
+                              /*granted=*/2000));
   EXPECT_EQ(link.peer_session(), 4u);
-  EXPECT_EQ(link.limit(), 8u);
+  EXPECT_EQ(link.limit(), 20u);
 }
 
-TEST(Credits, ForgetIsO1ForNeverBlockedIds) {
-  // Every ack retirement calls Forget; ids that were never blocked (the
+TEST(Credits, ReconcileHealsWedgeAfterOwnRestartDuplicates) {
+  // A restarted SENDER re-emits its recovered QueueOUT (all counted as
+  // in-flight admissions), but the surviving receiver holds most of
+  // them durably and never re-accepts the duplicates.  As the
+  // duplicate re-acks retire the entries, reconciliation shrinks
+  // admitted back toward accepted and the window reopens -- no
+  // permanent wedge.
+  CreditSenderLink link(/*initial_credit=*/16);
+  for (int i = 0; i < 100; ++i) link.Admit();  // boot resume re-emissions
+  EXPECT_EQ(link.inflight(), 100u);
+
+  // Receiver re-accepted only 5 (the rest were durable duplicates);
+  // window is 32.  Before any retirements the link is conservatively
+  // paused...
+  EXPECT_FALSE(link.Reconcile(/*session=*/9, /*accepted=*/5,
+                              /*granted=*/37));
+  EXPECT_EQ(link.admitted(), 105u);
+  EXPECT_FALSE(link.CanAdmit());
+
+  // ...but the duplicate re-acks retire the in-flight entries, and the
+  // next reconciliation converges admitted to accepted: full headroom.
+  for (std::uint64_t s = 1; s <= 100; ++s) {
+    link.Retire(MessageId{ServerId(5), s});
+  }
+  EXPECT_FALSE(link.Reconcile(/*session=*/9, /*accepted=*/5,
+                              /*granted=*/37));
+  EXPECT_EQ(link.admitted(), 5u);
+  EXPECT_TRUE(link.CanAdmit());
+}
+
+TEST(Credits, RetireIsO1ForNeverBlockedIds) {
+  // Every ack retirement calls Retire; ids that were never blocked (the
   // overwhelmingly common case) must not scan the blocked queue.  The
   // membership index keeps the queue and set in sync across every
   // release path.
   CreditSenderLink link(0);
   link.Block(MessageId{ServerId(4), 1});
   link.Block(MessageId{ServerId(4), 2});
-  link.Forget(MessageId{ServerId(4), 99});  // never blocked: no-op
+  link.Retire(MessageId{ServerId(4), 99});  // never blocked: no-op
   EXPECT_EQ(link.blocked_count(), 2u);
   MessageId out;
   ASSERT_TRUE(link.ForceRelease(out));
-  link.Forget(out);  // already released: no-op
+  link.Retire(out);  // already released: resolves the emission
   EXPECT_EQ(link.blocked_count(), 1u);
-  link.Forget(MessageId{ServerId(4), 2});
+  link.Retire(MessageId{ServerId(4), 2});
   EXPECT_EQ(link.blocked_count(), 0u);
 }
 
@@ -479,12 +533,14 @@ TEST(AckFrameCredit, SessionAndEchoRoundTripOnTheWire) {
   ack.credit = 17;
   ack.has_session = true;
   ack.session = 5;
-  ack.echo = 300;  // multi-byte varint
+  ack.echo = 300;       // multi-byte varint
+  ack.accepted = 4096;  // receiver's authoritative accepted count
   auto decoded = mom::DeserializeAck(ack.Serialize());
   ASSERT_TRUE(decoded.ok());
   EXPECT_TRUE(decoded.value().has_session);
   EXPECT_EQ(decoded.value().session, 5u);
   EXPECT_EQ(decoded.value().echo, 300u);
+  EXPECT_EQ(decoded.value().accepted, 4096u);
   EXPECT_TRUE(decoded.value().has_credit);
   EXPECT_EQ(decoded.value().credit, 17u);
 }

@@ -3,6 +3,7 @@
 // the simulator can produce, with the full oracle at the end.
 #include <gtest/gtest.h>
 
+#include "common/seed.h"
 #include "domains/topologies.h"
 #include "workload/agents.h"
 #include "workload/metrics.h"
@@ -39,7 +40,7 @@ TEST_P(Soak, LargeChatterStormStaysCorrect) {
   options.fault_model.jitter_probability = 0.2;
   options.fault_model.max_jitter = 100 * sim::kMillisecond;
   options.retransmit_timeout_ns = 200 * sim::kMillisecond;
-  options.fault_seed = 20260706;
+  options.fault_seed = SeedFromEnv(20260706, "soak_test");
 
   SimHarness harness(config, options);
   std::vector<AgentId> peers;

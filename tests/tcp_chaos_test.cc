@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "causality/checker.h"
+#include "common/seed.h"
 #include "domains/topologies.h"
 #include "mom/agent_server.h"
 #include "mom/file_store.h"
@@ -73,7 +74,7 @@ class ChaosCluster {
         deployment_, id, endpoints_[i].get(), &runtime_, stores_[i].get(),
         options);
     servers_[i]->AttachAgent(
-        1, std::make_unique<ChatterAgent>(1000 + id.value(), peers_));
+        1, std::make_unique<ChatterAgent>(agent_seed_ + id.value(), peers_));
     ASSERT_TRUE(servers_[i]->Boot().ok());
   }
 
@@ -126,6 +127,8 @@ class ChaosCluster {
  private:
   domains::MomConfig config_;
   domains::Deployment deployment_;
+  // Chatter randomness base; CMOM_SEED overrides for replay.
+  std::uint64_t agent_seed_ = SeedFromEnv(1000, "tcp_chaos_test");
   net::TcpNetwork network_;
   net::ThreadRuntime runtime_;
   causality::TraceRecorder trace_;

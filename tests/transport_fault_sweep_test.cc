@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "causality/checker.h"
+#include "common/seed.h"
 #include "domains/topologies.h"
 #include "mom/agent_server.h"
 #include "net/faulty_network.h"
@@ -36,7 +37,8 @@ net::FaultyNetworkOptions SweepFaults(std::uint64_t seed) {
   fault.model.jitter_probability = 0.15;
   fault.model.max_jitter = 10 * sim::kMillisecond;
   fault.disconnect_probability = 0.03;
-  fault.seed = seed;
+  // CMOM_SEED overrides the sweep parameter for targeted replay.
+  fault.seed = SeedFromEnv(seed, "transport_fault_sweep_test");
   return fault;
 }
 

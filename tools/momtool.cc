@@ -41,6 +41,10 @@
 //                                         for server <id> (what the
 //                                         coordinator's crash recovery
 //                                         does, one store at a time)
+//   momtool chaos <report.json>           pretty-print a CHAOS_soak.json
+//                                         report: seed, traffic, latency
+//                                         percentiles, faults injected
+//                                         and the invariant verdicts
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -668,6 +672,116 @@ int EpochCmd(int argc, char** argv) {
   return 0;
 }
 
+// --- chaos report pretty-printer --------------------------------------
+//
+// CHAOS_soak.json is flat-ish (one level of nested objects, scalar
+// values only), so a small scanner over "key": value pairs is enough --
+// no JSON library in the tree, and none needed.
+std::map<std::string, std::string> ScanFlatJson(const std::string& text) {
+  std::map<std::string, std::string> values;
+  std::size_t pos = 0;
+  while ((pos = text.find('"', pos)) != std::string::npos) {
+    const std::size_t key_end = text.find('"', pos + 1);
+    if (key_end == std::string::npos) break;
+    const std::string key = text.substr(pos + 1, key_end - pos - 1);
+    std::size_t cursor = key_end + 1;
+    while (cursor < text.size() &&
+           (text[cursor] == ' ' || text[cursor] == '\t')) {
+      ++cursor;
+    }
+    if (cursor >= text.size() || text[cursor] != ':') {
+      pos = key_end + 1;
+      continue;
+    }
+    ++cursor;
+    while (cursor < text.size() &&
+           (text[cursor] == ' ' || text[cursor] == '\t')) {
+      ++cursor;
+    }
+    if (cursor < text.size() && text[cursor] == '"') {
+      const std::size_t value_end = text.find('"', cursor + 1);
+      if (value_end == std::string::npos) break;
+      values[key] = text.substr(cursor + 1, value_end - cursor - 1);
+      pos = value_end + 1;
+    } else if (cursor < text.size() && text[cursor] != '{') {
+      std::size_t value_end = cursor;
+      while (value_end < text.size() && text[value_end] != ',' &&
+             text[value_end] != '}' && text[value_end] != '\n') {
+        ++value_end;
+      }
+      values[key] = text.substr(cursor, value_end - cursor);
+      pos = value_end;
+    } else {
+      pos = cursor;  // nested object: keep scanning inside it
+    }
+  }
+  return values;
+}
+
+int ChaosReport(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    std::fprintf(stderr, "chaos: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+    text.append(buffer, got);
+  }
+  std::fclose(in);
+
+  auto values = ScanFlatJson(text);
+  auto get = [&](const char* key) -> std::string {
+    auto it = values.find(key);
+    return it == values.end() ? std::string("?") : it->second;
+  };
+  auto verdict = [&](const char* key) {
+    const std::string v = get(key);
+    return v == "true" ? "ok" : (v == "false" ? "VIOLATED" : "?");
+  };
+
+  std::printf("chaos soak report: %s\n", path.c_str());
+  std::printf("  seed          %s  (replay: CMOM_SEED=%s ctest -L chaos)\n",
+              get("seed").c_str(), get("seed").c_str());
+  std::printf("  duration      %s ms scheduled, %s s wall\n",
+              get("duration_ms").c_str(), get("wall_seconds").c_str());
+  std::printf("  traffic       accepted %s, committed sends %s, delivered %s,"
+              " sheds %s\n",
+              get("accepted").c_str(), get("sent").c_str(),
+              get("delivered").c_str(), get("overload_sheds").c_str());
+  std::printf("  latency (ms)  p50 %s  p99 %s  max %s  (%s samples)\n",
+              get("p50").c_str(), get("p99").c_str(), get("max").c_str(),
+              get("samples").c_str());
+  std::printf("  backlog peaks consumer %s (bound %s), router %s (bound %s)\n",
+              get("peak_consumer").c_str(), get("consumer_bound").c_str(),
+              get("peak_router").c_str(), get("router_bound").c_str());
+  std::printf("  faults        crashes %s, restarts %s, partitions %s/%s "
+              "healed,\n"
+              "                store faults armed %s / injected %s, "
+              "fail-stops %s,\n"
+              "                frames cut %s, slow-consumer phases %s\n",
+              get("crashes").c_str(), get("restarts").c_str(),
+              get("heals").c_str(), get("partitions").c_str(),
+              get("store_faults_armed").c_str(),
+              get("store_faults_injected").c_str(), get("fail_stops").c_str(),
+              get("frames_partitioned").c_str(),
+              get("slow_consumer_phases").c_str());
+  std::printf("  invariants    causal %s, exactly-once %s, zero-loss %s, "
+              "bounded-backlog %s\n",
+              verdict("causal"), verdict("exactly_once"), verdict("zero_loss"),
+              verdict("bounded_backlog"));
+  const std::string violation = get("first_violation");
+  if (!violation.empty() && violation != "?") {
+    std::printf("  violation     %s\n", violation.c_str());
+  }
+  const bool all_ok = get("all_ok") == "true";
+  std::printf("  verdict       %s\n", all_ok ? "ALL INVARIANTS GREEN"
+                                             : "INVARIANT VIOLATIONS");
+  return all_ok ? 0 : 1;
+}
+
 int Estimate(const std::string& config_path,
              const std::string& traffic_path) {
   auto config = domains::LoadMomConfig(config_path);
@@ -711,6 +825,9 @@ int main(int argc, char** argv) {
   if (argc >= 3 && std::strcmp(argv[1], "epoch") == 0) {
     return EpochCmd(argc - 2, argv + 2);
   }
+  if (argc == 3 && std::strcmp(argv[1], "chaos") == 0) {
+    return ChaosReport(argv[2]);
+  }
   std::fprintf(stderr,
                "usage:\n"
                "  momtool validate <config>\n"
@@ -722,6 +839,7 @@ int main(int argc, char** argv) {
                "[--workers N] [--drop p] [--dup p] [--disc p] [--seed s]\n"
                "  momtool storestat <store-dir>\n"
                "  momtool dlq <store-dir>\n"
-               "  momtool epoch <store-dir> [--cutover <server-id>]\n");
+               "  momtool epoch <store-dir> [--cutover <server-id>]\n"
+               "  momtool chaos <report.json>\n");
   return 2;
 }
