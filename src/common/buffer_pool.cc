@@ -1,0 +1,104 @@
+#include "common/buffer_pool.h"
+
+#include <atomic>
+#include <utility>
+#include <vector>
+
+namespace cmom {
+
+namespace {
+
+// Freelist bounds: enough depth to cover a full engine batch in flight
+// per thread, and a capacity cap so one giant payload doesn't pin
+// megabytes in every thread's list.
+constexpr std::size_t kMaxFreeBuffers = 64;
+constexpr std::size_t kMaxKeepCapacity = 256 * 1024;
+
+std::atomic<bool> g_enabled{true};
+
+// Per-thread counters on a global intrusive list.  Nodes are leaked on
+// purpose: Totals() must keep seeing the contributions of exited
+// threads (bench worker pools come and go between snapshots).
+struct ThreadCounters {
+  std::atomic<std::uint64_t> acquires{0};
+  std::atomic<std::uint64_t> pool_hits{0};
+  std::atomic<std::uint64_t> releases{0};
+  std::atomic<std::uint64_t> discards{0};
+  ThreadCounters* next = nullptr;
+};
+
+std::atomic<ThreadCounters*> g_counters_head{nullptr};
+
+struct ThreadCache {
+  std::vector<Bytes> free_list;
+  ThreadCounters* counters;
+
+  ThreadCache() : counters(new ThreadCounters) {
+    ThreadCounters* head = g_counters_head.load(std::memory_order_relaxed);
+    do {
+      counters->next = head;
+    } while (!g_counters_head.compare_exchange_weak(
+        head, counters, std::memory_order_release,
+        std::memory_order_relaxed));
+  }
+};
+
+ThreadCache& Cache() {
+  thread_local ThreadCache cache;
+  return cache;
+}
+
+}  // namespace
+
+Bytes BufferPool::Acquire(std::size_t capacity_hint) {
+  ThreadCache& cache = Cache();
+  cache.counters->acquires.fetch_add(1, std::memory_order_relaxed);
+  if (g_enabled.load(std::memory_order_relaxed) && !cache.free_list.empty()) {
+    Bytes out = std::move(cache.free_list.back());
+    cache.free_list.pop_back();
+    cache.counters->pool_hits.fetch_add(1, std::memory_order_relaxed);
+    out.clear();
+    out.reserve(capacity_hint);
+    return out;
+  }
+  Bytes out;
+  out.reserve(capacity_hint);
+  return out;
+}
+
+void BufferPool::Release(Bytes&& buffer) {
+  ThreadCache& cache = Cache();
+  cache.counters->releases.fetch_add(1, std::memory_order_relaxed);
+  if (!g_enabled.load(std::memory_order_relaxed) || buffer.capacity() == 0 ||
+      buffer.capacity() > kMaxKeepCapacity ||
+      cache.free_list.size() >= kMaxFreeBuffers) {
+    cache.counters->discards.fetch_add(1, std::memory_order_relaxed);
+    const Bytes dropped = std::move(buffer);
+    return;
+  }
+  buffer.clear();
+  cache.free_list.push_back(std::move(buffer));
+}
+
+BufferPool::Counters BufferPool::Totals() {
+  Counters out;
+  for (ThreadCounters* node =
+           g_counters_head.load(std::memory_order_acquire);
+       node != nullptr; node = node->next) {
+    out.acquires += node->acquires.load(std::memory_order_relaxed);
+    out.pool_hits += node->pool_hits.load(std::memory_order_relaxed);
+    out.releases += node->releases.load(std::memory_order_relaxed);
+    out.discards += node->discards.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void BufferPool::SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool BufferPool::enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace cmom

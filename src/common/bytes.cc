@@ -1,5 +1,7 @@
 #include "common/bytes.h"
 
+#include "common/buffer_pool.h"
+
 namespace cmom {
 
 void ByteWriter::WriteVarU64(std::uint64_t v) {
@@ -65,6 +67,19 @@ Result<Bytes> ByteReader::ReadBytes() {
   }
   Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len.value()));
+  pos_ += len.value();
+  return out;
+}
+
+Result<Bytes> ByteReader::ReadBytesPooled() {
+  auto len = ReadVarU64();
+  if (!len.ok()) return len.status();
+  if (remaining() < len.value()) {
+    return Status::DataLoss("truncated byte string");
+  }
+  Bytes out = BufferPool::Acquire(len.value());
+  out.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len.value()));
   pos_ += len.value();
   return out;
 }

@@ -78,6 +78,10 @@ class ByteReader {
   [[nodiscard]] Result<std::uint64_t> ReadVarU64();
   [[nodiscard]] Result<std::uint32_t> ReadVarU32();
   [[nodiscard]] Result<Bytes> ReadBytes();
+  // ReadBytes into a buffer recycled from the calling thread's
+  // BufferPool freelist (common/buffer_pool.h) -- decode paths on the
+  // frame hot path use this so payload allocations amortize to zero.
+  [[nodiscard]] Result<Bytes> ReadBytesPooled();
   [[nodiscard]] Result<std::string> ReadString();
 
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }

@@ -6,6 +6,7 @@
 #include <future>
 #include <utility>
 
+#include "common/buffer_pool.h"
 #include "common/log.h"
 #include "flow/admission.h"
 
@@ -101,23 +102,6 @@ Result<std::uint64_t> ParseHexSuffix(std::string_view key,
   return value;
 }
 }  // namespace
-
-std::string LogHistogram::ToString() const {
-  char head[96];
-  std::snprintf(head, sizeof(head), "n=%llu mean=%.1f max=%llu",
-                static_cast<unsigned long long>(count), Mean(),
-                static_cast<unsigned long long>(max));
-  std::string out = head;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    if (buckets[b] == 0) continue;
-    char cell[48];
-    std::snprintf(cell, sizeof(cell), " <%llu:%llu",
-                  static_cast<unsigned long long>(1ull << b),
-                  static_cast<unsigned long long>(buckets[b]));
-    out += cell;
-  }
-  return out;
-}
 
 // Buffers the sends an agent makes during React; they are committed
 // atomically with the reaction by the Engine.
@@ -291,8 +275,8 @@ Status AgentServer::Boot() {
       } else {
         executor_ = runtime_->MakeExecutor(options_.engine_workers);
         if (executor_ != nullptr) {
-          std::lock_guard results(results_mutex_);
-          worker_stats_.assign(executor_->worker_count(), WorkerStat{});
+          worker_stat_count_ = executor_->worker_count();
+          worker_stats_ = std::make_unique<WorkerStat[]>(worker_stat_count_);
         }
       }
     }
@@ -432,9 +416,42 @@ void AgentServer::FlushFrames(std::vector<std::pair<ServerId, Bytes>> frames) {
 // ---------------------------------------------------------------------
 
 void AgentServer::HandleFrame(ServerId from, Bytes frame) {
+  // Decode on the transport thread, before the server lock.  Frame
+  // parsing (ids, stamp entries, payload copy) is the Channel's largest
+  // per-frame constant factor; doing it here runs decodes from
+  // different peers concurrently and keeps them off the engine's
+  // serialized drain.  Per-peer FIFO is preserved because each peer's
+  // frames arrive on one transport thread.
+  DecodedFrame decoded;
+  decoded.from = from;
+  auto type = PeekFrameType(frame);
+  if (!type.ok()) {
+    CMOM_LOG(kWarning) << "bad frame from " << to_string(from) << ": "
+                       << type.status();
+    return;
+  }
+  decoded.type = type.value();
+  if (decoded.type == FrameType::kAck) {
+    auto ack = DeserializeAck(frame);
+    if (!ack.ok()) {
+      CMOM_LOG(kWarning) << "bad ack: " << ack.status();
+      return;
+    }
+    decoded.ack = std::move(ack).value();
+  } else {
+    auto data = DataFrame::Deserialize(frame);
+    if (!data.ok()) {
+      CMOM_LOG(kWarning) << "bad data frame: " << data.status();
+      return;
+    }
+    decoded.data = std::move(data).value();
+  }
+  // The wire buffer is dead after the decode; recycle it into this
+  // transport thread's freelist, where the ack serializer draws from.
+  BufferPool::Release(std::move(frame));
   std::unique_lock lock(mutex_);
   if (shutdown_ || !halt_status_.ok()) return;
-  inbox_.emplace_back(from, std::move(frame));
+  inbox_.push_back(std::move(decoded));
   if (!inbox_drain_queued_) {
     inbox_drain_queued_ = true;
     work_queue_.push_back([this] { return DrainInbox(); });
@@ -455,30 +472,14 @@ std::size_t AgentServer::DrainInbox() {
   std::size_t processed = 0;
   const std::size_t limit = std::max<std::size_t>(1, options_.channel_batch);
   while (!inbox_.empty() && processed < limit) {
-    auto [from, bytes] = std::move(inbox_.front());
+    DecodedFrame frame = std::move(inbox_.front());
     inbox_.pop_front();
     ++processed;
-    auto type = PeekFrameType(bytes);
-    if (!type.ok()) {
-      CMOM_LOG(kWarning) << "bad frame from " << to_string(from) << ": "
-                         << type.status();
-      continue;
+    if (frame.type == FrameType::kAck) {
+      entries += ProcessAck(frame.from, frame.ack);
+    } else {
+      entries += ProcessDataFrame(frame.from, std::move(frame.data));
     }
-    if (type.value() == FrameType::kAck) {
-      auto ack = DeserializeAck(bytes);
-      if (!ack.ok()) {
-        CMOM_LOG(kWarning) << "bad ack: " << ack.status();
-        continue;
-      }
-      entries += ProcessAck(from, ack.value());
-      continue;
-    }
-    auto data = DataFrame::Deserialize(bytes);
-    if (!data.ok()) {
-      CMOM_LOG(kWarning) << "bad data frame: " << data.status();
-      continue;
-    }
-    entries += ProcessDataFrame(from, std::move(data).value());
   }
   stats_.channel_batch_hist.Record(processed);
   if (commit_needed_) {
@@ -650,6 +651,10 @@ std::size_t AgentServer::ProcessAck(ServerId from, const AckFrame& ack) {
       if (link != sender_links_.end()) link->second.Retire(id);
     }
     EraseOutEntry(*it->second);
+    // The retired message's payload buffer feeds this drain thread's
+    // freelist (acks, emitted frames and decoded payloads all draw
+    // from it).
+    BufferPool::Release(std::move(it->second->message.payload));
     queue_out_.erase(it->second);
     queue_out_index_.erase(it);
     commit_needed_ = true;
@@ -803,15 +808,24 @@ std::size_t AgentServer::ApplySends(std::vector<Message> sends) {
   // first so the outgoing stamp order stays causal; only pure
   // router-to-router traffic keeps the deferred fair schedule.
   if (!sends.empty()) entries += FlushForwardStageLocked();
+  // Remote sends are collected and stamped in runs sharing a next hop
+  // (one MatrixClock pass per run, see StampAndEnqueueBatch).  Local
+  // deliveries go straight through: they never touch the clock, all of
+  // this lands in the same store transaction, and frames only leave
+  // after that commit -- so neither per-hop stamp order nor per-agent
+  // FIFO changes relative to the strictly interleaved original.
+  std::vector<Message> remote;
+  remote.reserve(sends.size());
   for (Message& message : sends) {
     ++stats_.messages_sent;
     BufferTraceSend(message);
     if (message.dest_server() == self_) {
       EnqueueLocalDelivery(std::move(message));
     } else {
-      entries += StampAndEnqueue(std::move(message));
+      remote.push_back(std::move(message));
     }
   }
+  if (!remote.empty()) entries += StampAndEnqueueBatch(std::move(remote));
   (void)CommitLocked();
   return entries;
 }
@@ -842,9 +856,63 @@ std::size_t AgentServer::StampAndEnqueue(Message message) {
   entry.next_hop = hop;
   entry.domain = item->id;
   entry.stamp = item->clock.PrepareSend(*hop_local);
+  return EnqueueStampedLocked(std::move(entry));
+}
+
+std::size_t AgentServer::StampAndEnqueueBatch(std::vector<Message> messages) {
+  std::size_t entries = 0;
+  std::size_t i = 0;
+  std::vector<clocks::Stamp> stamps;
+  while (i < messages.size()) {
+    const ServerId hop =
+        deployment_->routing().NextHop(self_, messages[i].dest_server());
+    auto link_index = deployment_->LinkDomainIndex(self_, hop);
+    if (!link_index.ok()) {
+      CMOM_LOG(kError) << "unroutable message " << messages[i].id << ": "
+                       << link_index.status();
+      ++i;
+      continue;
+    }
+    // Extend the run across consecutive messages sharing this hop; the
+    // link domain is a function of (self, hop), so one resolution
+    // covers the whole run.
+    std::size_t j = i + 1;
+    while (j < messages.size() &&
+           deployment_->routing().NextHop(
+               self_, messages[j].dest_server()) == hop) {
+      ++j;
+    }
+    DomainItem* item = nullptr;
+    for (DomainItem& candidate : items_) {
+      if (candidate.deployment_index == link_index.value()) {
+        item = &candidate;
+        break;
+      }
+    }
+    assert(item != nullptr && "link domain not among this server's items");
+    auto hop_local = deployment_->domain(link_index.value()).LocalId(hop);
+    assert(hop_local.has_value());
+
+    stamps.clear();
+    item->clock.PrepareSendBatch(*hop_local, j - i, stamps);
+    for (std::size_t k = i; k < j; ++k) {
+      OutEntry entry;
+      entry.message = std::move(messages[k]);
+      entry.next_hop = hop;
+      entry.domain = item->id;
+      entry.stamp = std::move(stamps[k - i]);
+      entries += EnqueueStampedLocked(std::move(entry));
+    }
+    i = j;
+  }
+  return entries;
+}
+
+std::size_t AgentServer::EnqueueStampedLocked(OutEntry entry) {
   entry.enqueue_seq = next_out_enqueue_seq_++;
   const std::size_t entries = entry.stamp.entries.size();
   stats_.stamp_bytes_sent += entry.stamp.EncodedSize();
+  const ServerId hop = entry.next_hop;
 
   const MessageId id = entry.message.id;
   PersistOutEntry(entry);
@@ -1165,6 +1233,7 @@ std::size_t AgentServer::EngineStep() {
       CMOM_LOG(kWarning) << to_string(self_) << ": no agent "
                          << entry.message.to << " for message "
                          << entry.message.id << "; dropped";
+      BufferPool::Release(std::move(entry.message.payload));
       continue;
     }
     ReactionContextImpl ctx(
@@ -1177,6 +1246,8 @@ std::size_t AgentServer::EngineStep() {
           RecordDeadLetter(std::move(reason), original);
         });
     agent_it->second->React(ctx, entry.message);
+    // The consumed payload funds the batch's own stamp/frame encodes.
+    BufferPool::Release(std::move(entry.message.payload));
     if (std::find(reacted.begin(), reacted.end(), entry.message.to.local) ==
         reacted.end()) {
       reacted.push_back(entry.message.to.local);
@@ -1231,8 +1302,8 @@ void AgentServer::DispatchReaction(InEntry entry) {
   const std::size_t shard = ShardOf(entry.message.to.local);
   stats_.shard_depth_hist.Record(executor_->PendingCount(shard));
   ++engine_inflight_;
-  executor_->Post(shard, [this, shard, entry = std::move(entry)] {
-    RunReaction(shard, entry);
+  executor_->Post(shard, [this, shard, entry = std::move(entry)]() mutable {
+    RunReaction(shard, std::move(entry));
   });
 }
 
@@ -1241,7 +1312,7 @@ void AgentServer::DispatchReaction(InEntry entry) {
 // thread running (or encoding) its agents, so React and EncodeState
 // need no lock.  MessageId assignment is deferred to the commit stage
 // to keep id order a single-writer sequence.
-void AgentServer::RunReaction(std::size_t shard, const InEntry& entry) {
+void AgentServer::RunReaction(std::size_t shard, InEntry entry) {
   struct Collector final : ReactionContext {
     net::Runtime* runtime;
     AgentId id;
@@ -1285,18 +1356,24 @@ void AgentServer::RunReaction(std::size_t shard, const InEntry& entry) {
     ctx.out = &result.sends;
     ctx.dead = &result.dead_letters;
     agent_it->second->React(ctx, entry.message);
-    ByteWriter image;
+    // The image buffer comes from this worker's freelist -- in steady
+    // state the payload released below funds the next image acquire,
+    // making the reaction loop allocation-free.
+    ByteWriter image = PooledWriter(256);
     agent_it->second->EncodeState(image);
     result.agent_image = std::move(image).Take();
     result.has_image = true;
   }
+  // The consumed message is dead after React; recycle its payload.
+  BufferPool::Release(std::move(entry.message.payload));
   const std::uint64_t busy = runtime_->NowNs() - start;
   {
     std::lock_guard results(results_mutex_);
     completed_reactions_.push_back(std::move(result));
-    worker_stats_[shard].reactions += 1;
-    worker_stats_[shard].busy_ns += busy;
   }
+  // Owned by this shard's worker, read relaxed by stats() -- no lock.
+  worker_stats_[shard].reactions.fetch_add(1, std::memory_order_relaxed);
+  worker_stats_[shard].busy_ns.fetch_add(busy, std::memory_order_relaxed);
   // results_mutex_ released before touching mutex_ (lock order).
   ScheduleReactionCommit();
 }
@@ -1308,9 +1385,44 @@ void AgentServer::RunReaction(std::size_t shard, const InEntry& entry) {
 void AgentServer::ScheduleReactionCommit() {
   std::unique_lock lock(mutex_);
   if (shutdown_ || commit_stage_queued_) return;
+  // Adaptive group sizing: when the store reports a real fdatasync cost
+  // (SyncMode::kDataSync), defer the commit until enough reactions have
+  // completed to amortize it.  engine_inflight_ counts dispatched but
+  // uncommitted reactions; while it exceeds the completed count, more
+  // completions are coming and each re-enters here -- so deferral can
+  // never stall the pipeline, and the moment the last in-flight
+  // reaction completes the batch commits regardless of size.
+  const std::size_t target = AdaptiveCommitTargetLocked();
+  if (target > 1) {
+    std::size_t completed = 0;
+    {
+      std::lock_guard results(results_mutex_);
+      completed = completed_reactions_.size();
+    }
+    if (completed < target && engine_inflight_ > completed) return;
+  }
   commit_stage_queued_ = true;
   work_queue_.push_back([this] { return CommitReactions(); });
   PumpLocked();
+}
+
+std::size_t AgentServer::AdaptiveCommitTargetLocked() const {
+  const std::uint64_t sync_ns = store_->sync_latency_ns();
+  if (sync_ns == 0) return 1;  // cheap commits: size follows load alone
+  const std::size_t cap = std::max<std::size_t>(1, options_.engine_batch);
+  std::uint64_t reactions = 0;
+  std::uint64_t busy = 0;
+  for (std::size_t i = 0; i < worker_stat_count_; ++i) {
+    reactions += worker_stats_[i].reactions.load(std::memory_order_relaxed);
+    busy += worker_stats_[i].busy_ns.load(std::memory_order_relaxed);
+  }
+  const std::uint64_t mean_react = reactions == 0 ? 0 : busy / reactions;
+  // Batch until the sync barrier costs at most one mean reaction per
+  // batch member; before any reaction has been timed, assume the worst
+  // and use the configured ceiling.
+  if (mean_react == 0) return cap;
+  const auto target = static_cast<std::size_t>(sync_ns / mean_react);
+  return std::clamp<std::size_t>(target, std::size_t{1}, cap);
 }
 
 // Commit stage (a regular work item, so it serializes with the Channel
@@ -1918,12 +2030,26 @@ Status AgentServer::MigrateToIncrementalLocked() {
 ServerStats AgentServer::stats() const {
   std::lock_guard lock(mutex_);
   ServerStats out = stats_;
-  std::lock_guard results(results_mutex_);
   out.worker_reactions.clear();
   out.worker_busy_ns.clear();
-  for (const WorkerStat& worker : worker_stats_) {
-    out.worker_reactions.push_back(worker.reactions);
-    out.worker_busy_ns.push_back(worker.busy_ns);
+  // O(1) per shard: relaxed reads of worker-owned counters and the
+  // executor's ring indices -- no lane lock, no results_mutex_.
+  for (std::size_t shard = 0; shard < worker_stat_count_; ++shard) {
+    out.worker_reactions.push_back(
+        worker_stats_[shard].reactions.load(std::memory_order_relaxed));
+    out.worker_busy_ns.push_back(
+        worker_stats_[shard].busy_ns.load(std::memory_order_relaxed));
+  }
+  if (executor_ != nullptr) {
+    for (std::size_t lane = 0; lane < executor_->worker_count(); ++lane) {
+      const net::Executor::LaneStats lane_stats =
+          executor_->GetLaneStats(lane);
+      out.lane_posts += lane_stats.posts;
+      out.lane_overflow_posts += lane_stats.overflow_posts;
+      out.lane_parks += lane_stats.parks;
+      out.lane_depth_hist.MergeFrom(lane_stats.depth);
+      out.lane_stall_ns_hist.MergeFrom(lane_stats.stall_ns);
+    }
   }
   return out;
 }

@@ -101,6 +101,7 @@
 #include "causality/trace.h"
 #include "clocks/causal_clock.h"
 #include "clocks/holdback.h"
+#include "common/histogram.h"
 #include "common/ids.h"
 #include "common/status.h"
 #include "domains/deployment.h"
@@ -156,35 +157,10 @@ struct AgentServerOptions {
   flow::FlowOptions flow;
 };
 
-// Power-of-two-bucketed histogram: bucket b counts samples in
-// [2^(b-1), 2^b), with bucket 0 counting zeros.  Cheap enough to live
-// on the commit path; summarized by momtool / tcpsmoke.
-struct LogHistogram {
-  static constexpr std::size_t kBuckets = 32;
-  std::array<std::uint64_t, kBuckets> buckets{};
-  std::uint64_t count = 0;
-  std::uint64_t sum = 0;
-  std::uint64_t max = 0;
-
-  void Record(std::uint64_t value) {
-    // bit_width(v) is 1 + floor(log2 v), i.e. exactly the first b with
-    // 2^b > v -- the historical linear bucket scan in O(1).
-    const std::size_t b =
-        std::min<std::size_t>(std::bit_width(value), kBuckets - 1);
-    ++buckets[b];
-    ++count;
-    sum += value;
-    if (value > max) max = value;
-  }
-
-  [[nodiscard]] double Mean() const {
-    return count == 0 ? 0.0
-                      : static_cast<double>(sum) / static_cast<double>(count);
-  }
-
-  // Compact "mean/max + populated buckets" rendering for summaries.
-  [[nodiscard]] std::string ToString() const;
-};
+// The power-of-two-bucketed histogram lives in common/histogram.h now
+// (net/ lane instrumentation shares it); re-exported here because the
+// stats plumbing and tests historically name it mom::LogHistogram.
+using ::cmom::LogHistogram;
 
 struct ServerStats {
   std::uint64_t messages_sent = 0;        // application sends originated
@@ -244,6 +220,15 @@ struct ServerStats {
   LogHistogram shard_depth_hist;   // shard queue depth at dispatch
   std::vector<std::uint64_t> worker_reactions;  // reactions run per shard
   std::vector<std::uint64_t> worker_busy_ns;    // React wall time per shard
+  // Executor hand-off instrumentation, aggregated over all lanes
+  // (net::Executor::LaneStats): ring posts, posts that spilled to the
+  // overflow queue, consumer parks, and the consumer-side queue-depth /
+  // stall-time histograms.
+  std::uint64_t lane_posts = 0;
+  std::uint64_t lane_overflow_posts = 0;
+  std::uint64_t lane_parks = 0;
+  LogHistogram lane_depth_hist;
+  LogHistogram lane_stall_ns_hist;
 };
 
 class AgentServer {
@@ -420,6 +405,14 @@ class AgentServer {
   // Stamps `message` toward its destination and appends to QueueOUT;
   // returns entries touched.  Emits the data frame.
   std::size_t StampAndEnqueue(Message message);
+  // Batch variant for the engine commit path: stamps a run of messages
+  // sharing the next hop with one MatrixClock pass (PrepareSendBatch)
+  // instead of one lock round-trip per message.  Produces stamps
+  // byte-identical to sequential StampAndEnqueue calls.
+  std::size_t StampAndEnqueueBatch(std::vector<Message> messages);
+  // Shared tail of both paths: persists, enqueues and emits one
+  // already-stamped OutEntry.  Returns clock entries touched.
+  std::size_t EnqueueStampedLocked(OutEntry entry);
   void EmitFrame(ServerId to, Bytes bytes);
   // Records an accepted message for the end-of-batch coalesced ack.
   void StageAck(ServerId peer, MessageId id);
@@ -507,7 +500,10 @@ class AgentServer {
   // Caller holds mutex_ and has already persisted the qin/ entry.
   void DispatchReaction(InEntry entry);
   // Worker side: runs React without server locks, queues the result.
-  void RunReaction(std::size_t shard, const InEntry& entry);
+  void RunReaction(std::size_t shard, InEntry entry);
+  // Reactions the commit stage should wait for before scheduling, given
+  // the store's observed fdatasync latency (1 = commit immediately).
+  [[nodiscard]] std::size_t AdaptiveCommitTargetLocked() const;
   // Worker side: queues the commit-stage work item (at most one
   // outstanding).
   void ScheduleReactionCommit();
@@ -612,8 +608,18 @@ class AgentServer {
   bool engine_step_needed_ = false;
   bool engine_step_queued_ = false;
 
-  // Raw frames awaiting the batched Channel drain.
-  std::deque<std::pair<ServerId, Bytes>> inbox_;
+  // Decoded frames awaiting the batched Channel drain.  Frames are
+  // parsed on the transport thread that delivered them (HandleFrame),
+  // before the server lock: decode is the Channel's largest per-frame
+  // constant factor and runs concurrently across peers this way, while
+  // the drain under mutex_ only touches already-decoded structs.
+  struct DecodedFrame {
+    ServerId from;
+    FrameType type = FrameType::kData;
+    DataFrame data;  // valid iff type == kData
+    AckFrame ack;    // valid iff type == kAck
+  };
+  std::deque<DecodedFrame> inbox_;
   bool inbox_drain_queued_ = false;
   // (peer, accepted ids) staged during the current drain, coalesced
   // into one ack frame per peer after the batch commit.
@@ -668,11 +674,15 @@ class AgentServer {
   // before touching mutex_ (via Post).
   mutable std::mutex results_mutex_;
   std::vector<ReactionResult> completed_reactions_;
+  // Per-shard utilization counters.  Each entry is written only by the
+  // worker that owns that shard and read with relaxed loads by stats()
+  // and the adaptive commit sizing -- no lock on the hot path.
   struct WorkerStat {
-    std::uint64_t reactions = 0;
-    std::uint64_t busy_ns = 0;
+    std::atomic<std::uint64_t> reactions{0};
+    std::atomic<std::uint64_t> busy_ns{0};
   };
-  std::vector<WorkerStat> worker_stats_;  // guarded by results_mutex_
+  std::unique_ptr<WorkerStat[]> worker_stats_;
+  std::size_t worker_stat_count_ = 0;
 
   // --- flow control state (guarded by mutex_) -------------------------
   std::unordered_map<ServerId, flow::CreditSenderLink> sender_links_;

@@ -80,6 +80,10 @@ std::uint64_t FaultyStore::total_bytes_written() const {
   return inner_->total_bytes_written();
 }
 
+std::uint64_t FaultyStore::sync_latency_ns() const {
+  return inner_->sync_latency_ns();
+}
+
 void FaultyStore::FailAfterCommits(std::uint64_t n) {
   std::lock_guard lock(mutex_);
   fail_countdown_ = n;

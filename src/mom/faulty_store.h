@@ -57,6 +57,7 @@ class FaultyStore final : public Store {
   Status Checkpoint() override;
   [[nodiscard]] std::uint64_t last_commit_bytes() const override;
   [[nodiscard]] std::uint64_t total_bytes_written() const override;
+  [[nodiscard]] std::uint64_t sync_latency_ns() const override;
 
   // Crash point: the Nth Commit from now fails (n = 1 means the very
   // next one).  One-shot; overwrites any previously armed countdown.

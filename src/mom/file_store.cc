@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "common/crc32.h"
@@ -272,9 +273,19 @@ Status FileStore::AppendTransaction(const Bytes& body) {
 
 Status FileStore::SyncFile(std::FILE* file) {
   if (options_.sync_mode == SyncMode::kNone) return Status::Ok();
+  const auto start = std::chrono::steady_clock::now();
   if (::fdatasync(::fileno(file)) != 0) {
     return Status::Unavailable("fdatasync failed");
   }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  const auto sample = static_cast<std::uint64_t>(elapsed);
+  // EWMA with alpha = 1/8: smooth enough to ignore a single outlier
+  // sync, fresh enough to track a device whose queue built up.
+  sync_latency_ewma_ns_ = sync_latency_ewma_ns_ == 0
+                              ? sample
+                              : (7 * sync_latency_ewma_ns_ + sample) / 8;
   ++sync_calls_;
   return Status::Ok();
 }

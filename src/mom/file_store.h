@@ -81,6 +81,12 @@ class FileStore final : public Store {
   // fdatasync invocations so far (0 under SyncMode::kNone).
   [[nodiscard]] std::uint64_t sync_calls() const { return sync_calls_; }
 
+  // EWMA over observed fdatasync latencies (alpha = 1/8); 0 under
+  // SyncMode::kNone or before the first sync.
+  [[nodiscard]] std::uint64_t sync_latency_ns() const override {
+    return sync_latency_ewma_ns_;
+  }
+
   // Fault hook: the next WAL append writes at most `bytes` of the
   // record to disk, then fails Unavailable -- an ENOSPC-style short
   // write.  The torn record is discarded by the CRC check on the next
@@ -115,6 +121,7 @@ class FileStore final : public Store {
   std::filesystem::path directory_;
   FileStoreOptions options_;
   std::uint64_t sync_calls_ = 0;
+  std::uint64_t sync_latency_ewma_ns_ = 0;
   std::FILE* wal_ = nullptr;
   std::uint64_t wal_bytes_ = 0;
   std::uint64_t wal_write_limit_ = 0;

@@ -1,5 +1,7 @@
 #include "mom/message.h"
 
+#include "common/buffer_pool.h"
+
 namespace cmom::mom {
 
 namespace {
@@ -49,7 +51,7 @@ Result<Message> Message::Decode(ByteReader& in) {
   if (!to.ok()) return to.status();
   auto subject = in.ReadString();
   if (!subject.ok()) return subject.status();
-  auto payload = in.ReadBytes();
+  auto payload = in.ReadBytesPooled();
   if (!payload.ok()) return payload.status();
   Message message;
   message.id = id.value();
@@ -60,12 +62,7 @@ Result<Message> Message::Decode(ByteReader& in) {
   return message;
 }
 
-Bytes DataFrame::Serialize() const {
-  ByteWriter out;
-  // Size hint: frame type + domain + ids/subject/payload + stamp, with
-  // a small slop for the varint headers; one allocation per frame.
-  out.Reserve(16 + message.subject.size() + message.payload.size() +
-              stamp.EncodedSize());
+void DataFrame::SerializeInto(ByteWriter& out) const {
   out.WriteU8(static_cast<std::uint8_t>(FrameType::kData));
   message.Encode(out);
   out.WriteU16(domain.value());
@@ -74,10 +71,25 @@ Bytes DataFrame::Serialize() const {
   // Optional trailer (flow restart detection): 0 = absent, keeping the
   // pre-flow layout byte-identical for incarnation-less frames.
   if (incarnation != 0) out.WriteVarU64(incarnation);
+}
+
+Bytes DataFrame::Serialize() const {
+  // Size hint: frame type + domain + ids/subject/payload + stamp, with
+  // a small slop for the varint headers; the buffer comes from the
+  // calling thread's pool, so a steady-state emit path allocates
+  // nothing per frame.
+  ByteWriter out = PooledWriter(16 + message.subject.size() +
+                                message.payload.size() + stamp.EncodedSize());
+  SerializeInto(out);
   return std::move(out).Take();
 }
 
-std::size_t DataFrame::SerializedSize() const { return Serialize().size(); }
+std::size_t DataFrame::SerializedSize() const {
+  Bytes encoded = Serialize();
+  const std::size_t size = encoded.size();
+  BufferPool::Release(std::move(encoded));
+  return size;
+}
 
 Result<DataFrame> DataFrame::Deserialize(std::span<const std::uint8_t> bytes) {
   ByteReader in(bytes);
@@ -110,8 +122,7 @@ Result<DataFrame> DataFrame::Deserialize(std::span<const std::uint8_t> bytes) {
 }
 
 Bytes AckFrame::Serialize() const {
-  ByteWriter out;
-  out.Reserve(16 + 10 * messages.size());
+  ByteWriter out = PooledWriter(16 + 10 * messages.size());
   out.WriteU8(static_cast<std::uint8_t>(FrameType::kAck));
   out.WriteVarU32(static_cast<std::uint32_t>(messages.size()));
   for (const MessageId& id : messages) EncodeMessageId(out, id);

@@ -60,7 +60,11 @@ struct DataFrame {
 
   friend bool operator==(const DataFrame&, const DataFrame&) = default;
 
+  // Serialize() draws its buffer from the calling thread's BufferPool;
+  // the receiving decode releases it.  SerializeInto appends to a
+  // caller-owned writer (batched encode paths).
   [[nodiscard]] Bytes Serialize() const;
+  void SerializeInto(ByteWriter& out) const;
   [[nodiscard]] static Result<DataFrame> Deserialize(
       std::span<const std::uint8_t> bytes);
 

@@ -59,6 +59,12 @@ class Store {
   [[nodiscard]] virtual std::uint64_t last_commit_bytes() const = 0;
   // Total bytes written over the store's lifetime.
   [[nodiscard]] virtual std::uint64_t total_bytes_written() const = 0;
+  // Smoothed cost of this store's durability barrier (fdatasync) in
+  // nanoseconds; 0 for stores that never block on the device.  The
+  // engine's commit stage reads it to size group commits adaptively: a
+  // slow device earns bigger batches so the sync amortizes, a fast (or
+  // non-syncing) one keeps commits small and latency low.
+  [[nodiscard]] virtual std::uint64_t sync_latency_ns() const { return 0; }
 };
 
 class InMemoryStore final : public Store {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "causality/checker.h"
+#include "common/buffer_pool.h"
 #include "common/bytes.h"
 #include "domains/topologies.h"
 #include "mom/agent.h"
@@ -182,26 +183,28 @@ Bytes ReferenceStateBytes(std::uint32_t agent, std::uint64_t total) {
   return reference.StateBytes();
 }
 
-TEST(ParallelEngine, MidRunCrashRecoversByteIdenticalState) {
-  constexpr std::uint64_t kTotal = 300;
+constexpr std::uint64_t kCrashTotal = 300;
 
+// Runs the mid-run-crash workload (single sender, crash at half-way,
+// restart, second half) and returns each agent's final state bytes.
+// Shared by the default test and the arena on/off equivalence variant.
+std::map<std::uint32_t, Bytes> CrashWorkloadFinalState() {
   workload::ThreadedHarnessOptions options;
   options.engine_workers = 4;
   options.retransmit_timeout_ns = 50ull * 1000 * 1000;
   workload::ThreadedHarness harness(domains::topologies::Flat(2), options);
 
   std::map<std::uint32_t, ChainAgent*> agents;
-  ASSERT_TRUE(harness
-                  .Init([&](ServerId id, mom::AgentServer& server) {
-                    if (id != ServerId(1)) return;
-                    for (std::uint32_t a = 0; a < 4; ++a) {
-                      auto agent = std::make_unique<ChainAgent>();
-                      agents[a] = agent.get();  // refreshed on Restart
-                      server.AttachAgent(a, std::move(agent));
-                    }
-                  })
-                  .ok());
-  ASSERT_TRUE(harness.BootAll().ok());
+  Status init = harness.Init([&](ServerId id, mom::AgentServer& server) {
+    if (id != ServerId(1)) return;
+    for (std::uint32_t a = 0; a < 4; ++a) {
+      auto agent = std::make_unique<ChainAgent>();
+      agents[a] = agent.get();  // refreshed on Restart
+      server.AttachAgent(a, std::move(agent));
+    }
+  });
+  EXPECT_TRUE(init.ok());
+  EXPECT_TRUE(harness.BootAll().ok());
 
   // Single sender => deterministic per-agent delivery order, so the
   // final state bytes are unique.  Crash the loaded server while the
@@ -209,17 +212,17 @@ TEST(ParallelEngine, MidRunCrashRecoversByteIdenticalState) {
   // commit did not land are discarded with the workers and must be
   // re-run from their durable QueueIN entries -- never skipped, never
   // doubled, or the chain hash comes out different.
-  for (std::uint64_t seq = 1; seq <= kTotal / 2; ++seq) {
-    ASSERT_TRUE(harness
+  for (std::uint64_t seq = 1; seq <= kCrashTotal / 2; ++seq) {
+    EXPECT_TRUE(harness
                     .Send(ServerId(0), 7, ServerId(1),
                           static_cast<std::uint32_t>(seq % 4), "chain",
                           ChainPayload(7, seq))
                     .ok());
   }
   harness.Crash(ServerId(1));
-  ASSERT_TRUE(harness.Restart(ServerId(1)).ok());
-  for (std::uint64_t seq = kTotal / 2 + 1; seq <= kTotal; ++seq) {
-    ASSERT_TRUE(harness
+  EXPECT_TRUE(harness.Restart(ServerId(1)).ok());
+  for (std::uint64_t seq = kCrashTotal / 2 + 1; seq <= kCrashTotal; ++seq) {
+    EXPECT_TRUE(harness
                     .Send(ServerId(0), 7, ServerId(1),
                           static_cast<std::uint32_t>(seq % 4), "chain",
                           ChainPayload(7, seq))
@@ -228,14 +231,52 @@ TEST(ParallelEngine, MidRunCrashRecoversByteIdenticalState) {
   harness.WaitQuiescent();
   harness.HaltAll();
 
-  for (const auto& [local, agent] : agents) {
-    EXPECT_EQ(agent->StateBytes(), ReferenceStateBytes(local, kTotal))
-        << "agent " << local << " diverged after crash recovery";
-  }
-
   const causality::Trace trace = harness.trace().Snapshot();
   causality::CausalityChecker checker = harness.MakeChecker();
   EXPECT_TRUE(checker.CheckCausalDelivery(trace).causal());
+
+  std::map<std::uint32_t, Bytes> state;
+  for (const auto& [local, agent] : agents) {
+    state[local] = agent->StateBytes();
+  }
+  return state;
+}
+
+TEST(ParallelEngine, MidRunCrashRecoversByteIdenticalState) {
+  const std::map<std::uint32_t, Bytes> state = CrashWorkloadFinalState();
+  ASSERT_EQ(state.size(), 4u);
+  for (const auto& [local, bytes] : state) {
+    EXPECT_EQ(bytes, ReferenceStateBytes(local, kCrashTotal))
+        << "agent " << local << " diverged after crash recovery";
+  }
+}
+
+TEST(ParallelEngine, ArenaAllocatorKeepsCrashRecoveryByteIdentical) {
+  // The pooled arena must be invisible to durable state: the same
+  // crash workload, run with recycled buffers and with plain heap
+  // allocation, has to recover every agent to byte-identical images.
+  // A stale byte leaking out of a reused buffer -- a frame outliving
+  // its batch, a payload released before its group commit -- shows up
+  // here as a chain-hash divergence.
+  BufferPool::SetEnabled(false);
+  const std::map<std::uint32_t, Bytes> heap_state = CrashWorkloadFinalState();
+  BufferPool::SetEnabled(true);
+  const BufferPool::Counters before = BufferPool::Totals();
+  const std::map<std::uint32_t, Bytes> arena_state = CrashWorkloadFinalState();
+  const BufferPool::Counters after = BufferPool::Totals();
+
+  // The arena actually engaged: buffers were recycled, not just
+  // counted.
+  EXPECT_GT(after.pool_hits, before.pool_hits);
+
+  ASSERT_EQ(heap_state.size(), 4u);
+  ASSERT_EQ(arena_state.size(), 4u);
+  for (const auto& [local, bytes] : arena_state) {
+    EXPECT_EQ(bytes, ReferenceStateBytes(local, kCrashTotal))
+        << "agent " << local << " diverged under the arena";
+    EXPECT_EQ(bytes, heap_state.at(local))
+        << "agent " << local << ": arena and heap runs disagree";
+  }
 }
 
 // ---------------------------------------------------------------------------

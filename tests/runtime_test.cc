@@ -3,10 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 namespace cmom::net {
@@ -188,6 +190,102 @@ TEST(Executor, PendingCountSeesQueuedTasks) {
     release = true;
     cv.notify_all();
   }
+}
+
+TEST(Executor, FullRingSpillsToOverflowAndPreservesFifo) {
+  // Ring capacity 4; the consumer is parked on a blocked task while 64
+  // more are posted, so most spill past the ring into the overflow
+  // queue.  Post must never block (a blocking Post would deadlock the
+  // commit stage against the server lock), and the drain must replay
+  // ring + overflow in exact post order.
+  ThreadPoolExecutor executor(1, /*ring_capacity=*/4);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  bool blocked = false;
+  bool done = false;
+  std::vector<int> order;
+  executor.Post(0, [&] {
+    std::unique_lock lock(mutex);
+    blocked = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  });
+  {
+    std::unique_lock lock(mutex);
+    ASSERT_TRUE(
+        cv.wait_for(lock, std::chrono::seconds(5), [&] { return blocked; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    executor.Post(0, [&, i] {
+      std::lock_guard lock(mutex);
+      order.push_back(i);
+      if (i == 63) {
+        done = true;
+        cv.notify_all();
+      }
+    });
+  }
+  // O(1) read off the ring indices + overflow count, no lane lock.
+  EXPECT_EQ(executor.PendingCount(0), 64u);
+  {
+    std::lock_guard lock(mutex);
+    release = true;
+    cv.notify_all();
+  }
+  std::unique_lock lock(mutex);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5), [&] { return done; }));
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[i], i);
+  const Executor::LaneStats stats = executor.GetLaneStats(0);
+  EXPECT_EQ(stats.posts, 65u);
+  EXPECT_GT(stats.overflow_posts, 0u);
+  EXPECT_GT(stats.stall_ns.count, 0u);
+}
+
+TEST(Executor, ConcurrentProducersKeepPerProducerFifo) {
+  // Four producer threads hammer one small lane concurrently, so the
+  // run exercises ring wrap, CAS contention on the tail, overflow
+  // spill and the re-splice back into the ring.  The total must match
+  // and each producer's tasks must run in its own post order (the
+  // engine's per-agent FIFO reduces to exactly this).  The TSan CI job
+  // runs this test for the memory-ordering proof.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  ThreadPoolExecutor executor(1, /*ring_capacity=*/8);
+  std::array<std::vector<int>, kProducers> seen;
+  std::atomic<int> remaining{kProducers * kPerProducer};
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        executor.Post(0, [&, p, i] {
+          // Single consumer thread: no lock needed for seen[].
+          seen[static_cast<std::size_t>(p)].push_back(i);
+          if (remaining.fetch_sub(1) == 1) {
+            std::lock_guard lock(mutex);
+            cv.notify_all();
+          }
+        });
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  std::unique_lock lock(mutex);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return remaining.load() == 0; }));
+  lock.unlock();
+  for (int p = 0; p < kProducers; ++p) {
+    const std::vector<int>& mine = seen[static_cast<std::size_t>(p)];
+    ASSERT_EQ(mine.size(), static_cast<std::size_t>(kPerProducer));
+    for (int i = 0; i < kPerProducer; ++i) EXPECT_EQ(mine[i], i);
+  }
+  const Executor::LaneStats stats = executor.GetLaneStats(0);
+  EXPECT_EQ(stats.posts,
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
 }
 
 }  // namespace

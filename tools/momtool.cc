@@ -299,6 +299,19 @@ void PrintServerCommitStats(ServerId id, const mom::ServerStats& stats) {
     std::printf("S%u:   shard depth   %s\n", id.value(),
                 stats.shard_depth_hist.ToString().c_str());
   }
+  // Lock-free lane hand-off health: posts that spilled past the ring
+  // into the overflow queue, consumer futex parks, and the consumer's
+  // view of queue depth / task stall time (ns from post to pop).
+  if (stats.lane_posts > 0) {
+    std::printf("S%u:   lanes         posts=%llu overflow=%llu parks=%llu\n",
+                id.value(), static_cast<unsigned long long>(stats.lane_posts),
+                static_cast<unsigned long long>(stats.lane_overflow_posts),
+                static_cast<unsigned long long>(stats.lane_parks));
+    std::printf("S%u:   lane depth    %s\n", id.value(),
+                stats.lane_depth_hist.ToString().c_str());
+    std::printf("S%u:   lane stall ns %s\n", id.value(),
+                stats.lane_stall_ns_hist.ToString().c_str());
+  }
   if (!stats.worker_reactions.empty()) {
     std::printf("S%u:   workers      ", id.value());
     for (std::size_t w = 0; w < stats.worker_reactions.size(); ++w) {
