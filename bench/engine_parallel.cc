@@ -103,6 +103,9 @@ struct RunResult {
   double utilization = 0;        // busy_ns sum / (workers * elapsed)
   std::uint64_t heap_allocs = 0;     // pool misses over the run
   std::uint64_t pool_hits = 0;       // buffer reuses over the run
+  std::uint64_t shelf_deposits = 0;  // consumer -> overflow shelf moves
+  std::uint64_t shelf_refills = 0;   // producer refills from the shelf
+  double allocs_per_message = 0;     // heap_allocs / messages
   std::uint64_t overflow_posts = 0;  // ring-full spills (loaded server)
   std::uint64_t parks = 0;           // consumer futex parks
 };
@@ -163,6 +166,13 @@ RunResult Measure(std::string_view topology, std::size_t workers,
   result.heap_allocs =
       pool_after.heap_allocations() - pool_before.heap_allocations();
   result.pool_hits = pool_after.pool_hits - pool_before.pool_hits;
+  result.shelf_deposits =
+      pool_after.shelf_deposits - pool_before.shelf_deposits;
+  result.shelf_refills = pool_after.shelf_refills - pool_before.shelf_refills;
+  result.allocs_per_message =
+      messages > 0
+          ? static_cast<double>(result.heap_allocs) / static_cast<double>(messages)
+          : 0;
   result.overflow_posts = stats.lane_overflow_posts;
   result.parks = stats.lane_parks;
   return result;
@@ -187,12 +197,17 @@ void WriteJson(const std::string& path, const std::vector<RunResult>& results,
                  "\"engine_batch\": %zu, \"messages\": %zu, "
                  "\"msgs_per_sec\": %.0f, \"group_commit_mean\": %.2f, "
                  "\"utilization\": %.3f, \"heap_allocs\": %llu, "
-                 "\"pool_hits\": %llu, \"overflow_posts\": %llu, "
+                 "\"pool_hits\": %llu, \"allocs_per_message\": %.3f, "
+                 "\"shelf_deposits\": %llu, \"shelf_refills\": %llu, "
+                 "\"overflow_posts\": %llu, "
                  "\"parks\": %llu}%s\n",
                  r.topology.c_str(), r.workers, r.engine_batch, r.messages,
                  r.msgs_per_sec, r.group_commit_mean, r.utilization,
                  static_cast<unsigned long long>(r.heap_allocs),
                  static_cast<unsigned long long>(r.pool_hits),
+                 r.allocs_per_message,
+                 static_cast<unsigned long long>(r.shelf_deposits),
+                 static_cast<unsigned long long>(r.shelf_refills),
                  static_cast<unsigned long long>(r.overflow_posts),
                  static_cast<unsigned long long>(r.parks),
                  i + 1 < results.size() ? "," : "");
@@ -208,6 +223,23 @@ void WriteJson(const std::string& path, const std::vector<RunResult>& results,
     }
     return 0;
   };
+  // Arena acceptance: with the overflow shelf closing the feeder ->
+  // engine producer/consumer split, the headline 4-worker flat run
+  // should sit near zero heap allocations per message once the
+  // per-thread warmup (freelists filling, thread caches registering)
+  // is amortized.  Smoke runs are warmup-dominated, so the bound is
+  // loose there.
+  double arena_allocs_per_message = 0;
+  for (const RunResult& r : results) {
+    if (r.topology == "flat" && r.workers == 4 &&
+        r.engine_batch == default_batch) {
+      arena_allocs_per_message = r.allocs_per_message;
+      break;
+    }
+  }
+  const double arena_bound = smoke ? 2.0 : 0.5;
+  const bool arena_ok = arena_allocs_per_message <= arena_bound;
+
   const double base_flat = rate("flat", 0);
   const double base_bus = rate("bus", 0);
   const double speedup_flat =
@@ -218,8 +250,13 @@ void WriteJson(const std::string& path, const std::vector<RunResult>& results,
   const bool multi_core_ok = cores >= 4;
   std::fprintf(out,
                "  \"summary\": {\"speedup_4_workers_flat\": %.2f, "
-               "\"speedup_4_workers_bus\": %.2f, \"multi_core_ok\": %s%s}\n}\n",
-               speedup_flat, speedup_bus, multi_core_ok ? "true" : "false",
+               "\"speedup_4_workers_bus\": %.2f, "
+               "\"allocs_per_message_flat_4\": %.3f, "
+               "\"allocs_per_message_bound\": %.1f, \"arena_ok\": %s, "
+               "\"multi_core_ok\": %s%s}\n}\n",
+               speedup_flat, speedup_bus, arena_allocs_per_message,
+               arena_bound, arena_ok ? "true" : "false",
+               multi_core_ok ? "true" : "false",
                multi_core_ok
                    ? ""
                    : ", \"error\": \"host has too few cores for the "
@@ -230,6 +267,10 @@ void WriteJson(const std::string& path, const std::vector<RunResult>& results,
   std::printf("4-worker speedup vs inline engine: flat %.2fx, bus %.2fx "
               "(on %u cores)\n",
               speedup_flat, speedup_bus, cores);
+  std::printf("arena: %.3f heap allocs/message on the flat 4-worker run "
+              "(bound %.1f) -> %s\n",
+              arena_allocs_per_message, arena_bound,
+              arena_ok ? "ok" : "FAILURE");
   if (!multi_core_ok) {
     std::fprintf(stderr,
                  "engine_parallel: FAILURE -- host has %u core(s); the "

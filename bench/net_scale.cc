@@ -1,0 +1,499 @@
+// Connection-scale benchmark: >=10k client sessions through one
+// gateway, measuring connection-setup rate, sustained echo throughput
+// and RTT tail latency over the routed Bus(2,2) topology.
+//
+// Shape: a forked child process drives a GatewayClientPool (the fd
+// hard limit is per-process, so 10k client sockets live in the child
+// while the parent's gateway holds the 10k accepted ends).  The parent
+// builds four TCP servers -- Bus(2,2): S0/S1 one leaf, S2/S3 the
+// other, S0/S2 the backbone -- attaches the gateway to S1 with one
+// stateless proxy agent per session, and an echo agent on S3.  Every
+// client message crosses the full routed path (S1 -> S0 -> S2 -> S3)
+// and the pong retraces it, so the tail latency measured here includes
+// causal stamping, hold-back and store commits on every hop, not just
+// socket shuffling.
+//
+// The child embeds a steady-clock timestamp in each ping payload; the
+// echo returns it and the delivery handler computes the RTT.  Sends
+// are closed-loop with a bounded outstanding window so the measurement
+// holds offered load constant instead of collapsing into one giant
+// burst.
+//
+// The fork happens before any thread exists (reactors, engine pools),
+// because fork() from a threaded process leaves the child's heap in
+// whatever state other threads had it.
+//
+// Output: BENCH_net_scale.json (--out to redirect) with client-side
+// latency/throughput, gateway/server/reactor/transport counters, the
+// BufferPool totals, and an "ok" flag asserting zero connection
+// failures, zero auth failures, zero drops and full echo delivery.
+// --smoke shrinks to 1k sessions for the CI bench label.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/buffer_pool.h"
+#include "domains/topologies.h"
+#include "mom/agent_server.h"
+#include "mom/gateway.h"
+#include "mom/gateway_client.h"
+#include "net/runtime.h"
+#include "net/tcp_network.h"
+#include "workload/agents.h"
+
+using namespace cmom;
+
+namespace {
+
+constexpr std::uint16_t kBasePort = 23400;
+constexpr std::uint16_t kGatewayPort = 23490;
+constexpr std::uint16_t kEchoServer = 3;
+constexpr std::uint32_t kEchoAgent = 1;
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Everything the child measures, sent to the parent as one text line.
+struct ChildReport {
+  std::uint64_t bound = 0;
+  std::uint64_t connect_failures = 0;
+  std::uint64_t auth_rejects = 0;
+  std::uint64_t send_rejects = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  double setup_seconds = 0;
+  double conn_per_sec = 0;
+  double throughput = 0;  // echoes/sec over the send phase
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p95_ns = 0;
+  std::uint64_t p99_ns = 0;
+};
+
+int RunChild(int ready_fd, int result_fd, std::size_t sessions,
+             std::size_t messages, std::size_t window) {
+  // Wait until the parent's gateway is listening.
+  char ready = 0;
+  if (::read(ready_fd, &ready, 1) != 1 || ready != 'R') return 1;
+  ::close(ready_fd);
+
+  mom::GatewayClientOptions options;
+  options.port = kGatewayPort;
+  options.sessions = sessions;
+  options.first_agent = 1;
+  options.reactor_threads = 2;
+  options.connect_batch = 512;
+  mom::GatewayClientPool pool(options);
+
+  std::mutex rtt_mutex;
+  std::vector<std::uint64_t> rtts;
+  rtts.reserve(messages);
+  std::atomic<std::uint64_t> received{0};
+  std::atomic<std::int64_t> outstanding{0};
+  pool.set_delivery_handler([&](std::size_t, std::uint16_t, std::uint32_t,
+                                std::string_view, const std::uint8_t* payload,
+                                std::size_t size) {
+    if (size >= 8) {
+      std::uint64_t sent_ns = 0;
+      std::memcpy(&sent_ns, payload, 8);
+      const std::uint64_t rtt = NowNs() - sent_ns;
+      std::lock_guard lock(rtt_mutex);
+      rtts.push_back(rtt);
+    }
+    outstanding.fetch_sub(1, std::memory_order_relaxed);
+    received.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  const std::uint64_t t_ramp = NowNs();
+  pool.Start();
+  const bool all_bound = pool.WaitAllBound(120ull * 1000 * 1000 * 1000);
+  const double setup_seconds =
+      static_cast<double>(NowNs() - t_ramp) / 1e9;
+
+  ChildReport report;
+  report.setup_seconds = setup_seconds;
+  std::uint64_t sent = 0;
+  std::uint64_t t_send0 = 0;
+  std::uint64_t t_end = 0;
+  if (all_bound) {
+    t_send0 = NowNs();
+    const std::uint64_t send_deadline =
+        t_send0 + 300ull * 1000 * 1000 * 1000;
+    for (std::size_t i = 0; i < messages; ++i) {
+      while (outstanding.load(std::memory_order_relaxed) >=
+             static_cast<std::int64_t>(window)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        if (NowNs() > send_deadline) break;
+      }
+      if (NowNs() > send_deadline) break;
+      std::uint8_t payload[8];
+      bool queued = false;
+      while (!queued && NowNs() <= send_deadline) {
+        const std::uint64_t now = NowNs();
+        std::memcpy(payload, &now, 8);
+        queued = pool.Send(i % sessions, kEchoServer, kEchoAgent,
+                           workload::kPing, payload, sizeof(payload));
+        if (!queued) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (!queued) break;
+      outstanding.fetch_add(1, std::memory_order_relaxed);
+      ++sent;
+    }
+    const std::uint64_t drain_deadline =
+        NowNs() + 120ull * 1000 * 1000 * 1000;
+    while (received.load(std::memory_order_relaxed) < sent &&
+           NowNs() < drain_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    t_end = NowNs();
+  }
+
+  const mom::GatewayClientStats stats = pool.stats();
+  report.bound = stats.bound;
+  report.connect_failures = stats.connect_failures;
+  report.auth_rejects = stats.auth_rejects;
+  report.send_rejects = stats.send_rejects;
+  report.protocol_errors = stats.protocol_errors;
+  report.sent = sent;
+  report.received = received.load(std::memory_order_relaxed);
+  report.conn_per_sec =
+      setup_seconds > 0 ? static_cast<double>(stats.bound) / setup_seconds : 0;
+  if (t_end > t_send0 && report.received > 0) {
+    report.throughput = static_cast<double>(report.received) /
+                        (static_cast<double>(t_end - t_send0) / 1e9);
+  }
+  {
+    std::lock_guard lock(rtt_mutex);
+    std::sort(rtts.begin(), rtts.end());
+    auto pct = [&](double p) -> std::uint64_t {
+      if (rtts.empty()) return 0;
+      const std::size_t idx = static_cast<std::size_t>(
+          p * static_cast<double>(rtts.size() - 1));
+      return rtts[idx];
+    };
+    report.p50_ns = pct(0.50);
+    report.p95_ns = pct(0.95);
+    report.p99_ns = pct(0.99);
+  }
+  pool.Stop();
+
+  char line[512];
+  const int n = std::snprintf(
+      line, sizeof(line),
+      "%llu %llu %llu %llu %llu %llu %llu %.6f %.1f %.1f %llu %llu %llu\n",
+      static_cast<unsigned long long>(report.bound),
+      static_cast<unsigned long long>(report.connect_failures),
+      static_cast<unsigned long long>(report.auth_rejects),
+      static_cast<unsigned long long>(report.send_rejects),
+      static_cast<unsigned long long>(report.protocol_errors),
+      static_cast<unsigned long long>(report.sent),
+      static_cast<unsigned long long>(report.received),
+      report.setup_seconds, report.conn_per_sec, report.throughput,
+      static_cast<unsigned long long>(report.p50_ns),
+      static_cast<unsigned long long>(report.p95_ns),
+      static_cast<unsigned long long>(report.p99_ns));
+  if (n <= 0 || ::write(result_fd, line, static_cast<std::size_t>(n)) != n) {
+    return 1;
+  }
+  ::close(result_fd);
+  return 0;
+}
+
+bool ReadChildReport(int fd, ChildReport* report) {
+  std::string line;
+  char ch = 0;
+  while (::read(fd, &ch, 1) == 1 && ch != '\n') line.push_back(ch);
+  unsigned long long bound = 0, cf = 0, ar = 0, sr = 0, pe = 0, sent = 0,
+                     recv = 0, p50 = 0, p95 = 0, p99 = 0;
+  double setup = 0, cps = 0, tput = 0;
+  const int matched = std::sscanf(
+      line.c_str(), "%llu %llu %llu %llu %llu %llu %llu %lf %lf %lf %llu %llu %llu",
+      &bound, &cf, &ar, &sr, &pe, &sent, &recv, &setup, &cps, &tput, &p50,
+      &p95, &p99);
+  if (matched != 13) return false;
+  report->bound = bound;
+  report->connect_failures = cf;
+  report->auth_rejects = ar;
+  report->send_rejects = sr;
+  report->protocol_errors = pe;
+  report->sent = sent;
+  report->received = recv;
+  report->setup_seconds = setup;
+  report->conn_per_sec = cps;
+  report->throughput = tput;
+  report->p50_ns = p50;
+  report->p95_ns = p95;
+  report->p99_ns = p99;
+  return true;
+}
+
+int RunParent(int ready_fd, int result_fd, pid_t child, std::size_t sessions,
+              std::size_t messages, bool smoke, const std::string& out_path) {
+  const domains::MomConfig config = domains::topologies::Bus(2, 2);
+  auto deployment = domains::Deployment::Create(config).value();
+  net::TcpNetworkOptions net_options;
+  net::TcpNetwork network(kBasePort, net_options);
+  net::ThreadRuntime runtime;
+  std::vector<std::unique_ptr<mom::InMemoryStore>> stores;
+  std::vector<std::unique_ptr<net::Endpoint>> endpoints;
+  std::vector<std::unique_ptr<mom::AgentServer>> servers;
+  for (ServerId id : deployment.servers()) {
+    endpoints.push_back(network.CreateEndpoint(id).value());
+    stores.push_back(std::make_unique<mom::InMemoryStore>());
+    mom::AgentServerOptions options;
+    options.retransmit_timeout_ns = 500ull * 1000 * 1000;
+    // 10k sessions ping through one gateway server: the default
+    // watermarks (4096/1024) would spend the whole run credit-paused.
+    options.flow.high_watermark = 65536;
+    options.flow.low_watermark = 16384;
+    // Exercise the adaptive coalescing path: acks ride a 200us window
+    // unless a credit grant would unblock a paused sender.
+    options.ack_coalesce_ns = 200 * 1000;
+    servers.push_back(std::make_unique<mom::AgentServer>(
+        deployment, id, endpoints.back().get(), &runtime, stores.back().get(),
+        options));
+  }
+  mom::AgentServer& gateway_host = *servers[1];
+  workload::EchoAgent* echo = nullptr;
+  {
+    auto agent = std::make_unique<workload::EchoAgent>();
+    echo = agent.get();
+    servers[kEchoServer]->AttachAgent(kEchoAgent, std::move(agent));
+  }
+  mom::GatewayOptions gw_options;
+  gw_options.listen_port = kGatewayPort;
+  gw_options.first_session_agent = 1;
+  gw_options.listen_backlog = 1024;
+  mom::GatewayServer gateway(gateway_host, gw_options, network.reactor());
+  gateway.AttachSessionAgents(sessions);
+  for (auto& server : servers) {
+    if (!server->Boot().ok()) {
+      std::fprintf(stderr, "server boot failed\n");
+      return 1;
+    }
+  }
+  const Status gw_status = gateway.Start();
+  if (!gw_status.ok()) {
+    std::fprintf(stderr, "gateway start failed: %s\n",
+                 gw_status.message().c_str());
+    return 1;
+  }
+
+  const BufferPool::Counters pool_before = BufferPool::Totals();
+  if (::write(ready_fd, "R", 1) != 1) return 1;
+  ::close(ready_fd);
+
+  ChildReport report;
+  const bool got_report = ReadChildReport(result_fd, &report);
+  ::close(result_fd);
+  int child_status = 0;
+  ::waitpid(child, &child_status, 0);
+
+  const mom::GatewayStats gw = gateway.stats();
+  const BufferPool::Counters pool_after = BufferPool::Totals();
+  const std::vector<net::ReactorShardStats> shards = network.reactor_stats();
+  gateway.Stop();
+  for (auto& server : servers) server->Shutdown();
+
+  const bool child_ok = got_report && WIFEXITED(child_status) &&
+                        WEXITSTATUS(child_status) == 0;
+  const bool ok = child_ok && report.bound == sessions &&
+                  report.connect_failures == 0 && report.auth_rejects == 0 &&
+                  report.protocol_errors == 0 &&
+                  report.received == report.sent && report.sent == messages &&
+                  gw.auth_failures == 0 && gw.protocol_errors == 0 &&
+                  gw.delivery_drops == 0 &&
+                  echo->pings_seen() == messages;
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"net_scale\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"sessions\": %zu,\n", sessions);
+  std::fprintf(out, "  \"messages\": %zu,\n", messages);
+  std::fprintf(out,
+               "  \"client\": {\"bound\": %llu, \"connect_failures\": %llu, "
+               "\"auth_rejects\": %llu, \"send_rejects\": %llu, "
+               "\"protocol_errors\": %llu, \"sent\": %llu, "
+               "\"received\": %llu, \"setup_seconds\": %.3f, "
+               "\"conn_setup_per_sec\": %.1f, "
+               "\"throughput_msgs_per_sec\": %.1f, \"rtt_p50_us\": %.1f, "
+               "\"rtt_p95_us\": %.1f, \"rtt_p99_us\": %.1f},\n",
+               static_cast<unsigned long long>(report.bound),
+               static_cast<unsigned long long>(report.connect_failures),
+               static_cast<unsigned long long>(report.auth_rejects),
+               static_cast<unsigned long long>(report.send_rejects),
+               static_cast<unsigned long long>(report.protocol_errors),
+               static_cast<unsigned long long>(report.sent),
+               static_cast<unsigned long long>(report.received),
+               report.setup_seconds, report.conn_per_sec, report.throughput,
+               static_cast<double>(report.p50_ns) / 1e3,
+               static_cast<double>(report.p95_ns) / 1e3,
+               static_cast<double>(report.p99_ns) / 1e3);
+  std::fprintf(out,
+               "  \"gateway\": {\"sessions_accepted\": %llu, "
+               "\"sessions_closed\": %llu, \"auth_failures\": %llu, "
+               "\"protocol_errors\": %llu, \"client_sends\": %llu, "
+               "\"client_send_rejects\": %llu, \"client_deliveries\": %llu, "
+               "\"delivery_drops\": %llu, \"bytes_in\": %llu, "
+               "\"bytes_out\": %llu},\n",
+               static_cast<unsigned long long>(gw.sessions_accepted),
+               static_cast<unsigned long long>(gw.sessions_closed),
+               static_cast<unsigned long long>(gw.auth_failures),
+               static_cast<unsigned long long>(gw.protocol_errors),
+               static_cast<unsigned long long>(gw.client_sends),
+               static_cast<unsigned long long>(gw.client_send_rejects),
+               static_cast<unsigned long long>(gw.client_deliveries),
+               static_cast<unsigned long long>(gw.delivery_drops),
+               static_cast<unsigned long long>(gw.bytes_in),
+               static_cast<unsigned long long>(gw.bytes_out));
+  std::fprintf(out, "  \"servers\": [\n");
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    const mom::ServerStats s = servers[i]->stats();
+    std::fprintf(out,
+                 "    {\"id\": %zu, \"messages_delivered\": %llu, "
+                 "\"messages_forwarded\": %llu, \"ack_frames_sent\": %llu, "
+                 "\"acks_sent\": %llu, \"ack_flush_timer\": %llu, "
+                 "\"ack_flush_unblock\": %llu, \"credit_blocked\": %llu, "
+                 "\"backlog_peak\": %llu}%s\n",
+                 i, static_cast<unsigned long long>(s.messages_delivered),
+                 static_cast<unsigned long long>(s.messages_forwarded),
+                 static_cast<unsigned long long>(s.ack_frames_sent),
+                 static_cast<unsigned long long>(s.acks_sent),
+                 static_cast<unsigned long long>(s.ack_flush_timer),
+                 static_cast<unsigned long long>(s.ack_flush_unblock),
+                 static_cast<unsigned long long>(s.credit_blocked),
+                 static_cast<unsigned long long>(s.backlog_peak),
+                 i + 1 < servers.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::uint64_t frames_sent = 0, partial_writes = 0, reconnects = 0;
+  for (auto& endpoint : endpoints) {
+    const net::TransportStats ts = endpoint->stats();
+    frames_sent += ts.frames_sent;
+    partial_writes += ts.partial_writes;
+    reconnects += ts.reconnects;
+  }
+  std::fprintf(out,
+               "  \"transport\": {\"frames_sent\": %llu, "
+               "\"partial_writes\": %llu, \"reconnects\": %llu},\n",
+               static_cast<unsigned long long>(frames_sent),
+               static_cast<unsigned long long>(partial_writes),
+               static_cast<unsigned long long>(reconnects));
+  std::fprintf(out, "  \"reactor_shards\": [\n");
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const net::ReactorShardStats& r = shards[i];
+    std::fprintf(out,
+                 "    {\"polls\": %llu, \"events\": %llu, \"tasks\": %llu, "
+                 "\"timers\": %llu, \"wakeups\": %llu, \"fds\": %llu}%s\n",
+                 static_cast<unsigned long long>(r.polls),
+                 static_cast<unsigned long long>(r.events),
+                 static_cast<unsigned long long>(r.tasks),
+                 static_cast<unsigned long long>(r.timers),
+                 static_cast<unsigned long long>(r.wakeups),
+                 static_cast<unsigned long long>(r.fds),
+                 i + 1 < shards.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"buffer_pool\": {\"acquires\": %llu, \"pool_hits\": %llu, "
+               "\"heap_allocations\": %llu, \"shelf_deposits\": %llu, "
+               "\"shelf_refills\": %llu},\n",
+               static_cast<unsigned long long>(pool_after.acquires -
+                                               pool_before.acquires),
+               static_cast<unsigned long long>(pool_after.pool_hits -
+                                               pool_before.pool_hits),
+               static_cast<unsigned long long>(
+                   pool_after.heap_allocations() -
+                   pool_before.heap_allocations()),
+               static_cast<unsigned long long>(pool_after.shelf_deposits -
+                                               pool_before.shelf_deposits),
+               static_cast<unsigned long long>(pool_after.shelf_refills -
+                                               pool_before.shelf_refills));
+  std::fprintf(out, "  \"ok\": %s\n}\n", ok ? "true" : "false");
+  std::fclose(out);
+
+  std::printf("net_scale: %zu sessions, %zu messages\n", sessions, messages);
+  std::printf("  setup: %.2fs (%.0f conns/sec), bound %llu/%zu\n",
+              report.setup_seconds, report.conn_per_sec,
+              static_cast<unsigned long long>(report.bound), sessions);
+  std::printf("  echo: %.0f msgs/sec, RTT p50 %.1fus p95 %.1fus p99 %.1fus\n",
+              report.throughput, static_cast<double>(report.p50_ns) / 1e3,
+              static_cast<double>(report.p95_ns) / 1e3,
+              static_cast<double>(report.p99_ns) / 1e3);
+  std::printf("  gateway: %llu sends, %llu deliveries, %llu drops\n",
+              static_cast<unsigned long long>(gw.client_sends),
+              static_cast<unsigned long long>(gw.client_deliveries),
+              static_cast<unsigned long long>(gw.delivery_drops));
+  std::printf("wrote %s -- %s\n", out_path.c_str(), ok ? "ok" : "FAILURE");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::size_t sessions = 10000;
+  std::size_t messages = 20000;
+  std::size_t window = 256;
+  std::string out_path = "BENCH_net_scale.json";
+  bool sessions_set = false;
+  bool messages_set = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
+      sessions = static_cast<std::size_t>(std::atoll(argv[++i]));
+      sessions_set = true;
+    }
+    if (std::strcmp(argv[i], "--messages") == 0 && i + 1 < argc) {
+      messages = static_cast<std::size_t>(std::atoll(argv[++i]));
+      messages_set = true;
+    }
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  if (smoke && !sessions_set) sessions = 1000;
+  if (smoke && !messages_set) messages = 2000;
+
+  int ready_pipe[2];
+  int result_pipe[2];
+  if (::pipe(ready_pipe) != 0 || ::pipe(result_pipe) != 0) {
+    std::fprintf(stderr, "pipe failed\n");
+    return 1;
+  }
+  // Fork before any thread (reactor shards, engine workers) exists.
+  const pid_t child = ::fork();
+  if (child < 0) {
+    std::fprintf(stderr, "fork failed\n");
+    return 1;
+  }
+  if (child == 0) {
+    ::close(ready_pipe[1]);
+    ::close(result_pipe[0]);
+    const int rc = RunChild(ready_pipe[0], result_pipe[1], sessions, messages,
+                            window);
+    ::_exit(rc);
+  }
+  ::close(ready_pipe[0]);
+  ::close(result_pipe[1]);
+  return RunParent(ready_pipe[1], result_pipe[0], child, sessions, messages,
+                   smoke, out_path);
+}

@@ -1,6 +1,8 @@
 #include "common/buffer_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -14,7 +16,24 @@ namespace {
 constexpr std::size_t kMaxFreeBuffers = 64;
 constexpr std::size_t kMaxKeepCapacity = 256 * 1024;
 
+// Overflow shelf bounds.  Batch size trades lock frequency against
+// freelist headroom: a pure producer takes the lock once per
+// kShelfBatch messages, not once per message.
+constexpr std::size_t kMaxShelfBuffers = 1024;
+constexpr std::size_t kShelfBatch = 16;
+
 std::atomic<bool> g_enabled{true};
+
+std::mutex g_shelf_mutex;
+std::vector<Bytes>& Shelf() {
+  // Leaked on purpose (like the counter nodes): thread caches may
+  // deposit during static destruction of other translation units.
+  static std::vector<Bytes>* shelf = new std::vector<Bytes>;
+  return *shelf;
+}
+// Approximate mirror of Shelf().size() so empty-shelf acquires and
+// full-shelf releases skip the lock entirely.
+std::atomic<std::size_t> g_shelf_size{0};
 
 // Per-thread counters on a global intrusive list.  Nodes are leaked on
 // purpose: Totals() must keep seeing the contributions of exited
@@ -24,6 +43,8 @@ struct ThreadCounters {
   std::atomic<std::uint64_t> pool_hits{0};
   std::atomic<std::uint64_t> releases{0};
   std::atomic<std::uint64_t> discards{0};
+  std::atomic<std::uint64_t> shelf_deposits{0};
+  std::atomic<std::uint64_t> shelf_refills{0};
   ThreadCounters* next = nullptr;
 };
 
@@ -53,6 +74,18 @@ ThreadCache& Cache() {
 Bytes BufferPool::Acquire(std::size_t capacity_hint) {
   ThreadCache& cache = Cache();
   cache.counters->acquires.fetch_add(1, std::memory_order_relaxed);
+  if (g_enabled.load(std::memory_order_relaxed) && cache.free_list.empty() &&
+      g_shelf_size.load(std::memory_order_relaxed) > 0) {
+    std::lock_guard lock(g_shelf_mutex);
+    std::vector<Bytes>& shelf = Shelf();
+    const std::size_t take = std::min(kShelfBatch, shelf.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      cache.free_list.push_back(std::move(shelf.back()));
+      shelf.pop_back();
+    }
+    g_shelf_size.store(shelf.size(), std::memory_order_relaxed);
+    cache.counters->shelf_refills.fetch_add(take, std::memory_order_relaxed);
+  }
   if (g_enabled.load(std::memory_order_relaxed) && !cache.free_list.empty()) {
     Bytes out = std::move(cache.free_list.back());
     cache.free_list.pop_back();
@@ -70,11 +103,33 @@ void BufferPool::Release(Bytes&& buffer) {
   ThreadCache& cache = Cache();
   cache.counters->releases.fetch_add(1, std::memory_order_relaxed);
   if (!g_enabled.load(std::memory_order_relaxed) || buffer.capacity() == 0 ||
-      buffer.capacity() > kMaxKeepCapacity ||
-      cache.free_list.size() >= kMaxFreeBuffers) {
+      buffer.capacity() > kMaxKeepCapacity) {
     cache.counters->discards.fetch_add(1, std::memory_order_relaxed);
     const Bytes dropped = std::move(buffer);
     return;
+  }
+  if (cache.free_list.size() >= kMaxFreeBuffers) {
+    // Consumer-heavy thread: move a batch to the shelf so producer
+    // threads can refill from it.  Drop only when the shelf is full
+    // too (the whole process is over-buffered at that point).
+    if (g_shelf_size.load(std::memory_order_relaxed) >= kMaxShelfBuffers) {
+      cache.counters->discards.fetch_add(1, std::memory_order_relaxed);
+      const Bytes dropped = std::move(buffer);
+      return;
+    }
+    std::size_t moved = 0;
+    {
+      std::lock_guard lock(g_shelf_mutex);
+      std::vector<Bytes>& shelf = Shelf();
+      while (moved < kShelfBatch && shelf.size() < kMaxShelfBuffers &&
+             !cache.free_list.empty()) {
+        shelf.push_back(std::move(cache.free_list.back()));
+        cache.free_list.pop_back();
+        ++moved;
+      }
+      g_shelf_size.store(shelf.size(), std::memory_order_relaxed);
+    }
+    cache.counters->shelf_deposits.fetch_add(moved, std::memory_order_relaxed);
   }
   buffer.clear();
   cache.free_list.push_back(std::move(buffer));
@@ -89,6 +144,9 @@ BufferPool::Counters BufferPool::Totals() {
     out.pool_hits += node->pool_hits.load(std::memory_order_relaxed);
     out.releases += node->releases.load(std::memory_order_relaxed);
     out.discards += node->discards.load(std::memory_order_relaxed);
+    out.shelf_deposits +=
+        node->shelf_deposits.load(std::memory_order_relaxed);
+    out.shelf_refills += node->shelf_refills.load(std::memory_order_relaxed);
   }
   return out;
 }

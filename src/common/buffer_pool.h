@@ -18,12 +18,16 @@
 // store transaction that makes the reaction durable may still read
 // them.
 //
-// Buffers do not migrate between freelists: a thread that only
-// acquires (a pure producer) keeps allocating while its consumer's
-// list caps out and discards -- acceptable, because the hot loops
-// acquire and release on the same thread.  Counters are global
-// (per-thread atomics summed on read) so benchmarks can report heap
-// allocations per message: heap allocs = acquires - pool_hits.
+// Buffers migrate between threads through a global overflow shelf:
+// when a thread's freelist caps out, a batch of buffers moves onto the
+// shelf under one lock, and a thread whose freelist runs dry refills a
+// batch from it.  That closes the producer/consumer split of a
+// pipelined engine -- a pure-producer feeder thread (acquire-only)
+// recycles what the consuming engine shard releases instead of hitting
+// the heap on every message, while the steady same-thread hot loops
+// still never touch the lock.  Counters are global (per-thread atomics
+// summed on read) so benchmarks can report heap allocations per
+// message: heap allocs = acquires - pool_hits.
 #pragma once
 
 #include <cstddef>
@@ -39,8 +43,10 @@ class BufferPool {
     std::uint64_t acquires = 0;   // buffers handed out
     std::uint64_t pool_hits = 0;  // ... of which reused a freed buffer
     std::uint64_t releases = 0;   // buffers handed back
-    std::uint64_t discards = 0;   // ... of which were dropped (list full,
-                                  // oversized, or pool disabled)
+    std::uint64_t discards = 0;   // ... of which were dropped (shelf and
+                                  // list full, oversized, or pool disabled)
+    std::uint64_t shelf_deposits = 0;  // buffers batch-moved to the shelf
+    std::uint64_t shelf_refills = 0;   // buffers batch-taken from it
 
     [[nodiscard]] std::uint64_t heap_allocations() const {
       return acquires - pool_hits;

@@ -489,7 +489,11 @@ std::size_t AgentServer::DrainInbox() {
     commit_needed_ = false;
   }
   // Acks only leave after the batch is durable (commit-then-ack).
-  FlushStagedAcks();
+  if (options_.ack_coalesce_ns == 0) {
+    FlushStagedAcks();
+  } else {
+    MaybeCoalesceAcksLocked();
+  }
   if (!inbox_.empty() && !inbox_drain_queued_) {
     inbox_drain_queued_ = true;
     work_queue_.push_back([this] { return DrainInbox(); });
@@ -714,6 +718,52 @@ void AgentServer::FlushStagedAcks() {
     EmitFrame(peer, ack.Serialize());
   }
   staged_acks_.clear();
+}
+
+// ack_coalesce_ns > 0: staged acks from consecutive Channel batches are
+// held up to one window and flushed by a timer, so a busy multiplexed
+// link sees one AckFrame per peer per window instead of one per batch.
+// The deliberate exception is backpressure: when the credit trailer the
+// ack would carry could reopen a paused sender's window, holding it
+// back would trade sender idle time for ack batching -- that flush
+// happens immediately.  Acks are only durability receipts (the peer
+// retransmits until one arrives), so delaying them is always safe.
+void AgentServer::MaybeCoalesceAcksLocked() {
+  if (staged_acks_.empty()) return;
+  if (options_.flow.enabled) {
+    const std::size_t backlog = ReceiverBacklogLocked();
+    const std::size_t high = options_.flow.high_watermark;
+    const std::uint64_t window =
+        backlog >= high ? 0 : static_cast<std::uint64_t>(high - backlog);
+    for (const auto& [peer, ids] : staged_acks_) {
+      (void)ids;
+      auto it = receiver_links_.find(peer);
+      if (it == receiver_links_.end()) continue;
+      const flow::CreditReceiverLink& link = it->second;
+      // Mirrors ComputeGrant without advancing it: would the trailer
+      // hand this (possibly window-starved) sender new credit?
+      if (link.MaybePaused() &&
+          link.accepted() + window > link.advertised()) {
+        ++stats_.ack_flush_unblock;
+        FlushStagedAcks();
+        return;
+      }
+    }
+  }
+  if (ack_flush_armed_) return;
+  ack_flush_armed_ = true;
+  runtime_->After(options_.ack_coalesce_ns, [this, life = life_] {
+    std::lock_guard hold(life->mutex);
+    if (!life->alive) return;
+    Post([this]() -> std::size_t {
+      ack_flush_armed_ = false;
+      if (!staged_acks_.empty()) {
+        ++stats_.ack_flush_timer;
+        FlushStagedAcks();
+      }
+      return 0;
+    });
+  });
 }
 
 // ---------------------------------------------------------------------

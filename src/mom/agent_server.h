@@ -148,6 +148,14 @@ struct AgentServerOptions {
   // epoch are dropped unacknowledged.  Boot cross-checks the value
   // against the store's "epoch/current" record when one exists.
   std::uint64_t epoch = 0;
+  // Adaptive ack/credit coalescing window.  0 (the default) flushes the
+  // staged acks after every Channel batch -- the historical behavior.
+  // >0 holds them up to this long so consecutive batches collapse into
+  // one AckFrame per peer per window; a grant that would unblock a
+  // credit-paused sender still flushes immediately (the ack carries the
+  // cumulative credit trailer that reopens the window), so coalescing
+  // trades ack-frame count for latency only where nobody is waiting.
+  std::uint64_t ack_coalesce_ns = 0;
   // End-to-end flow control and overload protection (src/flow): credit
   // windows on server-to-server links, deficit-round-robin forwarding
   // on routers (requires PersistMode::kIncremental), and engine
@@ -175,6 +183,11 @@ struct ServerStats {
   std::uint64_t commit_bytes = 0;         // store bytes over all commits
   std::uint64_t ack_frames_sent = 0;      // after coalescing
   std::uint64_t acks_sent = 0;            // message ids acknowledged
+  // Adaptive ack coalescing (ack_coalesce_ns > 0): flushes forced by
+  // the window timer vs flushed early because the credit grant could
+  // unblock a paused sender.
+  std::uint64_t ack_flush_timer = 0;
+  std::uint64_t ack_flush_unblock = 0;
   // Frames the transport refused (e.g. supervised outbox overflow);
   // each is covered by a later QueueOUT retransmission.
   std::uint64_t transport_send_failures = 0;
@@ -418,6 +431,9 @@ class AgentServer {
   void StageAck(ServerId peer, MessageId id);
   // Turns staged acks into one AckFrame per peer (after the commit).
   void FlushStagedAcks();
+  // ack_coalesce_ns > 0 path: flushes immediately when a grant would
+  // unblock a paused sender, else arms the window timer.
+  void MaybeCoalesceAcksLocked();
   void FlushFrames(std::vector<std::pair<ServerId, Bytes>> frames);
   // Schedules the next retransmission check for `id`.  The delay grows
   // exponentially with the attempts already made (capped at 64x the
@@ -622,8 +638,12 @@ class AgentServer {
   std::deque<DecodedFrame> inbox_;
   bool inbox_drain_queued_ = false;
   // (peer, accepted ids) staged during the current drain, coalesced
-  // into one ack frame per peer after the batch commit.
+  // into one ack frame per peer after the batch commit.  With
+  // ack_coalesce_ns > 0 they may survive several drains until the
+  // window timer (or an unblocking grant) flushes them.
   std::vector<std::pair<ServerId, std::vector<MessageId>>> staged_acks_;
+  // True while an ack-coalescing window timer is in flight.
+  bool ack_flush_armed_ = false;
   // Set by frame processing that changed durable state; tells the
   // batched drain whether the end-of-batch commit is needed at all
   // (a batch of pure duplicates or bad frames commits nothing).

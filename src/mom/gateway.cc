@@ -1,0 +1,589 @@
+#include "mom/gateway.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <utility>
+
+#include "common/buffer_pool.h"
+#include "mom/gateway_wire.h"
+
+namespace cmom::mom {
+
+using namespace gwire;  // NOLINT: frame types + byte helpers
+
+namespace {
+
+constexpr std::size_t kMaxIovPerFlush = 64;
+
+}  // namespace
+
+// Stateless relay: the bus delivers to the session's agent id, the
+// proxy hands the message to the gateway's session table.  Carries no
+// durable state (EncodeState default), so 10k proxies cost 10k map
+// entries, not 10k persisted images of anything.
+class GatewayServer::ProxyAgent final : public Agent {
+ public:
+  ProxyAgent(GatewayServer* gateway, std::uint32_t local)
+      : gateway_(gateway), local_(local) {}
+
+  void React(ReactionContext& ctx, const Message& message) override {
+    (void)ctx;
+    gateway_->OnBusDelivery(local_, message);
+  }
+
+ private:
+  GatewayServer* gateway_;
+  std::uint32_t local_;
+};
+
+// One client connection.  The receive side (rx, parsing) is touched
+// only by the owning shard thread; the transmit queue is shared with
+// engine threads (bus deliveries) under out_mutex.  Lock order:
+// gateway mutex_ and out_mutex are never held together.
+struct GatewayServer::Session {
+  std::size_t shard = 0;
+  net::ScopedFd fd;
+  std::uint64_t token = 0;
+  Bytes rx;  // shard thread only
+
+  std::mutex out_mutex;
+  std::deque<Bytes> out;
+  std::size_t out_offset = 0;  // bytes of out.front() already written
+  std::size_t out_bytes = 0;
+  bool flush_pending = false;
+  bool closed = false;
+
+  std::atomic<std::uint32_t> agent_local{0};  // 0 = awaiting hello
+  std::atomic<std::uint64_t> sends{0};
+  std::atomic<std::uint64_t> deliveries{0};
+};
+
+GatewayServer::GatewayServer(AgentServer& server, GatewayOptions options,
+                             std::shared_ptr<net::Reactor> reactor)
+    : server_(server), options_(options), reactor_(std::move(reactor)) {}
+
+GatewayServer::~GatewayServer() { Stop(); }
+
+void GatewayServer::AttachSessionAgents(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t local =
+        options_.first_session_agent + static_cast<std::uint32_t>(i);
+    server_.AttachAgent(local, std::make_unique<ProxyAgent>(this, local));
+  }
+  std::lock_guard lock(mutex_);
+  attached_ += count;
+}
+
+Status GatewayServer::Start() {
+  std::lock_guard lock(mutex_);
+  if (started_) return Status::FailedPrecondition("gateway already started");
+  listen_fd_ = net::ScopedFd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!listen_fd_.valid()) {
+    return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.listen_port);
+  if (::bind(listen_fd_.get(), reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::Unavailable(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_.get(), options_.listen_backlog) != 0) {
+    return Status::Unavailable(std::string("listen: ") + std::strerror(errno));
+  }
+  net::SetNonBlocking(listen_fd_.get());
+  const std::size_t shard = reactor_->PickShard();
+  listen_token_ = reactor_->Register(shard, listen_fd_.get(),
+                                     [this](std::uint32_t) { Accept(); });
+  if (listen_token_ == 0) {
+    return Status::Unavailable("reactor registration failed");
+  }
+  started_ = true;
+  return Status::Ok();
+}
+
+void GatewayServer::Stop() {
+  std::uint64_t listener = 0;
+  std::vector<std::uint64_t> tokens;
+  std::vector<std::shared_ptr<Session>> open;
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_ || !started_) {
+      stopping_ = true;
+      return;
+    }
+    stopping_ = true;
+    listener = std::exchange(listen_token_, 0);
+    for (auto& [token, session] : sessions_) {
+      tokens.push_back(token);
+      open.push_back(session);
+    }
+  }
+  if (listener != 0) reactor_->Deregister(listener);
+  for (std::uint64_t token : tokens) reactor_->Deregister(token);
+  {
+    std::lock_guard lock(mutex_);
+    listen_fd_.Close();
+    for (auto& session : open) {
+      std::lock_guard out_lock(session->out_mutex);
+      session->closed = true;
+      session->out.clear();
+      session->out_bytes = 0;
+    }
+    for (auto& session : open) session->fd.Close();
+    stats_.sessions_closed += sessions_.size();
+    sessions_.clear();
+    bindings_.clear();
+  }
+  // Drain barrier: flush tasks queued before the sessions closed still
+  // reference this gateway; wait until every shard ran past them so
+  // the destructor cannot race one.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t pending = 0;
+  for (std::size_t shard = 0; shard < reactor_->shard_count(); ++shard) {
+    std::unique_lock lock(done_mutex);
+    ++pending;
+    const bool posted = reactor_->Post(shard, [&] {
+      std::lock_guard inner(done_mutex);
+      --pending;
+      done_cv.notify_one();
+    });
+    if (!posted) --pending;
+  }
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return pending == 0; });
+}
+
+void GatewayServer::Accept() {
+  while (true) {
+    const int accepted = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (accepted < 0) break;
+    net::SetNonBlocking(accepted);
+    if (options_.tcp_nodelay) {
+      int one = 1;
+      ::setsockopt(accepted, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    if (options_.so_rcvbuf > 0) {
+      ::setsockopt(accepted, SOL_SOCKET, SO_RCVBUF, &options_.so_rcvbuf,
+                   sizeof(options_.so_rcvbuf));
+    }
+    if (options_.so_sndbuf > 0) {
+      ::setsockopt(accepted, SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
+                   sizeof(options_.so_sndbuf));
+    }
+    auto session = std::make_shared<Session>();
+    session->fd = net::ScopedFd(accepted);
+    session->shard = reactor_->PickShard();
+    const std::uint64_t token = reactor_->Register(
+        session->shard, session->fd.get(),
+        [this, session](std::uint32_t events) {
+          OnSessionEvent(session, events);
+        });
+    if (token == 0) continue;  // fd closes with the session
+    // The registration is live: the session's first events can fire --
+    // and even close it -- before this thread runs another line.
+    // Publish the token under out_mutex so CloseSession either sees it
+    // or defers the whole teardown to the undo below.
+    bool undo = false;
+    {
+      std::lock_guard out_lock(session->out_mutex);
+      if (session->closed) {
+        undo = true;
+      } else {
+        session->token = token;
+      }
+    }
+    bool inserted = false;
+    if (!undo) {
+      std::lock_guard lock(mutex_);
+      if (stopping_) {
+        undo = true;
+      } else {
+        ++stats_.sessions_accepted;
+        sessions_.emplace(token, session);
+        inserted = true;
+      }
+    }
+    if (undo) {
+      // Raced Stop() or an instant close: undo outside mutex_ --
+      // Deregister blocks on the session's shard, whose callbacks take
+      // mutex_.  The fd stays open until after Deregister so its
+      // number cannot be reused while the registration points at it.
+      reactor_->Deregister(token);
+      {
+        std::lock_guard out_lock(session->out_mutex);
+        session->closed = true;
+        session->out.clear();
+        session->out_bytes = 0;
+        session->token = 0;
+      }
+      session->fd.Close();
+      continue;
+    }
+    // CloseSession may have torn the session down between the token
+    // landing and the map insertion; it found nothing to erase then,
+    // so finish the bookkeeping here (value match: exactly one side
+    // counts the close).
+    bool closed_meanwhile = false;
+    {
+      std::lock_guard out_lock(session->out_mutex);
+      closed_meanwhile = session->closed;
+    }
+    if (closed_meanwhile && inserted) {
+      std::lock_guard lock(mutex_);
+      auto it = sessions_.find(token);
+      if (it != sessions_.end() && it->second == session) {
+        sessions_.erase(it);
+        ++stats_.sessions_closed;
+      }
+    }
+  }
+}
+
+void GatewayServer::OnSessionEvent(const std::shared_ptr<Session>& session,
+                                   std::uint32_t events) {
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    CloseSession(session);
+    return;
+  }
+  if ((events & (EPOLLIN | EPOLLRDHUP)) != 0) {
+    std::uint64_t received = 0;
+    bool closed = false;
+    while (true) {
+      std::uint8_t chunk[16 * 1024];
+      const ssize_t n =
+          ::recv(session->fd.get(), chunk, sizeof(chunk), MSG_DONTWAIT);
+      if (n > 0) {
+        session->rx.insert(session->rx.end(), chunk, chunk + n);
+        received += static_cast<std::uint64_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      closed = true;  // FIN or error
+      break;
+    }
+    if (received > 0) {
+      {
+        std::lock_guard lock(mutex_);
+        stats_.bytes_in += received;
+      }
+      ParseSession(session);
+    }
+    if (closed) {
+      CloseSession(session);
+      return;
+    }
+  }
+  if ((events & EPOLLOUT) != 0) FlushSession(session);
+}
+
+void GatewayServer::ParseSession(const std::shared_ptr<Session>& session) {
+  Bytes& rx = session->rx;
+  std::size_t offset = 0;
+  bool violation = false;
+  while (rx.size() - offset >= kFrameHeader) {
+    const std::uint32_t length = ReadU32(rx.data() + offset);
+    if (length < 1 || length > kMaxClientFrame) {
+      violation = true;
+      break;
+    }
+    if (rx.size() - offset - 4 < length) break;
+    if (!HandleClientFrame(session, rx.data() + offset + 4, length)) {
+      violation = true;
+      break;
+    }
+    offset += 4 + length;
+  }
+  rx.erase(rx.begin(), rx.begin() + static_cast<std::ptrdiff_t>(offset));
+  if (violation) {
+    {
+      std::lock_guard lock(mutex_);
+      ++stats_.protocol_errors;
+    }
+    FlushSession(session);  // best effort for a queued reject
+    CloseSession(session);
+  }
+}
+
+bool GatewayServer::HandleClientFrame(const std::shared_ptr<Session>& session,
+                                      const std::uint8_t* frame,
+                                      std::size_t size) {
+  const std::uint8_t type = frame[0];
+  const std::uint8_t* body = frame + 1;
+  const std::size_t body_size = size - 1;
+  switch (type) {
+    case kHello: {
+      if (body_size != 4) return false;
+      const std::uint32_t local = ReadU32(body);
+      std::uint8_t reason = 0;
+      {
+        std::lock_guard lock(mutex_);
+        const std::uint32_t first = options_.first_session_agent;
+        if (local < first || local - first >= attached_) {
+          reason = kBadAgentId;
+        } else if (session->agent_local.load(std::memory_order_relaxed) != 0 ||
+                   bindings_.contains(local)) {
+          reason = kAlreadyBound;
+        } else {
+          bindings_.emplace(local, session);
+          session->agent_local.store(local, std::memory_order_relaxed);
+        }
+        if (reason != 0) ++stats_.auth_failures;
+      }
+      if (reason != 0) {
+        Bytes reject = BeginFrame(kAuthReject, 1);
+        AppendU8(reject, reason);
+        FinishFrame(reject);
+        QueueToClient(session, std::move(reject));
+        return false;  // ParseSession flushes, then closes
+      }
+      Bytes welcome = BeginFrame(kWelcome, 4);
+      AppendU32(welcome, local);
+      FinishFrame(welcome);
+      QueueToClient(session, std::move(welcome));
+      return true;
+    }
+    case kClientSend: {
+      const std::uint32_t local =
+          session->agent_local.load(std::memory_order_relaxed);
+      if (local == 0) return false;
+      if (body_size < 8) return false;
+      const std::uint16_t dest_server = ReadU16(body);
+      const std::uint32_t dest_local = ReadU32(body + 2);
+      const std::uint16_t subject_len = ReadU16(body + 6);
+      if (body_size < 8ull + subject_len) return false;
+      std::string subject(reinterpret_cast<const char*>(body + 8),
+                          subject_len);
+      const std::size_t payload_size = body_size - 8 - subject_len;
+      Bytes payload = BufferPool::Acquire(payload_size);
+      payload.resize(payload_size);
+      if (payload_size > 0) {
+        std::memcpy(payload.data(), body + 8 + subject_len, payload_size);
+      }
+      Result<MessageId> sent = server_.SendMessage(
+          AgentId{server_.self(), local},
+          AgentId{ServerId(dest_server), dest_local}, std::move(subject),
+          std::move(payload));
+      if (sent.ok()) {
+        session->sends.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard lock(mutex_);
+        ++stats_.client_sends;
+      } else {
+        {
+          std::lock_guard lock(mutex_);
+          ++stats_.client_send_rejects;
+        }
+        Bytes reject = BeginFrame(kSendReject, 1);
+        AppendU8(reject, kBusRefused);
+        FinishFrame(reject);
+        QueueToClient(session, std::move(reject));
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+// Engine thread: relay one bus delivery onto the client's connection.
+void GatewayServer::OnBusDelivery(std::uint32_t agent_local,
+                                  const Message& message) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;
+    auto it = bindings_.find(agent_local);
+    if (it == bindings_.end()) {
+      // No client holds this session agent right now; the bus already
+      // committed the delivery, so the message is simply gone -- the
+      // client tier is at-most-once past the gateway.
+      ++stats_.delivery_drops;
+      return;
+    }
+    session = it->second;
+    ++stats_.client_deliveries;
+  }
+  const std::size_t hint =
+      8 + message.subject.size() + message.payload.size();
+  Bytes frame = BeginFrame(kDeliver, hint);
+  AppendU16(frame, message.from.server.value());
+  AppendU32(frame, message.from.local);
+  AppendU16(frame, static_cast<std::uint16_t>(message.subject.size()));
+  const std::size_t at = frame.size();
+  frame.resize(at + message.subject.size() + message.payload.size());
+  std::memcpy(frame.data() + at, message.subject.data(),
+              message.subject.size());
+  if (!message.payload.empty()) {
+    std::memcpy(frame.data() + at + message.subject.size(),
+                message.payload.data(), message.payload.size());
+  }
+  FinishFrame(frame);
+  session->deliveries.fetch_add(1, std::memory_order_relaxed);
+  QueueToClient(session, std::move(frame));
+}
+
+void GatewayServer::QueueToClient(const std::shared_ptr<Session>& session,
+                                  Bytes frame) {
+  bool kick = false;
+  bool dropped = false;
+  {
+    std::lock_guard out_lock(session->out_mutex);
+    if (session->closed) {
+      dropped = true;
+    } else if (session->out_bytes + frame.size() >
+               options_.session_outbox_max_bytes) {
+      dropped = true;
+    } else {
+      session->out_bytes += frame.size();
+      session->out.push_back(std::move(frame));
+      if (!session->flush_pending) {
+        session->flush_pending = true;
+        kick = true;
+      }
+    }
+  }
+  if (dropped) {
+    BufferPool::Release(std::move(frame));
+    std::lock_guard lock(mutex_);
+    ++stats_.delivery_drops;
+    return;
+  }
+  if (kick) {
+    reactor_->Post(session->shard,
+                   [this, session] { FlushSession(session); });
+  }
+}
+
+// Shard thread: vectored flush of the session's outbound queue.
+void GatewayServer::FlushSession(const std::shared_ptr<Session>& session) {
+  std::uint64_t written_total = 0;
+  bool close = false;
+  {
+    std::lock_guard out_lock(session->out_mutex);
+    session->flush_pending = false;
+    if (session->closed) return;
+    while (!session->out.empty()) {
+      std::array<iovec, kMaxIovPerFlush> iov;
+      std::size_t iov_count = 0;
+      for (auto it = session->out.begin();
+           it != session->out.end() && iov_count < kMaxIovPerFlush; ++it) {
+        const std::size_t skip =
+            iov_count == 0 ? session->out_offset : 0;
+        iov[iov_count].iov_base = it->data() + skip;
+        iov[iov_count].iov_len = it->size() - skip;
+        ++iov_count;
+      }
+      msghdr msg{};
+      msg.msg_iov = iov.data();
+      msg.msg_iovlen = iov_count;
+      const ssize_t n = ::sendmsg(session->fd.get(), &msg, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // EPOLLOUT
+        close = true;
+        break;
+      }
+      written_total += static_cast<std::uint64_t>(n);
+      std::size_t written = static_cast<std::size_t>(n);
+      while (written > 0 && !session->out.empty()) {
+        Bytes& front = session->out.front();
+        const std::size_t remaining = front.size() - session->out_offset;
+        if (written < remaining) {
+          session->out_offset += written;
+          written = 0;
+          break;
+        }
+        written -= remaining;
+        session->out_bytes -= front.size();
+        session->out_offset = 0;
+        BufferPool::Release(std::move(front));
+        session->out.pop_front();
+      }
+    }
+  }
+  if (written_total > 0) {
+    std::lock_guard lock(mutex_);
+    stats_.bytes_out += written_total;
+  }
+  if (close) CloseSession(session);
+}
+
+// Shard thread: tears one session down.  Idempotent (a read error and
+// Stop() may race toward the same session).
+void GatewayServer::CloseSession(const std::shared_ptr<Session>& session) {
+  std::uint64_t token = 0;
+  {
+    std::lock_guard out_lock(session->out_mutex);
+    if (session->closed) return;
+    session->closed = true;
+    session->out.clear();
+    session->out_bytes = 0;
+    token = session->token;
+  }
+  // Raced Accept(): the token has not landed yet.  Accept observes
+  // `closed` under out_mutex and owns the deregistration and fd close
+  // (closing the fd here would free its number for reuse while the
+  // registration still points at it).
+  if (token == 0) return;
+  reactor_->Deregister(token);
+  session->fd.Close();
+  std::lock_guard lock(mutex_);
+  auto it = sessions_.find(token);
+  if (it != sessions_.end() && it->second == session) {
+    sessions_.erase(it);
+    ++stats_.sessions_closed;
+  }
+  const std::uint32_t local =
+      session->agent_local.load(std::memory_order_relaxed);
+  if (local != 0) {
+    auto bit = bindings_.find(local);
+    if (bit != bindings_.end() && bit->second == session) {
+      bindings_.erase(bit);
+    }
+  }
+}
+
+GatewayStats GatewayServer::stats() const {
+  std::lock_guard lock(mutex_);
+  GatewayStats out = stats_;
+  out.sessions_active = sessions_.size();
+  return out;
+}
+
+std::vector<GatewayServer::SessionInfo> GatewayServer::sessions() const {
+  std::vector<SessionInfo> out;
+  std::lock_guard lock(mutex_);
+  out.reserve(sessions_.size());
+  for (const auto& [token, session] : sessions_) {
+    (void)token;
+    SessionInfo info;
+    info.agent_local = session->agent_local.load(std::memory_order_relaxed);
+    info.sends = session->sends.load(std::memory_order_relaxed);
+    info.deliveries = session->deliveries.load(std::memory_order_relaxed);
+    {
+      std::lock_guard out_lock(session->out_mutex);
+      info.outbox_bytes = session->out_bytes;
+    }
+    out.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace cmom::mom

@@ -1,0 +1,153 @@
+// Client gateway: many lightweight client sessions fanning into one
+// agent server over a single multiplexed causal link.
+//
+// The paper's scalability story (Sections 6-7) counts causal
+// participants -- every server in a domain pays matrix-clock and
+// hold-back cost for every other member.  Millions of end users can
+// therefore never be first-class servers; they attach here instead.  A
+// GatewayServer owns a listen socket on the shared epoll reactor and a
+// table of client sessions; each session authenticates to one
+// server-local agent id whose agent is a stateless proxy that relays
+// bus deliveries back out over the client's connection.  The domain
+// topology sees exactly one causal participant (the gateway's
+// AgentServer); clients cost one epoll registration, one session-table
+// entry and one proxy agent each.
+//
+// Client wire protocol (loopback/LAN, host byte order like the server
+// frames): [u32 length][u8 type][body], length = 1 + body size.
+//   kHello      c->g  u32 agent_local        claim a session agent id
+//   kWelcome    g->c  u32 agent_local        bind confirmed
+//   kAuthReject g->c  u8 reason              then the gateway closes
+//   kClientSend c->g  u16 dest_server, u32 dest_local,
+//                     u16 subject_len, subject, payload
+//   kDeliver    g->c  u16 src_server, u32 src_local,
+//                     u16 subject_len, subject, payload
+//   kSendReject g->c  u8 reason              bus refused the send
+//
+// Threading: session sockets are distributed over the reactor shards
+// (PickShard per accept), so unlike a server endpoint the gateway
+// genuinely runs its client I/O in parallel.  Bus deliveries arrive on
+// engine threads (ProxyAgent::React) and are queued onto the session's
+// outbound buffer; the owning shard flushes with vectored writes.
+//
+// Lifecycle: construct against a not-yet-booted AgentServer, call
+// AttachSessionAgents() BEFORE server.Boot() (agents must be attached
+// pre-boot), Start() after it.  Stop() -- or the destructor -- blocks
+// until no session callback can run again.  The gateway must not be
+// destroyed while the server can still run reactions (Shutdown/Halt
+// the server first, or Stop() the gateway: after Stop, proxy
+// deliveries are dropped and counted, never dereferenced).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "mom/agent_server.h"
+#include "net/reactor.h"
+
+namespace cmom::mom {
+
+struct GatewayOptions {
+  // Port of the gateway's client listen socket.
+  std::uint16_t listen_port = 0;
+  // Session agents occupy server-local ids
+  // [first_session_agent, first_session_agent + attached count).
+  std::uint32_t first_session_agent = 1;
+  // Bytes buffered toward one client before deliveries are dropped
+  // (the client is slow; bus-level retransmission does NOT cover the
+  // client hop, so the drop is counted and visible).
+  std::size_t session_outbox_max_bytes = 1ull << 20;
+  // listen(2) backlog; connection storms (bench ramps, churn tests)
+  // need more than the kernel default.
+  int listen_backlog = 512;
+  bool tcp_nodelay = true;
+  int so_rcvbuf = 0;
+  int so_sndbuf = 0;
+};
+
+struct GatewayStats {
+  std::uint64_t sessions_accepted = 0;
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t sessions_active = 0;  // gauge
+  std::uint64_t auth_failures = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t client_sends = 0;        // accepted into the bus
+  std::uint64_t client_send_rejects = 0; // bus refused (overload, fence)
+  std::uint64_t client_deliveries = 0;   // queued toward a client
+  std::uint64_t delivery_drops = 0;      // session outbox overflow/unbound
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+class GatewayServer {
+ public:
+  // `server` must outlive the gateway; `reactor` is typically
+  // TcpNetwork::reactor() so the whole process keeps one I/O pool.
+  GatewayServer(AgentServer& server, GatewayOptions options,
+                std::shared_ptr<net::Reactor> reactor);
+  ~GatewayServer();
+
+  GatewayServer(const GatewayServer&) = delete;
+  GatewayServer& operator=(const GatewayServer&) = delete;
+
+  // Attaches `count` stateless proxy agents under local ids
+  // [first_session_agent, first_session_agent + count).  Must run
+  // before server.Boot(); may be called once.
+  void AttachSessionAgents(std::size_t count);
+
+  // Binds and starts accepting clients.  Call after server.Boot().
+  [[nodiscard]] Status Start();
+
+  // Closes every session and the listener; blocks until no gateway
+  // callback can run again.  Idempotent.
+  void Stop();
+
+  [[nodiscard]] GatewayStats stats() const;
+
+  // Per-session snapshot for momtool / tests.
+  struct SessionInfo {
+    std::uint32_t agent_local = 0;  // 0 = not yet authenticated
+    std::uint64_t sends = 0;
+    std::uint64_t deliveries = 0;
+    std::size_t outbox_bytes = 0;
+  };
+  [[nodiscard]] std::vector<SessionInfo> sessions() const;
+
+ private:
+  class ProxyAgent;
+  struct Session;
+
+  void Accept();
+  void OnSessionEvent(const std::shared_ptr<Session>& session,
+                      std::uint32_t events);
+  void ParseSession(const std::shared_ptr<Session>& session);
+  // Handles one complete client frame; returns false on a protocol
+  // violation (the caller closes the session).
+  bool HandleClientFrame(const std::shared_ptr<Session>& session,
+                         const std::uint8_t* body, std::size_t size);
+  void QueueToClient(const std::shared_ptr<Session>& session, Bytes frame);
+  void FlushSession(const std::shared_ptr<Session>& session);
+  void CloseSession(const std::shared_ptr<Session>& session);
+  // ProxyAgent -> session relay (engine thread).
+  void OnBusDelivery(std::uint32_t agent_local, const Message& message);
+
+  AgentServer& server_;
+  const GatewayOptions options_;
+  const std::shared_ptr<net::Reactor> reactor_;
+
+  mutable std::mutex mutex_;
+  bool started_ = false;
+  bool stopping_ = false;
+  std::size_t attached_ = 0;
+  net::ScopedFd listen_fd_;
+  std::uint64_t listen_token_ = 0;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::unordered_map<std::uint32_t, std::shared_ptr<Session>> bindings_;
+  GatewayStats stats_;
+};
+
+}  // namespace cmom::mom

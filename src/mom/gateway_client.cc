@@ -1,0 +1,550 @@
+#include "mom/gateway_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <utility>
+
+#include "common/buffer_pool.h"
+#include "mom/gateway_wire.h"
+
+namespace cmom::mom {
+
+using namespace gwire;  // NOLINT: frame types + byte helpers
+
+namespace {
+constexpr std::size_t kMaxIovPerFlush = 64;
+}  // namespace
+
+// Handshake state machine: kIdle -> kConnecting -> kHelloSent ->
+// kBound, with kFailed/kClosed terminal.  `state` is guarded by the
+// pool mutex; rx is shard-thread-only; the out queue is shared under
+// out_mutex (same discipline as the server side, and the same lock
+// order rule: pool mutex and out_mutex are never held together).
+struct GatewayClientPool::Session {
+  enum State : std::uint8_t {
+    kIdle,
+    kConnecting,
+    kHelloSent,
+    kBound,
+    kFailed,
+    kClosed,
+  };
+
+  std::size_t index = 0;
+  std::size_t shard = 0;
+  net::ScopedFd fd;
+  std::uint64_t token = 0;
+  State state = kIdle;
+  Bytes rx;  // shard thread only
+
+  std::mutex out_mutex;
+  std::deque<Bytes> out;
+  std::size_t out_offset = 0;
+  std::size_t out_bytes = 0;
+  bool flush_pending = false;
+  bool closed = false;
+};
+
+GatewayClientPool::GatewayClientPool(GatewayClientOptions options)
+    : options_(options),
+      reactor_(std::make_shared<net::Reactor>(
+          options.reactor_threads == 0 ? 1 : options.reactor_threads)) {
+  sessions_.reserve(options_.sessions);
+  for (std::size_t i = 0; i < options_.sessions; ++i) {
+    auto session = std::make_shared<Session>();
+    session->index = i;
+    sessions_.push_back(std::move(session));
+  }
+}
+
+GatewayClientPool::~GatewayClientPool() { Stop(); }
+
+void GatewayClientPool::Start() {
+  std::vector<std::shared_ptr<Session>> first;
+  {
+    std::lock_guard lock(mutex_);
+    if (started_) return;
+    started_ = true;
+    while (next_start_ < sessions_.size() &&
+           next_start_ < options_.connect_batch) {
+      first.push_back(sessions_[next_start_++]);
+    }
+  }
+  for (auto& session : first) StartConnect(session);
+}
+
+void GatewayClientPool::MaybeStartNext() {
+  std::shared_ptr<Session> next;
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_ || next_start_ >= sessions_.size()) return;
+    next = sessions_[next_start_++];
+  }
+  StartConnect(next);
+}
+
+void GatewayClientPool::StartConnect(const std::shared_ptr<Session>& session) {
+  net::ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  bool failed = !fd.valid();
+  if (!failed) {
+    net::SetNonBlocking(fd.get());
+    if (options_.tcp_nodelay) {
+      int one = 1;
+      ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    if (options_.so_rcvbuf > 0) {
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &options_.so_rcvbuf,
+                   sizeof(options_.so_rcvbuf));
+    }
+    if (options_.so_sndbuf > 0) {
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
+                   sizeof(options_.so_sndbuf));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options_.port);
+    const int rc =
+        ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    failed = rc != 0 && errno != EINPROGRESS;
+  }
+  if (failed) {
+    {
+      std::lock_guard lock(mutex_);
+      session->state = Session::kFailed;
+      ++stats_.connect_failures;
+    }
+    bound_cv_.notify_all();
+    MaybeStartNext();
+    return;
+  }
+  const std::size_t shard = reactor_->PickShard();
+  std::uint64_t token = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;
+    session->fd = std::move(fd);
+    session->shard = shard;
+    session->state = Session::kConnecting;
+    {
+      std::lock_guard out_lock(session->out_mutex);
+      session->closed = false;
+      session->rx.clear();
+    }
+  }
+  token = reactor_->Register(
+      shard, session->fd.get(), [this, session](std::uint32_t events) {
+        OnSessionEvent(session, events);
+      });
+  if (token == 0) {
+    std::lock_guard lock(mutex_);
+    session->state = Session::kFailed;
+    session->fd.Close();
+    ++stats_.connect_failures;
+    bound_cv_.notify_all();
+    return;
+  }
+  bool undo = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_ || session->state == Session::kFailed ||
+        session->state == Session::kClosed) {
+      // Raced Stop() or an instant failure event that fired before the
+      // token landed; undo here (never under mutex_ -- Deregister
+      // blocks on the shard, whose callbacks take mutex_).
+      undo = true;
+    } else {
+      session->token = token;
+    }
+  }
+  if (undo) {
+    reactor_->Deregister(token);
+    session->fd.Close();
+  }
+}
+
+void GatewayClientPool::OnSessionEvent(const std::shared_ptr<Session>& session,
+                                       std::uint32_t events) {
+  // Connect completion first: EPOLLOUT (or an error) on a connecting
+  // socket resolves the dial before any traffic concerns apply.
+  {
+    std::unique_lock lock(mutex_);
+    if (session->state == Session::kConnecting) {
+      int err = 0;
+      socklen_t err_len = sizeof(err);
+      ::getsockopt(session->fd.get(), SOL_SOCKET, SO_ERROR, &err, &err_len);
+      if ((events & (EPOLLERR | EPOLLHUP)) != 0 || err != 0) {
+        ++stats_.connect_failures;
+        lock.unlock();
+        CloseSession(session, /*failed=*/true);
+        MaybeStartNext();
+        return;
+      }
+      if ((events & EPOLLOUT) == 0) return;  // still dialing
+      session->state = Session::kHelloSent;
+      lock.unlock();
+      Bytes hello = BeginFrame(kHello, 4);
+      AppendU32(hello, options_.first_agent +
+                           static_cast<std::uint32_t>(session->index));
+      FinishFrame(hello);
+      QueueFrame(session, std::move(hello));
+      return;
+    }
+  }
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    CloseSession(session, /*failed=*/false);
+    return;
+  }
+  if ((events & (EPOLLIN | EPOLLRDHUP)) != 0) {
+    std::uint64_t received = 0;
+    bool peer_closed = false;
+    while (true) {
+      std::uint8_t chunk[16 * 1024];
+      const ssize_t n =
+          ::recv(session->fd.get(), chunk, sizeof(chunk), MSG_DONTWAIT);
+      if (n > 0) {
+        session->rx.insert(session->rx.end(), chunk, chunk + n);
+        received += static_cast<std::uint64_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      peer_closed = true;
+      break;
+    }
+    if (received > 0) {
+      {
+        std::lock_guard lock(mutex_);
+        stats_.bytes_in += received;
+      }
+      ParseSession(session);
+    }
+    if (peer_closed) {
+      CloseSession(session, /*failed=*/false);
+      return;
+    }
+  }
+  if ((events & EPOLLOUT) != 0) FlushSession(session);
+}
+
+void GatewayClientPool::ParseSession(const std::shared_ptr<Session>& session) {
+  Bytes& rx = session->rx;
+  std::size_t offset = 0;
+  bool violation = false;
+  while (rx.size() - offset >= kFrameHeader) {
+    const std::uint32_t length = ReadU32(rx.data() + offset);
+    if (length < 1 || length > kMaxClientFrame) {
+      violation = true;
+      break;
+    }
+    if (rx.size() - offset - 4 < length) break;
+    if (!HandleFrame(session, rx.data() + offset + 4, length)) {
+      violation = true;
+      break;
+    }
+    offset += 4 + length;
+  }
+  rx.erase(rx.begin(), rx.begin() + static_cast<std::ptrdiff_t>(offset));
+  if (violation) {
+    {
+      std::lock_guard lock(mutex_);
+      ++stats_.protocol_errors;
+    }
+    CloseSession(session, /*failed=*/true);
+  }
+}
+
+bool GatewayClientPool::HandleFrame(const std::shared_ptr<Session>& session,
+                                    const std::uint8_t* frame,
+                                    std::size_t size) {
+  const std::uint8_t type = frame[0];
+  const std::uint8_t* body = frame + 1;
+  const std::size_t body_size = size - 1;
+  switch (type) {
+    case kWelcome: {
+      if (body_size != 4) return false;
+      {
+        std::lock_guard lock(mutex_);
+        if (session->state == Session::kHelloSent) {
+          session->state = Session::kBound;
+          ++stats_.bound;
+        }
+      }
+      bound_cv_.notify_all();
+      MaybeStartNext();
+      return true;
+    }
+    case kAuthReject: {
+      {
+        std::lock_guard lock(mutex_);
+        ++stats_.auth_rejects;
+      }
+      bound_cv_.notify_all();
+      CloseSession(session, /*failed=*/true);
+      MaybeStartNext();
+      return true;  // close already handled
+    }
+    case kSendReject: {
+      std::lock_guard lock(mutex_);
+      ++stats_.send_rejects;
+      return true;
+    }
+    case kDeliver: {
+      if (body_size < 8) return false;
+      const std::uint16_t src_server = ReadU16(body);
+      const std::uint32_t src_local = ReadU32(body + 2);
+      const std::uint16_t subject_len = ReadU16(body + 6);
+      if (body_size < 8ull + subject_len) return false;
+      {
+        std::lock_guard lock(mutex_);
+        ++stats_.deliveries;
+      }
+      if (on_delivery_) {
+        on_delivery_(session->index, src_server, src_local,
+                     std::string_view(
+                         reinterpret_cast<const char*>(body + 8), subject_len),
+                     body + 8 + subject_len, body_size - 8 - subject_len);
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool GatewayClientPool::Send(std::size_t session_index,
+                             std::uint16_t dest_server,
+                             std::uint32_t dest_local, std::string_view subject,
+                             const void* payload, std::size_t payload_size) {
+  if (session_index >= sessions_.size()) return false;
+  const std::shared_ptr<Session>& session = sessions_[session_index];
+  {
+    std::lock_guard lock(mutex_);
+    if (session->state != Session::kBound) return false;
+  }
+  Bytes frame = BeginFrame(kClientSend, 8 + subject.size() + payload_size);
+  AppendU16(frame, dest_server);
+  AppendU32(frame, dest_local);
+  AppendU16(frame, static_cast<std::uint16_t>(subject.size()));
+  const std::size_t at = frame.size();
+  frame.resize(at + subject.size() + payload_size);
+  std::memcpy(frame.data() + at, subject.data(), subject.size());
+  if (payload_size > 0) {
+    std::memcpy(frame.data() + at + subject.size(), payload, payload_size);
+  }
+  FinishFrame(frame);
+  bool kick = false;
+  {
+    std::lock_guard out_lock(session->out_mutex);
+    if (session->closed ||
+        session->out_bytes + frame.size() > options_.session_outbox_max_bytes) {
+      BufferPool::Release(std::move(frame));
+      return false;
+    }
+    session->out_bytes += frame.size();
+    session->out.push_back(std::move(frame));
+    if (!session->flush_pending) {
+      session->flush_pending = true;
+      kick = true;
+    }
+  }
+  if (kick) {
+    reactor_->Post(session->shard,
+                   [this, session] { FlushSession(session); });
+  }
+  return true;
+}
+
+void GatewayClientPool::QueueFrame(const std::shared_ptr<Session>& session,
+                                   Bytes frame) {
+  bool kick = false;
+  {
+    std::lock_guard out_lock(session->out_mutex);
+    if (session->closed) {
+      BufferPool::Release(std::move(frame));
+      return;
+    }
+    session->out_bytes += frame.size();
+    session->out.push_back(std::move(frame));
+    if (!session->flush_pending) {
+      session->flush_pending = true;
+      kick = true;
+    }
+  }
+  if (kick) {
+    reactor_->Post(session->shard,
+                   [this, session] { FlushSession(session); });
+  }
+}
+
+void GatewayClientPool::FlushSession(const std::shared_ptr<Session>& session) {
+  std::uint64_t written_total = 0;
+  bool close = false;
+  {
+    std::lock_guard out_lock(session->out_mutex);
+    session->flush_pending = false;
+    if (session->closed) return;
+    while (!session->out.empty()) {
+      std::array<iovec, kMaxIovPerFlush> iov;
+      std::size_t iov_count = 0;
+      for (auto it = session->out.begin();
+           it != session->out.end() && iov_count < kMaxIovPerFlush; ++it) {
+        const std::size_t skip = iov_count == 0 ? session->out_offset : 0;
+        iov[iov_count].iov_base = it->data() + skip;
+        iov[iov_count].iov_len = it->size() - skip;
+        ++iov_count;
+      }
+      msghdr msg{};
+      msg.msg_iov = iov.data();
+      msg.msg_iovlen = iov_count;
+      const ssize_t n = ::sendmsg(session->fd.get(), &msg, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        close = true;
+        break;
+      }
+      written_total += static_cast<std::uint64_t>(n);
+      std::size_t written = static_cast<std::size_t>(n);
+      while (written > 0 && !session->out.empty()) {
+        Bytes& front = session->out.front();
+        const std::size_t remaining = front.size() - session->out_offset;
+        if (written < remaining) {
+          session->out_offset += written;
+          written = 0;
+          break;
+        }
+        written -= remaining;
+        session->out_bytes -= front.size();
+        session->out_offset = 0;
+        BufferPool::Release(std::move(front));
+        session->out.pop_front();
+      }
+    }
+  }
+  if (written_total > 0) {
+    std::lock_guard lock(mutex_);
+    stats_.bytes_out += written_total;
+  }
+  if (close) CloseSession(session, /*failed=*/false);
+}
+
+void GatewayClientPool::CloseSession(const std::shared_ptr<Session>& session,
+                                     bool failed) {
+  {
+    std::lock_guard out_lock(session->out_mutex);
+    if (session->closed) return;
+    session->closed = true;
+    session->out.clear();
+    session->out_bytes = 0;
+    session->out_offset = 0;
+  }
+  std::uint64_t token = 0;
+  {
+    std::lock_guard lock(mutex_);
+    token = std::exchange(session->token, 0);
+    if (session->state == Session::kBound) --stats_.bound;
+    session->state = failed ? Session::kFailed : Session::kClosed;
+  }
+  if (token != 0) {
+    reactor_->Deregister(token);
+    session->fd.Close();
+  }
+  // token == 0 with an open fd: StartConnect is still in flight (the
+  // registration fired before the token landed).  Its undo path owns
+  // the deregistration and fd close -- closing here would free the fd
+  // number for reuse while the registration still points at it.
+  bound_cv_.notify_all();
+}
+
+void GatewayClientPool::Close(std::size_t session_index) {
+  if (session_index >= sessions_.size()) return;
+  CloseSession(sessions_[session_index], /*failed=*/false);
+}
+
+void GatewayClientPool::Reconnect(std::size_t session_index) {
+  if (session_index >= sessions_.size()) return;
+  const std::shared_ptr<Session>& session = sessions_[session_index];
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_ || session->token != 0) return;  // still open
+    session->state = Session::kIdle;
+  }
+  StartConnect(session);
+}
+
+bool GatewayClientPool::WaitAllBound(std::uint64_t timeout_ns) {
+  std::unique_lock lock(mutex_);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout_ns);
+  return bound_cv_.wait_until(lock, deadline, [&] {
+    return stats_.bound == sessions_.size() || stats_.connect_failures > 0 ||
+           stats_.auth_rejects > 0;
+  }) && stats_.bound == sessions_.size();
+}
+
+void GatewayClientPool::Stop() {
+  std::vector<std::shared_ptr<Session>> open;
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    open = sessions_;
+  }
+  for (auto& session : open) {
+    std::uint64_t token = 0;
+    {
+      std::lock_guard out_lock(session->out_mutex);
+      session->closed = true;
+      session->out.clear();
+      session->out_bytes = 0;
+    }
+    {
+      std::lock_guard lock(mutex_);
+      token = std::exchange(session->token, 0);
+      if (session->state == Session::kBound) --stats_.bound;
+      session->state = Session::kClosed;
+    }
+    if (token != 0) {
+      reactor_->Deregister(token);
+      session->fd.Close();
+    }
+    // token == 0 with an open fd: a StartConnect is mid-flight; its
+    // undo path (which observes stopping_) deregisters and closes.
+  }
+  // Drain barrier: posted flush tasks may still reference the pool.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t pending = 0;
+  for (std::size_t shard = 0; shard < reactor_->shard_count(); ++shard) {
+    std::unique_lock lock(done_mutex);
+    ++pending;
+    const bool posted = reactor_->Post(shard, [&] {
+      std::lock_guard inner(done_mutex);
+      --pending;
+      done_cv.notify_one();
+    });
+    if (!posted) --pending;
+  }
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return pending == 0; });
+}
+
+GatewayClientStats GatewayClientPool::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace cmom::mom

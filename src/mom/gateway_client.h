@@ -1,0 +1,126 @@
+// In-process pool of gateway clients: N lightweight sessions speaking
+// the gateway wire protocol over their own epoll reactor.
+//
+// This is the load-generation half of the gateway tier: the net_scale
+// bench forks a child process that drives >=10k sessions through one
+// GatewayClientPool, and the churn/fault tests reuse it for smaller
+// counts.  Connections ramp in paced batches (connect_batch at a time)
+// so a 10k ramp doesn't overrun the gateway's listen backlog with one
+// giant SYN burst; each session performs the kHello/kWelcome handshake
+// as soon as its connect completes, and the next batch entry launches
+// whenever a session reaches a terminal handshake state.
+//
+// Threading: Send() is safe from any thread (frames queue onto the
+// session's outbound buffer; the owning reactor shard flushes with the
+// same partial-write continuation as the server side).  The delivery
+// handler runs on reactor shard threads -- keep it cheap and do not
+// call back into the pool from it except Send().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "net/reactor.h"
+
+namespace cmom::mom {
+
+struct GatewayClientOptions {
+  std::uint16_t port = 0;       // gateway listen port (loopback)
+  std::size_t sessions = 1;     // pool size
+  std::uint32_t first_agent = 1;  // session i binds first_agent + i
+  std::size_t reactor_threads = 2;
+  std::size_t connect_batch = 256;  // concurrent connects in the ramp
+  std::size_t session_outbox_max_bytes = 1ull << 20;
+  bool tcp_nodelay = true;
+  int so_rcvbuf = 0;
+  int so_sndbuf = 0;
+};
+
+struct GatewayClientStats {
+  std::uint64_t bound = 0;  // gauge: sessions currently bound
+  std::uint64_t connect_failures = 0;
+  std::uint64_t auth_rejects = 0;
+  std::uint64_t send_rejects = 0;   // kSendReject frames received
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+class GatewayClientPool {
+ public:
+  // session, src_server, src_local, subject, payload, payload_size.
+  // Runs on a reactor shard thread; the payload pointer is only valid
+  // for the duration of the call.
+  using DeliveryFn =
+      std::function<void(std::size_t, std::uint16_t, std::uint32_t,
+                         std::string_view, const std::uint8_t*, std::size_t)>;
+
+  explicit GatewayClientPool(GatewayClientOptions options);
+  ~GatewayClientPool();
+
+  GatewayClientPool(const GatewayClientPool&) = delete;
+  GatewayClientPool& operator=(const GatewayClientPool&) = delete;
+
+  // Must be set before Start() if deliveries matter.
+  void set_delivery_handler(DeliveryFn fn) { on_delivery_ = std::move(fn); }
+
+  // Begins the paced connect ramp.
+  void Start();
+
+  // Blocks until every session is bound, a session fails terminally,
+  // or the timeout passes.  True iff all sessions are bound.
+  [[nodiscard]] bool WaitAllBound(std::uint64_t timeout_ns);
+
+  // Queues one kClientSend on `session`.  False if the session is not
+  // bound or its outbound buffer is full (nothing queued).
+  bool Send(std::size_t session, std::uint16_t dest_server,
+            std::uint32_t dest_local, std::string_view subject,
+            const void* payload, std::size_t payload_size);
+
+  // Closes one session's connection (churn).  Reconnect(i) dials and
+  // re-authenticates it; the gateway frees the binding only when it
+  // observes the close, so callers should expect a short window where
+  // the rebind is rejected and retry.
+  void Close(std::size_t session);
+  void Reconnect(std::size_t session);
+
+  // Closes everything; blocks until no pool callback can run again.
+  void Stop();
+
+  [[nodiscard]] GatewayClientStats stats() const;
+
+ private:
+  struct Session;
+
+  void StartConnect(const std::shared_ptr<Session>& session);
+  void MaybeStartNext();
+  void OnSessionEvent(const std::shared_ptr<Session>& session,
+                      std::uint32_t events);
+  void ParseSession(const std::shared_ptr<Session>& session);
+  bool HandleFrame(const std::shared_ptr<Session>& session,
+                   const std::uint8_t* frame, std::size_t size);
+  void QueueFrame(const std::shared_ptr<Session>& session, Bytes frame);
+  void FlushSession(const std::shared_ptr<Session>& session);
+  void CloseSession(const std::shared_ptr<Session>& session, bool failed);
+
+  const GatewayClientOptions options_;
+  std::shared_ptr<net::Reactor> reactor_;
+  DeliveryFn on_delivery_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable bound_cv_;
+  bool started_ = false;
+  bool stopping_ = false;
+  std::size_t next_start_ = 0;  // ramp cursor
+  std::vector<std::shared_ptr<Session>> sessions_;
+  GatewayClientStats stats_;
+};
+
+}  // namespace cmom::mom

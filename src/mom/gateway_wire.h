@@ -1,0 +1,77 @@
+// Shared constants and byte helpers for the gateway client protocol
+// ([u32 length][u8 type][body], see gateway.h for the frame catalog).
+// Used by the gateway server, the in-process client pool, and tests;
+// kept header-only so the bench's forked client driver can build
+// frames without linking the server side.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/buffer_pool.h"
+#include "common/bytes.h"
+
+namespace cmom::mom::gwire {
+
+enum ClientFrame : std::uint8_t {
+  kHello = 1,       // c->g  u32 agent_local
+  kWelcome = 2,     // g->c  u32 agent_local
+  kAuthReject = 3,  // g->c  u8 reason, then close
+  kClientSend = 4,  // c->g  u16 dest_server, u32 dest_local,
+                    //       u16 subject_len, subject, payload
+  kDeliver = 5,     // g->c  u16 src_server, u32 src_local,
+                    //       u16 subject_len, subject, payload
+  kSendReject = 6,  // g->c  u8 reason
+};
+
+enum RejectReason : std::uint8_t {
+  kBadAgentId = 1,
+  kAlreadyBound = 2,
+  kNotBound = 3,
+  kBusRefused = 4,
+};
+
+constexpr std::size_t kFrameHeader = 5;  // u32 length + u8 type
+constexpr std::size_t kMaxClientFrame = 4ull * 1024 * 1024;
+
+inline void AppendU8(Bytes& out, std::uint8_t value) { out.push_back(value); }
+
+inline void AppendU16(Bytes& out, std::uint16_t value) {
+  const std::size_t at = out.size();
+  out.resize(at + 2);
+  std::memcpy(out.data() + at, &value, 2);
+}
+
+inline void AppendU32(Bytes& out, std::uint32_t value) {
+  const std::size_t at = out.size();
+  out.resize(at + 4);
+  std::memcpy(out.data() + at, &value, 4);
+}
+
+inline std::uint16_t ReadU16(const std::uint8_t* at) {
+  std::uint16_t value = 0;
+  std::memcpy(&value, at, 2);
+  return value;
+}
+
+inline std::uint32_t ReadU32(const std::uint8_t* at) {
+  std::uint32_t value = 0;
+  std::memcpy(&value, at, 4);
+  return value;
+}
+
+// Starts a client frame in a pooled buffer; FinishFrame patches the
+// length once the body is complete.
+inline Bytes BeginFrame(std::uint8_t type, std::size_t body_hint) {
+  Bytes frame = BufferPool::Acquire(kFrameHeader + body_hint);
+  AppendU32(frame, 0);
+  AppendU8(frame, type);
+  return frame;
+}
+
+inline void FinishFrame(Bytes& frame) {
+  const std::uint32_t length = static_cast<std::uint32_t>(frame.size() - 4);
+  std::memcpy(frame.data(), &length, 4);
+}
+
+}  // namespace cmom::mom::gwire

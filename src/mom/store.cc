@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/buffer_pool.h"
+
 namespace cmom::mom {
 
 void InMemoryStore::Put(std::string_view key, Bytes value) {
@@ -48,9 +50,20 @@ Status InMemoryStore::Commit() {
     bytes += op.key.size();
     if (op.value.has_value()) {
       bytes += op.value->size();
-      committed_[op.key] = std::move(*op.value);
+      // Recycle the replaced image: every reaction overwrites its
+      // agent's state entry, and Get() hands out copies, so the old
+      // buffer has no other owner -- without this the commit stage
+      // frees one buffer per reaction while the feeder side allocates
+      // one, and the pool can never close the loop.
+      auto [it, inserted] = committed_.try_emplace(std::move(op.key));
+      if (!inserted) BufferPool::Release(std::move(it->second));
+      it->second = std::move(*op.value);
     } else {
-      committed_.erase(op.key);
+      auto it = committed_.find(op.key);
+      if (it != committed_.end()) {
+        BufferPool::Release(std::move(it->second));
+        committed_.erase(it);
+      }
     }
   }
   staged_.clear();

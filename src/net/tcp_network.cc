@@ -1,21 +1,25 @@
 #include "net/tcp_network.h"
 
 #include <arpa/inet.h>
-#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 
+#include "common/buffer_pool.h"
 #include "common/log.h"
 #include "common/rng.h"
 
@@ -23,11 +27,12 @@ namespace cmom::net {
 
 namespace {
 
-constexpr std::uint64_t kIdlePollNs = 100ull * 1000 * 1000;  // 100 ms
+// Frame header on the wire: [u32 length][u16 sender]; length counts the
+// sender id plus the payload.
+constexpr std::size_t kHeaderSize = 6;
 
-// Retired wire buffers kept per peer for reuse by later Sends.  Bounds
-// the idle-memory cost of the pool while still covering a flush burst.
-constexpr std::size_t kSpareWireBuffers = 8;
+// Frames gathered into one sendmsg() round.
+constexpr std::size_t kMaxFramesPerWrite = 64;
 
 std::uint64_t NowNs() {
   return static_cast<std::uint64_t>(
@@ -36,530 +41,657 @@ std::uint64_t NowNs() {
           .count());
 }
 
-// RAII file descriptor.
-class Fd {
- public:
-  Fd() = default;
-  explicit Fd(int fd) : fd_(fd) {}
-  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
-  Fd& operator=(Fd&& other) noexcept {
-    if (this != &other) {
-      Close();
-      fd_ = std::exchange(other.fd_, -1);
-    }
-    return *this;
+void ApplySocketOptions(int fd, const TcpNetworkOptions& options) {
+  if (options.tcp_nodelay) {
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   }
-  Fd(const Fd&) = delete;
-  Fd& operator=(const Fd&) = delete;
-  ~Fd() { Close(); }
-
-  [[nodiscard]] int get() const { return fd_; }
-  [[nodiscard]] bool valid() const { return fd_ >= 0; }
-  void Close() {
-    if (fd_ >= 0) {
-      ::close(fd_);
-      fd_ = -1;
-    }
+  if (options.so_rcvbuf > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &options.so_rcvbuf,
+                 sizeof(options.so_rcvbuf));
   }
-
- private:
-  int fd_ = -1;
-};
-
-void SetNonBlocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  if (options.so_sndbuf > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options.so_sndbuf,
+                 sizeof(options.so_sndbuf));
+  }
 }
 
 }  // namespace
 
 class TcpEndpoint final : public Endpoint {
  public:
-  TcpEndpoint(ServerId self, std::uint16_t base_port,
-              TcpNetworkOptions options)
-      : self_(self),
-        base_port_(base_port),
-        options_(options),
-        jitter_rng_(options.jitter_seed * 0x9E3779B9ull + self.value()) {}
+  TcpEndpoint(ServerId self, std::uint16_t base_port, TcpNetworkOptions options,
+              std::shared_ptr<Reactor> reactor)
+      : state_(std::make_shared<State>(self, base_port, options,
+                                       std::move(reactor))) {}
 
-  ~TcpEndpoint() override {
-    {
-      std::lock_guard lock(mutex_);
-      stopping_ = true;
-    }
-    Wake();
-    if (io_thread_.joinable()) io_thread_.join();
-  }
+  ~TcpEndpoint() override { state_->Stop(); }
 
-  Status Start() {
-    listen_fd_ = Fd(::socket(AF_INET, SOCK_STREAM, 0));
-    if (!listen_fd_.valid()) {
-      return Status::Unavailable(std::string("socket: ") +
-                                 std::strerror(errno));
-    }
-    int one = 1;
-    ::setsockopt(listen_fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one,
-                 sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port =
-        htons(static_cast<std::uint16_t>(base_port_ + self_.value()));
-    if (::bind(listen_fd_.get(), reinterpret_cast<sockaddr*>(&addr),
-               sizeof(addr)) != 0) {
-      return Status::Unavailable(std::string("bind: ") + std::strerror(errno));
-    }
-    if (::listen(listen_fd_.get(), 64) != 0) {
-      return Status::Unavailable(std::string("listen: ") +
-                                 std::strerror(errno));
-    }
-    SetNonBlocking(listen_fd_.get());
-    int pipe_fds[2];
-    if (::pipe(pipe_fds) != 0) {
-      return Status::Unavailable(std::string("pipe: ") + std::strerror(errno));
-    }
-    wake_read_ = Fd(pipe_fds[0]);
-    wake_write_ = Fd(pipe_fds[1]);
-    SetNonBlocking(wake_read_.get());
-    io_thread_ = std::thread([this] { IoLoop(); });
-    return Status::Ok();
-  }
+  Status Start() { return state_->Start(); }
 
-  [[nodiscard]] ServerId self() const override { return self_; }
+  [[nodiscard]] ServerId self() const override { return state_->self; }
 
-  // Frames and enqueues; all socket I/O happens on the I/O thread so
-  // partial writes can never interleave.
   Status Send(ServerId to, Bytes frame) override {
-    // [u32 length][u16 sender][payload]
-    const std::size_t wire_size = 6 + frame.size();
-    {
-      std::lock_guard lock(mutex_);
-      if (stopping_) return Status::FailedPrecondition("endpoint stopped");
-      Peer& peer = PeerFor(to);
-      if (peer.outbox.size() >= options_.outbox_max_frames ||
-          peer.outbox_bytes + wire_size > options_.outbox_max_bytes) {
-        // Backpressure, not failure: the peer link is alive but the
-        // caller is producing faster than the wire drains.  Distinct
-        // from kUnavailable (peer gone) so flow control can react by
-        // pausing instead of treating the link as down.
-        ++stats_.frames_dropped;
-        return Status::Overloaded("outbox full for " + to_string(to));
-      }
-      // Frame into a retired wire buffer when one is pooled (its
-      // capacity survives the clear), instead of allocating per send.
-      Bytes wire;
-      if (!peer.spare.empty()) {
-        wire = std::move(peer.spare.back());
-        peer.spare.pop_back();
-      }
-      wire.resize(wire_size);
-      const std::uint32_t length =
-          static_cast<std::uint32_t>(frame.size()) + 2;
-      std::memcpy(wire.data(), &length, 4);
-      const std::uint16_t sender = self_.value();
-      std::memcpy(wire.data() + 4, &sender, 2);
-      if (!frame.empty()) {
-        std::memcpy(wire.data() + 6, frame.data(), frame.size());
-      }
-      if (peer.state != PeerState::kConnected) ++stats_.frames_buffered;
-      peer.outbox_bytes += wire_size;
-      peer.outbox.push_back(std::move(wire));
-    }
-    Wake();
-    return Status::Ok();
+    return state_->Send(to, std::move(frame));
   }
 
   void SetReceiveHandler(ReceiveHandler handler) override {
-    std::unique_lock lock(mutex_);
-    handler_ = std::move(handler);
-    // Swap barrier (see Endpoint): reader threads invoke a copy of the
-    // old handler unlocked; wait those dispatches out so the caller
-    // can safely destroy what the old handler captured.
-    handler_idle_.wait(lock, [&] { return dispatching_ == 0; });
+    state_->SetReceiveHandler(std::move(handler));
   }
 
-  void Disconnect(ServerId to) override {
-    {
-      std::lock_guard lock(mutex_);
-      auto it = peers_.find(to);
-      if (it == peers_.end() ||
-          it->second->state == PeerState::kDisconnected) {
-        return;  // nothing live to sever
-      }
-      it->second->kill = true;
-      ++stats_.forced_disconnects;
-    }
-    Wake();
-  }
+  void Disconnect(ServerId to) override { state_->Disconnect(to); }
 
   [[nodiscard]] TransportStats stats() const override {
-    std::lock_guard lock(mutex_);
-    TransportStats out = stats_;
-    for (const auto& [id, peer] : peers_) {
-      (void)id;
-      out.outbox_frames += peer->outbox.size();
-      out.outbox_bytes += peer->outbox_bytes;
-      if (peer->state == PeerState::kDisconnected) {
-        out.current_backoff_ns =
-            std::max(out.current_backoff_ns, peer->backoff_ns);
-      }
-    }
-    return out;
+    return state_->Stats();
   }
 
  private:
-  enum class PeerState { kDisconnected, kConnecting, kConnected };
+  // All endpoint state lives behind a shared_ptr: reactor tasks and
+  // timers capture it, so a late backoff retry after the endpoint was
+  // destroyed finds `stopping` set instead of freed memory.  Stop()
+  // deregisters (and thereby quiesces) every socket before returning,
+  // so the fds are released deterministically with the endpoint.
+  struct State : std::enable_shared_from_this<State> {
+    // One outbound frame: the 6-byte wire header plus the caller's
+    // encoding, gathered by sendmsg without copying the payload.
+    struct OutFrame {
+      std::array<std::uint8_t, kHeaderSize> header;
+      Bytes body;
+    };
 
-  // Supervised outbound link to one peer.
-  struct Peer {
-    ServerId id;
-    PeerState state = PeerState::kDisconnected;
-    Fd fd;
-    std::deque<Bytes> outbox;       // framed wire bytes, FIFO
-    std::vector<Bytes> spare;       // retired wire buffers for reuse
-    std::size_t front_offset = 0;   // bytes of outbox.front() already sent
-    std::size_t outbox_bytes = 0;
-    std::uint64_t backoff_ns = 0;   // current delay; 0 = no failures yet
-    std::uint64_t retry_at_ns = 0;  // next connect attempt deadline
-    bool ever_connected = false;
-    bool kill = false;              // forced disconnect pending
-  };
+    enum class PeerState { kDisconnected, kConnecting, kConnected };
 
-  struct Connection {
-    Fd fd;
-    Bytes buffer;
-  };
+    // Supervised outbound link to one peer.
+    struct Peer {
+      ServerId id;
+      PeerState state = PeerState::kDisconnected;
+      ScopedFd fd;
+      std::uint64_t token = 0;        // reactor registration
+      std::deque<OutFrame> outbox;    // FIFO
+      std::size_t front_offset = 0;   // wire bytes of front() already sent
+      std::size_t outbox_bytes = 0;   // header+body bytes queued
+      std::uint64_t backoff_ns = 0;   // current delay; 0 = no failures yet
+      std::uint64_t retry_at_ns = 0;  // next connect attempt deadline
+      bool ever_connected = false;
+      bool retry_pending = false;     // backoff timer armed
+      bool flush_pending = false;     // flush task posted
+    };
 
-  Peer& PeerFor(ServerId to) {
-    auto it = peers_.find(to);
-    if (it == peers_.end()) {
-      auto peer = std::make_unique<Peer>();
-      peer->id = to;
-      it = peers_.emplace(to, std::move(peer)).first;
+    // One accepted inbound connection; touched only on the shard
+    // thread, so the parse buffer needs no lock.
+    struct Conn {
+      ScopedFd fd;
+      std::uint64_t token = 0;
+      Bytes buffer;
+    };
+
+    State(ServerId self_id, std::uint16_t port, TcpNetworkOptions opts,
+          std::shared_ptr<Reactor> reactor_ptr)
+        : self(self_id),
+          base_port(port),
+          options(opts),
+          reactor(std::move(reactor_ptr)),
+          jitter_rng(opts.jitter_seed * 0x9E3779B9ull + self_id.value()) {}
+
+    Status Start() {
+      shard = reactor->PickShard();
+      listen_fd = ScopedFd(::socket(AF_INET, SOCK_STREAM, 0));
+      if (!listen_fd.valid()) {
+        return Status::Unavailable(std::string("socket: ") +
+                                   std::strerror(errno));
+      }
+      int one = 1;
+      ::setsockopt(listen_fd.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                   sizeof(one));
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port =
+          htons(static_cast<std::uint16_t>(base_port + self.value()));
+      if (::bind(listen_fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr)) != 0) {
+        return Status::Unavailable(std::string("bind: ") +
+                                   std::strerror(errno));
+      }
+      if (::listen(listen_fd.get(), options.listen_backlog) != 0) {
+        return Status::Unavailable(std::string("listen: ") +
+                                   std::strerror(errno));
+      }
+      SetNonBlocking(listen_fd.get());
+      auto self_ptr = shared_from_this();
+      listen_token =
+          reactor->Register(shard, listen_fd.get(),
+                            [self_ptr](std::uint32_t) { self_ptr->Accept(); });
+      if (listen_token == 0) {
+        return Status::Unavailable("reactor registration failed");
+      }
+      return Status::Ok();
     }
-    return *it->second;
-  }
 
-  void Wake() {
-    if (wake_write_.valid()) {
-      const char byte = 'w';
-      [[maybe_unused]] ssize_t n = ::write(wake_write_.get(), &byte, 1);
+    // Blocks until no socket of this endpoint can dispatch again, then
+    // closes them.  Late timers find `stopping` and return.
+    void Stop() {
+      std::uint64_t listener = 0;
+      std::vector<std::uint64_t> tokens;
+      {
+        std::lock_guard lock(mutex);
+        if (stopping) return;
+        stopping = true;
+        listener = std::exchange(listen_token, 0);
+        for (auto& [id, peer] : peers) {
+          (void)id;
+          tokens.push_back(std::exchange(peer->token, 0));
+        }
+        for (auto& [token, conn] : conns) {
+          (void)conn;
+          tokens.push_back(token);
+        }
+      }
+      if (listener != 0) reactor->Deregister(listener);
+      for (std::uint64_t token : tokens) reactor->Deregister(token);
+      std::lock_guard lock(mutex);
+      listen_fd.Close();
+      for (auto& [id, peer] : peers) {
+        (void)id;
+        peer->fd.Close();
+      }
+      for (auto& [token, conn] : conns) {
+        (void)token;
+        conn->fd.Close();
+      }
+      conns.clear();
     }
-  }
 
-  // Next backoff delay with jitter; grows exponentially up to the cap.
-  std::uint64_t NextBackoff(Peer& peer) {
-    peer.backoff_ns = peer.backoff_ns == 0
-                          ? options_.backoff_initial_ns
-                          : std::min(options_.backoff_max_ns,
-                                     peer.backoff_ns * 2);
-    const double jitter =
-        1.0 + options_.backoff_jitter * (2.0 * jitter_rng_.NextDouble() - 1.0);
-    return static_cast<std::uint64_t>(
-        static_cast<double>(peer.backoff_ns) * std::max(0.0, jitter));
-  }
+    // ---- send path ---------------------------------------------------
 
-  // The connection died (write error, EOF, refused connect or forced
-  // disconnect): keep the outbox, rewind the partially-written front
-  // frame and schedule a supervised reconnect.
-  void MarkDown(Peer& peer, std::uint64_t now, bool connect_failed) {
-    peer.fd.Close();
-    peer.state = PeerState::kDisconnected;
-    if (peer.front_offset > 0) {
-      stats_.bytes_retransmitted += peer.front_offset;
-      peer.front_offset = 0;  // resend the whole frame on the next link
+    Status Send(ServerId to, Bytes frame) {
+      const std::size_t wire_size = kHeaderSize + frame.size();
+      std::size_t target_shard;
+      std::shared_ptr<State> self_ptr;
+      bool kick_flush = false;
+      bool kick_connect = false;
+      std::uint64_t connect_delay_ns = 0;
+      {
+        std::lock_guard lock(mutex);
+        if (stopping) return Status::FailedPrecondition("endpoint stopped");
+        Peer& peer = PeerFor(to);
+        if (peer.outbox.size() >= options.outbox_max_frames ||
+            peer.outbox_bytes + wire_size > options.outbox_max_bytes) {
+          // Backpressure, not failure: the peer link is alive but the
+          // caller is producing faster than the wire drains.  Distinct
+          // from kUnavailable (peer gone) so flow control can react by
+          // pausing instead of treating the link as down.
+          ++stats.frames_dropped;
+          return Status::Overloaded("outbox full for " + to_string(to));
+        }
+        OutFrame out;
+        const std::uint32_t length =
+            static_cast<std::uint32_t>(frame.size()) + 2;
+        std::memcpy(out.header.data(), &length, 4);
+        const std::uint16_t sender = self.value();
+        std::memcpy(out.header.data() + 4, &sender, 2);
+        out.body = std::move(frame);
+        peer.outbox_bytes += wire_size;
+        peer.outbox.push_back(std::move(out));
+        switch (peer.state) {
+          case PeerState::kConnected:
+            if (!peer.flush_pending) {
+              peer.flush_pending = true;
+              kick_flush = true;
+            }
+            break;
+          case PeerState::kConnecting:
+            ++stats.frames_buffered;
+            break;
+          case PeerState::kDisconnected: {
+            ++stats.frames_buffered;
+            if (!peer.retry_pending) {
+              peer.retry_pending = true;
+              kick_connect = true;
+              const std::uint64_t now = NowNs();
+              connect_delay_ns =
+                  peer.retry_at_ns > now ? peer.retry_at_ns - now : 0;
+            }
+            break;
+          }
+        }
+        target_shard = shard;
+        if (kick_flush || kick_connect) self_ptr = shared_from_this();
+      }
+      if (kick_flush) {
+        reactor->Post(target_shard,
+                      [self_ptr, to] { self_ptr->FlushTask(to); });
+      } else if (kick_connect) {
+        reactor->PostDelayed(target_shard, connect_delay_ns,
+                             [self_ptr, to] { self_ptr->RetryTask(to); });
+      }
+      return Status::Ok();
     }
-    if (connect_failed) ++stats_.connect_failures;
-    peer.retry_at_ns = now + NextBackoff(peer);
-  }
 
-  // Begins (or completes) a non-blocking connect.
-  void StartConnect(Peer& peer, std::uint64_t now) {
-    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
-    if (!fd.valid()) {
-      MarkDown(peer, now, /*connect_failed=*/true);
-      return;
+    void FlushTask(ServerId to) {
+      std::lock_guard lock(mutex);
+      auto it = peers.find(to);
+      if (it == peers.end()) return;
+      it->second->flush_pending = false;
+      if (stopping || it->second->state != PeerState::kConnected) return;
+      FlushPeerLocked(*it->second);
     }
-    SetNonBlocking(fd.get());
-    int one = 1;
-    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port =
-        htons(static_cast<std::uint16_t>(base_port_ + peer.id.value()));
-    const int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
-                             sizeof(addr));
-    if (rc == 0) {
+
+    // Backoff retry: reconnect if there is still something to send.
+    void RetryTask(ServerId to) {
+      std::lock_guard lock(mutex);
+      auto it = peers.find(to);
+      if (it == peers.end()) return;
+      Peer& peer = *it->second;
+      peer.retry_pending = false;
+      if (stopping || peer.state != PeerState::kDisconnected ||
+          peer.outbox.empty()) {
+        return;
+      }
+      const std::uint64_t now = NowNs();
+      if (peer.retry_at_ns > now) {
+        ScheduleRetryLocked(peer, peer.retry_at_ns - now);
+        return;
+      }
+      StartConnectLocked(peer);
+    }
+
+    void ScheduleRetryLocked(Peer& peer, std::uint64_t delay_ns) {
+      if (peer.retry_pending) return;
+      peer.retry_pending = true;
+      auto self_ptr = shared_from_this();
+      const ServerId to = peer.id;
+      reactor->PostDelayed(shard, delay_ns,
+                           [self_ptr, to] { self_ptr->RetryTask(to); });
+    }
+
+    // Next backoff delay with jitter; grows exponentially up to the cap.
+    std::uint64_t NextBackoffLocked(Peer& peer) {
+      peer.backoff_ns = peer.backoff_ns == 0
+                            ? options.backoff_initial_ns
+                            : std::min(options.backoff_max_ns,
+                                       peer.backoff_ns * 2);
+      const double jitter =
+          1.0 + options.backoff_jitter * (2.0 * jitter_rng.NextDouble() - 1.0);
+      return static_cast<std::uint64_t>(
+          static_cast<double>(peer.backoff_ns) * std::max(0.0, jitter));
+    }
+
+    // The connection died (write error, EOF, refused connect or forced
+    // disconnect): keep the outbox, rewind the partially-written front
+    // frame and schedule a supervised reconnect.  Shard thread only.
+    void MarkDownLocked(Peer& peer, bool connect_failed) {
+      if (peer.token != 0) reactor->Deregister(std::exchange(peer.token, 0));
+      peer.fd.Close();
+      peer.state = PeerState::kDisconnected;
+      peer.flush_pending = false;
+      if (peer.front_offset > 0) {
+        stats.bytes_retransmitted += peer.front_offset;
+        peer.front_offset = 0;  // resend the whole frame on the next link
+      }
+      if (connect_failed) ++stats.connect_failures;
+      const std::uint64_t delay = NextBackoffLocked(peer);
+      peer.retry_at_ns = NowNs() + delay;
+      if (!peer.outbox.empty()) ScheduleRetryLocked(peer, delay);
+    }
+
+    void MarkUpLocked(Peer& peer) {
+      peer.state = PeerState::kConnected;
+      ++stats.connects;
+      if (peer.ever_connected) ++stats.reconnects;
+      peer.ever_connected = true;
+      peer.backoff_ns = 0;
+    }
+
+    // Begins (or completes) a non-blocking connect.  Shard thread only.
+    void StartConnectLocked(Peer& peer) {
+      ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+      if (!fd.valid()) {
+        MarkDownLocked(peer, /*connect_failed=*/true);
+        return;
+      }
+      SetNonBlocking(fd.get());
+      ApplySocketOptions(fd.get(), options);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port =
+          htons(static_cast<std::uint16_t>(base_port + peer.id.value()));
+      const int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                               sizeof(addr));
+      if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+        MarkDownLocked(peer, /*connect_failed=*/true);
+        return;
+      }
       peer.fd = std::move(fd);
-      MarkUp(peer);
-      return;
+      peer.state = rc == 0 ? PeerState::kConnected : PeerState::kConnecting;
+      auto self_ptr = shared_from_this();
+      const ServerId to = peer.id;
+      peer.token = reactor->Register(
+          shard, peer.fd.get(),
+          [self_ptr, to](std::uint32_t events) {
+            self_ptr->OnPeerEvent(to, events);
+          });
+      if (peer.token == 0) {
+        MarkDownLocked(peer, /*connect_failed=*/true);
+        return;
+      }
+      if (rc == 0) {
+        MarkUpLocked(peer);
+        FlushPeerLocked(peer);
+      }
     }
-    if (errno == EINPROGRESS || errno == EINTR) {
-      peer.fd = std::move(fd);
-      peer.state = PeerState::kConnecting;
-      return;
+
+    void OnPeerEvent(ServerId to, std::uint32_t events) {
+      std::lock_guard lock(mutex);
+      if (stopping) return;
+      auto it = peers.find(to);
+      if (it == peers.end()) return;
+      Peer& peer = *it->second;
+      if (peer.state == PeerState::kConnecting) {
+        int error = 0;
+        socklen_t len = sizeof(error);
+        if (::getsockopt(peer.fd.get(), SOL_SOCKET, SO_ERROR, &error, &len) !=
+            0) {
+          error = errno;
+        }
+        if (error == 0 && (events & EPOLLOUT) != 0) {
+          MarkUpLocked(peer);
+          FlushPeerLocked(peer);
+        } else if (error != 0 || (events & (EPOLLERR | EPOLLHUP)) != 0) {
+          MarkDownLocked(peer, /*connect_failed=*/true);
+        }
+        return;
+      }
+      if (peer.state != PeerState::kConnected) return;
+      if ((events & (EPOLLIN | EPOLLRDHUP)) != 0) {
+        // The outbound socket never carries frames toward us; readable
+        // means FIN (n == 0) or an error.  Edge-triggered, so drain.
+        while (true) {
+          std::uint8_t scratch[256];
+          const ssize_t n =
+              ::recv(peer.fd.get(), scratch, sizeof(scratch), MSG_DONTWAIT);
+          if (n > 0) continue;
+          if (n < 0 && errno == EINTR) continue;
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          MarkDownLocked(peer, /*connect_failed=*/false);
+          return;
+        }
+      }
+      if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+        MarkDownLocked(peer, /*connect_failed=*/false);
+        return;
+      }
+      if ((events & EPOLLOUT) != 0) FlushPeerLocked(peer);
     }
-    MarkDown(peer, now, /*connect_failed=*/true);
-  }
 
-  void MarkUp(Peer& peer) {
-    peer.state = PeerState::kConnected;
-    ++stats_.connects;
-    if (peer.ever_connected) ++stats_.reconnects;
-    peer.ever_connected = true;
-    peer.backoff_ns = 0;
-  }
+    // Writes as much of the outbox as the socket accepts with vectored
+    // sendmsg straight from the queued frame encodings; never blocks.
+    // Shard thread only, caller holds `mutex`.
+    void FlushPeerLocked(Peer& peer) {
+      while (!peer.outbox.empty()) {
+        std::array<iovec, 2 * kMaxFramesPerWrite> iov;
+        std::size_t iov_count = 0;
+        std::size_t frames = 0;
+        for (auto it = peer.outbox.begin();
+             it != peer.outbox.end() && frames < kMaxFramesPerWrite;
+             ++it, ++frames) {
+          std::size_t skip = frames == 0 ? peer.front_offset : 0;
+          if (skip < kHeaderSize) {
+            iov[iov_count].iov_base = it->header.data() + skip;
+            iov[iov_count].iov_len = kHeaderSize - skip;
+            ++iov_count;
+            skip = 0;
+          } else {
+            skip -= kHeaderSize;
+          }
+          if (it->body.size() > skip) {
+            iov[iov_count].iov_base = it->body.data() + skip;
+            iov[iov_count].iov_len = it->body.size() - skip;
+            ++iov_count;
+          }
+        }
+        msghdr msg{};
+        msg.msg_iov = iov.data();
+        msg.msg_iovlen = iov_count;
+        const ssize_t n = ::sendmsg(peer.fd.get(), &msg, MSG_NOSIGNAL);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            ++stats.partial_writes;
+            return;  // EPOLLOUT edge resumes the flush
+          }
+          MarkDownLocked(peer, /*connect_failed=*/false);
+          return;
+        }
+        std::size_t written = static_cast<std::size_t>(n);
+        while (written > 0 && !peer.outbox.empty()) {
+          OutFrame& front = peer.outbox.front();
+          const std::size_t wire_size = kHeaderSize + front.body.size();
+          const std::size_t remaining = wire_size - peer.front_offset;
+          if (written < remaining) {
+            peer.front_offset += written;
+            written = 0;
+            break;
+          }
+          written -= remaining;
+          ++stats.frames_sent;
+          peer.outbox_bytes -= wire_size;
+          peer.front_offset = 0;
+          BufferPool::Release(std::move(front.body));
+          peer.outbox.pop_front();
+        }
+      }
+    }
 
-  // Writes as much of the outbox as the socket accepts; never blocks.
-  void FlushPeer(Peer& peer, std::uint64_t now) {
-    while (!peer.outbox.empty()) {
-      const Bytes& wire = peer.outbox.front();
-      while (peer.front_offset < wire.size()) {
-        const ssize_t n =
-            ::send(peer.fd.get(), wire.data() + peer.front_offset,
-                   wire.size() - peer.front_offset, MSG_NOSIGNAL);
-        if (n >= 0) {
-          peer.front_offset += static_cast<std::size_t>(n);
+    // ---- receive path ------------------------------------------------
+
+    void Accept() {
+      while (true) {
+        const int accepted = ::accept(listen_fd.get(), nullptr, nullptr);
+        if (accepted < 0) break;
+        SetNonBlocking(accepted);
+        ApplySocketOptions(accepted, options);
+        auto conn = std::make_shared<Conn>();
+        conn->fd = ScopedFd(accepted);
+        auto self_ptr = shared_from_this();
+        const std::uint64_t token = reactor->Register(
+            shard, conn->fd.get(),
+            [self_ptr, conn](std::uint32_t events) {
+              self_ptr->OnConnEvent(*conn, events);
+            });
+        if (token == 0) continue;  // conn's fd closes with the lambda
+        conn->token = token;
+        std::lock_guard lock(mutex);
+        if (stopping) {
+          // Raced with Stop(): it no longer sees this conn, so undo.
+          // (Deregister from the shard thread is inline and safe.)
+          reactor->Deregister(token);
           continue;
         }
-        if (errno == EINTR) continue;
-        if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // poll again
-        MarkDown(peer, now, /*connect_failed=*/false);
-        return;
-      }
-      ++stats_.frames_sent;
-      peer.outbox_bytes -= wire.size();
-      Bytes retired = std::move(peer.outbox.front());
-      peer.outbox.pop_front();
-      peer.front_offset = 0;
-      if (peer.spare.size() < kSpareWireBuffers) {
-        retired.clear();
-        peer.spare.push_back(std::move(retired));
+        conns.emplace(token, std::move(conn));
       }
     }
-  }
 
-  void IoLoop() {
-    std::vector<Connection> connections;
-    std::vector<Peer*> polled_peers;
-    std::vector<pollfd> fds;
-    while (true) {
-      std::uint64_t timeout_ns = kIdlePollNs;
-      fds.clear();
-      polled_peers.clear();
-      {
-        std::lock_guard lock(mutex_);
-        if (stopping_) return;
-        const std::uint64_t now = NowNs();
-        for (auto& [id, peer_ptr] : peers_) {
-          (void)id;
-          Peer& peer = *peer_ptr;
-          if (peer.kill) {
-            peer.kill = false;
-            if (peer.state != PeerState::kDisconnected) {
-              // Forced disconnects retry quickly: the peer is usually
-              // still alive, this is fault injection, not an outage.
-              peer.fd.Close();
-              peer.state = PeerState::kDisconnected;
-              if (peer.front_offset > 0) {
-                stats_.bytes_retransmitted += peer.front_offset;
-                peer.front_offset = 0;
-              }
-              peer.backoff_ns = 0;
-              peer.retry_at_ns = now + NextBackoff(peer);
-            }
-          }
-          if (peer.state == PeerState::kDisconnected &&
-              !peer.outbox.empty() && peer.retry_at_ns <= now) {
-            StartConnect(peer, now);
-          }
-          switch (peer.state) {
-            case PeerState::kDisconnected:
-              if (!peer.outbox.empty() && peer.retry_at_ns > now) {
-                timeout_ns = std::min(timeout_ns, peer.retry_at_ns - now);
-              }
-              break;
-            case PeerState::kConnecting:
-              fds.push_back(pollfd{peer.fd.get(), POLLOUT, 0});
-              polled_peers.push_back(&peer);
-              break;
-            case PeerState::kConnected: {
-              short events = POLLIN;  // detect FIN/RST from the peer
-              if (!peer.outbox.empty()) events |= POLLOUT;
-              fds.push_back(pollfd{peer.fd.get(), events, 0});
-              polled_peers.push_back(&peer);
-              break;
-            }
+    void OnConnEvent(Conn& conn, std::uint32_t events) {
+      bool closed = (events & (EPOLLERR | EPOLLHUP)) != 0;
+      while (!closed) {
+        std::uint8_t chunk[16 * 1024];
+        const ssize_t n =
+            ::recv(conn.fd.get(), chunk, sizeof(chunk), MSG_DONTWAIT);
+        if (n > 0) {
+          conn.buffer.insert(conn.buffer.end(), chunk, chunk + n);
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        closed = true;  // FIN or error
+      }
+      DispatchBuffered(conn);
+      if (closed) {
+        reactor->Deregister(std::exchange(conn.token, 0));
+        conn.fd.Close();
+        std::lock_guard lock(mutex);
+        for (auto it = conns.begin(); it != conns.end(); ++it) {
+          if (it->second.get() == &conn) {
+            conns.erase(it);
+            break;
           }
         }
       }
-      const std::size_t peer_fds = fds.size();
-      fds.push_back(pollfd{wake_read_.get(), POLLIN, 0});
-      fds.push_back(pollfd{listen_fd_.get(), POLLIN, 0});
-      for (const Connection& connection : connections) {
-        fds.push_back(pollfd{connection.fd.get(), POLLIN, 0});
-      }
-
-      const int timeout_ms = static_cast<int>(
-          std::min<std::uint64_t>(timeout_ns / 1000000 + 1, 100));
-      if (::poll(fds.data(), fds.size(), timeout_ms) < 0) {
-        if (errno == EINTR) continue;
-        CMOM_LOG(kError) << "poll: " << std::strerror(errno);
-        return;
-      }
-
-      // Outbound side.
-      {
-        std::lock_guard lock(mutex_);
-        if (stopping_) return;
-        const std::uint64_t now = NowNs();
-        for (std::size_t i = 0; i < peer_fds; ++i) {
-          Peer& peer = *polled_peers[i];
-          // A kill flag raced in while we were polling; next pass
-          // handles it (the fd is still the one we polled).
-          if (fds[i].revents == 0) continue;
-          if (peer.state == PeerState::kConnecting) {
-            int error = 0;
-            socklen_t len = sizeof(error);
-            if (::getsockopt(peer.fd.get(), SOL_SOCKET, SO_ERROR, &error,
-                             &len) != 0) {
-              error = errno;
-            }
-            if (error == 0 && (fds[i].revents & POLLOUT)) {
-              MarkUp(peer);
-              FlushPeer(peer, now);
-            } else if (error != 0 ||
-                       (fds[i].revents & (POLLERR | POLLHUP))) {
-              MarkDown(peer, now, /*connect_failed=*/true);
-            }
-            continue;
-          }
-          if (peer.state != PeerState::kConnected) continue;
-          if (fds[i].revents & POLLIN) {
-            // The outbound socket never carries frames toward us; any
-            // readable event is a FIN (n==0) or an error.
-            std::uint8_t scratch[256];
-            const ssize_t n = ::recv(peer.fd.get(), scratch, sizeof(scratch),
-                                     MSG_DONTWAIT);
-            if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
-                           errno != EINTR)) {
-              MarkDown(peer, now, /*connect_failed=*/false);
-              continue;
-            }
-          }
-          if (fds[i].revents & (POLLERR | POLLHUP)) {
-            MarkDown(peer, now, /*connect_failed=*/false);
-            continue;
-          }
-          if (fds[i].revents & POLLOUT) FlushPeer(peer, now);
-        }
-      }
-
-      // Wake pipe.
-      if (fds[peer_fds].revents & POLLIN) {
-        char scratch[64];
-        [[maybe_unused]] ssize_t n =
-            ::read(wake_read_.get(), scratch, sizeof(scratch));
-      }
-      // Inbound side.
-      if (fds[peer_fds + 1].revents & POLLIN) {
-        while (true) {
-          const int accepted = ::accept(listen_fd_.get(), nullptr, nullptr);
-          if (accepted < 0) break;
-          int one = 1;
-          ::setsockopt(accepted, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-          SetNonBlocking(accepted);
-          connections.push_back(Connection{Fd(accepted), {}});
-        }
-      }
-      for (std::size_t i = 0; i < connections.size(); ++i) {
-        const std::size_t fd_index = peer_fds + 2 + i;
-        if (fd_index >= fds.size()) break;  // accepted this round
-        if (!(fds[fd_index].revents & (POLLIN | POLLHUP | POLLERR))) continue;
-        if (!ReadFrames(connections[i])) {
-          connections[i].fd.Close();
-        }
-      }
-      std::erase_if(connections,
-                    [](const Connection& c) { return !c.fd.valid(); });
     }
-  }
 
-  // Reads available bytes and dispatches every complete frame; returns
-  // false when the peer closed or errored.  A torn trailing frame is
-  // discarded with the connection -- the sender rewrites it from its
-  // first byte on the replacement connection.
-  bool ReadFrames(Connection& connection) {
-    std::uint8_t chunk[16 * 1024];
-    while (true) {
-      ssize_t n = ::recv(connection.fd.get(), chunk, sizeof(chunk),
-                         MSG_DONTWAIT);
-      if (n > 0) {
-        connection.buffer.insert(connection.buffer.end(), chunk, chunk + n);
-        continue;
-      }
-      if (n == 0) return DispatchBuffered(connection), false;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      if (errno == EINTR) continue;
-      return false;
-    }
-    DispatchBuffered(connection);
-    return true;
-  }
-
-  void DispatchBuffered(Connection& connection) {
-    Bytes& buffer = connection.buffer;
-    std::size_t offset = 0;
-    while (buffer.size() - offset >= 6) {
-      std::uint32_t length = 0;
-      std::memcpy(&length, buffer.data() + offset, 4);
-      if (buffer.size() - offset - 4 < length) break;
-      std::uint16_t sender = 0;
-      std::memcpy(&sender, buffer.data() + offset + 4, 2);
-      Bytes payload(buffer.begin() + static_cast<std::ptrdiff_t>(offset + 6),
-                    buffer.begin() +
-                        static_cast<std::ptrdiff_t>(offset + 4 + length));
-      offset += 4 + length;
+    // Parses and dispatches every complete frame in `conn.buffer`.  A
+    // torn trailing frame stays buffered (or is discarded with the
+    // connection -- the sender rewrites it from its first byte on the
+    // replacement connection).
+    void DispatchBuffered(Conn& conn) {
+      Bytes& buffer = conn.buffer;
+      if (buffer.size() < kHeaderSize) return;
       ReceiveHandler handler;
       {
-        std::lock_guard lock(mutex_);
-        handler = handler_;
-        ++dispatching_;
+        std::lock_guard lock(mutex);
+        handler = this->handler;
+        ++dispatching;
       }
-      if (handler) handler(ServerId(sender), std::move(payload));
+      std::size_t offset = 0;
+      while (buffer.size() - offset >= kHeaderSize) {
+        std::uint32_t length = 0;
+        std::memcpy(&length, buffer.data() + offset, 4);
+        if (buffer.size() - offset - 4 < length) break;
+        std::uint16_t sender = 0;
+        std::memcpy(&sender, buffer.data() + offset + 4, 2);
+        const std::size_t payload_size = length - 2;
+        Bytes payload = BufferPool::Acquire(payload_size);
+        payload.resize(payload_size);
+        if (payload_size > 0) {
+          std::memcpy(payload.data(), buffer.data() + offset + kHeaderSize,
+                      payload_size);
+        }
+        offset += 4 + length;
+        if (handler) handler(ServerId(sender), std::move(payload));
+      }
+      buffer.erase(buffer.begin(),
+                   buffer.begin() + static_cast<std::ptrdiff_t>(offset));
       {
-        std::lock_guard lock(mutex_);
-        if (--dispatching_ == 0) handler_idle_.notify_all();
+        std::lock_guard lock(mutex);
+        if (--dispatching == 0) handler_idle.notify_all();
       }
     }
-    buffer.erase(buffer.begin(),
-                 buffer.begin() + static_cast<std::ptrdiff_t>(offset));
-  }
 
-  ServerId self_;
-  std::uint16_t base_port_;
-  TcpNetworkOptions options_;
-  Fd listen_fd_;
-  Fd wake_read_;
-  Fd wake_write_;
+    // ---- control -----------------------------------------------------
 
-  mutable std::mutex mutex_;
-  bool stopping_ = false;
-  ReceiveHandler handler_;
-  // Reader threads currently inside a handler invocation; the swap
-  // barrier in SetReceiveHandler waits for this to reach zero.
-  std::size_t dispatching_ = 0;
-  std::condition_variable handler_idle_;
-  std::unordered_map<ServerId, std::unique_ptr<Peer>> peers_;
-  Rng jitter_rng_;
-  TransportStats stats_;
+    void SetReceiveHandler(ReceiveHandler new_handler) {
+      std::unique_lock lock(mutex);
+      handler = std::move(new_handler);
+      // Swap barrier (see Endpoint): shard threads invoke a copy of the
+      // old handler unlocked; wait those dispatches out so the caller
+      // can safely destroy what the old handler captured.
+      handler_idle.wait(lock, [&] { return dispatching == 0; });
+    }
 
-  std::thread io_thread_;
+    void Disconnect(ServerId to) {
+      std::shared_ptr<State> self_ptr;
+      {
+        std::lock_guard lock(mutex);
+        auto it = peers.find(to);
+        if (it == peers.end() ||
+            it->second->state == PeerState::kDisconnected) {
+          return;  // nothing live to sever
+        }
+        ++stats.forced_disconnects;
+        self_ptr = shared_from_this();
+      }
+      reactor->Post(shard, [self_ptr, to] {
+        std::lock_guard lock(self_ptr->mutex);
+        if (self_ptr->stopping) return;
+        auto it = self_ptr->peers.find(to);
+        if (it == self_ptr->peers.end() ||
+            it->second->state == PeerState::kDisconnected) {
+          return;
+        }
+        // Forced disconnects retry quickly: the peer is usually still
+        // alive, this is fault injection, not an outage.
+        it->second->backoff_ns = 0;
+        self_ptr->MarkDownLocked(*it->second, /*connect_failed=*/false);
+      });
+    }
+
+    [[nodiscard]] TransportStats Stats() const {
+      std::lock_guard lock(mutex);
+      TransportStats out = stats;
+      for (const auto& [id, peer] : peers) {
+        (void)id;
+        out.outbox_frames += peer->outbox.size();
+        out.outbox_bytes += peer->outbox_bytes;
+        if (peer->state == PeerState::kDisconnected) {
+          out.current_backoff_ns =
+              std::max(out.current_backoff_ns, peer->backoff_ns);
+        }
+      }
+      return out;
+    }
+
+    Peer& PeerFor(ServerId to) {
+      auto it = peers.find(to);
+      if (it == peers.end()) {
+        auto peer = std::make_unique<Peer>();
+        peer->id = to;
+        it = peers.emplace(to, std::move(peer)).first;
+      }
+      return *it->second;
+    }
+
+    const ServerId self;
+    const std::uint16_t base_port;
+    const TcpNetworkOptions options;
+    const std::shared_ptr<Reactor> reactor;
+    std::size_t shard = 0;
+    ScopedFd listen_fd;
+    std::uint64_t listen_token = 0;
+
+    mutable std::mutex mutex;
+    bool stopping = false;
+    ReceiveHandler handler;
+    // Shard threads currently inside a handler invocation; the swap
+    // barrier in SetReceiveHandler waits for this to reach zero.
+    std::size_t dispatching = 0;
+    std::condition_variable handler_idle;
+    std::unordered_map<ServerId, std::unique_ptr<Peer>> peers;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Conn>> conns;
+    Rng jitter_rng;
+    TransportStats stats;
+  };
+
+  std::shared_ptr<State> state_;
 };
 
+TcpNetwork::~TcpNetwork() {
+  if (reactor_ != nullptr) reactor_->Stop();
+}
+
+std::shared_ptr<Reactor> TcpNetwork::reactor() {
+  std::lock_guard lock(mutex_);
+  if (reactor_ == nullptr) {
+    std::size_t threads = options_.reactor_threads;
+    if (threads == 0) {
+      const std::size_t hw = std::thread::hardware_concurrency();
+      threads = std::clamp<std::size_t>(hw / 2, 2, 4);
+    }
+    reactor_ = std::make_shared<Reactor>(threads);
+  }
+  return reactor_;
+}
+
+std::vector<ReactorShardStats> TcpNetwork::reactor_stats() const {
+  std::lock_guard lock(mutex_);
+  if (reactor_ == nullptr) return {};
+  return reactor_->Stats();
+}
+
 Result<std::unique_ptr<Endpoint>> TcpNetwork::CreateEndpoint(ServerId id) {
-  auto endpoint = std::make_unique<TcpEndpoint>(id, base_port_, options_);
+  auto endpoint =
+      std::make_unique<TcpEndpoint>(id, base_port_, options_, reactor());
   Status status = endpoint->Start();
   if (!status.ok()) return status;
   return {std::unique_ptr<Endpoint>(std::move(endpoint))};

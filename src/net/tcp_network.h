@@ -1,4 +1,5 @@
-// TCP loopback network with connection supervision.
+// TCP loopback network with connection supervision, multiplexed over a
+// shared epoll reactor.
 //
 // The closest analogue of the paper's deployment (agent servers as
 // separate JVMs on ten LAN hosts): every endpoint listens on
@@ -9,11 +10,13 @@
 //   - connects are non-blocking and retried with exponential backoff
 //     plus jitter (capped), so a dead or not-yet-started peer never
 //     blocks a sender;
-//   - Send() never blocks: frames enter a bounded per-peer outbox and
-//     are written by the endpoint's I/O thread as the socket allows
-//     (partial writes continue where they left off);
+//   - Send() never blocks: frames enter a bounded per-peer outbox
+//     (zero-copy -- the frame encoding IS the wire payload, prefixed
+//     by a 6-byte header iovec) and are flushed with vectored
+//     sendmsg() on the endpoint's reactor shard as the socket allows,
+//     partial writes continuing where they left off;
 //   - while a link is down the outbox buffers frames and flushes them
-//     on reconnect; overflow makes Send() return Unavailable, at which
+//     on reconnect; overflow makes Send() return Overloaded, at which
 //     point the Channel's QueueOUT retransmission takes over;
 //   - a frame interrupted by a connection loss is rewritten from its
 //     first byte on the fresh connection (the receiver's per-connection
@@ -21,24 +24,28 @@
 //   - writes use MSG_NOSIGNAL, so a dead peer cannot SIGPIPE-kill the
 //     process.
 //
-// Each endpoint runs one poll()-based I/O thread handling the listen
-// socket, inbound connections, outbound connects/writes and backoff
-// timers; the receive handler is invoked on that thread.
+// Threading: one TcpNetwork owns one Reactor (a small fixed pool of
+// edge-triggered epoll threads, see net/reactor.h) shared by all of
+// its endpoints.  Each endpoint is pinned to one shard -- its listen
+// socket, inbound connections and outbound peers all dispatch on that
+// shard's thread, preserving the old one-thread-per-endpoint ordering
+// guarantees (per-peer FIFO, serialized receive dispatch) while the
+// thread count stays fixed as connections grow.  The receive handler
+// runs on the endpoint's shard thread.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <thread>
-#include <unordered_map>
 #include <vector>
 
+#include "net/reactor.h"
 #include "net/transport.h"
 
 namespace cmom::net {
 
-// Supervision knobs; the defaults suit loopback tests (fast reconnect)
-// and stay safe for LAN use.
+// Supervision and socket knobs; the defaults suit loopback tests (fast
+// reconnect) and stay safe for LAN use.
 struct TcpNetworkOptions {
   // First retry delay after a failed connect or a lost connection.
   std::uint64_t backoff_initial_ns = 10ull * 1000 * 1000;  // 10 ms
@@ -48,11 +55,23 @@ struct TcpNetworkOptions {
   // delay (0.2 = +-20%); avoids reconnect stampedes after an outage.
   double backoff_jitter = 0.2;
   // Per-peer outbox bounds; exceeding either makes Send() return
-  // Unavailable (the frame is rejected, buffered frames are kept).
+  // Overloaded (the frame is rejected, buffered frames are kept).
   std::size_t outbox_max_frames = 4096;
   std::size_t outbox_max_bytes = 16ull * 1024 * 1024;
   // Seed for the backoff jitter RNG (mixed with the server id).
   std::uint64_t jitter_seed = 1;
+  // Reactor shard threads shared by all endpoints of this network.
+  // 0 = auto (half the hardware threads, clamped to [2, 4]).
+  std::size_t reactor_threads = 0;
+  // Disable Nagle on every connection (default on: the bus coalesces
+  // acks itself, and small credit trailers must not eat a 40 ms delay).
+  bool tcp_nodelay = true;
+  // Socket buffer sizes; 0 keeps the kernel default.  Tests use a tiny
+  // SO_SNDBUF to force partial-write continuation deterministically.
+  int so_rcvbuf = 0;
+  int so_sndbuf = 0;
+  // listen(2) backlog for every endpoint's accept socket.
+  int listen_backlog = 128;
 };
 
 class TcpNetwork final : public Network {
@@ -62,6 +81,13 @@ class TcpNetwork final : public Network {
   explicit TcpNetwork(std::uint16_t base_port, TcpNetworkOptions options = {})
       : base_port_(base_port), options_(options) {}
 
+  // The shard pool stops with the network: endpoints and any gateway
+  // sharing reactor() must be torn down first.  Stopping here (rather
+  // than relying on the shared_ptr count) guarantees the threads are
+  // joined from the owner's thread even when a stale backoff timer
+  // still pins endpoint state.
+  ~TcpNetwork() override;
+
   Result<std::unique_ptr<Endpoint>> CreateEndpoint(ServerId id) override;
 
   [[nodiscard]] std::uint16_t PortFor(ServerId id) const {
@@ -70,9 +96,19 @@ class TcpNetwork final : public Network {
 
   [[nodiscard]] const TcpNetworkOptions& options() const { return options_; }
 
+  // The shared reactor (created on first use).  The gateway tier
+  // registers its client sessions on the same shard pool so one
+  // process keeps one fixed set of I/O threads.
+  [[nodiscard]] std::shared_ptr<Reactor> reactor();
+
+  // Per-shard reactor counters; empty if no endpoint was created yet.
+  [[nodiscard]] std::vector<ReactorShardStats> reactor_stats() const;
+
  private:
   std::uint16_t base_port_;
   TcpNetworkOptions options_;
+  mutable std::mutex mutex_;
+  std::shared_ptr<Reactor> reactor_;
 };
 
 }  // namespace cmom::net

@@ -44,6 +44,7 @@ struct TransportStats {
   std::uint64_t frames_buffered = 0;    // accepted while link was down
   std::uint64_t frames_dropped = 0;     // rejected: outbox overflow
   std::uint64_t bytes_retransmitted = 0;  // rewritten after a reconnect
+  std::uint64_t partial_writes = 0;     // flushes cut short by EAGAIN
   std::uint64_t outbox_frames = 0;      // currently queued (gauge)
   std::uint64_t outbox_bytes = 0;       // currently queued (gauge)
   std::uint64_t current_backoff_ns = 0; // max over peers in backoff

@@ -505,6 +505,19 @@ int TcpSmoke(int argc, char** argv) {
     PrintTransportStats(ServerId(static_cast<std::uint16_t>(i)),
                         endpoints[i]->stats());
   }
+  // All endpoints share the transport's epoll shard pool; show how the
+  // fd load and event traffic spread across it.
+  const auto shards = tcp.reactor_stats();
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    std::printf("reactor[%zu]: fds=%llu polls=%llu events=%llu tasks=%llu "
+                "timers=%llu wakeups=%llu\n",
+                i, static_cast<unsigned long long>(shards[i].fds),
+                static_cast<unsigned long long>(shards[i].polls),
+                static_cast<unsigned long long>(shards[i].events),
+                static_cast<unsigned long long>(shards[i].tasks),
+                static_cast<unsigned long long>(shards[i].timers),
+                static_cast<unsigned long long>(shards[i].wakeups));
+  }
   for (std::size_t i = 0; i < servers.size(); ++i) {
     PrintServerCommitStats(ServerId(static_cast<std::uint16_t>(i)),
                            servers[i]->stats());
