@@ -123,6 +123,11 @@ void CausalDomainClock::EncodeState(ByteWriter& out) const {
 Result<CausalDomainClock> CausalDomainClock::DecodeState(ByteReader& in) {
   auto self = in.ReadU16();
   if (!self.ok()) return self.status();
+  return DecodeStateTail(in, DomainServerId(self.value()));
+}
+
+Result<CausalDomainClock> CausalDomainClock::DecodeStateTail(
+    ByteReader& in, DomainServerId self) {
   auto mode = in.ReadU8();
   if (!mode.ok()) return mode.status();
   if (mode.value() > static_cast<std::uint8_t>(StampMode::kUpdates)) {
@@ -133,7 +138,7 @@ Result<CausalDomainClock> CausalDomainClock::DecodeState(ByteReader& in) {
   auto tracker = UpdatesTracker::Decode(in);
   if (!tracker.ok()) return tracker.status();
   CausalDomainClock clock;
-  clock.self_ = DomainServerId(self.value());
+  clock.self_ = self;
   clock.mode_ = static_cast<StampMode>(mode.value());
   clock.matrix_ = std::move(matrix).value();
   clock.tracker_ = std::move(tracker).value();

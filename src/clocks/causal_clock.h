@@ -94,6 +94,13 @@ class CausalDomainClock {
   void EncodeState(ByteWriter& out) const;
   [[nodiscard]] static Result<CausalDomainClock> DecodeState(ByteReader& in);
 
+  // Decodes everything after the leading self id (mode byte, matrix,
+  // tracker).  Split out so the causal-core store decoder, which has to
+  // consume the leading u16 to sniff the record format, can resume a
+  // legacy matrix image without re-buffering.  See causal_core.h.
+  [[nodiscard]] static Result<CausalDomainClock> DecodeStateTail(
+      ByteReader& in, DomainServerId self);
+
   // Mutation counter (dirty-tracking hook for incremental persistence):
   // bumped by every PrepareSend and by every Commit that changed at
   // least one matrix entry.  The Channel remembers the version it last

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "clocks/causal_clock.h"
+#include "clocks/causal_core.h"
 #include "domains/config_io.h"
 
 namespace cmom::control {
@@ -249,10 +251,10 @@ Status Coordinator::CutoverStore(mom::Store& store, ServerId self,
     }
   }
 
-  // Decode the old clock images, indexed by old deployment index
-  // (= position in old_config.domains; Deployment::Create resolves
-  // domains in configuration order).
-  std::map<std::size_t, clocks::CausalDomainClock> old_clocks;
+  // Decode the old causal-core images (any kind), indexed by old
+  // deployment index (= position in old_config.domains;
+  // Deployment::Create resolves domains in configuration order).
+  std::map<std::size_t, std::unique_ptr<clocks::CausalCore>> old_cores;
   std::vector<std::string> old_keys = store.Keys(kClockKeyPrefix);
   for (const std::string& key : old_keys) {
     auto index = ParseHexSuffix(key, kClockKeyPrefix);
@@ -262,9 +264,9 @@ Status Coordinator::CutoverStore(mom::Store& store, ServerId self,
       return Status::DataLoss("clock key vanished mid-read: " + key);
     }
     ByteReader in(*blob);
-    auto clock = clocks::CausalDomainClock::DecodeState(in);
-    if (!clock.ok()) return clock.status();
-    old_clocks.emplace(index.value(), std::move(clock).value());
+    auto core = clocks::DecodeCausalCoreState(in);
+    if (!core.ok()) return core.status();
+    old_cores.emplace(index.value(), std::move(core).value());
   }
 
   // Stage the whole rewrite; ONE commit applies it atomically.
@@ -276,22 +278,31 @@ Status Coordinator::CutoverStore(mom::Store& store, ServerId self,
     const DomainServerId new_local(
         static_cast<std::uint16_t>(member - spec.members.begin()));
     const DomainRemap& remap = plan.remaps[j];
-    clocks::CausalDomainClock clock;
+    const clocks::CausalCoreKind kind = plan.new_config.CoreFor(spec.id);
+    std::unique_ptr<clocks::CausalCore> core;
     if (remap.old_index.has_value() &&
-        old_clocks.count(*remap.old_index) != 0) {
+        old_cores.count(*remap.old_index) != 0) {
       // Surviving domain this server was already in: inherit, with
-      // members permuted through the plan's coordinate map.
-      clock = old_clocks.at(*remap.old_index)
-                  .Remap(new_local, spec.members.size(), remap.old_of_new);
+      // members permuted through the plan's coordinate map.  The plan
+      // guarantees the kind did not change across the epoch.
+      const clocks::CausalCore& old_core = *old_cores.at(*remap.old_index);
+      if (old_core.kind() != kind) {
+        return Status::FailedPrecondition(
+            to_string(self) + "'s store holds a " +
+            std::string(clocks::CausalCoreKindName(old_core.kind())) +
+            " core for " + to_string(spec.id) + ", new epoch expects " +
+            std::string(clocks::CausalCoreKindName(kind)));
+      }
+      core = old_core.Remap(new_local, spec.members.size(), remap.old_of_new);
     } else {
       // Brand-new domain, or this server just joined it: fresh zeros,
       // matching what the surviving members record for the newcomer's
       // rows and columns.
-      clock = clocks::CausalDomainClock(new_local, spec.members.size(),
-                                        plan.new_config.stamp_mode);
+      core = clocks::MakeCausalCore(kind, new_local, spec.members.size(),
+                                    plan.new_config.stamp_mode);
     }
     ByteWriter out;
-    clock.EncodeState(out);
+    core->EncodeState(out);
     store.Put(ClockKey(j), std::move(out).Take());
   }
   store.Put(kEpochCurrentKey,

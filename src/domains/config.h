@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "clocks/causal_clock.h"
+#include "clocks/causal_core.h"
 #include "common/ids.h"
 
 namespace cmom::domains {
@@ -28,11 +30,26 @@ struct MomConfig {
   std::vector<ServerId> servers;
   std::vector<DomainSpec> domains;
   // Stamping algorithm: classical full matrix or Appendix-A updates.
+  // Only meaningful for domains running the matrix causal core.
   clocks::StampMode stamp_mode = clocks::StampMode::kUpdates;
+  // Causal-delivery core (clocks/causal_core.h) used by every domain
+  // unless overridden per domain below.
+  clocks::CausalCoreKind causal_core = clocks::CausalCoreKind::kMatrix;
+  // Per-domain core overrides, in declaration order.
+  std::vector<std::pair<DomainId, clocks::CausalCoreKind>>
+      causal_core_overrides;
   // The theorem demo deliberately builds a cyclic domain graph; every
   // production configuration must keep this false so that Deployment
   // validation rejects cycles.
   bool allow_cyclic_domain_graph = false;
+
+  // Effective core kind for one domain.
+  [[nodiscard]] clocks::CausalCoreKind CoreFor(DomainId id) const {
+    for (const auto& [domain, kind] : causal_core_overrides) {
+      if (domain == id) return kind;
+    }
+    return causal_core;
+  }
 };
 
 }  // namespace cmom::domains

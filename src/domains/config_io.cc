@@ -125,6 +125,35 @@ Result<MomConfig> ParseMomConfig(std::string_view text) {
       } else {
         return error("unknown stamp mode '" + tokens[2] + "'");
       }
+    } else if (tokens[0] == "causal_core") {
+      // 'causal_core = <kind>' sets the MOM-wide default;
+      // 'causal_core <domain> = <kind>' overrides one domain.
+      if (tokens.size() == 3 && tokens[1] == "=") {
+        auto kind = clocks::ParseCausalCoreKind(tokens[2]);
+        if (!kind.has_value()) {
+          return error("unknown causal core '" + tokens[2] + "'");
+        }
+        config.causal_core = *kind;
+      } else if (tokens.size() == 4 && tokens[2] == "=") {
+        auto id = ParseUnsigned(tokens[1]);
+        if (!id.ok()) return error(id.status().message());
+        auto kind = clocks::ParseCausalCoreKind(tokens[3]);
+        if (!kind.has_value()) {
+          return error("unknown causal core '" + tokens[3] + "'");
+        }
+        const DomainId domain(static_cast<std::uint16_t>(id.value()));
+        for (const auto& [existing, _] : config.causal_core_overrides) {
+          if (existing == domain) {
+            return error("duplicate causal_core override for domain " +
+                         tokens[1]);
+          }
+        }
+        config.causal_core_overrides.emplace_back(domain, *kind);
+      } else {
+        return error(
+            "expected 'causal_core = <kind>' or 'causal_core <domain> = "
+            "<kind>' with kind matrix|reduced|hybrid");
+      }
     } else if (tokens[0] == "allow_cyclic") {
       if (tokens.size() != 3 || tokens[1] != "=") {
         return error("expected 'allow_cyclic = true|false'");
@@ -167,11 +196,19 @@ std::string FormatMomConfig(const MomConfig& config) {
       << (config.stamp_mode == clocks::StampMode::kUpdates ? "updates"
                                                            : "full")
       << "\n";
+  if (config.causal_core != clocks::CausalCoreKind::kMatrix) {
+    out << "causal_core = " << clocks::CausalCoreKindName(config.causal_core)
+        << "\n";
+  }
   if (config.allow_cyclic_domain_graph) out << "allow_cyclic = true\n";
   for (const DomainSpec& domain : config.domains) {
     out << "domain " << domain.id.value() << " =";
     for (ServerId member : domain.members) out << " " << member.value();
     out << "\n";
+  }
+  for (const auto& [domain, kind] : config.causal_core_overrides) {
+    out << "causal_core " << domain.value() << " = "
+        << clocks::CausalCoreKindName(kind) << "\n";
   }
   return out.str();
 }

@@ -217,8 +217,9 @@ Status AgentServer::Boot() {
     std::unique_lock lock(mutex_);
     if (booted_) return Status::FailedPrecondition("already booted");
 
-    // Build one DomainItem per domain membership (fresh clocks); the
-    // recovery below overwrites them from the durable image if any.
+    // Build one DomainItem per domain membership (fresh cores of the
+    // configured kind); the recovery below overwrites them from the
+    // durable image if any.
     for (std::size_t index : deployment_->DomainIndicesOf(self_)) {
       const domains::ResolvedDomain& domain = deployment_->domain(index);
       auto local = domain.LocalId(self_);
@@ -227,8 +228,9 @@ Status AgentServer::Boot() {
       item.deployment_index = index;
       item.id = domain.id;
       item.self_local = *local;
-      item.clock = clocks::CausalDomainClock(
-          *local, domain.size(), deployment_->config().stamp_mode);
+      item.core = clocks::MakeCausalCore(
+          deployment_->config().CoreFor(domain.id), *local, domain.size(),
+          deployment_->config().stamp_mode);
       items_.push_back(std::move(item));
     }
 
@@ -293,7 +295,8 @@ Status AgentServer::Boot() {
   Post([this]() -> std::size_t {
     for (const OutEntry& entry : queue_out_) {
       DataFrame frame{entry.message, entry.domain, entry.stamp,
-                      options_.epoch, incarnation_};
+                      options_.epoch, incarnation_,
+                      CoreTagFor(entry.domain)};
       EmitFrame(entry.next_hop, frame.Serialize());
       ScheduleRetransmit(entry.message.id, 0);
       // Each resume emission is a first emission under THIS
@@ -531,6 +534,14 @@ std::size_t AgentServer::ProcessDataFrame(ServerId from, DataFrame frame) {
                      << " not in " << to_string(frame.domain);
     return 0;
   }
+  if (frame.core_tag != static_cast<std::uint8_t>(item->core->kind())) {
+    // The stamp was produced by a different causal core: its entries
+    // mean nothing to ours.  Dropped without an ack, like an epoch
+    // straggler -- a correctly configured sender retransmits with the
+    // matching core.
+    ++stats_.core_fenced_frames;
+    return 0;
+  }
 
   // Restart detection (src/flow): a higher sender incarnation means the
   // peer rebooted and counts its credit admissions from zero, so our
@@ -551,11 +562,11 @@ std::size_t AgentServer::ProcessDataFrame(ServerId from, DataFrame frame) {
 
   const MessageId message_id = frame.message.id;
   std::size_t entries = 0;
-  switch (item->clock.Check(*src_local, frame.stamp)) {
+  switch (item->core->CheckReceive(*src_local, frame.stamp)) {
     case clocks::CheckResult::kDeliver: {
       if (counts_for_credit) ReceiverLink(from).Accept();
       entries += frame.stamp.entries.size();
-      item->clock.Commit(*src_local, frame.stamp);
+      item->core->OnDeliver(*src_local, frame.stamp);
       entries += CommitDelivery(*item, *src_local, std::move(frame));
       entries += DrainHoldback(*item);
       commit_needed_ = true;
@@ -578,6 +589,7 @@ std::size_t AgentServer::ProcessDataFrame(ServerId from, DataFrame frame) {
       item->holdback.Push(std::move(held));
       stats_.holdback_peak =
           std::max<std::uint64_t>(stats_.holdback_peak, HoldbackSizeLocked());
+      stats_.holdback_depth_hist.Record(item->holdback.size());
       commit_needed_ = true;
       break;
     }
@@ -598,14 +610,14 @@ std::size_t AgentServer::DrainHoldback(DomainItem& item) {
   std::size_t entries = 0;
   item.holdback.DrainDeliverable(
       [&](const HeldFrame& held) {
-        return item.clock.Check(held.src_local, held.frame.stamp);
+        return item.core->CheckReceive(held.src_local, held.frame.stamp);
       },
       [&](HeldFrame&& held) {
         const MessageId id = held.frame.message.id;
         item.held_ids.erase(id);
         EraseHeldFrame(item, id);
         entries += held.frame.stamp.entries.size();
-        item.clock.Commit(held.src_local, held.frame.stamp);
+        item.core->OnDeliver(held.src_local, held.frame.stamp);
         entries += CommitDelivery(item, held.src_local, std::move(held.frame));
       },
       [&](HeldFrame&& dropped) {
@@ -905,7 +917,7 @@ std::size_t AgentServer::StampAndEnqueue(Message message) {
   entry.message = std::move(message);
   entry.next_hop = hop;
   entry.domain = item->id;
-  entry.stamp = item->clock.PrepareSend(*hop_local);
+  entry.stamp = item->core->PrepareSend(*hop_local);
   return EnqueueStampedLocked(std::move(entry));
 }
 
@@ -944,7 +956,7 @@ std::size_t AgentServer::StampAndEnqueueBatch(std::vector<Message> messages) {
     assert(hop_local.has_value());
 
     stamps.clear();
-    item->clock.PrepareSendBatch(*hop_local, j - i, stamps);
+    item->core->PrepareSendBatch(*hop_local, j - i, stamps);
     for (std::size_t k = i; k < j; ++k) {
       OutEntry entry;
       entry.message = std::move(messages[k]);
@@ -961,7 +973,9 @@ std::size_t AgentServer::StampAndEnqueueBatch(std::vector<Message> messages) {
 std::size_t AgentServer::EnqueueStampedLocked(OutEntry entry) {
   entry.enqueue_seq = next_out_enqueue_seq_++;
   const std::size_t entries = entry.stamp.entries.size();
-  stats_.stamp_bytes_sent += entry.stamp.EncodedSize();
+  const std::size_t stamp_bytes = entry.stamp.EncodedSize();
+  stats_.stamp_bytes_sent += stamp_bytes;
+  stats_.stamp_bytes_hist.Record(stamp_bytes);
   const ServerId hop = entry.next_hop;
 
   const MessageId id = entry.message.id;
@@ -1001,7 +1015,7 @@ std::size_t AgentServer::EnqueueStampedLocked(OutEntry entry) {
   }
   const OutEntry& stored = queue_out_.back();
   DataFrame frame{stored.message, stored.domain, stored.stamp,
-                  options_.epoch, incarnation_};
+                  options_.epoch, incarnation_, CoreTagFor(stored.domain)};
   EmitFrame(hop, frame.Serialize());
   ScheduleRetransmit(id, 0);
   return entries;
@@ -1032,7 +1046,8 @@ void AgentServer::ScheduleRetransmit(MessageId id,
       ++entry.attempts;
       ++stats_.retransmissions;
       DataFrame frame{entry.message, entry.domain, entry.stamp,
-                      options_.epoch, incarnation_};
+                      options_.epoch, incarnation_,
+                      CoreTagFor(entry.domain)};
       EmitFrame(entry.next_hop, frame.Serialize());
       ScheduleRetransmit(id, entry.attempts);
       return 0;
@@ -1078,7 +1093,7 @@ std::size_t AgentServer::ReleaseBlocked(ServerId peer, bool force) {
     link.Admit();
     OutEntry& entry = *qit->second;
     DataFrame frame{entry.message, entry.domain, entry.stamp, options_.epoch,
-                    incarnation_};
+                    incarnation_, CoreTagFor(entry.domain)};
     EmitFrame(entry.next_hop, frame.Serialize());
     ScheduleRetransmit(id, entry.attempts);
     ++released;
@@ -1108,7 +1123,8 @@ void AgentServer::ScheduleCreditProbe(ServerId peer) {
         it->second.Admit();
         OutEntry& entry = *qit->second;
         DataFrame frame{entry.message, entry.domain, entry.stamp,
-                        options_.epoch, incarnation_};
+                        options_.epoch, incarnation_,
+                        CoreTagFor(entry.domain)};
         EmitFrame(entry.next_hop, frame.Serialize());
         ScheduleRetransmit(id, entry.attempts);
         break;  // one frame per probe: solicit, don't flood
@@ -1553,19 +1569,19 @@ void AgentServer::PersistClocks(bool force) {
     out.WriteVarU64(items_.size());
     for (const DomainItem& item : items_) {
       out.WriteVarU64(item.deployment_index);
-      item.clock.EncodeState(out);
+      item.core->EncodeState(out);
     }
     StorePut(kLegacyClocksKey, std::move(out).Take());
     return;
   }
   for (DomainItem& item : items_) {
-    if (!force && item.persisted_clock_version == item.clock.version()) {
+    if (!force && item.persisted_clock_version == item.core->version()) {
       continue;
     }
     ByteWriter out;
-    item.clock.EncodeState(out);
+    item.core->EncodeState(out);
     StorePut(ClockKey(item.deployment_index), std::move(out).Take());
-    item.persisted_clock_version = item.clock.version();
+    item.persisted_clock_version = item.core->version();
   }
 }
 
@@ -1831,13 +1847,20 @@ Status AgentServer::RecoverLegacyLocked() {
     for (std::uint64_t i = 0; i < count.value(); ++i) {
       auto index = in.ReadVarU64();
       if (!index.ok()) return index.status();
-      auto clock = clocks::CausalDomainClock::DecodeState(in);
-      if (!clock.ok()) return clock.status();
+      auto core = clocks::DecodeCausalCoreState(in);
+      if (!core.ok()) return core.status();
       bool found = false;
       for (DomainItem& item : items_) {
         if (item.deployment_index == index.value()) {
-          item.clock = std::move(clock).value();
-          item.persisted_clock_version = item.clock.version();
+          if (core.value()->kind() != item.core->kind()) {
+            return Status::FailedPrecondition(
+                "store holds a " +
+                std::string(clocks::CausalCoreKindName(core.value()->kind())) +
+                " core for " + to_string(item.id) + " but the config runs " +
+                std::string(clocks::CausalCoreKindName(item.core->kind())));
+          }
+          item.core = std::move(core).value();
+          item.persisted_clock_version = item.core->version();
           found = true;
           break;
         }
@@ -1917,13 +1940,24 @@ Status AgentServer::RecoverIncrementalLocked() {
     auto blob = store_->Get(key);
     if (!blob) continue;
     ByteReader in(*blob);
-    auto clock = clocks::CausalDomainClock::DecodeState(in);
-    if (!clock.ok()) return clock.status();
+    auto core = clocks::DecodeCausalCoreState(in);
+    if (!core.ok()) return core.status();
     bool found = false;
     for (DomainItem& item : items_) {
       if (item.deployment_index == index.value()) {
-        item.clock = std::move(clock).value();
-        item.persisted_clock_version = item.clock.version();
+        // The store's core kind must agree with the configured one: a
+        // hybrid image decoded as matrix coordinates (or vice versa)
+        // would silently break causal recovery.  Switching a domain's
+        // core requires an epoch cutover, which rewrites clk/ records.
+        if (core.value()->kind() != item.core->kind()) {
+          return Status::FailedPrecondition(
+              "store holds a " +
+              std::string(clocks::CausalCoreKindName(core.value()->kind())) +
+              " core for " + to_string(item.id) + " but the config runs " +
+              std::string(clocks::CausalCoreKindName(item.core->kind())));
+        }
+        item.core = std::move(core).value();
+        item.persisted_clock_version = item.core->version();
         found = true;
         break;
       }
@@ -2215,9 +2249,22 @@ const clocks::CausalDomainClock* AgentServer::FindDomainClock(
     std::size_t deployment_domain_index) const {
   std::lock_guard lock(mutex_);
   for (const DomainItem& item : items_) {
-    if (item.deployment_index == deployment_domain_index) return &item.clock;
+    if (item.deployment_index == deployment_domain_index) {
+      return item.core->AsMatrix();
+    }
   }
   return nullptr;
+}
+
+std::vector<std::pair<DomainId, clocks::CausalCoreKind>>
+AgentServer::ActiveCores() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<DomainId, clocks::CausalCoreKind>> cores;
+  cores.reserve(items_.size());
+  for (const DomainItem& item : items_) {
+    cores.emplace_back(item.id, item.core->kind());
+  }
+  return cores;
 }
 
 Bytes AgentServer::DebugImage() const {
@@ -2227,7 +2274,7 @@ Bytes AgentServer::DebugImage() const {
   out.WriteVarU64(items_.size());
   for (const DomainItem& item : items_) {
     out.WriteVarU64(item.deployment_index);
-    item.clock.EncodeState(out);
+    item.core->EncodeState(out);
   }
   out.WriteVarU64(queue_out_.size());
   for (const OutEntry& entry : queue_out_) {
@@ -2256,6 +2303,15 @@ AgentServer::DomainItem* AgentServer::FindItemByDomainId(DomainId id) {
     if (item.id == id) return &item;
   }
   return nullptr;
+}
+
+std::uint8_t AgentServer::CoreTagFor(DomainId domain) const {
+  for (const DomainItem& item : items_) {
+    if (item.id == domain) {
+      return static_cast<std::uint8_t>(item.core->kind());
+    }
+  }
+  return 0;
 }
 
 }  // namespace cmom::mom

@@ -100,6 +100,7 @@
 
 #include "causality/trace.h"
 #include "clocks/causal_clock.h"
+#include "clocks/causal_core.h"
 #include "clocks/holdback.h"
 #include "common/histogram.h"
 #include "common/ids.h"
@@ -194,6 +195,10 @@ struct ServerStats {
   // Data frames dropped (unacked) because their epoch differed from
   // this server's -- stragglers around a reconfiguration cutover.
   std::uint64_t epoch_fenced_frames = 0;
+  // Data frames dropped (unacked) because their causal-core tag did not
+  // match the receiving domain's active core: the stamp is encoded in a
+  // coordinate system this server does not run.
+  std::uint64_t core_fenced_frames = 0;
   // SendMessage calls rejected while an epoch fence was up.
   std::uint64_t fenced_sends_rejected = 0;
   // --- flow control (src/flow) ---------------------------------------
@@ -228,6 +233,10 @@ struct ServerStats {
   LogHistogram commit_bytes_hist;   // bytes per store commit
   LogHistogram engine_batch_hist;   // reactions per Engine work item
   LogHistogram channel_batch_hist;  // frames per Channel work item
+  // Causal-core wire cost: encoded stamp bytes per outgoing message and
+  // hold-back queue depth observed when a frame was parked.
+  LogHistogram stamp_bytes_hist;
+  LogHistogram holdback_depth_hist;
   // Parallel engine only (engine_workers > 0):
   LogHistogram group_commit_hist;  // reactions per commit-stage txn
   LogHistogram shard_depth_hist;   // shard queue depth at dispatch
@@ -346,9 +355,15 @@ class AgentServer {
   [[nodiscard]] bool Idle() const;
 
   // Matrix clock of the domain item for deployment domain `index`
-  // (tests / introspection).
+  // (tests / introspection).  Null when the domain runs a non-matrix
+  // causal core.
   [[nodiscard]] const clocks::CausalDomainClock* FindDomainClock(
       std::size_t deployment_domain_index) const;
+
+  // Active causal core per domain this server belongs to, in domain-
+  // item order (momtool's causal-core stats row).
+  [[nodiscard]] std::vector<std::pair<DomainId, clocks::CausalCoreKind>>
+  ActiveCores() const;
 
   // Canonical serialization of the volatile channel + engine image
   // (meta, clocks, QueueOUT, QueueIN, hold-back queues, in order).
@@ -367,12 +382,14 @@ class AgentServer {
     std::size_t deployment_index = 0;
     DomainId id;
     DomainServerId self_local;
-    clocks::CausalDomainClock clock;
+    // Causal-delivery core for this domain (clocks/causal_core.h); the
+    // kind comes from the deployment config (MomConfig::CoreFor).
+    std::unique_ptr<clocks::CausalCore> core;
     clocks::HoldbackQueue<HeldFrame> holdback;
     // MessageId index over `holdback` (O(1) duplicate-held check and
     // per-entry key deletion); always in sync with the queue.
     std::unordered_set<MessageId> held_ids;
-    // clock.version() at the last durable write; the clock image is
+    // core->version() at the last durable write; the core image is
     // re-persisted only when the live version differs.
     std::uint64_t persisted_clock_version = 0;
   };
@@ -586,6 +603,9 @@ class AgentServer {
 
   // --- helpers ---------------------------------------------------------
   [[nodiscard]] DomainItem* FindItemByDomainId(DomainId id);
+  // Wire tag for frames stamped by `domain`'s core (0 for the matrix
+  // core, which is never written on the wire).  Caller holds mutex_.
+  [[nodiscard]] std::uint8_t CoreTagFor(DomainId domain) const;
   [[nodiscard]] Message MakeMessage(AgentId from, AgentId to,
                                     std::string subject, Bytes payload);
 

@@ -68,9 +68,12 @@ void DataFrame::SerializeInto(ByteWriter& out) const {
   out.WriteU16(domain.value());
   out.WriteVarU64(epoch);
   stamp.Encode(out);
-  // Optional trailer (flow restart detection): 0 = absent, keeping the
-  // pre-flow layout byte-identical for incarnation-less frames.
-  if (incarnation != 0) out.WriteVarU64(incarnation);
+  // Optional trailers: incarnation (flow restart detection) then the
+  // causal-core tag.  0 = absent for both, keeping matrix-core frames
+  // byte-identical to the pre-flow/pre-core layout; a non-zero core tag
+  // needs the incarnation slot filled so decode stays positional.
+  if (incarnation != 0 || core_tag != 0) out.WriteVarU64(incarnation);
+  if (core_tag != 0) out.WriteVarU64(core_tag);
 }
 
 Bytes DataFrame::Serialize() const {
@@ -111,12 +114,19 @@ Result<DataFrame> DataFrame::Deserialize(std::span<const std::uint8_t> bytes) {
   frame.domain = DomainId(domain.value());
   frame.stamp = std::move(stamp).value();
   frame.epoch = epoch.value();
-  // Pre-flow frames end at the stamp; a present trailer is the sender's
-  // boot incarnation.
+  // Pre-flow frames end at the stamp; the first trailer is the sender's
+  // boot incarnation, the second (pre-core frames lack it) the causal
+  // core tag.
   if (!in.exhausted()) {
     auto incarnation = in.ReadVarU64();
     if (!incarnation.ok()) return incarnation.status();
     frame.incarnation = incarnation.value();
+  }
+  if (!in.exhausted()) {
+    auto tag = in.ReadVarU64();
+    if (!tag.ok()) return tag.status();
+    if (tag.value() > 0xFF) return Status::DataLoss("bad causal core tag");
+    frame.core_tag = static_cast<std::uint8_t>(tag.value());
   }
   return frame;
 }

@@ -57,6 +57,14 @@ struct DataFrame {
   // trailing varint: 0 means "absent" and is never written, so pre-flow
   // frames (and stores holding them) decode unchanged.
   std::uint64_t incarnation = 0;
+  // Causal core that produced the stamp (clocks::CausalCoreKind).  Tag
+  // 0 -- the matrix core, the only one that predates this field -- is
+  // never written, keeping matrix-core frames byte-identical to
+  // pre-core ones.  A non-zero tag forces the incarnation varint out
+  // (even when 0) so the two trailers stay positionally unambiguous.
+  // Receivers fence frames whose tag differs from the domain's active
+  // core the same way epoch mismatches are fenced: drop without acking.
+  std::uint8_t core_tag = 0;
 
   friend bool operator==(const DataFrame&, const DataFrame&) = default;
 

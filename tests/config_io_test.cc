@@ -46,6 +46,48 @@ TEST(ConfigIo, FullMatrixModeAndCyclicFlag) {
   EXPECT_TRUE(config.value().allow_cyclic_domain_graph);
 }
 
+TEST(ConfigIo, CausalCoreDefaultAndOverrides) {
+  auto config = ParseMomConfig(
+      "servers = 6\n"
+      "causal_core = hybrid\n"
+      "causal_core 1 = reduced\n"
+      "domain 0 = 0 1 2\n"
+      "domain 1 = 2 3 4\n"
+      "domain 2 = 4 5\n");
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_EQ(config.value().causal_core, clocks::CausalCoreKind::kHybrid);
+  EXPECT_EQ(config.value().CoreFor(DomainId(0)),
+            clocks::CausalCoreKind::kHybrid);
+  EXPECT_EQ(config.value().CoreFor(DomainId(1)),
+            clocks::CausalCoreKind::kReduced);
+
+  // Format -> parse round trip preserves both the default and the
+  // override, and omitting the key means matrix.
+  const std::string text = FormatMomConfig(config.value());
+  auto reparsed = ParseMomConfig(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed.value().causal_core, clocks::CausalCoreKind::kHybrid);
+  EXPECT_EQ(reparsed.value().CoreFor(DomainId(1)),
+            clocks::CausalCoreKind::kReduced);
+  auto plain = ParseMomConfig("servers = 2\ndomain 0 = 0 1\n");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.value().causal_core, clocks::CausalCoreKind::kMatrix);
+  EXPECT_TRUE(plain.value().causal_core_overrides.empty());
+}
+
+TEST(ConfigIo, CausalCoreErrors) {
+  // Unknown kinds, duplicate overrides and malformed lines are
+  // rejected with the line number.
+  EXPECT_FALSE(ParseMomConfig("servers = 2\ncausal_core = vector\n"
+                              "domain 0 = 0 1\n")
+                   .ok());
+  EXPECT_FALSE(ParseMomConfig("servers = 2\ncausal_core 0 = matrix\n"
+                              "causal_core 0 = hybrid\ndomain 0 = 0 1\n")
+                   .ok());
+  EXPECT_FALSE(
+      ParseMomConfig("servers = 2\ncausal_core 0 =\ndomain 0 = 0 1\n").ok());
+}
+
 TEST(ConfigIo, ErrorsCarryLineNumbers) {
   auto missing = ParseMomConfig("domain 0 = 0\n");
   ASSERT_FALSE(missing.ok());

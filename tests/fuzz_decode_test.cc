@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "clocks/causal_clock.h"
+#include "clocks/causal_core.h"
 #include "clocks/matrix_clock.h"
 #include "clocks/stamp.h"
 #include "clocks/updates_tracker.h"
@@ -55,6 +56,19 @@ TEST_P(DecodeFuzz, RandomBytesNeverCrashDecoders) {
     }
     {
       ByteReader reader(bytes);
+      (void)clocks::DecodeCausalCoreState(reader);
+    }
+    {
+      // The same bytes behind the 0xFFFF sentinel exercise the
+      // per-kind core payload decoders (the first random byte lands in
+      // the kind slot).
+      Bytes tagged{0xFF, 0xFF};
+      tagged.insert(tagged.end(), bytes.begin(), bytes.end());
+      ByteReader reader(tagged);
+      (void)clocks::DecodeCausalCoreState(reader);
+    }
+    {
+      ByteReader reader(bytes);
       (void)mom::Message::Decode(reader);
     }
     (void)mom::DataFrame::Deserialize(bytes);
@@ -97,7 +111,8 @@ TEST_P(DecodeFuzz, ConfigParserNeverCrashes) {
   Rng rng(GetParam() + 200);
   const char* fragments[] = {"servers", "domain", "=", "0", "1", "99999",
                              "stamp_mode", "updates", "full", "#",
-                             "allow_cyclic", "true", "\n", "x", "-1"};
+                             "allow_cyclic", "true", "\n", "x", "-1",
+                             "causal_core", "matrix", "hybrid", "reduced"};
   for (int round = 0; round < 200; ++round) {
     std::string text;
     const std::size_t pieces = rng.NextBelow(30);

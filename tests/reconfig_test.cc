@@ -310,5 +310,62 @@ TEST(Reconfig, ChainedEpochsMergeThenRemoveServer) {
   ExpectCleanTrace(harness);
 }
 
+// A domain running a non-default causal core splits across an epoch:
+// the split parts inherit the core, the cutover remaps the hybrid
+// cores' durable state (kind-checked against the new config), and
+// traffic across the split boundary stays causal and exactly-once.
+TEST(Reconfig, SplitCarriesANonDefaultCoreAcrossTheEpoch) {
+  auto config = ThreeDomainChain();
+  config.causal_core_overrides.emplace_back(
+      DomainId(0), clocks::CausalCoreKind::kHybrid);
+  ThreadedHarness harness(config);
+  std::map<ServerId, SinkAgent*> sinks;
+  ASSERT_TRUE(harness.Init(SinkInstaller(&sinks)).ok());
+  ASSERT_TRUE(harness.BootAll().ok());
+
+  // Epoch-0 traffic crossing both routers so the hybrid core carries
+  // real per-link counters (and possibly live barriers) into the remap.
+  for (std::uint16_t i = 0; i < 24; ++i) {
+    ASSERT_TRUE(harness
+                    .Send(ServerId(i % 6), kSinkLocal,
+                          ServerId((i + 3) % 6), kSinkLocal, kChat)
+                    .ok());
+  }
+  harness.WaitQuiescent();
+
+  // D0 = {0 1 2} splits along its traffic pattern into D0 + D3.
+  domains::TrafficProfile d0_traffic(3);
+  d0_traffic.set(0, 1, 100.0);
+  d0_traffic.set(1, 2, 1.0);
+  auto new_config = control::SplitDomain(config, DomainId(0), d0_traffic,
+                                         DomainId(3), /*max_domain_size=*/2);
+  ASSERT_TRUE(new_config.ok()) << new_config.status();
+  // The split parts inherited the hybrid override.
+  EXPECT_EQ(new_config.value().CoreFor(DomainId(0)),
+            clocks::CausalCoreKind::kHybrid);
+  EXPECT_EQ(new_config.value().CoreFor(DomainId(3)),
+            clocks::CausalCoreKind::kHybrid);
+
+  auto plan = control::ReconfigPlan::Build(0, config, new_config.value());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  control::Coordinator coordinator(&harness);
+  ASSERT_TRUE(coordinator.Reconfigure(plan.value()).ok());
+  EXPECT_EQ(harness.cluster_epoch(), 1u);
+
+  // Post-split traffic, including across the new D0/D3 boundary and
+  // the untouched matrix domains.
+  for (std::uint16_t i = 0; i < 12; ++i) {
+    ASSERT_TRUE(harness
+                    .Send(ServerId(i % 6), kSinkLocal,
+                          ServerId((i + 5) % 6), kSinkLocal, kChat)
+                    .ok());
+  }
+  harness.WaitQuiescent();
+  harness.HaltAll();
+
+  ExpectAllStoresAt(harness, 1);
+  ExpectCleanTrace(harness);
+}
+
 }  // namespace
 }  // namespace cmom::workload
