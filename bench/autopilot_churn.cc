@@ -1,0 +1,119 @@
+// Autopilot churn bench: closed-loop topology control vs a frozen
+// topology on the same seeded churn trace.
+//
+// Runs the src/autopilot churn soak twice -- once with the controller
+// live (it should merge the phase-1 hotspot's domains, split them back
+// when the hotspot decays into disjoint cliques, and absorb/retire the
+// join/leave churn) and once frozen (dry-run: the controller observes,
+// scores and journals but never reconfigures).  Both runs share the
+// seed, so the traffic phases are identical; BENCH_autopilot.json
+// reports the per-window analytic score series side by side plus the
+// steady-state improvement, and the run aborts with exit 1 when the
+// causal / exactly-once oracle flags either run.
+//
+//   --smoke     shrink the scenario for the CI bench label
+//   --out PATH  write BENCH_autopilot.json elsewhere
+//   CMOM_SEED   replays a logged seed
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "autopilot/churn.h"
+#include "common/seed.h"
+
+using namespace cmom;
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_autopilot.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out path]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  autopilot::ChurnSoakOptions options;
+  options.seed = SeedFromEnv(42, "autopilot_churn");
+  if (smoke) {
+    options.chain_domains = 5;
+    options.domain_size = 4;
+    options.windows = 24;
+    options.sends_per_window = 250;
+    options.joiners = 2;
+    options.leavers = 1;
+  } else {
+    options.chain_domains = 9;
+    options.domain_size = 5;
+    options.windows = 36;
+    options.sends_per_window = 600;
+    options.joiners = 3;
+    options.leavers = 2;
+  }
+
+  std::printf("autopilot churn: %zu chain domains x %zu servers, %zu windows"
+              " (%s)\n",
+              options.chain_domains, options.domain_size, options.windows,
+              smoke ? "smoke" : "full");
+
+  options.frozen = false;
+  options.report_path = out_path + ".live_run.json";
+  auto live = autopilot::RunChurnSoak(options);
+  if (!live.ok()) {
+    std::fprintf(stderr, "autopilot run failed: %s\n",
+                 live.status().to_string().c_str());
+    return 1;
+  }
+  options.frozen = true;
+  options.report_path = out_path + ".frozen_run.json";
+  auto frozen = autopilot::RunChurnSoak(options);
+  if (!frozen.ok()) {
+    std::fprintf(stderr, "frozen run failed: %s\n",
+                 frozen.status().to_string().c_str());
+    return 1;
+  }
+
+  const auto& ap = live.value();
+  const auto& fz = frozen.value();
+  std::printf("closed loop: %llu epochs (splits %llu, merges %llu, promotes"
+              " %llu, absorbs %llu, retires %llu, aborts %llu)\n",
+              (unsigned long long)ap.epochs_taken,
+              (unsigned long long)ap.splits, (unsigned long long)ap.merges,
+              (unsigned long long)ap.promotes,
+              (unsigned long long)ap.absorbs,
+              (unsigned long long)ap.retires, (unsigned long long)ap.aborts);
+  std::printf("steady-state score: autopilot %.2f vs frozen %.2f"
+              " (improvement %.1f%%)\n",
+              ap.steady_score, fz.steady_score,
+              fz.steady_score > 0
+                  ? 100.0 * (fz.steady_score - ap.steady_score) /
+                        fz.steady_score
+                  : 0.0);
+  std::printf("clock cost: autopilot %.1f vs frozen %.1f; peak backlog"
+              " %llu vs %llu\n",
+              ap.final_clock_cost, fz.final_clock_cost,
+              (unsigned long long)ap.peak_router_backlog,
+              (unsigned long long)fz.peak_router_backlog);
+  std::printf("oracle: autopilot causal=%d exactly_once=%d | frozen"
+              " causal=%d exactly_once=%d\n",
+              ap.causal, ap.exactly_once, fz.causal, fz.exactly_once);
+
+  const Status written =
+      autopilot::WriteAutopilotBench(out_path, ap, fz, smoke);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.to_string().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!ap.ok() || !fz.ok()) {
+    std::fprintf(stderr, "ORACLE VIOLATION: %s\n",
+                 (!ap.ok() ? ap : fz).first_violation.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -6,7 +6,10 @@
 // statement, measured directly.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "clocks/causal_clock.h"
+#include "clocks/causal_core.h"
 #include "clocks/matrix_clock.h"
 #include "clocks/stamp.h"
 #include "common/rng.h"
@@ -15,7 +18,10 @@ namespace {
 
 using cmom::DomainServerId;
 using cmom::Rng;
+using cmom::clocks::CausalCore;
+using cmom::clocks::CausalCoreKind;
 using cmom::clocks::CausalDomainClock;
+using cmom::clocks::MakeCausalCore;
 using cmom::clocks::MatrixClock;
 using cmom::clocks::Stamp;
 using cmom::clocks::StampMode;
@@ -97,6 +103,66 @@ void BM_StampEncodeDecode(benchmark::State& state) {
                           static_cast<std::int64_t>(stamp.EncodedSize()));
 }
 BENCHMARK(BM_StampEncodeDecode)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// The four causal_core choices a config can name, swept side by side:
+// the paper's matrix baseline in both stamp modes, the Drummond-Barbosa
+// reduced core, and the Almeida-style hybrid core.  The second range
+// argument indexes this table; each JSON row is labeled with the core
+// name so downstream tooling can group per-core series.
+struct CoreChoice {
+  const char* name;
+  CausalCoreKind kind;
+  StampMode mode;
+};
+constexpr CoreChoice kCoreChoices[] = {
+    {"matrix_full", CausalCoreKind::kMatrix, StampMode::kFullMatrix},
+    {"matrix_updates", CausalCoreKind::kMatrix, StampMode::kUpdates},
+    {"reduced", CausalCoreKind::kReduced, StampMode::kUpdates},
+    {"hybrid", CausalCoreKind::kHybrid, StampMode::kUpdates},
+};
+
+void BM_CorePrepareSend(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  const CoreChoice& choice = kCoreChoices[state.range(1)];
+  std::unique_ptr<CausalCore> core =
+      MakeCausalCore(choice.kind, DomainServerId(0), size, choice.mode);
+  std::uint16_t dest = 1;
+  std::uint64_t bytes = 0;
+  std::uint64_t stamps = 0;
+  for (auto _ : state) {
+    Stamp stamp = core->PrepareSend(DomainServerId(dest));
+    bytes += stamp.EncodedSize();
+    ++stamps;
+    benchmark::DoNotOptimize(stamp);
+    dest = static_cast<std::uint16_t>(1 + (dest % (size - 1)));
+  }
+  state.SetLabel(choice.name);
+  state.counters["stamp_bytes"] =
+      stamps == 0 ? 0 : static_cast<double>(bytes) / static_cast<double>(stamps);
+}
+BENCHMARK(BM_CorePrepareSend)
+    ->ArgsProduct({{4, 16, 64, 256}, {0, 1, 2, 3}})
+    ->ArgNames({"s", "core"});
+
+void BM_CoreCheckAndDeliver(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  const CoreChoice& choice = kCoreChoices[state.range(1)];
+  // Sender 1 streams to receiver 0; the receiver checks and merges.
+  std::unique_ptr<CausalCore> sender =
+      MakeCausalCore(choice.kind, DomainServerId(1), size, choice.mode);
+  std::unique_ptr<CausalCore> receiver =
+      MakeCausalCore(choice.kind, DomainServerId(0), size, choice.mode);
+  for (auto _ : state) {
+    Stamp stamp = sender->PrepareSend(DomainServerId(0));
+    auto check = receiver->CheckReceive(DomainServerId(1), stamp);
+    benchmark::DoNotOptimize(check);
+    receiver->OnDeliver(DomainServerId(1), stamp);
+  }
+  state.SetLabel(choice.name);
+}
+BENCHMARK(BM_CoreCheckAndDeliver)
+    ->ArgsProduct({{4, 16, 64, 256}, {0, 1, 2, 3}})
+    ->ArgNames({"s", "core"});
 
 void BM_ClockStatePersistImage(benchmark::State& state) {
   const std::size_t size = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,85 @@
+#include "autopilot/profile.h"
+
+#include <algorithm>
+
+namespace cmom::autopilot {
+
+void LiveTrafficProfile::Ingest(
+    ServerId from,
+    const std::vector<std::pair<ServerId, std::uint64_t>>& counters) {
+  for (const auto& [to, cumulative] : counters) {
+    if (to == from) continue;
+    const Key key = KeyOf(from, to);
+    auto it = last_cumulative_.find(key);
+    std::uint64_t delta = cumulative;
+    if (it != last_cumulative_.end() && cumulative >= it->second) {
+      delta = cumulative - it->second;
+    }
+    // (cumulative < last) means the server rebooted and its counters
+    // restarted from zero: the full new value is this window's traffic.
+    last_cumulative_[key] = cumulative;
+    if (delta > 0) window_delta_[key] += static_cast<double>(delta);
+  }
+}
+
+void LiveTrafficProfile::EndWindow() {
+  // Links with traffic this window move toward the observed delta;
+  // every other known link decays toward zero.  Rates that fall below
+  // the noise floor are dropped outright so a dead hotspot eventually
+  // costs nothing to carry or score.
+  constexpr double kNoiseFloor = 1e-6;
+  for (auto it = rates_.begin(); it != rates_.end();) {
+    const auto delta = window_delta_.find(it->first);
+    const double observed =
+        delta == window_delta_.end() ? 0.0 : delta->second;
+    it->second = decay_ * it->second + (1.0 - decay_) * observed;
+    if (delta != window_delta_.end()) window_delta_.erase(delta);
+    if (it->second < kNoiseFloor) {
+      it = rates_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const auto& [key, observed] : window_delta_) {
+    const double rate = (1.0 - decay_) * observed;
+    if (rate >= kNoiseFloor) rates_[key] = rate;
+  }
+  window_delta_.clear();
+}
+
+double LiveTrafficProfile::rate(ServerId from, ServerId to) const {
+  const auto it = rates_.find(KeyOf(from, to));
+  return it == rates_.end() ? 0.0 : it->second;
+}
+
+double LiveTrafficProfile::TotalRate() const {
+  double total = 0;
+  for (const auto& [key, rate] : rates_) total += rate;
+  return total;
+}
+
+void LiveTrafficProfile::Forget(ServerId server) {
+  const auto touches = [&](Key key) {
+    return static_cast<std::uint16_t>(key >> 16) == server.value() ||
+           static_cast<std::uint16_t>(key & 0xFFFF) == server.value();
+  };
+  std::erase_if(rates_, [&](const auto& kv) { return touches(kv.first); });
+  std::erase_if(last_cumulative_,
+                [&](const auto& kv) { return touches(kv.first); });
+  std::erase_if(window_delta_,
+                [&](const auto& kv) { return touches(kv.first); });
+}
+
+domains::TrafficProfile LiveTrafficProfile::Snapshot(
+    std::size_t server_count) const {
+  domains::TrafficProfile profile(server_count);
+  for (const auto& [key, rate] : rates_) {
+    const std::size_t from = key >> 16;
+    const std::size_t to = key & 0xFFFF;
+    if (from >= server_count || to >= server_count) continue;
+    profile.add(from, to, rate);
+  }
+  return profile;
+}
+
+}  // namespace cmom::autopilot

@@ -1,0 +1,75 @@
+// Live traffic profile: a decaying view of who talks to whom.
+//
+// The offline Section 7 splitter consumes a TrafficProfile measured
+// ahead of time; the autopilot has to build one while the bus runs.
+// Every observation window the observer feeds each live server's
+// cumulative per-destination origination counters
+// (mom::AgentServer::OriginatedByDestination) into this profile; the
+// delta against the previous snapshot is the window's observation, and
+// the per-link rate follows an exponentially weighted moving average
+//
+//   rate = decay * rate + (1 - decay) * delta
+//
+// so a hotspot that moved three windows ago fades geometrically
+// instead of anchoring the controller to stale history.  Counter
+// resets (a server crashed and rebooted, losing its in-memory
+// counters) are detected as a cumulative value below the previous
+// snapshot and treated as a fresh baseline.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "domains/splitter.h"
+
+namespace cmom::autopilot {
+
+class LiveTrafficProfile {
+ public:
+  // `decay` in [0, 1): weight of history per window.  0 forgets
+  // instantly (last window only); 0.5 halves a stale rate per window.
+  explicit LiveTrafficProfile(double decay = 0.5) : decay_(decay) {}
+
+  [[nodiscard]] double decay() const { return decay_; }
+
+  // Feeds one origin server's cumulative per-destination counters into
+  // the currently open window.  Call once per live server per window.
+  void Ingest(ServerId from,
+              const std::vector<std::pair<ServerId, std::uint64_t>>& counters);
+
+  // Closes the window: folds this window's deltas into the EWMA rates
+  // (links with no delta decay toward zero) and opens the next window.
+  void EndWindow();
+
+  // Smoothed messages-per-window rate for an ordered pair.
+  [[nodiscard]] double rate(ServerId from, ServerId to) const;
+
+  // Sum of all smoothed rates (activity gauge).
+  [[nodiscard]] double TotalRate() const;
+
+  // Drops everything known about `server` (it left the cluster).
+  void Forget(ServerId server);
+
+  // Materializes the smoothed rates as a splitter-compatible profile
+  // over server ids 0..server_count-1 (rates touching ids outside the
+  // range are dropped).
+  [[nodiscard]] domains::TrafficProfile Snapshot(
+      std::size_t server_count) const;
+
+ private:
+  using Key = std::uint32_t;  // (from << 16) | to
+  static Key KeyOf(ServerId from, ServerId to) {
+    return (static_cast<Key>(from.value()) << 16) |
+           static_cast<Key>(to.value());
+  }
+
+  double decay_;
+  std::unordered_map<Key, double> rates_;
+  std::unordered_map<Key, std::uint64_t> last_cumulative_;
+  std::unordered_map<Key, double> window_delta_;
+};
+
+}  // namespace cmom::autopilot

@@ -231,14 +231,24 @@ Status Coordinator::Recover() {
 
 Status Coordinator::CutoverStore(mom::Store& store, ServerId self,
                                  const ReconfigPlan& plan) {
-  auto current = CurrentEpochOf(store);
-  if (!current.ok()) return current.status();
-  if (current.value() == plan.to_epoch) return Status::Ok();  // idempotent
-  if (current.value() != plan.from_epoch) {
+  auto record = ReadEpochRecord(store, kEpochCurrentKey);
+  if (!record.ok()) return record.status();
+  // A record-less store is implicitly at epoch 0 -- unless this server
+  // is joining in this very transition, in which case its fresh store
+  // is considered to be at from_epoch (the same allowance Propose
+  // makes; a joiner's first epoch/current record is the one this
+  // cutover writes).
+  const bool joining = !record.value().has_value() &&
+                       !Contains(plan.old_config.servers, self);
+  const std::uint64_t current =
+      record.value().has_value() ? record.value()->epoch
+      : joining                  ? plan.from_epoch
+                                 : 0;
+  if (current == plan.to_epoch) return Status::Ok();  // idempotent
+  if (current != plan.from_epoch) {
     return Status::FailedPrecondition(
-        to_string(self) + "'s store is at epoch " +
-        std::to_string(current.value()) + ", plan expects " +
-        std::to_string(plan.from_epoch));
+        to_string(self) + "'s store is at epoch " + std::to_string(current) +
+        ", plan expects " + std::to_string(plan.from_epoch));
   }
   // The correctness precondition: the store must be drained.  Any
   // surviving queue entry would be stamped under the OLD coordinates

@@ -880,6 +880,7 @@ std::size_t AgentServer::ApplySends(std::vector<Message> sends) {
   remote.reserve(sends.size());
   for (Message& message : sends) {
     ++stats_.messages_sent;
+    ++originated_by_dest_[message.dest_server()];
     BufferTraceSend(message);
     if (message.dest_server() == self_) {
       EnqueueLocalDelivery(std::move(message));
@@ -2214,6 +2215,17 @@ AgentServer::FlowStatus AgentServer::flow_status() const {
   status.wait_queue = wait_queue_.size();
   status.dead_letters = stats_.dead_letters;
   return status;
+}
+
+std::vector<std::pair<ServerId, std::uint64_t>>
+AgentServer::OriginatedByDestination() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<ServerId, std::uint64_t>> out(
+      originated_by_dest_.begin(), originated_by_dest_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.first.value() < b.first.value();
+  });
+  return out;
 }
 
 Status AgentServer::ApplyControlRecord(std::string_view key,

@@ -337,6 +337,13 @@ class AgentServer {
   };
   [[nodiscard]] FlowStatus flow_status() const;
 
+  // Cumulative application sends originated on this server, keyed by
+  // destination server.  The autopilot observer differences consecutive
+  // snapshots per observation window to rebuild a live
+  // origin->destination TrafficProfile without touching the hot path.
+  [[nodiscard]] std::vector<std::pair<ServerId, std::uint64_t>>
+  OriginatedByDestination() const;
+
   // Durably applies one control-plane record write (delete when `value`
   // is nullopt) through the server's own transaction pipeline, so it
   // serializes with protocol commits -- an outside Commit on a live
@@ -745,6 +752,9 @@ class AgentServer {
   std::uint64_t next_dlq_seq_ = 1;
 
   ServerStats stats_;
+  // Cumulative per-destination origination counters (guarded by
+  // mutex_, maintained alongside stats_.messages_sent).
+  std::unordered_map<ServerId, std::uint64_t> originated_by_dest_;
 };
 
 }  // namespace cmom::mom

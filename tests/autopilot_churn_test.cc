@@ -1,0 +1,123 @@
+// Autopilot guardrails under fire (chaos label).
+//
+// 1. The churn soak at bench-smoke scale: the controller must execute
+//    several distinct reconfigurations autonomously (split AND merge
+//    included) while the whole-run oracle stays green.
+// 2. The fence-timeout guardrail: a crashed server's peer holds an
+//    unACKed frame, so the quiesce phase cannot drain within budget;
+//    the controller must abort the epoch, back off, and leave the bus
+//    serving (no wedge) at the old epoch.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "autopilot/churn.h"
+#include "autopilot/controller.h"
+#include "causality/checker.h"
+#include "domains/topologies.h"
+#include "workload/agents.h"
+#include "workload/threaded_harness.h"
+
+namespace cmom::autopilot {
+namespace {
+
+TEST(AutopilotChurnTest, ChurnSoakReshapesAutonomouslyAndStaysCausal) {
+  ChurnSoakOptions options;
+  options.seed = 42;
+  options.chain_domains = 5;
+  options.domain_size = 4;
+  options.windows = 24;
+  options.sends_per_window = 250;
+  options.joiners = 2;
+  options.leavers = 1;
+
+  auto run = RunChurnSoak(options);
+  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  const ChurnReport& report = run.value();
+
+  EXPECT_TRUE(report.causal) << report.first_violation;
+  EXPECT_TRUE(report.exactly_once) << report.first_violation;
+  EXPECT_EQ(report.aborts, 0u);
+  EXPECT_GE(report.epochs_taken, 3u);
+  EXPECT_GE(report.splits, 1u);
+  EXPECT_GE(report.merges, 1u);
+  const int distinct = (report.splits > 0) + (report.merges > 0) +
+                       (report.promotes > 0) + (report.absorbs > 0) +
+                       (report.retires > 0);
+  EXPECT_GE(distinct, 3);
+  EXPECT_EQ(report.final_epoch, report.epochs_taken);
+}
+
+TEST(AutopilotChurnTest, FenceTimeoutAbortsBacksOffAndDoesNotWedge) {
+  domains::MomConfig config = domains::topologies::Daisy(4, 3);
+  workload::ThreadedHarness harness(config);
+  ASSERT_TRUE(harness
+                  .Init([](ServerId, mom::AgentServer& server) {
+                    server.AttachAgent(
+                        0, std::make_unique<workload::SinkAgent>());
+                  })
+                  .ok());
+  ASSERT_TRUE(harness.BootAll().ok());
+
+  AutopilotOptions options;
+  options.min_improvement = 0.01;
+  options.quiesce_timeout_ms = 300;
+  options.backoff_windows = 2;
+  Autopilot pilot(&harness, config, 0, options);
+
+  // Daisy(4,3): domain 0 = {0,1,2}, domain 1 = {2,3,4}, ..., server 8
+  // is interior to the far end of the chain.
+  const ServerId hot_a(0), hot_b(1), hot_c(3);
+  const ServerId victim(8), peer(7);
+  const auto hotspot_burst = [&] {
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(harness.Send(hot_a, 0, hot_c, 0, "hot").ok());
+      ASSERT_TRUE(harness.Send(hot_b, 0, hot_c, 0, "hot").ok());
+      ASSERT_TRUE(harness.Send(hot_c, 0, hot_a, 0, "hot").ok());
+    }
+  };
+
+  // Window 1: the cross-domain hotspot makes the 0+1 merge the winner;
+  // hysteresis holds it for confirmation.
+  hotspot_burst();
+  harness.WaitQuiescent();
+  const Decision first = pilot.Tick();
+  ASSERT_EQ(first.verdict, Verdict::kHysteresis)
+      << VerdictName(first.verdict) << ": " << first.reason;
+  ASSERT_EQ(first.op, OpKind::kMerge);
+
+  // Window 2: same winner -- but a crashed server's peer now holds an
+  // unACKed frame, so the drain cannot complete within budget.
+  hotspot_burst();
+  harness.WaitQuiescent();
+  harness.Crash(victim);
+  ASSERT_TRUE(harness.Send(peer, 0, victim, 0, "stranded").ok());
+  const Decision second = pilot.Tick();
+  EXPECT_EQ(second.verdict, Verdict::kAborted)
+      << VerdictName(second.verdict) << ": " << second.reason;
+  EXPECT_EQ(pilot.aborts(), 1u);
+  EXPECT_EQ(pilot.epoch(), 0u);  // cluster rolled back, not wedged mid-epoch
+  EXPECT_EQ(pilot.epochs_taken(), 0u);
+
+  // Window 3: guardrail backoff.
+  const Decision third = pilot.Tick();
+  EXPECT_EQ(third.verdict, Verdict::kBackoff);
+
+  // The bus is not wedged: the victim restarts, the stranded frame
+  // drains, and fresh traffic flows end to end at the old epoch.
+  ASSERT_TRUE(harness.Restart(victim).ok());
+  harness.WaitQuiescent();
+  ASSERT_TRUE(harness.Send(hot_a, 0, victim, 0, "post-abort").ok());
+  harness.WaitQuiescent();
+  harness.HaltAll();
+
+  const causality::Trace trace = harness.trace().Snapshot();
+  const causality::CausalityChecker checker = harness.MakeChecker();
+  const auto causal = checker.CheckCausalDelivery(trace);
+  EXPECT_TRUE(causal.causal())
+      << causal.violations.front().description;
+  EXPECT_TRUE(checker.CheckExactlyOnce(trace).ok());
+}
+
+}  // namespace
+}  // namespace cmom::autopilot

@@ -50,6 +50,17 @@
 //                                         report: seed, traffic, latency
 //                                         percentiles, faults injected
 //                                         and the invariant verdicts
+//   momtool autopilot <store-dir>         replay the topology controller's
+//                                         durable decision journal: every
+//                                         window's verdict, candidate
+//                                         scores and suppression/abort
+//                                         reasons
+//   momtool autopilot <report.json>       summarize a BENCH_autopilot.json
+//                                         comparison (or a single
+//                                         *.live_run.json section): epochs
+//                                         taken, steady-state score /
+//                                         router load / stamp rate vs the
+//                                         frozen baseline, invariants
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -63,6 +74,7 @@
 #include <thread>
 #include <vector>
 
+#include "autopilot/controller.h"
 #include "causality/checker.h"
 #include "control/coordinator.h"
 #include "control/epoch.h"
@@ -866,6 +878,203 @@ int ChaosReport(const std::string& path) {
   return all_ok ? 0 : 1;
 }
 
+// --- autopilot post-mortems -------------------------------------------
+//
+// Two sources, one command:
+//   momtool autopilot <store-dir>     replay the controller's durable
+//                                     decision journal ("autopilot/<seq>"
+//                                     records written through the journal
+//                                     server's commit pipeline)
+//   momtool autopilot <report.json>   summarize a churn-bench report
+//                                     (BENCH_autopilot.json or a
+//                                     *.live_run.json / *.frozen_run.json
+//                                     single-run section)
+
+int AutopilotJournal(const std::string& dir) {
+  auto store = mom::FileStore::Open(dir);
+  if (!store.ok()) return Fail(store.status());
+
+  std::size_t records = 0;
+  std::size_t epochs = 0;
+  std::size_t aborts = 0;
+  std::uint64_t last_epoch = 0;
+  for (const std::string& key : store.value()->Keys("autopilot/")) {
+    auto value = store.value()->Get(key);
+    if (!value.has_value()) continue;
+    auto decision = autopilot::DecodeDecision(
+        std::string(value->begin(), value->end()));
+    if (!decision.ok()) {
+      std::printf("%-28s  (corrupt: %s)\n", key.c_str(),
+                  decision.status().to_string().c_str());
+      continue;
+    }
+    const autopilot::Decision& d = decision.value();
+    ++records;
+    last_epoch = d.to_epoch;
+    if (d.verdict == autopilot::Verdict::kTaken) ++epochs;
+    if (d.verdict == autopilot::Verdict::kAborted) ++aborts;
+
+    std::printf("w%-4llu epoch %llu->%llu  %-14s %-8s %s\n",
+                static_cast<unsigned long long>(d.window),
+                static_cast<unsigned long long>(d.from_epoch),
+                static_cast<unsigned long long>(d.to_epoch),
+                autopilot::VerdictName(d.verdict),
+                autopilot::OpKindName(d.op), d.detail.c_str());
+    if (d.current_score > 0 || d.candidate_score > 0) {
+      std::printf("      score %.2f -> %.2f\n", d.current_score,
+                  d.candidate_score);
+    }
+    if (!d.reason.empty()) {
+      std::printf("      reason: %s\n", d.reason.c_str());
+    }
+    for (const autopilot::CandidateScore& c : d.candidates) {
+      if (c.valid) {
+        std::printf("      cand  %-8s %-32s %.2f\n",
+                    autopilot::OpKindName(c.op), c.detail.c_str(), c.score);
+      } else {
+        std::printf("      cand  %-8s %-32s invalid: %s\n",
+                    autopilot::OpKindName(c.op), c.detail.c_str(),
+                    c.rejection.c_str());
+      }
+    }
+  }
+  if (records == 0) {
+    std::printf("no autopilot journal records in %s\n", dir.c_str());
+    return 1;
+  }
+  std::printf("%zu decisions, %zu epochs taken, %zu aborts, final epoch "
+              "%llu\n",
+              records, epochs, aborts,
+              static_cast<unsigned long long>(last_epoch));
+  return 0;
+}
+
+int AutopilotReport(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    std::fprintf(stderr, "autopilot: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+    text.append(buffer, got);
+  }
+  std::fclose(in);
+
+  auto values = ScanFlatJson(text);
+  auto get = [&](const std::string& key) -> std::string {
+    auto it = values.find(key);
+    return it == values.end() ? std::string("?") : it->second;
+  };
+  auto verdict = [&](const std::string& key) {
+    const std::string v = get(key);
+    return v == "true" ? "ok" : (v == "false" ? "VIOLATED" : "?");
+  };
+
+  const std::string bench = get("bench");
+  std::printf("autopilot report: %s\n", path.c_str());
+  std::printf("  seed          %s  (replay: CMOM_SEED=%s ctest -L chaos)\n",
+              get("seed").c_str(), get("seed").c_str());
+
+  if (bench == "autopilot_churn") {
+    // Comparison report: autopilot vs frozen baseline on one schedule.
+    std::printf("  scale         %s windows x %s servers (smoke=%s)\n",
+                get("windows").c_str(), get("servers").c_str(),
+                get("smoke").c_str());
+    std::printf("  reshaping     %s epochs (%s distinct op kinds); frozen "
+                "took %s\n",
+                get("epochs_taken").c_str(), get("distinct_ops").c_str(),
+                get("frozen_epochs").c_str());
+    std::printf("  ops           %s splits, %s merges, %s promotes, "
+                "%s absorbs, %s retires; %s aborts\n",
+                get("autopilot_splits").c_str(),
+                get("autopilot_merges").c_str(),
+                get("autopilot_promotes").c_str(),
+                get("autopilot_absorbs").c_str(),
+                get("autopilot_retires").c_str(),
+                get("autopilot_aborts").c_str());
+    std::printf("  invariants    autopilot causal %s exactly-once %s; "
+                "frozen causal %s exactly-once %s\n",
+                verdict("autopilot_causal"),
+                verdict("autopilot_exactly_once"), verdict("frozen_causal"),
+                verdict("frozen_exactly_once"));
+    std::printf("  steady score  autopilot %s vs frozen %s  "
+                "(improvement %s)\n",
+                get("steady_score_autopilot").c_str(),
+                get("steady_score_frozen").c_str(),
+                get("score_improvement").c_str());
+    std::printf("  router load   autopilot %s vs frozen %s  "
+                "(traffic-weighted extra hops)\n",
+                get("steady_router_load_autopilot").c_str(),
+                get("steady_router_load_frozen").c_str());
+    std::printf("  stamp rate    autopilot %s vs frozen %s  "
+                "(entries/window; wider domains stamp wider)\n",
+                get("steady_stamp_autopilot").c_str(),
+                get("steady_stamp_frozen").c_str());
+    std::printf("  clock cost    autopilot %s vs frozen %s  (standing "
+                "sum s^2)\n",
+                get("clock_cost_autopilot").c_str(),
+                get("clock_cost_frozen").c_str());
+    std::printf("  backlog       autopilot peak %s steady %s vs frozen "
+                "peak %s steady %s\n",
+                get("backlog_autopilot").c_str(),
+                get("steady_backlog_autopilot").c_str(),
+                get("backlog_frozen").c_str(),
+                get("steady_backlog_frozen").c_str());
+  } else if (bench == "autopilot_churn_run") {
+    // Single-run section (live_run / frozen_run).
+    std::printf("  scale         %s windows x %s servers (frozen=%s), "
+                "%s s wall\n",
+                get("windows").c_str(), get("servers").c_str(),
+                get("frozen").c_str(), get("wall_seconds").c_str());
+    std::printf("  traffic       accepted %s, sent %s, delivered %s\n",
+                get("accepted").c_str(), get("sent").c_str(),
+                get("delivered").c_str());
+    std::printf("  reshaping     %s epochs: %s splits, %s merges, "
+                "%s promotes, %s absorbs, %s retires; %s aborts\n",
+                get("run_epochs_taken").c_str(), get("run_splits").c_str(),
+                get("run_merges").c_str(), get("run_promotes").c_str(),
+                get("run_absorbs").c_str(), get("run_retires").c_str(),
+                get("run_aborts").c_str());
+    std::printf("  suppressed    cooldown %s, threshold %s, hysteresis %s, "
+                "backoff %s\n",
+                get("suppressed_cooldown").c_str(),
+                get("suppressed_threshold").c_str(),
+                get("suppressed_hysteresis").c_str(),
+                get("suppressed_backoff").c_str());
+    std::printf("  steady state  score %s, stamp rate %s, router load %s, "
+                "backlog %s\n",
+                get("run_steady_score").c_str(),
+                get("run_steady_stamp_rate").c_str(),
+                get("run_steady_router_load").c_str(),
+                get("run_steady_backlog").c_str());
+    std::printf("  invariants    causal %s, exactly-once %s\n",
+                verdict("run_causal"), verdict("run_exactly_once"));
+    const std::string violation = get("first_violation");
+    if (!violation.empty() && violation != "?") {
+      std::printf("  violation     %s\n", violation.c_str());
+    }
+  } else {
+    std::fprintf(stderr, "autopilot: %s is not an autopilot report "
+                 "(bench=%s)\n", path.c_str(), bench.c_str());
+    return 2;
+  }
+
+  const bool all_ok = get("all_ok") == "true";
+  std::printf("  verdict       %s\n",
+              all_ok ? "ALL INVARIANTS GREEN" : "INVARIANT VIOLATIONS");
+  return all_ok ? 0 : 1;
+}
+
+int AutopilotCmd(const std::string& path) {
+  if (path.size() > 5 && path.compare(path.size() - 5, 5, ".json") == 0) {
+    return AutopilotReport(path);
+  }
+  return AutopilotJournal(path);
+}
+
 int Estimate(const std::string& config_path,
              const std::string& traffic_path) {
   auto config = domains::LoadMomConfig(config_path);
@@ -912,6 +1121,9 @@ int main(int argc, char** argv) {
   if (argc == 3 && std::strcmp(argv[1], "chaos") == 0) {
     return ChaosReport(argv[2]);
   }
+  if (argc == 3 && std::strcmp(argv[1], "autopilot") == 0) {
+    return AutopilotCmd(argv[2]);
+  }
   std::fprintf(stderr,
                "usage:\n"
                "  momtool validate <config>\n"
@@ -924,6 +1136,7 @@ int main(int argc, char** argv) {
                "  momtool storestat <store-dir>\n"
                "  momtool dlq <store-dir>\n"
                "  momtool epoch <store-dir> [--cutover <server-id>]\n"
-               "  momtool chaos <report.json>\n");
+               "  momtool chaos <report.json>\n"
+               "  momtool autopilot <store-dir> | autopilot <report.json>\n");
   return 2;
 }
